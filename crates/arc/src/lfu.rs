@@ -1,0 +1,167 @@
+//! Least-frequently-used cache.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+
+use crate::traits::Cache;
+
+/// An LFU cache with LRU tie-breaking: pure frequency, the
+/// "popularity-only" end of the spectrum City-Hunter's PB buffer lives at.
+///
+/// Frequency counts persist only while a key is resident (no ghost
+/// history), which is standard in-cache LFU.
+///
+/// ```
+/// use ch_arc::{Cache, LfuCache};
+/// let mut lfu = LfuCache::new(2);
+/// lfu.request(&"hot");
+/// lfu.request(&"hot");
+/// lfu.request(&"cold");
+/// lfu.request(&"new");        // evicts "cold" (lowest count)
+/// assert!(lfu.contains(&"hot"));
+/// assert!(!lfu.contains(&"cold"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LfuCache<K> {
+    // key -> (count, last-touch sequence)
+    entries: HashMap<K, (u64, u64)>,
+    // (count, last-touch sequence, key) ordered ascending: first = evictee.
+    order: BTreeSet<(u64, u64, K)>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+impl<K: Eq + Hash + Ord + Clone> LfuCache<K> {
+    /// Creates an LFU cache holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LfuCache {
+            entries: HashMap::new(),
+            order: BTreeSet::new(),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// The access count of a resident key.
+    pub fn count_of(&self, key: &K) -> Option<u64> {
+        self.entries.get(key).map(|&(c, _)| c)
+    }
+
+    fn touch(&mut self, key: &K) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                let old = (entry.0, entry.1, key.clone());
+                self.order.remove(&old);
+                entry.0 += 1;
+                entry.1 = seq;
+                self.order.insert((entry.0, seq, key.clone()));
+            }
+            None => {
+                self.entries.insert(key.clone(), (1, seq));
+                self.order.insert((1, seq, key.clone()));
+            }
+        }
+    }
+
+    fn evict_one(&mut self) {
+        if let Some(victim) = self.order.iter().next().cloned() {
+            self.order.remove(&victim);
+            self.entries.remove(&victim.2);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Ord + Clone> Cache<K> for LfuCache<K> {
+    fn request(&mut self, key: &K) -> bool {
+        let hit = self.entries.contains_key(key);
+        self.touch(key);
+        if self.entries.len() > self.capacity {
+            self.evict_one();
+        }
+        hit
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn evicts_lowest_count() {
+        let mut c = LfuCache::new(2);
+        c.request(&1);
+        c.request(&1);
+        c.request(&2);
+        c.request(&3); // 2 has count 1, 1 has count 2 -> evict 2
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+        assert_eq!(c.count_of(&1), Some(2));
+    }
+
+    #[test]
+    fn tie_breaks_by_recency() {
+        let mut c = LfuCache::new(2);
+        c.request(&"old");
+        c.request(&"newer");
+        c.request(&"incoming"); // both resident have count 1; evict "old"
+        assert!(!c.contains(&"old"));
+        assert!(c.contains(&"newer"));
+    }
+
+    #[test]
+    fn new_key_cannot_displace_hot_set() {
+        // Classic LFU property: a scan cannot flush a frequent set.
+        let mut c = LfuCache::new(2);
+        for _ in 0..5 {
+            c.request(&1);
+            c.request(&2);
+        }
+        for scan in 0..100 {
+            c.request(&(1000 + scan));
+        }
+        assert!(c.contains(&1));
+        assert!(c.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LfuCache::<u8>::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_len_bounded_and_maps_consistent(
+            cap in 1usize..12,
+            trace in proptest::collection::vec(0u8..24, 0..200),
+        ) {
+            let mut c = LfuCache::new(cap);
+            for k in &trace {
+                c.request(k);
+                prop_assert!(c.len() <= cap);
+                prop_assert_eq!(c.entries.len(), c.order.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # ch-arc — Adaptive Replacement Cache and baselines
+//!
+//! City-Hunter's dynamic popularity/freshness buffer split (§IV-C) is
+//! "inspired by the Adaptive Replacement Cache algorithm (ARC)" of Megiddo
+//! & Modha (FAST '03): two lists, one capturing *recency* and one capturing
+//! *frequency*, whose sizes self-tune based on hits in two *ghost lists* of
+//! recently evicted keys.
+//!
+//! This crate implements the real thing — [`ArcCache`], a faithful ARC with
+//! the T1/T2/B1/B2 structure and the adaptation parameter `p` — together
+//! with [`LruCache`], [`LfuCache`] and [`TwoQCache`] baselines and a common
+//! [`Cache`] trait. `ch-attack` uses the same ghost-list adaptation idea for its SSID
+//! buffers, and the test suite here validates the canonical behaviour that
+//! design borrows (scan resistance, loop resistance, adaptation direction).
+//!
+//! ```
+//! use ch_arc::{ArcCache, Cache};
+//!
+//! let mut cache = ArcCache::new(2);
+//! assert!(!cache.request(&"a"));  // miss
+//! assert!(!cache.request(&"b"));  // miss
+//! assert!(cache.request(&"a"));   // hit
+//! assert!(!cache.request(&"c"));  // miss, evicts
+//! assert!(cache.len() <= 2);
+//! ```
+
+pub mod arc;
+pub mod lfu;
+pub mod lru;
+mod ordered;
+pub mod traits;
+pub mod twoq;
+
+pub use arc::ArcCache;
+pub use lfu::LfuCache;
+pub use lru::LruCache;
+pub use traits::Cache;
+pub use twoq::TwoQCache;

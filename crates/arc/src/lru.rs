@@ -1,0 +1,128 @@
+//! Least-recently-used cache.
+
+use std::hash::Hash;
+
+use crate::ordered::OrderedSet;
+use crate::traits::Cache;
+
+/// A classic LRU cache: pure recency, the "freshness-only" end of the
+/// spectrum City-Hunter's FB buffer lives at.
+///
+/// ```
+/// use ch_arc::{Cache, LruCache};
+/// let mut lru = LruCache::new(2);
+/// lru.request(&1);
+/// lru.request(&2);
+/// lru.request(&3);           // evicts 1
+/// assert!(!lru.contains(&1));
+/// assert!(lru.contains(&3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCache<K> {
+    set: OrderedSet<K>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone> LruCache<K> {
+    /// Creates an LRU cache holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            set: OrderedSet::new(),
+            capacity,
+        }
+    }
+
+    /// Keys from least to most recently used.
+    pub fn iter_lru_to_mru(&self) -> impl Iterator<Item = &K> {
+        self.set.iter_lru_to_mru()
+    }
+}
+
+impl<K: Eq + Hash + Clone> Cache<K> for LruCache<K> {
+    fn request(&mut self, key: &K) -> bool {
+        let hit = self.set.contains(key);
+        self.set.push_mru(key.clone());
+        if self.set.len() > self.capacity {
+            self.set.pop_lru();
+        }
+        hit
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.set.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut c = LruCache::new(3);
+        for k in [1, 2, 3] {
+            c.request(&k);
+        }
+        c.request(&1); // 1 now MRU
+        c.request(&4); // evicts 2
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        assert!(c.contains(&3));
+        assert!(c.contains(&4));
+    }
+
+    #[test]
+    fn repeated_requests_hit() {
+        let mut c = LruCache::new(1);
+        assert!(!c.request(&"k"));
+        assert!(c.request(&"k"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u8>::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_len_never_exceeds_capacity(
+            cap in 1usize..16,
+            trace in proptest::collection::vec(0u8..32, 0..200),
+        ) {
+            let mut c = LruCache::new(cap);
+            for k in &trace {
+                c.request(k);
+                prop_assert!(c.len() <= cap);
+            }
+        }
+
+        #[test]
+        fn prop_request_then_contains(
+            cap in 1usize..16,
+            trace in proptest::collection::vec(0u8..32, 1..100),
+        ) {
+            let mut c = LruCache::new(cap);
+            for k in &trace {
+                c.request(k);
+                // The key just requested is always resident afterwards.
+                prop_assert!(c.contains(k));
+            }
+        }
+    }
+}

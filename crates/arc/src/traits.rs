@@ -1,0 +1,56 @@
+//! The common cache interface.
+
+use std::hash::Hash;
+
+/// A fixed-capacity cache of keys.
+///
+/// The interface is request-driven: [`Cache::request`] both *queries* and
+/// *updates* the cache (on a miss the key is admitted, possibly evicting),
+/// matching the access pattern of cache-replacement literature and of the
+/// SSID-buffer use in `ch-attack`.
+pub trait Cache<K: Eq + Hash + Clone> {
+    /// Looks up `key`; on a miss, admits it (evicting per policy).
+    /// Returns `true` on a hit.
+    fn request(&mut self, key: &K) -> bool;
+
+    /// `true` if `key` is currently resident (no state change).
+    fn contains(&self, key: &K) -> bool;
+
+    /// Number of resident keys.
+    fn len(&self) -> usize;
+
+    /// `true` if no keys are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of resident keys.
+    fn capacity(&self) -> usize;
+}
+
+/// Runs a trace through a cache and returns the hit count — the measure
+/// used by the replacement-policy comparison tests and benches.
+pub fn hits_on_trace<K, C>(cache: &mut C, trace: impl IntoIterator<Item = K>) -> usize
+where
+    K: Eq + Hash + Clone,
+    C: Cache<K>,
+{
+    trace
+        .into_iter()
+        .filter(|key| cache.request(key))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LruCache;
+
+    #[test]
+    fn hits_on_trace_counts() {
+        let mut cache = LruCache::new(2);
+        let hits = hits_on_trace(&mut cache, vec![1, 2, 1, 3, 3]);
+        // 1 miss, 2 miss, 1 hit, 3 miss (evicts 2), 3 hit.
+        assert_eq!(hits, 2);
+    }
+}

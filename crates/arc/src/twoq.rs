@@ -1,0 +1,212 @@
+//! The 2Q cache (Johnson & Shasha, VLDB '94).
+//!
+//! The other classic scan-resistant policy the ARC paper benchmarks
+//! against, included so the §IV-C ablation can ask "did it have to be
+//! ARC?": a FIFO probation queue `A1in`, a ghost FIFO `A1out` of recently
+//! evicted probationers, and an LRU main area `Am`. A key only enters the
+//! main area when it is re-requested *after* falling out of probation —
+//! one-shot scan keys never make it.
+
+use std::hash::Hash;
+
+use crate::ordered::OrderedSet;
+use crate::traits::Cache;
+
+/// A 2Q cache with the paper-recommended tuning
+/// (`Kin = c/4`, `Kout = c/2`).
+///
+/// ```
+/// use ch_arc::{Cache, TwoQCache};
+/// let mut cache = TwoQCache::new(8);
+/// cache.request(&1);          // probation
+/// for k in 100..120 {
+///     cache.request(&k);      // scan flushes probation, not main
+/// }
+/// assert!(cache.len() <= 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoQCache<K> {
+    /// Probation FIFO (resident).
+    a1in: OrderedSet<K>,
+    /// Ghost FIFO of keys evicted from probation (non-resident).
+    a1out: OrderedSet<K>,
+    /// Main LRU area (resident).
+    am: OrderedSet<K>,
+    capacity: usize,
+    k_in: usize,
+    k_out: usize,
+}
+
+impl<K: Eq + Hash + Clone> TwoQCache<K> {
+    /// Creates a 2Q cache of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        TwoQCache {
+            a1in: OrderedSet::new(),
+            a1out: OrderedSet::new(),
+            am: OrderedSet::new(),
+            capacity,
+            k_in: (capacity / 4).max(1),
+            k_out: (capacity / 2).max(1),
+        }
+    }
+
+    /// Sizes of `(A1in, A1out, Am)` (diagnostics/tests).
+    pub fn list_sizes(&self) -> (usize, usize, usize) {
+        (self.a1in.len(), self.a1out.len(), self.am.len())
+    }
+
+    /// RECLAIMFOR from the paper: free a resident slot if the cache is
+    /// full — demoting an over-quota probationer into the ghost FIFO,
+    /// otherwise evicting the main area's LRU (ghostless, as published).
+    fn reclaim(&mut self) {
+        if self.a1in.len() + self.am.len() < self.capacity {
+            return;
+        }
+        if self.a1in.len() > self.k_in || self.am.is_empty() {
+            if let Some(old) = self.a1in.pop_lru() {
+                self.a1out.push_mru(old);
+                if self.a1out.len() > self.k_out {
+                    self.a1out.pop_lru();
+                }
+            }
+        } else {
+            self.am.pop_lru();
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> Cache<K> for TwoQCache<K> {
+    fn request(&mut self, key: &K) -> bool {
+        if self.am.contains(key) {
+            self.am.push_mru(key.clone());
+            return true;
+        }
+        if self.a1in.contains(key) {
+            // 2Q leaves probation order untouched on re-reference.
+            return true;
+        }
+        if self.a1out.remove(key) {
+            // Reclaimed from the ghost: promote straight to the main area.
+            self.reclaim();
+            self.am.push_mru(key.clone());
+            return false;
+        }
+        // Cold miss: into probation.
+        self.reclaim();
+        self.a1in.push_mru(key.clone());
+        false
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.am.contains(key) || self.a1in.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.am.len() + self.a1in.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruCache;
+    use crate::traits::hits_on_trace;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cold_keys_enter_probation() {
+        let mut q = TwoQCache::new(8);
+        assert!(!q.request(&1));
+        let (a1in, a1out, am) = q.list_sizes();
+        assert_eq!((a1in, a1out, am), (1, 0, 0));
+        assert!(q.contains(&1));
+        assert!(q.request(&1), "probation re-reference hits");
+    }
+
+    #[test]
+    fn ghost_rerequest_promotes_to_main() {
+        let mut q = TwoQCache::new(8); // k_in = 2, k_out = 4
+        q.request(&1);
+        // Flood probation past capacity so 1 falls into the ghost FIFO.
+        for k in 10..18 {
+            q.request(&k);
+        }
+        assert!(!q.contains(&1), "1 must have left residency");
+        q.request(&1); // ghost hit: promote
+        let (_, _, am) = q.list_sizes();
+        assert!(am >= 1, "1 must now live in the main area");
+        assert!(q.contains(&1));
+        assert!(q.request(&1));
+    }
+
+    #[test]
+    fn scan_resistance_beats_lru() {
+        // Same workload as the ARC test: hot set swept twice per round,
+        // then a one-shot scan burst.
+        let capacity = 16;
+        let mut trace = Vec::new();
+        for round in 0..200u32 {
+            for _ in 0..2 {
+                for k in 0..12 {
+                    trace.push(k);
+                }
+            }
+            for s in 0..8 {
+                trace.push(10_000 + round * 8 + s);
+            }
+        }
+        let mut twoq = TwoQCache::new(capacity);
+        let mut lru = LruCache::new(capacity);
+        let twoq_hits = hits_on_trace(&mut twoq, trace.iter().copied());
+        let lru_hits = hits_on_trace(&mut lru, trace.iter().copied());
+        assert!(
+            twoq_hits > lru_hits,
+            "2Q {twoq_hits} should beat LRU {lru_hits} on scans"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TwoQCache::<u8>::new(0);
+    }
+
+    proptest! {
+        /// Residents never exceed capacity; ghosts never exceed Kout; the
+        /// three lists stay disjoint.
+        #[test]
+        fn prop_twoq_invariants(
+            cap in 1usize..24,
+            trace in proptest::collection::vec(0u8..48, 0..400),
+        ) {
+            let mut q = TwoQCache::new(cap);
+            for k in &trace {
+                q.request(k);
+                let (a1in, a1out, am) = q.list_sizes();
+                prop_assert!(a1in + am <= cap, "residents {a1in}+{am} > {cap}");
+                prop_assert!(a1out <= (cap / 2).max(1));
+                prop_assert!(q.contains(k), "requested key resident");
+            }
+            for key in 0u8..48 {
+                let places = [
+                    q.a1in.contains(&key),
+                    q.a1out.contains(&key),
+                    q.am.contains(&key),
+                ];
+                prop_assert!(
+                    places.iter().filter(|&&b| b).count() <= 1,
+                    "key {key} in multiple lists"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The attacker interface.
+
+use ch_sim::SimTime;
+use ch_wifi::mgmt::ProbeRequest;
+use ch_wifi::{MacAddr, Ssid};
+
+/// Where a lure SSID originally came from — the Fig. 6 "source" axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LureSource {
+    /// Seeded offline from the WiGLE snapshot.
+    Wigle,
+    /// Harvested online from a direct probe.
+    DirectProbe,
+    /// Preloaded carrier auto-join SSID (§V-B extension).
+    Carrier,
+}
+
+/// Which selection lane offered the lure — the Fig. 6 "buffer" axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LureLane {
+    /// Popularity Buffer (top weights).
+    Popularity,
+    /// Popularity ghost list (exploration picks).
+    PopularityGhost,
+    /// Freshness Buffer (recent hits).
+    Freshness,
+    /// Freshness ghost list (exploration picks).
+    FreshnessGhost,
+    /// Plain ranked-database selection (MANA, preliminary City-Hunter).
+    Database,
+    /// Direct echo of a direct probe's SSID (the KARMA move).
+    DirectReply,
+}
+
+/// One SSID the attacker offers a client in a probe-response burst.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lure {
+    /// The advertised SSID.
+    pub ssid: Ssid,
+    /// Provenance (Fig. 6 source breakdown).
+    pub source: LureSource,
+    /// Selection lane (Fig. 6 buffer breakdown).
+    pub lane: LureLane,
+}
+
+impl Lure {
+    /// Creates a lure.
+    pub fn new(ssid: Ssid, source: LureSource, lane: LureLane) -> Self {
+        Lure { ssid, source, lane }
+    }
+}
+
+/// An SSID-luring evil-twin attacker.
+///
+/// The scenario runner calls [`Attacker::respond_to_probe`] for every probe
+/// it receives, puts the returned lures on the air (subject to the §III-A
+/// scan budget), and reports successful associations back through
+/// [`Attacker::on_hit`].
+///
+/// ```
+/// use ch_attack::{Attacker, KarmaAttacker};
+/// use ch_sim::SimTime;
+/// use ch_wifi::mgmt::ProbeRequest;
+/// use ch_wifi::{MacAddr, Ssid};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut attacker = KarmaAttacker::new(MacAddr::new([0x0a, 0, 0, 0, 0, 1]));
+/// let victim = MacAddr::new([0xac, 0, 0, 0, 0, 2]);
+/// let probe = ProbeRequest::direct(victim, Ssid::new("AP123")?);
+/// let lures = attacker.respond_to_probe(SimTime::ZERO, &probe, 40);
+/// assert_eq!(lures[0].ssid.as_str(), "AP123"); // the classic KARMA echo
+/// # Ok(())
+/// # }
+/// ```
+pub trait Attacker {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The BSSID the attacker transmits under.
+    fn bssid(&self) -> MacAddr;
+
+    /// Chooses up to `budget` lures for this probe. For direct probes the
+    /// canonical move is a single mimicking reply; for broadcast probes the
+    /// policy is what distinguishes the attackers.
+    fn respond_to_probe(
+        &mut self,
+        now: SimTime,
+        probe: &ProbeRequest,
+        budget: usize,
+    ) -> Vec<Lure>;
+
+    /// A client associated after receiving `lure` — update hit statistics,
+    /// weights, freshness, adaptive sizes.
+    fn on_hit(&mut self, now: SimTime, client: MacAddr, lure: &Lure);
+
+    /// Current SSID-database size (Fig. 1(a) time series).
+    fn database_len(&self) -> usize;
+
+    /// Whether the §V-B deauthentication extension is active: the runner
+    /// will then deauth locally-connected clients in range, forcing them to
+    /// rescan.
+    fn deauth_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Shared helper: the canonical reply to a *direct* probe — mimic the
+/// requested SSID (all four attackers do this identically, §IV "for the
+/// direct probes, City-Hunter utilizes the same approach as in KARMA").
+pub fn direct_reply(probe: &ProbeRequest) -> Vec<Lure> {
+    debug_assert!(!probe.is_broadcast());
+    vec![Lure::new(
+        probe.ssid.clone(),
+        LureSource::DirectProbe,
+        LureLane::DirectReply,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_reply_mimics() {
+        let probe = ProbeRequest::direct(
+            MacAddr::new([2, 0, 0, 0, 0, 1]),
+            Ssid::new("CafeNet").unwrap(),
+        );
+        let lures = direct_reply(&probe);
+        assert_eq!(lures.len(), 1);
+        assert_eq!(lures[0].ssid.as_str(), "CafeNet");
+        assert_eq!(lures[0].lane, LureLane::DirectReply);
+        assert_eq!(lures[0].source, LureSource::DirectProbe);
+    }
+}

@@ -1,0 +1,353 @@
+//! The Popularity/Freshness buffer machinery (§IV-C).
+//!
+//! City-Hunter answers a broadcast probe from two buffers under a joint
+//! budget of 40:
+//!
+//! * the **Popularity Buffer** (PB): the top `p` database SSIDs by weight;
+//! * the **Freshness Buffer** (FB): the `f` most recently *hit* SSIDs;
+//!
+//! with `p + f = 40`. Each buffer has a 20-entry **ghost list** (the next
+//! SSIDs just below the buffer's cut-off). On every selection, two random
+//! ghosts from each list replace the lowest two picks of their buffer —
+//! cheap exploration. A hit scored by a PB-ghost pick means the PB is too
+//! small (`p += 1, f -= 1`); a hit by an FB-ghost pick grows the FB — the
+//! ARC feedback loop (`ch-arc`) transplanted onto SSID selection.
+
+use ch_sim::SimRng;
+use ch_wifi::Ssid;
+
+use crate::api::LureLane;
+
+/// Ghost-list length (paper: "the size of both ghost lists is 20").
+pub const GHOST_LEN: usize = 20;
+
+/// Ghost picks per buffer per selection (paper: "randomly select 2 SSIDs
+/// (10 %) from each of the ghost lists").
+pub const GHOST_PICKS: usize = 2;
+
+/// Minimum size of either buffer — adaptation never starves a side
+/// completely.
+pub const MIN_BUFFER: usize = 4;
+
+/// The adaptive size state and selection logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveBuffers {
+    /// Popularity-buffer size.
+    p: usize,
+    /// Freshness-buffer size.
+    f: usize,
+    /// Joint budget (`p + f` stays equal to this).
+    total: usize,
+    /// `false` freezes the sizes (ablation: fixed split).
+    adaptive: bool,
+}
+
+impl AdaptiveBuffers {
+    /// Creates the buffers with an initial split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split does not sum to `total` or violates
+    /// [`MIN_BUFFER`].
+    pub fn new(p: usize, f: usize, total: usize, adaptive: bool) -> Self {
+        assert_eq!(p + f, total, "p + f must equal the budget");
+        assert!(
+            p >= MIN_BUFFER && f >= MIN_BUFFER,
+            "initial sizes must respect MIN_BUFFER"
+        );
+        AdaptiveBuffers {
+            p,
+            f,
+            total,
+            adaptive,
+        }
+    }
+
+    /// The paper's deployment default: budget 40, popularity-leaning
+    /// initial split, adaptation on.
+    pub fn paper_default() -> Self {
+        AdaptiveBuffers::new(32, 8, 40, true)
+    }
+
+    /// Current `(p, f)` sizes.
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.p, self.f)
+    }
+
+    /// Joint budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Selects up to `budget` SSIDs for one client.
+    ///
+    /// `by_weight` and `by_freshness` must already be filtered to SSIDs
+    /// not yet sent to this client, best first. Returns `(ssid, lane)`
+    /// pairs, deduplicated, in send order (popular first). When one list
+    /// runs short the other fills the gap, so the budget is met whenever
+    /// enough candidates exist.
+    pub fn select(
+        &self,
+        by_weight: &[Ssid],
+        by_freshness: &[Ssid],
+        budget: usize,
+        rng: &mut SimRng,
+    ) -> Vec<(Ssid, LureLane)> {
+        let budget = budget.min(self.total);
+        // Scale the split if the runner hands us a smaller budget.
+        let p_quota = (self.p * budget).div_ceil(self.total).min(budget);
+        let f_quota = budget - p_quota;
+
+        let mut picked: Vec<(Ssid, LureLane)> = Vec::with_capacity(budget);
+        let contains = |picked: &Vec<(Ssid, LureLane)>, s: &Ssid| {
+            picked.iter().any(|(q, _)| q == s)
+        };
+
+        // --- Popularity side (picked first: an SSID that is both popular
+        // and fresh is credited to the PB, so the FB lane measures the
+        // *distinctive* freshness contribution, as in Fig. 6).
+        let pb_core = p_quota.saturating_sub(GHOST_PICKS.min(p_quota));
+        for ssid in by_weight.iter().take(pb_core) {
+            if !contains(&picked, ssid) {
+                picked.push((ssid.clone(), LureLane::Popularity));
+            }
+        }
+        // PB ghost: two random picks from the next GHOST_LEN by weight.
+        if p_quota > 0 {
+            let ghost_pool: Vec<&Ssid> = by_weight
+                .iter()
+                .skip(pb_core)
+                .take(GHOST_LEN)
+                .collect();
+            for i in rng.sample_indices(ghost_pool.len(), GHOST_PICKS.min(p_quota)) {
+                let ssid = ghost_pool[i];
+                if !contains(&picked, ssid) {
+                    picked.push((ssid.clone(), LureLane::PopularityGhost));
+                }
+            }
+        }
+
+        // --- Freshness side ------------------------------------------------
+        let fb_core = f_quota.saturating_sub(GHOST_PICKS.min(f_quota));
+        let mut fb_taken = 0usize;
+        let mut fresh_iter = by_freshness.iter();
+        for ssid in fresh_iter.by_ref() {
+            if fb_taken >= fb_core {
+                break;
+            }
+            if !contains(&picked, ssid) {
+                picked.push((ssid.clone(), LureLane::Freshness));
+                fb_taken += 1;
+            }
+        }
+        // FB ghost: two random picks from the next GHOST_LEN fresh SSIDs.
+        if f_quota > 0 {
+            let ghost_pool: Vec<&Ssid> = fresh_iter
+                .filter(|s| !contains(&picked, s))
+                .take(GHOST_LEN)
+                .collect();
+            for i in rng.sample_indices(ghost_pool.len(), GHOST_PICKS.min(f_quota)) {
+                let ssid = ghost_pool[i];
+                if !contains(&picked, ssid) && picked.len() < budget {
+                    picked.push((ssid.clone(), LureLane::FreshnessGhost));
+                }
+            }
+        }
+
+        // --- Backfill: deeper weight-ranked SSIDs until the budget is met.
+        for ssid in by_weight {
+            if picked.len() >= budget {
+                break;
+            }
+            if !contains(&picked, ssid) {
+                picked.push((ssid.clone(), LureLane::Popularity));
+            }
+        }
+        // Send order: popularity first (highest expected yield), then
+        // freshness, then ghosts — clients may disappear mid-burst.
+        picked.sort_by_key(|(_, lane)| match lane {
+            LureLane::Popularity => 0,
+            LureLane::Freshness => 1,
+            LureLane::PopularityGhost => 2,
+            LureLane::FreshnessGhost => 3,
+            _ => 4,
+        });
+        picked.truncate(budget);
+        picked
+    }
+
+    /// Feeds back a hit: ghost-lane hits move the split one step toward
+    /// the lane that scored (§IV-C), bounded by [`MIN_BUFFER`].
+    pub fn adapt(&mut self, lane: LureLane) {
+        if !self.adaptive {
+            return;
+        }
+        match lane {
+            LureLane::PopularityGhost if self.f > MIN_BUFFER => {
+                self.p += 1;
+                self.f -= 1;
+            }
+            LureLane::FreshnessGhost if self.p > MIN_BUFFER => {
+                self.f += 1;
+                self.p -= 1;
+            }
+            _ => {}
+        }
+        debug_assert_eq!(self.p + self.f, self.total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ssids(prefix: &str, n: usize) -> Vec<Ssid> {
+        (0..n)
+            .map(|i| Ssid::new_lossy(format!("{prefix}{i:03}")))
+            .collect()
+    }
+
+    #[test]
+    fn paper_default_sums_to_forty() {
+        let b = AdaptiveBuffers::paper_default();
+        let (p, f) = b.sizes();
+        assert_eq!(p + f, 40);
+        assert_eq!(b.total(), 40);
+    }
+
+    #[test]
+    fn selection_fills_budget_and_dedups() {
+        let b = AdaptiveBuffers::paper_default();
+        let weight = ssids("w", 100);
+        let fresh = ssids("w", 10); // freshness entries overlap weight list
+        let mut rng = SimRng::seed_from(1);
+        let picked = b.select(&weight, &fresh, 40, &mut rng);
+        assert_eq!(picked.len(), 40);
+        let mut names: Vec<&str> = picked.iter().map(|(s, _)| s.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 40, "duplicates in selection");
+    }
+
+    #[test]
+    fn lanes_present_when_both_lists_rich() {
+        let b = AdaptiveBuffers::paper_default();
+        let weight = ssids("w", 200);
+        let fresh = ssids("f", 50);
+        let mut rng = SimRng::seed_from(2);
+        let picked = b.select(&weight, &fresh, 40, &mut rng);
+        let count = |lane: LureLane| picked.iter().filter(|(_, l)| *l == lane).count();
+        assert!(count(LureLane::Popularity) >= 20);
+        assert!(count(LureLane::Freshness) >= 1);
+        assert_eq!(count(LureLane::PopularityGhost), GHOST_PICKS);
+        assert!(count(LureLane::FreshnessGhost) <= GHOST_PICKS);
+        assert_eq!(picked.len(), 40);
+    }
+
+    #[test]
+    fn empty_freshness_falls_back_to_popularity() {
+        let b = AdaptiveBuffers::paper_default();
+        let weight = ssids("w", 100);
+        let mut rng = SimRng::seed_from(3);
+        let picked = b.select(&weight, &[], 40, &mut rng);
+        assert_eq!(picked.len(), 40);
+        assert!(picked
+            .iter()
+            .all(|(_, l)| matches!(l, LureLane::Popularity | LureLane::PopularityGhost)));
+    }
+
+    #[test]
+    fn short_candidate_lists_shrink_selection() {
+        let b = AdaptiveBuffers::paper_default();
+        let weight = ssids("w", 7);
+        let mut rng = SimRng::seed_from(4);
+        let picked = b.select(&weight, &[], 40, &mut rng);
+        assert_eq!(picked.len(), 7, "no invention of SSIDs");
+    }
+
+    #[test]
+    fn adaptation_direction_and_bounds() {
+        let mut b = AdaptiveBuffers::new(32, 8, 40, true);
+        b.adapt(LureLane::FreshnessGhost);
+        assert_eq!(b.sizes(), (31, 9));
+        b.adapt(LureLane::PopularityGhost);
+        assert_eq!(b.sizes(), (32, 8));
+        // Non-ghost lanes don't adapt.
+        b.adapt(LureLane::Popularity);
+        b.adapt(LureLane::Freshness);
+        b.adapt(LureLane::Database);
+        assert_eq!(b.sizes(), (32, 8));
+        // Bounds: drive f to its floor.
+        for _ in 0..50 {
+            b.adapt(LureLane::PopularityGhost);
+        }
+        assert_eq!(b.sizes(), (36, MIN_BUFFER));
+        // And p to its floor.
+        for _ in 0..50 {
+            b.adapt(LureLane::FreshnessGhost);
+        }
+        assert_eq!(b.sizes(), (MIN_BUFFER, 36));
+    }
+
+    #[test]
+    fn frozen_buffers_never_move() {
+        let mut b = AdaptiveBuffers::new(20, 20, 40, false);
+        b.adapt(LureLane::PopularityGhost);
+        b.adapt(LureLane::FreshnessGhost);
+        assert_eq!(b.sizes(), (20, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "p + f must equal the budget")]
+    fn bad_split_rejected() {
+        let _ = AdaptiveBuffers::new(30, 5, 40, true);
+    }
+
+    proptest! {
+        /// Selection never exceeds the budget, never duplicates, and only
+        /// returns offered candidates.
+        #[test]
+        fn prop_selection_sound(
+            n_weight in 0usize..150,
+            n_fresh in 0usize..60,
+            budget in 1usize..41,
+            seed in 0u64..1_000,
+        ) {
+            let b = AdaptiveBuffers::paper_default();
+            let weight = ssids("w", n_weight);
+            let fresh: Vec<Ssid> = ssids("w", n_fresh); // subset naming → overlaps
+            let mut rng = SimRng::seed_from(seed);
+            let picked = b.select(&weight, &fresh, budget, &mut rng);
+            prop_assert!(picked.len() <= budget);
+            let mut names: Vec<&str> = picked.iter().map(|(s, _)| s.as_str()).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            prop_assert_eq!(names.len(), before, "duplicates");
+            for (s, _) in &picked {
+                prop_assert!(weight.contains(s) || fresh.contains(s));
+            }
+        }
+
+        /// p + f is conserved under any adaptation sequence.
+        #[test]
+        fn prop_split_conserved(lanes in proptest::collection::vec(0u8..6, 0..200)) {
+            let mut b = AdaptiveBuffers::paper_default();
+            for l in lanes {
+                let lane = match l {
+                    0 => LureLane::Popularity,
+                    1 => LureLane::PopularityGhost,
+                    2 => LureLane::Freshness,
+                    3 => LureLane::FreshnessGhost,
+                    4 => LureLane::Database,
+                    _ => LureLane::DirectReply,
+                };
+                b.adapt(lane);
+                let (p, f) = b.sizes();
+                prop_assert_eq!(p + f, 40);
+                prop_assert!(p >= MIN_BUFFER && f >= MIN_BUFFER);
+            }
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! The full City-Hunter attacker (§IV).
+
+use ch_geo::netdb::carrier_ssids;
+use ch_geo::weights::{rank_weights, RankWeighting};
+use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
+use ch_sim::{SimRng, SimTime};
+use ch_wifi::mgmt::ProbeRequest;
+use ch_wifi::MacAddr;
+
+use crate::api::{direct_reply, Attacker, Lure, LureSource};
+#[cfg(test)]
+use crate::api::LureLane;
+use crate::buffers::AdaptiveBuffers;
+use crate::clienttrack::ClientTracker;
+use crate::db::SsidDatabase;
+use crate::prelim::{WIGLE_NEARBY, WIGLE_TOP_BY_HEAT};
+
+/// Feature switches for City-Hunter — every §IV/§V design decision is a
+/// flag so the ablation bench can turn it off in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityHunterConfig {
+    /// Seed the database from WiGLE (off → MANA-like cold start).
+    pub use_wigle: bool,
+    /// Track per-client sent SSIDs and never repeat (§III-A fix).
+    pub untried_tracking: bool,
+    /// Use the freshness buffer at all (off → pure popularity ranking).
+    pub use_freshness: bool,
+    /// Adapt the PB/FB split via ghost hits (off → frozen split).
+    pub adaptive_sizing: bool,
+    /// §V-B: deauthenticate locally-connected clients to force rescans.
+    pub deauth: bool,
+    /// §V-B: preload carrier auto-join SSIDs.
+    pub carrier_preload: bool,
+    /// RNG seed for ghost-list exploration picks.
+    pub seed: u64,
+}
+
+impl Default for CityHunterConfig {
+    fn default() -> Self {
+        CityHunterConfig {
+            use_wigle: true,
+            untried_tracking: true,
+            use_freshness: true,
+            adaptive_sizing: true,
+            deauth: false,
+            carrier_preload: false,
+            seed: 0xC17_4B17,
+        }
+    }
+}
+
+/// The §IV City-Hunter: weighted WiGLE-seeded database, online updating,
+/// PB/FB selection with ghost-list exploration and ARC-style adaptive
+/// sizing, per-client untried tracking, and the optional §V-B extensions.
+#[derive(Debug, Clone)]
+pub struct CityHunter {
+    bssid: MacAddr,
+    config: CityHunterConfig,
+    db: SsidDatabase,
+    buffers: AdaptiveBuffers,
+    tracker: ClientTracker,
+    rng: SimRng,
+}
+
+impl CityHunter {
+    /// Builds the attacker with its database initialized per the config
+    /// (step 1 of Fig. 3).
+    pub fn new(
+        bssid: MacAddr,
+        wigle: &WigleSnapshot,
+        heat: &HeatMap,
+        site: GeoPoint,
+        config: CityHunterConfig,
+    ) -> Self {
+        let mut db = SsidDatabase::new();
+        if config.use_wigle {
+            let top = wigle.top_by_heat(heat, WIGLE_TOP_BY_HEAT);
+            let weights = rank_weights(top.len(), RankWeighting::Linear);
+            for ((ssid, _), w) in top.into_iter().zip(weights) {
+                db.seed_from_wigle(ssid, w, SimTime::ZERO);
+            }
+            let nearby = wigle.nearest_open_ssids(site, WIGLE_NEARBY);
+            let weights = rank_weights(nearby.len(), RankWeighting::Linear);
+            for (ssid, w) in nearby.into_iter().zip(weights) {
+                db.seed_from_wigle(ssid, w, SimTime::ZERO);
+            }
+        }
+        if config.carrier_preload {
+            // Carrier SSIDs rank above everything: every subscribing iOS
+            // device auto-joins them (§V-B).
+            for ssid in carrier_ssids() {
+                db.seed_carrier(ssid, 500.0, SimTime::ZERO);
+            }
+        }
+        let buffers = if config.use_freshness {
+            AdaptiveBuffers::new(32, 8, 40, config.adaptive_sizing)
+        } else {
+            // Freshness disabled: all 40 slots belong to popularity (the
+            // minimum FB allocation is never consulted because the
+            // freshness candidate list is suppressed below).
+            AdaptiveBuffers::new(36, 4, 40, false)
+        };
+        let rng = SimRng::seed_from(config.seed);
+        CityHunter {
+            bssid,
+            config,
+            db,
+            buffers,
+            tracker: ClientTracker::new(),
+            rng,
+        }
+    }
+
+    /// Read access to the database.
+    pub fn database(&self) -> &SsidDatabase {
+        &self.db
+    }
+
+    /// Current `(popularity, freshness)` buffer sizes (Fig. 3 step 3
+    /// diagnostics).
+    pub fn buffer_sizes(&self) -> (usize, usize) {
+        self.buffers.sizes()
+    }
+
+    /// Read access to the per-client tracker.
+    pub fn tracker(&self) -> &ClientTracker {
+        &self.tracker
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CityHunterConfig {
+        &self.config
+    }
+}
+
+impl Attacker for CityHunter {
+    fn name(&self) -> &'static str {
+        "City-Hunter"
+    }
+
+    fn bssid(&self) -> MacAddr {
+        self.bssid
+    }
+
+    fn respond_to_probe(
+        &mut self,
+        now: SimTime,
+        probe: &ProbeRequest,
+        budget: usize,
+    ) -> Vec<Lure> {
+        if !probe.is_broadcast() {
+            // Step 2 (online updating): harvest, then reply KARMA-style.
+            self.db.observe_direct_probe(probe.ssid.clone(), now);
+            return direct_reply(probe);
+        }
+
+        // Step 3: build candidate lists, filtered to this client's untried
+        // SSIDs when tracking is on.
+        let client = probe.source;
+        let ranked = self.db.ranked().to_vec();
+        let by_weight: Vec<_> = if self.config.untried_tracking {
+            self.tracker
+                .select_untried(client, ranked.iter(), ranked.len())
+        } else {
+            ranked
+        };
+        let by_freshness: Vec<_> = if self.config.use_freshness {
+            let fresh = self.db.by_freshness();
+            if self.config.untried_tracking {
+                self.tracker
+                    .select_untried(client, fresh.iter(), fresh.len())
+            } else {
+                fresh
+            }
+        } else {
+            Vec::new()
+        };
+
+        // Step 4: select and send.
+        let picked = self
+            .buffers
+            .select(&by_weight, &by_freshness, budget, &mut self.rng);
+        picked
+            .into_iter()
+            .map(|(ssid, lane)| {
+                if self.config.untried_tracking {
+                    self.tracker.mark_sent(client, ssid.clone());
+                }
+                let source = self
+                    .db
+                    .entry(&ssid)
+                    .map(|e| e.source)
+                    .unwrap_or(LureSource::Wigle);
+                Lure::new(ssid, source, lane)
+            })
+            .collect()
+    }
+
+    fn on_hit(&mut self, now: SimTime, _client: MacAddr, lure: &Lure) {
+        // Step 2 (online updating): weight bump + freshness stamp, and the
+        // ghost feedback that adapts the buffer split.
+        self.db.record_hit(&lure.ssid, now);
+        self.buffers.adapt(lure.lane);
+    }
+
+    fn database_len(&self) -> usize {
+        self.db.len()
+    }
+
+    fn deauth_enabled(&self) -> bool {
+        self.config.deauth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_geo::{CityModel, PhotoCollection};
+    use ch_wifi::Ssid;
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    struct Fixture {
+        wigle: WigleSnapshot,
+        heat: HeatMap,
+        site: GeoPoint,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = SimRng::seed_from(30);
+        let city = CityModel::synthesize(&mut rng);
+        let wigle = WigleSnapshot::synthesize(&city, &mut rng);
+        let photos = PhotoCollection::synthesize(&city, 20_000, &mut rng);
+        let heat = HeatMap::from_photos(&city, &photos, 100.0);
+        let site = city.pois()[5].location;
+        Fixture { wigle, heat, site }
+    }
+
+    fn hunter(config: CityHunterConfig) -> CityHunter {
+        let f = fixture();
+        CityHunter::new(mac(9), &f.wigle, &f.heat, f.site, config)
+    }
+
+    #[test]
+    fn seeded_database_and_identity() {
+        let ch = hunter(CityHunterConfig::default());
+        assert!(ch.database_len() >= WIGLE_TOP_BY_HEAT);
+        assert_eq!(ch.name(), "City-Hunter");
+        assert_eq!(ch.bssid(), mac(9));
+        assert!(!ch.deauth_enabled());
+        assert_eq!(ch.buffer_sizes().0 + ch.buffer_sizes().1, 40);
+    }
+
+    #[test]
+    fn no_wigle_flag_starts_cold() {
+        let ch = hunter(CityHunterConfig {
+            use_wigle: false,
+            ..CityHunterConfig::default()
+        });
+        assert_eq!(ch.database_len(), 0);
+    }
+
+    #[test]
+    fn carrier_preload_tops_the_ranking() {
+        let mut ch = hunter(CityHunterConfig {
+            carrier_preload: true,
+            ..CityHunterConfig::default()
+        });
+        let lures =
+            ch.respond_to_probe(SimTime::ZERO, &ProbeRequest::broadcast(mac(1)), 40);
+        let carriers = carrier_ssids();
+        let offered_carriers = lures
+            .iter()
+            .filter(|l| carriers.contains(&l.ssid))
+            .count();
+        assert_eq!(offered_carriers, carriers.len(), "all carriers offered first");
+        assert!(lures
+            .iter()
+            .filter(|l| carriers.contains(&l.ssid))
+            .all(|l| l.source == LureSource::Carrier));
+    }
+
+    #[test]
+    fn budget_respected_and_untried_advances() {
+        let mut ch = hunter(CityHunterConfig::default());
+        let probe = ProbeRequest::broadcast(mac(1));
+        let first = ch.respond_to_probe(SimTime::ZERO, &probe, 40);
+        assert_eq!(first.len(), 40);
+        let second = ch.respond_to_probe(SimTime::from_secs(60), &probe, 40);
+        for lure in &second {
+            assert!(!first.iter().any(|l| l.ssid == lure.ssid));
+        }
+        assert_eq!(ch.tracker().sent_count(mac(1)), 80);
+    }
+
+    #[test]
+    fn tracking_disabled_repeats_head() {
+        let mut ch = hunter(CityHunterConfig {
+            untried_tracking: false,
+            use_freshness: false,
+            adaptive_sizing: false,
+            ..CityHunterConfig::default()
+        });
+        let probe = ProbeRequest::broadcast(mac(1));
+        let first: Vec<Ssid> = ch
+            .respond_to_probe(SimTime::ZERO, &probe, 40)
+            .into_iter()
+            .map(|l| l.ssid)
+            .collect();
+        let second: Vec<Ssid> = ch
+            .respond_to_probe(SimTime::from_secs(60), &probe, 40)
+            .into_iter()
+            .map(|l| l.ssid)
+            .collect();
+        // Ghost picks randomize two slots; the overlap must still be heavy.
+        let overlap = first.iter().filter(|s| second.contains(s)).count();
+        assert!(overlap >= 36, "overlap {overlap}");
+    }
+
+    #[test]
+    fn hits_feed_freshness_buffer() {
+        let mut ch = hunter(CityHunterConfig::default());
+        // Walk client 1 deep into the ranking (three scans), then score a
+        // hit with a deep SSID — one whose weight (even after the hit
+        // bonus) stays below the popularity head.
+        let probe1 = ProbeRequest::broadcast(mac(1));
+        let _ = ch.respond_to_probe(SimTime::ZERO, &probe1, 40);
+        let _ = ch.respond_to_probe(SimTime::from_secs(60), &probe1, 40);
+        let deep = ch.respond_to_probe(SimTime::from_secs(120), &probe1, 40);
+        let hit = deep[10].clone();
+        ch.on_hit(SimTime::from_secs(125), mac(1), &hit);
+        // A fresh client's selection now carries that SSID via the
+        // freshness lane — the PB would never have reached it.
+        let lures2 = ch.respond_to_probe(
+            SimTime::from_secs(126),
+            &ProbeRequest::broadcast(mac(2)),
+            40,
+        );
+        let via_fresh: Vec<_> = lures2
+            .iter()
+            .filter(|l| l.lane == LureLane::Freshness)
+            .collect();
+        assert_eq!(via_fresh.len(), 1, "{lures2:?}");
+        assert_eq!(via_fresh[0].ssid, hit.ssid);
+    }
+
+    #[test]
+    fn ghost_hits_move_the_split() {
+        let mut ch = hunter(CityHunterConfig::default());
+        let (p0, f0) = ch.buffer_sizes();
+        ch.on_hit(
+            SimTime::ZERO,
+            mac(1),
+            &Lure::new(
+                Ssid::new("X").unwrap(),
+                LureSource::Wigle,
+                LureLane::FreshnessGhost,
+            ),
+        );
+        let (p1, f1) = ch.buffer_sizes();
+        assert_eq!(p1, p0 - 1);
+        assert_eq!(f1, f0 + 1);
+    }
+
+    #[test]
+    fn frozen_config_never_adapts() {
+        let mut ch = hunter(CityHunterConfig {
+            adaptive_sizing: false,
+            ..CityHunterConfig::default()
+        });
+        let before = ch.buffer_sizes();
+        for _ in 0..10 {
+            ch.on_hit(
+                SimTime::ZERO,
+                mac(1),
+                &Lure::new(
+                    Ssid::new("X").unwrap(),
+                    LureSource::Wigle,
+                    LureLane::PopularityGhost,
+                ),
+            );
+        }
+        assert_eq!(ch.buffer_sizes(), before);
+    }
+
+    #[test]
+    fn direct_probe_flow_matches_karma() {
+        let mut ch = hunter(CityHunterConfig::default());
+        let before = ch.database_len();
+        let lures = ch.respond_to_probe(
+            SimTime::ZERO,
+            &ProbeRequest::direct(mac(3), Ssid::new("Disclosed").unwrap()),
+            40,
+        );
+        assert_eq!(lures.len(), 1);
+        assert_eq!(lures[0].lane, LureLane::DirectReply);
+        assert_eq!(ch.database_len(), before + 1);
+    }
+
+    #[test]
+    fn determinism_same_seed() {
+        let mk = || {
+            let mut ch = hunter(CityHunterConfig::default());
+            let mut out = Vec::new();
+            for i in 0..5u8 {
+                out.push(ch.respond_to_probe(
+                    SimTime::from_secs(i as u64),
+                    &ProbeRequest::broadcast(mac(i)),
+                    40,
+                ));
+            }
+            out
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-client bookkeeping (§III-A's fix).
+//!
+//! "The attacker should record the MAC addresses of all the clients it
+//! tried to connect but failed in the past, and maintains an un-tried SSID
+//! list for each of them." We store the complement — the set already
+//! *sent* per MAC — which is equivalent and much smaller.
+
+use std::collections::{HashMap, HashSet};
+
+use ch_wifi::{MacAddr, Ssid};
+
+/// Tracks which SSIDs have been sent to which client.
+#[derive(Debug, Clone, Default)]
+pub struct ClientTracker {
+    sent: HashMap<MacAddr, HashSet<Ssid>>,
+}
+
+impl ClientTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        ClientTracker::default()
+    }
+
+    /// Number of clients on record.
+    pub fn client_count(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// How many SSIDs have been sent to `client` so far.
+    pub fn sent_count(&self, client: MacAddr) -> usize {
+        self.sent.get(&client).map_or(0, HashSet::len)
+    }
+
+    /// `true` if `ssid` was already sent to `client`.
+    pub fn was_sent(&self, client: MacAddr, ssid: &Ssid) -> bool {
+        self.sent
+            .get(&client)
+            .is_some_and(|set| set.contains(ssid))
+    }
+
+    /// Records that `ssid` has been sent to `client`.
+    pub fn mark_sent(&mut self, client: MacAddr, ssid: Ssid) {
+        self.sent.entry(client).or_default().insert(ssid);
+    }
+
+    /// Filters `candidates` down to those not yet sent to `client`,
+    /// preserving order, stopping after `limit`.
+    pub fn select_untried<'a>(
+        &self,
+        client: MacAddr,
+        candidates: impl IntoIterator<Item = &'a Ssid>,
+        limit: usize,
+    ) -> Vec<Ssid> {
+        let sent = self.sent.get(&client);
+        let mut picked = Vec::with_capacity(limit);
+        for ssid in candidates {
+            if picked.len() >= limit {
+                break;
+            }
+            let already = sent.is_some_and(|set| set.contains(ssid));
+            if !already && !picked.contains(ssid) {
+                picked.push(ssid.clone());
+            }
+        }
+        picked
+    }
+
+    /// Forgets everything (database re-initialization between tests).
+    pub fn clear(&mut self) {
+        self.sent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    fn ssid(s: &str) -> Ssid {
+        Ssid::new(s).unwrap()
+    }
+
+    #[test]
+    fn untried_selection_skips_sent() {
+        let mut t = ClientTracker::new();
+        t.mark_sent(mac(1), ssid("A"));
+        let pool = [ssid("A"), ssid("B"), ssid("C")];
+        let picked = t.select_untried(mac(1), pool.iter(), 10);
+        assert_eq!(picked, vec![ssid("B"), ssid("C")]);
+        // A different client still gets "A".
+        let picked2 = t.select_untried(mac(2), pool.iter(), 10);
+        assert_eq!(picked2.len(), 3);
+    }
+
+    #[test]
+    fn limit_respected() {
+        let t = ClientTracker::new();
+        let pool: Vec<Ssid> = (0..100).map(|i| ssid(&format!("S{i}"))).collect();
+        let picked = t.select_untried(mac(1), pool.iter(), 40);
+        assert_eq!(picked.len(), 40);
+    }
+
+    #[test]
+    fn duplicates_in_candidates_collapsed() {
+        let t = ClientTracker::new();
+        let pool = [ssid("A"), ssid("A"), ssid("B")];
+        let picked = t.select_untried(mac(1), pool.iter(), 10);
+        assert_eq!(picked, vec![ssid("A"), ssid("B")]);
+    }
+
+    #[test]
+    fn counts_and_clear() {
+        let mut t = ClientTracker::new();
+        t.mark_sent(mac(1), ssid("A"));
+        t.mark_sent(mac(1), ssid("B"));
+        t.mark_sent(mac(2), ssid("A"));
+        assert_eq!(t.client_count(), 2);
+        assert_eq!(t.sent_count(mac(1)), 2);
+        assert!(t.was_sent(mac(1), &ssid("A")));
+        assert!(!t.was_sent(mac(2), &ssid("B")));
+        t.clear();
+        assert_eq!(t.client_count(), 0);
+        assert_eq!(t.sent_count(mac(1)), 0);
+    }
+
+    proptest! {
+        /// Marking everything selected, then selecting again, never repeats
+        /// an SSID to the same client — the §III-A invariant.
+        #[test]
+        fn prop_never_resend(
+            names in proptest::collection::vec("[a-z]{1,6}", 1..50),
+            rounds in 1usize..6,
+        ) {
+            let pool: Vec<Ssid> = names.iter().map(|n| ssid(n)).collect();
+            let mut t = ClientTracker::new();
+            let client = mac(7);
+            let mut seen = HashSet::new();
+            for _ in 0..rounds {
+                let picked = t.select_untried(client, pool.iter(), 10);
+                for s in &picked {
+                    prop_assert!(seen.insert(s.clone()), "resent {s}");
+                    t.mark_sent(client, s.clone());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The weighted SSID database (§IV-B).
+//!
+//! Every SSID the attacker knows, with a weight (initially rank-order from
+//! the heat-ranked WiGLE seed, then bumped by online events), hit
+//! statistics, and the freshness timestamp the FB runs on.
+
+use std::collections::HashMap;
+
+use ch_sim::SimTime;
+use ch_wifi::Ssid;
+
+use crate::api::LureSource;
+
+/// Weight bump when an SSID scores a hit on a broadcast client.
+pub const HIT_WEIGHT_BONUS: f64 = 25.0;
+
+/// Initial weight of an SSID harvested from a direct probe: the paper adds
+/// them to the live database; a mid-range weight lets genuinely popular
+/// ones climb via hits without letting every one-off home SSID crowd the
+/// popularity buffer.
+pub const DIRECT_PROBE_WEIGHT: f64 = 30.0;
+
+/// Weight bump when an already-known SSID is seen in another direct probe
+/// (several clients carrying it is evidence of popularity).
+pub const DIRECT_REPEAT_BONUS: f64 = 10.0;
+
+/// One database record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbEntry {
+    /// Selection weight (popularity).
+    pub weight: f64,
+    /// Original provenance.
+    pub source: LureSource,
+    /// Broadcast-probe hits scored with this SSID.
+    pub hits: u32,
+    /// Most recent hit instant (freshness).
+    pub last_hit: Option<SimTime>,
+    /// When the SSID entered the database.
+    pub added_at: SimTime,
+}
+
+/// The attacker's SSID database.
+#[derive(Debug, Clone, Default)]
+pub struct SsidDatabase {
+    entries: HashMap<Ssid, DbEntry>,
+    /// Cached weight-descending order; rebuilt lazily.
+    ranked: Vec<Ssid>,
+    dirty: bool,
+}
+
+impl SsidDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        SsidDatabase::default()
+    }
+
+    /// Number of known SSIDs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is known yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The record for `ssid`.
+    pub fn entry(&self, ssid: &Ssid) -> Option<&DbEntry> {
+        self.entries.get(ssid)
+    }
+
+    /// `true` if `ssid` is known.
+    pub fn contains(&self, ssid: &Ssid) -> bool {
+        self.entries.contains_key(ssid)
+    }
+
+    /// Seeds an SSID from the WiGLE ranking with an explicit rank weight.
+    /// Existing entries keep the larger weight.
+    pub fn seed_from_wigle(&mut self, ssid: Ssid, weight: f64, now: SimTime) {
+        self.dirty = true;
+        self.entries
+            .entry(ssid)
+            .and_modify(|e| e.weight = e.weight.max(weight))
+            .or_insert(DbEntry {
+                weight,
+                source: LureSource::Wigle,
+                hits: 0,
+                last_hit: None,
+                added_at: now,
+            });
+    }
+
+    /// Preloads a carrier SSID (§V-B) at a given weight.
+    pub fn seed_carrier(&mut self, ssid: Ssid, weight: f64, now: SimTime) {
+        self.dirty = true;
+        self.entries.entry(ssid).or_insert(DbEntry {
+            weight,
+            source: LureSource::Carrier,
+            hits: 0,
+            last_hit: None,
+            added_at: now,
+        });
+    }
+
+    /// Records an SSID disclosed by a direct probe: new SSIDs join at
+    /// [`DIRECT_PROBE_WEIGHT`]; repeats earn [`DIRECT_REPEAT_BONUS`].
+    pub fn observe_direct_probe(&mut self, ssid: Ssid, now: SimTime) {
+        self.dirty = true;
+        self.entries
+            .entry(ssid)
+            .and_modify(|e| e.weight += DIRECT_REPEAT_BONUS)
+            .or_insert(DbEntry {
+                weight: DIRECT_PROBE_WEIGHT,
+                source: LureSource::DirectProbe,
+                hits: 0,
+                last_hit: None,
+                added_at: now,
+            });
+    }
+
+    /// Records a broadcast hit with `ssid`: weight bonus + freshness stamp.
+    pub fn record_hit(&mut self, ssid: &Ssid, now: SimTime) {
+        if let Some(e) = self.entries.get_mut(ssid) {
+            e.weight += HIT_WEIGHT_BONUS;
+            e.hits += 1;
+            e.last_hit = Some(now);
+            self.dirty = true;
+        }
+    }
+
+    /// SSIDs in weight-descending order (stable name tie-break). The order
+    /// is cached between mutations.
+    pub fn ranked(&mut self) -> &[Ssid] {
+        if self.dirty {
+            let mut order: Vec<Ssid> = self.entries.keys().cloned().collect();
+            order.sort_by(|a, b| {
+                let wa = self.entries[a].weight;
+                let wb = self.entries[b].weight;
+                wb.partial_cmp(&wa)
+                    .expect("weights are finite")
+                    .then_with(|| a.cmp(b))
+            });
+            self.ranked = order;
+            self.dirty = false;
+        }
+        &self.ranked
+    }
+
+    /// SSIDs with at least one hit, most recent hit first — the freshness
+    /// ranking behind the FB.
+    pub fn by_freshness(&self) -> Vec<Ssid> {
+        let mut hit: Vec<(&Ssid, SimTime)> = self
+            .entries
+            .iter()
+            .filter_map(|(s, e)| e.last_hit.map(|t| (s, t)))
+            .collect();
+        hit.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        hit.into_iter().map(|(s, _)| s.clone()).collect()
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ssid, &DbEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssid(s: &str) -> Ssid {
+        Ssid::new(s).unwrap()
+    }
+
+    #[test]
+    fn wigle_seed_keeps_max_weight() {
+        let mut db = SsidDatabase::new();
+        db.seed_from_wigle(ssid("A"), 200.0, SimTime::ZERO);
+        db.seed_from_wigle(ssid("A"), 50.0, SimTime::ZERO);
+        assert_eq!(db.entry(&ssid("A")).unwrap().weight, 200.0);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn direct_probe_repeats_accumulate() {
+        let mut db = SsidDatabase::new();
+        db.observe_direct_probe(ssid("X"), SimTime::ZERO);
+        let w0 = db.entry(&ssid("X")).unwrap().weight;
+        db.observe_direct_probe(ssid("X"), SimTime::from_secs(1));
+        assert_eq!(db.entry(&ssid("X")).unwrap().weight, w0 + DIRECT_REPEAT_BONUS);
+        assert_eq!(db.entry(&ssid("X")).unwrap().source, LureSource::DirectProbe);
+    }
+
+    #[test]
+    fn hits_boost_weight_and_freshness() {
+        let mut db = SsidDatabase::new();
+        db.seed_from_wigle(ssid("A"), 10.0, SimTime::ZERO);
+        db.record_hit(&ssid("A"), SimTime::from_secs(30));
+        let e = db.entry(&ssid("A")).unwrap();
+        assert_eq!(e.hits, 1);
+        assert_eq!(e.last_hit, Some(SimTime::from_secs(30)));
+        assert_eq!(e.weight, 10.0 + HIT_WEIGHT_BONUS);
+        // Hitting an unknown SSID is a no-op.
+        db.record_hit(&ssid("Nope"), SimTime::from_secs(31));
+        assert!(!db.contains(&ssid("Nope")));
+    }
+
+    #[test]
+    fn ranking_follows_weight_then_name() {
+        let mut db = SsidDatabase::new();
+        db.seed_from_wigle(ssid("Low"), 1.0, SimTime::ZERO);
+        db.seed_from_wigle(ssid("B-High"), 9.0, SimTime::ZERO);
+        db.seed_from_wigle(ssid("A-High"), 9.0, SimTime::ZERO);
+        let ranked: Vec<&str> = db.ranked().iter().map(|s| s.as_str()).collect();
+        assert_eq!(ranked, ["A-High", "B-High", "Low"]);
+    }
+
+    #[test]
+    fn ranking_cache_invalidated_by_updates() {
+        let mut db = SsidDatabase::new();
+        db.seed_from_wigle(ssid("A"), 5.0, SimTime::ZERO);
+        db.seed_from_wigle(ssid("B"), 4.0, SimTime::ZERO);
+        assert_eq!(db.ranked()[0].as_str(), "A");
+        db.record_hit(&ssid("B"), SimTime::from_secs(1)); // B now 29
+        assert_eq!(db.ranked()[0].as_str(), "B");
+    }
+
+    #[test]
+    fn freshness_order_is_recency() {
+        let mut db = SsidDatabase::new();
+        for (name, t) in [("A", 10), ("B", 30), ("C", 20)] {
+            db.seed_from_wigle(ssid(name), 1.0, SimTime::ZERO);
+            db.record_hit(&ssid(name), SimTime::from_secs(t));
+        }
+        db.seed_from_wigle(ssid("NeverHit"), 99.0, SimTime::ZERO);
+        let fresh: Vec<String> = db
+            .by_freshness()
+            .iter()
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        assert_eq!(fresh, ["B", "C", "A"]);
+    }
+
+    #[test]
+    fn empty_db() {
+        let mut db = SsidDatabase::new();
+        assert!(db.is_empty());
+        assert!(db.ranked().is_empty());
+        assert!(db.by_freshness().is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! §V-B extensions: deauthentication forcing and carrier preloading.
+//!
+//! *Deauthentication*: a client already associated to a legitimate AP
+//! "barely sends out the probe request frames"; spoofing a deauth (Bellardo
+//! & Savage 2003) disconnects it and forces a fresh scan that the attacker
+//! can answer. [`DeauthScheduler`] rate-limits the spoofed frames per
+//! victim so the attack stays plausible (and cheap in airtime).
+//!
+//! *Carrier preloading* is a database concern and lives in
+//! [`crate::db::SsidDatabase::seed_carrier`] /
+//! [`crate::cityhunter::CityHunterConfig::carrier_preload`].
+
+use std::collections::HashMap;
+
+use ch_sim::{SimDuration, SimTime};
+use ch_wifi::mgmt::{Deauthentication, ReasonCode};
+use ch_wifi::MacAddr;
+
+/// Rate-limited deauthentication frame scheduler.
+#[derive(Debug, Clone)]
+pub struct DeauthScheduler {
+    /// Minimum spacing between deauths aimed at the same victim.
+    cooldown: SimDuration,
+    last_sent: HashMap<MacAddr, SimTime>,
+    frames_sent: u64,
+}
+
+impl DeauthScheduler {
+    /// Creates a scheduler with the given per-victim cooldown.
+    pub fn new(cooldown: SimDuration) -> Self {
+        DeauthScheduler {
+            cooldown,
+            last_sent: HashMap::new(),
+            frames_sent: 0,
+        }
+    }
+
+    /// The paper-plausible default: re-deauth a sticky client at most
+    /// every 30 s.
+    pub fn default_30s() -> Self {
+        DeauthScheduler::new(SimDuration::from_secs(30))
+    }
+
+    /// Total spoofed frames emitted.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Requests a deauth of `victim` (connected to `real_ap`) at `now`.
+    /// Returns the spoofed frame, or `None` if the victim is still in
+    /// cooldown.
+    pub fn try_deauth(
+        &mut self,
+        now: SimTime,
+        victim: MacAddr,
+        real_ap: MacAddr,
+    ) -> Option<Deauthentication> {
+        match self.last_sent.get(&victim) {
+            Some(&last) if now.saturating_since(last) < self.cooldown => None,
+            _ => {
+                self.last_sent.insert(victim, now);
+                self.frames_sent += 1;
+                Some(Deauthentication {
+                    // Spoofed: the frame claims to come from the victim's AP.
+                    source: real_ap,
+                    destination: victim,
+                    reason: ReasonCode::PrevAuthExpired,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    #[test]
+    fn spoofs_the_real_ap() {
+        let mut d = DeauthScheduler::default_30s();
+        let frame = d.try_deauth(SimTime::ZERO, mac(1), mac(7)).unwrap();
+        assert_eq!(frame.source, mac(7));
+        assert_eq!(frame.destination, mac(1));
+        assert_eq!(frame.reason, ReasonCode::PrevAuthExpired);
+        assert_eq!(d.frames_sent(), 1);
+    }
+
+    #[test]
+    fn cooldown_enforced_per_victim() {
+        let mut d = DeauthScheduler::new(SimDuration::from_secs(30));
+        assert!(d.try_deauth(SimTime::ZERO, mac(1), mac(7)).is_some());
+        assert!(d.try_deauth(SimTime::from_secs(10), mac(1), mac(7)).is_none());
+        // A different victim is unaffected.
+        assert!(d.try_deauth(SimTime::from_secs(10), mac(2), mac(7)).is_some());
+        // After the cooldown, the first victim can be hit again.
+        assert!(d.try_deauth(SimTime::from_secs(31), mac(1), mac(7)).is_some());
+        assert_eq!(d.frames_sent(), 3);
+    }
+}

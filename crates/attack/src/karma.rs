@@ -1,0 +1,99 @@
+//! The KARMA attacker (Dai Zovi & Macaulay 2005).
+
+use ch_sim::SimTime;
+use ch_wifi::mgmt::ProbeRequest;
+use ch_wifi::{MacAddr, Ssid};
+
+use crate::api::{direct_reply, Attacker, Lure};
+
+/// KARMA: mimic whatever SSID a *direct* probe asks for; stay silent on
+/// broadcast probes. Against a modern, broadcast-only population its
+/// broadcast hit rate is zero by construction (Table I).
+#[derive(Debug, Clone)]
+pub struct KarmaAttacker {
+    bssid: MacAddr,
+    ssids_mimicked: Vec<Ssid>,
+}
+
+impl KarmaAttacker {
+    /// Creates a KARMA attacker transmitting as `bssid`.
+    pub fn new(bssid: MacAddr) -> Self {
+        KarmaAttacker {
+            bssid,
+            ssids_mimicked: Vec::new(),
+        }
+    }
+
+    /// Distinct SSIDs mimicked so far (diagnostics).
+    pub fn mimic_count(&self) -> usize {
+        self.ssids_mimicked.len()
+    }
+}
+
+impl Attacker for KarmaAttacker {
+    fn name(&self) -> &'static str {
+        "KARMA"
+    }
+
+    fn bssid(&self) -> MacAddr {
+        self.bssid
+    }
+
+    fn respond_to_probe(
+        &mut self,
+        _now: SimTime,
+        probe: &ProbeRequest,
+        _budget: usize,
+    ) -> Vec<Lure> {
+        if probe.is_broadcast() {
+            // KARMA has nothing to say to a broadcast probe.
+            Vec::new()
+        } else {
+            if !self.ssids_mimicked.contains(&probe.ssid) {
+                self.ssids_mimicked.push(probe.ssid.clone());
+            }
+            direct_reply(probe)
+        }
+    }
+
+    fn on_hit(&mut self, _now: SimTime, _client: MacAddr, _lure: &Lure) {}
+
+    fn database_len(&self) -> usize {
+        // KARMA keeps no database; report the mimic log for the curve.
+        self.ssids_mimicked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    #[test]
+    fn silent_on_broadcast() {
+        let mut karma = KarmaAttacker::new(mac(9));
+        let probe = ProbeRequest::broadcast(mac(1));
+        assert!(karma
+            .respond_to_probe(SimTime::ZERO, &probe, 40)
+            .is_empty());
+        assert_eq!(karma.database_len(), 0);
+    }
+
+    #[test]
+    fn mimics_direct_probes() {
+        let mut karma = KarmaAttacker::new(mac(9));
+        let probe = ProbeRequest::direct(mac(1), Ssid::new("AP123").unwrap());
+        let lures = karma.respond_to_probe(SimTime::ZERO, &probe, 40);
+        assert_eq!(lures.len(), 1);
+        assert_eq!(lures[0].ssid.as_str(), "AP123");
+        // Repeats don't double-count the mimic log.
+        karma.respond_to_probe(SimTime::ZERO, &probe, 40);
+        assert_eq!(karma.mimic_count(), 1);
+        assert_eq!(karma.name(), "KARMA");
+        assert_eq!(karma.bssid(), mac(9));
+        assert!(!karma.deauth_enabled());
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion bench: the attackers' probe-handling hot paths.
+//!
+//! `respond_to_probe` runs once per received probe — thousands of times per
+//! simulated hour — so its cost bounds how large a campaign the harness can
+//! regenerate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ch_attack::{
+    Attacker, CityHunter, CityHunterConfig, ClientTracker, ManaAttacker,
+    PrelimCityHunter,
+};
+use ch_scenarios::experiments::CITY_SEED;
+use ch_scenarios::CityData;
+use ch_wifi::mgmt::ProbeRequest;
+use ch_wifi::{MacAddr, Ssid};
+
+fn mac(i: u32) -> MacAddr {
+    MacAddr::from_index([2, 0, 0], i)
+}
+
+fn bench_respond(c: &mut Criterion) {
+    let data = CityData::standard(CITY_SEED);
+    let site = data.site_for(ch_mobility::VenueKind::Canteen);
+    let bssid = mac(9_999);
+
+    let mut group = c.benchmark_group("attacker/respond_broadcast");
+
+    let mut mana = ManaAttacker::new(bssid);
+    for i in 0..300u32 {
+        let probe = ProbeRequest::direct(mac(i), Ssid::new_lossy(format!("S{i}")));
+        mana.respond_to_probe(ch_sim::SimTime::ZERO, &probe, 40);
+    }
+    let mut i = 0u32;
+    group.bench_function("mana_db300", |b| {
+        b.iter(|| {
+            i += 1;
+            let probe = ProbeRequest::broadcast(mac(i % 10_000));
+            black_box(mana.respond_to_probe(ch_sim::SimTime::from_secs(1), &probe, 40))
+        })
+    });
+
+    let mut prelim = PrelimCityHunter::new(bssid, &data.wigle, &data.heat, site);
+    let mut j = 0u32;
+    group.bench_function("prelim_fresh_client", |b| {
+        b.iter(|| {
+            j += 1;
+            let probe = ProbeRequest::broadcast(mac(j % 100_000));
+            black_box(prelim.respond_to_probe(ch_sim::SimTime::from_secs(1), &probe, 40))
+        })
+    });
+
+    let mut hunter = CityHunter::new(
+        bssid,
+        &data.wigle,
+        &data.heat,
+        site,
+        CityHunterConfig::default(),
+    );
+    let mut k = 0u32;
+    group.bench_function("cityhunter_fresh_client", |b| {
+        b.iter(|| {
+            k += 1;
+            let probe = ProbeRequest::broadcast(mac(k % 100_000));
+            black_box(hunter.respond_to_probe(ch_sim::SimTime::from_secs(1), &probe, 40))
+        })
+    });
+
+    // The §III-A pathologically deep case: the same static client probing
+    // again and again, walking ever deeper into the untried list.
+    let mut hunter2 = CityHunter::new(
+        bssid,
+        &data.wigle,
+        &data.heat,
+        site,
+        CityHunterConfig::default(),
+    );
+    let static_client = ProbeRequest::broadcast(mac(42));
+    group.bench_function("cityhunter_static_client_deepening", |b| {
+        b.iter(|| {
+            black_box(hunter2.respond_to_probe(
+                ch_sim::SimTime::from_secs(1),
+                &static_client,
+                40,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_clienttrack(c: &mut Criterion) {
+    let pool: Vec<Ssid> = (0..500)
+        .map(|i| Ssid::new_lossy(format!("Pool-{i:03}")))
+        .collect();
+    let mut tracker = ClientTracker::new();
+    let client = mac(7);
+    for s in pool.iter().take(200) {
+        tracker.mark_sent(client, s.clone());
+    }
+    c.bench_function("attacker/select_untried_500pool_200sent", |b| {
+        b.iter(|| black_box(tracker.select_untried(client, pool.iter(), 40)))
+    });
+}
+
+criterion_group!(benches, bench_respond, bench_clienttrack);
+criterion_main!(benches);

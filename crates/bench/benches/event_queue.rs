@@ -1,0 +1,82 @@
+//! Criterion bench: simulation-kernel primitives.
+//!
+//! The event queue carries every scan instant of every phone; the Zipf
+//! sampler generates every public PNL entry. Both are exercised millions
+//! of times per campaign.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ch_sim::rng::Zipf;
+use ch_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_queue_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        // Pre-generate pseudo-random times so the bench measures the queue,
+        // not the RNG.
+        let mut rng = SimRng::seed_from(7);
+        let times: Vec<SimTime> = (0..n)
+            .map(|_| SimTime::from_micros(rng.range_u64(0, 3_600_000_000)))
+            .collect();
+        group.bench_function(format!("push_pop_{n}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(t, i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, i)) = q.pop() {
+                    acc = acc.wrapping_add(i);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleaved(c: &mut Criterion) {
+    // The runner's actual pattern: pop one, sometimes push a follow-up.
+    c.bench_function("event_queue/interleaved_steady_state", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(9);
+            let mut q = EventQueue::new();
+            for i in 0..1_000 {
+                q.push(SimTime::from_micros(rng.range_u64(0, 1_000_000)), i);
+            }
+            let mut processed = 0u64;
+            while let Some((t, i)) = q.pop() {
+                processed += 1;
+                if processed < 5_000 && rng.chance(0.8) {
+                    q.push(t + ch_sim::SimDuration::from_millis(rng.range_u64(1, 60_000)), i);
+                }
+            }
+            black_box(processed)
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(2_000, 1.0).expect("nonzero ranks");
+    let mut rng = SimRng::seed_from(11);
+    c.bench_function("rng/zipf_sample_2000", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+}
+
+fn bench_weighted_index(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(13);
+    let weights: Vec<f64> = (0..700).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    c.bench_function("rng/weighted_index_700", |b| {
+        b.iter(|| black_box(rng.weighted_index(black_box(&weights))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_queue_push_pop,
+    bench_interleaved,
+    bench_zipf,
+    bench_weighted_index
+);
+criterion_main!(benches);

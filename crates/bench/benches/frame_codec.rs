@@ -1,0 +1,89 @@
+//! Criterion bench: 802.11 management-frame encode/parse throughput.
+//!
+//! The attacker emits up to 40 probe responses per broadcast probe; at
+//! passage scale (thousands of scans per hour) the codec sits on the
+//! simulation's hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ch_wifi::codec;
+use ch_wifi::mgmt::{Authentication, Beacon, MgmtFrame, ProbeRequest, ProbeResponse};
+use ch_wifi::{Channel, MacAddr, Ssid};
+
+fn mac(i: u8) -> MacAddr {
+    MacAddr::new([2, 0, 0, 0, 0, i])
+}
+
+fn frames() -> Vec<(&'static str, MgmtFrame)> {
+    vec![
+        (
+            "probe_req_broadcast",
+            MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))),
+        ),
+        (
+            "probe_resp_lure",
+            MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+                mac(9),
+                mac(1),
+                Ssid::new("#HKAirport Free WiFi").unwrap(),
+                Channel::new(6).unwrap(),
+            )),
+        ),
+        (
+            "beacon",
+            MgmtFrame::Beacon(Beacon::open(
+                mac(9),
+                Ssid::new("Free Public WiFi").unwrap(),
+                Channel::new(1).unwrap(),
+            )),
+        ),
+        (
+            "auth_request",
+            MgmtFrame::Authentication(Authentication::request(mac(1), mac(9))),
+        ),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/encode");
+    for (name, frame) in frames() {
+        group.bench_function(name, |b| b.iter(|| codec::encode(black_box(&frame))));
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/parse");
+    for (name, frame) in frames() {
+        let bytes = codec::encode(&frame);
+        group.bench_function(name, |b| {
+            b.iter(|| codec::parse(black_box(&bytes)).expect("valid frame"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip_burst(c: &mut Criterion) {
+    // A full 40-response lure burst, as one scan produces.
+    let burst: Vec<MgmtFrame> = (0..40)
+        .map(|i| {
+            MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+                mac(9),
+                mac(1),
+                Ssid::new_lossy(format!("Lure-{i:02}")),
+                Channel::new(1).unwrap(),
+            ))
+        })
+        .collect();
+    c.bench_function("codec/roundtrip_40_burst", |b| {
+        b.iter(|| {
+            for frame in &burst {
+                let bytes = codec::encode(black_box(frame));
+                let _ = codec::parse(&bytes).expect("valid frame");
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_parse, bench_roundtrip_burst);
+criterion_main!(benches);

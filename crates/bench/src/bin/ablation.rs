@@ -1,0 +1,7 @@
+//! Ablation matrix: each City-Hunter design choice disabled in isolation,
+//! plus the §V-B extensions enabled.
+
+fn main() {
+    let outcome = ch_scenarios::experiments::ablation(ch_bench::common::seed_arg());
+    println!("{}", outcome.render());
+}

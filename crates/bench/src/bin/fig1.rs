@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1: MANA's database growth vs its real-time hit rate.
+
+fn main() {
+    let outcome = ch_scenarios::experiments::fig1(ch_bench::common::seed_arg());
+    println!("{}", outcome.render());
+}

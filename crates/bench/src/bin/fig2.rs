@@ -1,0 +1,6 @@
+//! Regenerates Fig. 2: per-client SSID-depth distributions.
+
+fn main() {
+    let outcome = ch_scenarios::experiments::fig2(ch_bench::common::seed_arg());
+    println!("{}", outcome.render());
+}

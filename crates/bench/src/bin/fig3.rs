@@ -1,0 +1,6 @@
+//! Renders Fig. 3 (the City-Hunter logic-flow diagram) with the live
+//! parameters of this implementation.
+
+fn main() {
+    println!("{}", ch_scenarios::experiments::fig3());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 4: the photo-density heat map for two districts.
+
+fn main() {
+    println!("{}", ch_scenarios::experiments::fig4().render());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 6: hit-SSID breakdowns by source and buffer.
+//!
+//! Same campaign as fig5; restrict with `--hours 8,12,18`.
+
+use ch_scenarios::experiments::{campaign_with, standard_city};
+
+fn main() {
+    let seed = ch_bench::common::seed_arg();
+    let hours = ch_bench::common::hours_arg();
+    let data = standard_city();
+    let outcome = campaign_with(&data, seed, &hours);
+    if ch_bench::common::json_flag() || std::env::args().any(|a| a == "--csv") {
+        println!("{}", outcome.to_csv());
+    } else {
+        println!("{}", outcome.render_fig6());
+    }
+}

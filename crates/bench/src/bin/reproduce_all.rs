@@ -1,0 +1,48 @@
+//! One-shot reproduction: regenerates every table and figure of the paper
+//! (plus the ablation) into a single consolidated report on stdout.
+//!
+//! ```text
+//! cargo run --release -p ch-bench --bin reproduce_all [seed] > report.txt
+//! ```
+//!
+//! Builds the city once and reuses it, so the whole paper reproduces in
+//! about a minute of wall-clock time.
+
+use ch_scenarios::experiments as exp;
+
+fn main() {
+    let seed = ch_bench::common::seed_arg();
+    let hours: Vec<usize> = (8..20).collect();
+    eprintln!("building the standard city...");
+    let data = exp::standard_city();
+
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    eprintln!("Table I...");
+    sections.push(("Table I", exp::table1_with(&data, seed).render()));
+    eprintln!("Fig. 1...");
+    sections.push(("Fig. 1", exp::fig1_with(&data, seed).render()));
+    eprintln!("Table II...");
+    sections.push(("Table II", exp::table2_with(&data, seed).render()));
+    eprintln!("Table III...");
+    sections.push(("Table III", exp::table3_with(&data, seed).render()));
+    eprintln!("Fig. 2...");
+    sections.push(("Fig. 2", exp::fig2_with(&data, seed).render()));
+    eprintln!("Table IV...");
+    sections.push(("Table IV", exp::table4_with(&data).render()));
+    eprintln!("Fig. 4...");
+    sections.push(("Fig. 4", exp::fig4_with(&data).render()));
+    eprintln!("Fig. 5 + Fig. 6 campaign (48 hour-long runs)...");
+    let campaign = exp::campaign_with(&data, seed, &hours);
+    sections.push(("Fig. 5", campaign.render_fig5()));
+    sections.push(("Fig. 6", campaign.render_fig6()));
+    eprintln!("ablation...");
+    sections.push(("Ablation", exp::ablation_with(&data, seed).render()));
+
+    println!("# City-Hunter reproduction report (seed {seed})\n");
+    for (title, body) in sections {
+        println!("================================================================");
+        println!("== {title}");
+        println!("================================================================\n");
+        println!("{body}");
+    }
+}

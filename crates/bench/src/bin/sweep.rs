@@ -1,0 +1,28 @@
+//! Sensitivity sweeps: the §III-A lure-budget cap and the attacker's radio
+//! range, with replicated confidence intervals.
+//!
+//! ```text
+//! cargo run --release -p ch-bench --bin sweep [base_seed] [--replicas N]
+//! ```
+
+use ch_scenarios::experiments::{
+    standard_city, sweep_crowd_density, sweep_lure_budget, sweep_mac_randomization,
+    sweep_radio_range, sweep_scan_interval,
+};
+
+fn main() {
+    let base_seed = ch_bench::common::seed_arg();
+    let replicas = {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2)
+            .find(|w| w[0] == "--replicas")
+            .and_then(|w| w[1].parse().ok())
+            .unwrap_or(5)
+    };
+    let data = standard_city();
+    println!("{}", sweep_lure_budget(&data, base_seed, replicas).render());
+    println!("{}", sweep_radio_range(&data, base_seed, replicas).render());
+    println!("{}", sweep_mac_randomization(&data, base_seed, replicas).render());
+    println!("{}", sweep_crowd_density(&data, base_seed, replicas).render());
+    println!("{}", sweep_scan_interval(&data, base_seed, replicas).render());
+}

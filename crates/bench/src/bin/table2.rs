@@ -1,0 +1,11 @@
+//! Regenerates Table II of the paper.
+
+fn main() {
+    let outcome = ch_scenarios::experiments::table2(ch_bench::common::seed_arg());
+    if ch_bench::common::json_flag() {
+        let rows = vec![outcome.mana.clone(), outcome.prelim.clone()];
+        println!("{}", ch_scenarios::report::summary_rows_to_json(&rows));
+    } else {
+        println!("{}", outcome.render());
+    }
+}

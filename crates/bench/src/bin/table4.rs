@@ -1,0 +1,5 @@
+//! Regenerates Table IV: top-5 SSIDs by AP count vs by heat value.
+
+fn main() {
+    println!("{}", ch_scenarios::experiments::table4().render());
+}

@@ -1,0 +1,7 @@
+//! Warm-start study: what re-initializing the database per test (§V-A)
+//! leaves on the table.
+
+fn main() {
+    let outcome = ch_scenarios::experiments::warm_start(ch_bench::common::seed_arg());
+    println!("{}", outcome.render());
+}

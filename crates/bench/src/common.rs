@@ -1,0 +1,41 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+
+/// Parses the optional seed argument (first CLI arg, default 1).
+pub fn seed_arg() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// `true` if `--json` was passed (machine-readable output).
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Parses an optional `--hours a,b,c` style restriction for the campaign
+/// binaries (default: the paper's 8..=19).
+pub fn hours_arg() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for window in args.windows(2) {
+        if window[0] == "--hours" {
+            return window[1]
+                .split(',')
+                .filter_map(|h| h.parse().ok())
+                .collect();
+        }
+    }
+    (8..20).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_hours_cover_the_paper_window() {
+        // Cannot override argv in-process; validate the default path shape.
+        let hours = super::hours_arg();
+        assert_eq!(hours.first(), Some(&8));
+        assert_eq!(hours.last(), Some(&19));
+        assert_eq!(hours.len(), 12);
+    }
+}

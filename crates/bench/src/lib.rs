@@ -1,0 +1,3 @@
+//! Figure/table regeneration harness for the City-Hunter reproduction.
+
+pub mod common;

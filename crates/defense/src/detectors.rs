@@ -1,0 +1,567 @@
+//! Frame-stream evil-twin detectors.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ch_sim::{SimDuration, SimTime};
+use ch_wifi::mgmt::MgmtFrame;
+use ch_wifi::{MacAddr, Ssid};
+
+/// What a detector believes it found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlarmKind {
+    /// One BSSID advertised implausibly many distinct SSIDs.
+    CoLocation {
+        /// The suspicious BSSID.
+        bssid: MacAddr,
+        /// Distinct SSIDs counted when the alarm fired.
+        distinct_ssids: usize,
+    },
+    /// A network remembered as protected was offered open.
+    SecurityDowngrade {
+        /// The offending BSSID.
+        bssid: MacAddr,
+        /// The downgraded SSID.
+        ssid: Ssid,
+    },
+    /// A BSSID emits probe responses but has never been seen beaconing.
+    SilentAp {
+        /// The beacon-less BSSID.
+        bssid: MacAddr,
+        /// Probe responses observed without a beacon.
+        responses: usize,
+    },
+    /// A source is spraying deauthentication frames at many clients — the
+    /// §V-B forced-rescan attack (Bellardo & Savage 2003).
+    DeauthFlood {
+        /// The (spoofed) source address of the deauth frames.
+        source: MacAddr,
+        /// Distinct victims inside the detection window.
+        victims: usize,
+    },
+}
+
+/// One raised alarm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alarm {
+    /// When it fired.
+    pub at: SimTime,
+    /// What fired.
+    pub kind: AlarmKind,
+}
+
+/// A passive detector fed the frame stream a client (or monitor) can hear.
+pub trait Detector {
+    /// Detector name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Feeds one frame.
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame);
+
+    /// Alarms raised so far, in order.
+    fn alarms(&self) -> &[Alarm];
+
+    /// Convenience: the instant of the first alarm.
+    fn first_alarm_at(&self) -> Option<SimTime> {
+        self.alarms().first().map(|a| a.at)
+    }
+}
+
+/// Flags a BSSID that advertises more distinct SSIDs than any legitimate
+/// AP would (multi-SSID APs exist, but not at KARMA scale). One alarm per
+/// BSSID.
+#[derive(Debug, Clone)]
+pub struct CoLocationDetector {
+    threshold: usize,
+    ssids_per_bssid: HashMap<MacAddr, HashSet<Ssid>>,
+    alarmed: HashSet<MacAddr>,
+    alarms: Vec<Alarm>,
+}
+
+impl CoLocationDetector {
+    /// Creates a detector that alarms at `threshold` distinct SSIDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold < 2` (every AP has one SSID).
+    pub fn new(threshold: usize) -> Self {
+        assert!(threshold >= 2, "co-location threshold must be >= 2");
+        CoLocationDetector {
+            threshold,
+            ssids_per_bssid: HashMap::new(),
+            alarmed: HashSet::new(),
+            alarms: Vec::new(),
+        }
+    }
+
+    /// The deployable default: 8 SSIDs (beyond any realistic multi-SSID
+    /// enterprise AP, but one fifth of a single City-Hunter burst).
+    pub fn default_threshold() -> Self {
+        CoLocationDetector::new(8)
+    }
+}
+
+impl Detector for CoLocationDetector {
+    fn name(&self) -> &'static str {
+        "co-location"
+    }
+
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+        let (bssid, ssid) = match frame {
+            MgmtFrame::ProbeResponse(p) => (p.bssid, p.ssid.clone()),
+            MgmtFrame::Beacon(b) => (b.bssid, b.ssid.clone()),
+            _ => return,
+        };
+        let seen = self.ssids_per_bssid.entry(bssid).or_default();
+        seen.insert(ssid);
+        if seen.len() >= self.threshold && self.alarmed.insert(bssid) {
+            self.alarms.push(Alarm {
+                at,
+                kind: AlarmKind::CoLocation {
+                    bssid,
+                    distinct_ssids: seen.len(),
+                },
+            });
+        }
+    }
+
+    fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+}
+
+/// Flags an SSID the client remembers as *protected* being offered open —
+/// the classic evil-twin downgrade tell.
+#[derive(Debug, Clone)]
+pub struct DowngradeDetector {
+    protected: HashSet<Ssid>,
+    alarms: Vec<Alarm>,
+}
+
+impl DowngradeDetector {
+    /// Creates the detector from the client's protected PNL entries.
+    pub fn new(protected: impl IntoIterator<Item = Ssid>) -> Self {
+        DowngradeDetector {
+            protected: protected.into_iter().collect(),
+            alarms: Vec::new(),
+        }
+    }
+}
+
+impl Detector for DowngradeDetector {
+    fn name(&self) -> &'static str {
+        "security-downgrade"
+    }
+
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+        let (bssid, ssid, privacy) = match frame {
+            MgmtFrame::ProbeResponse(p) => (p.bssid, &p.ssid, p.capabilities.privacy),
+            MgmtFrame::Beacon(b) => (b.bssid, &b.ssid, b.capabilities.privacy),
+            _ => return,
+        };
+        if !privacy && self.protected.contains(ssid) {
+            self.alarms.push(Alarm {
+                at,
+                kind: AlarmKind::SecurityDowngrade {
+                    bssid,
+                    ssid: ssid.clone(),
+                },
+            });
+        }
+    }
+
+    fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+}
+
+/// Flags BSSIDs that answer probes but never beacon. Legitimate APs beacon
+/// ~10×/s; KARMA-family attackers typically stay dark to reduce their
+/// footprint. One alarm per BSSID, after a grace count of responses.
+#[derive(Debug, Clone)]
+pub struct SilentApDetector {
+    grace_responses: usize,
+    beaconing: HashSet<MacAddr>,
+    responses: HashMap<MacAddr, usize>,
+    alarmed: HashSet<MacAddr>,
+    alarms: Vec<Alarm>,
+}
+
+impl SilentApDetector {
+    /// Creates a detector that tolerates `grace_responses` responses from
+    /// a BSSID before expecting to have heard a beacon.
+    pub fn new(grace_responses: usize) -> Self {
+        SilentApDetector {
+            grace_responses: grace_responses.max(1),
+            beaconing: HashSet::new(),
+            responses: HashMap::new(),
+            alarmed: HashSet::new(),
+            alarms: Vec::new(),
+        }
+    }
+
+    /// Default grace: 20 responses (two seconds of beacon interval,
+    /// comfortably enough to have heard one).
+    pub fn default_grace() -> Self {
+        SilentApDetector::new(20)
+    }
+}
+
+impl Detector for SilentApDetector {
+    fn name(&self) -> &'static str {
+        "silent-ap"
+    }
+
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+        match frame {
+            MgmtFrame::Beacon(b) => {
+                self.beaconing.insert(b.bssid);
+            }
+            MgmtFrame::ProbeResponse(p) => {
+                if self.beaconing.contains(&p.bssid) {
+                    return;
+                }
+                let count = self.responses.entry(p.bssid).or_insert(0);
+                *count += 1;
+                if *count >= self.grace_responses && self.alarmed.insert(p.bssid) {
+                    self.alarms.push(Alarm {
+                        at,
+                        kind: AlarmKind::SilentAp {
+                            bssid: p.bssid,
+                            responses: *count,
+                        },
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+}
+
+/// Flags a source deauthenticating many *distinct* clients in a sliding
+/// window. A real AP deauthenticates an occasional client (idle timeout,
+/// load shedding); the §V-B attack sprays deauths across the room. One
+/// alarm per source.
+#[derive(Debug, Clone)]
+pub struct DeauthFloodDetector {
+    window: SimDuration,
+    victim_threshold: usize,
+    /// Recent deauths per source: (time, victim) in window order.
+    recent: HashMap<MacAddr, VecDeque<(SimTime, MacAddr)>>,
+    alarmed: HashSet<MacAddr>,
+    alarms: Vec<Alarm>,
+}
+
+impl DeauthFloodDetector {
+    /// Creates a detector: alarm when one source deauths
+    /// `victim_threshold` distinct clients within `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim_threshold < 2`.
+    pub fn new(window: SimDuration, victim_threshold: usize) -> Self {
+        assert!(victim_threshold >= 2, "deauth threshold must be >= 2");
+        DeauthFloodDetector {
+            window,
+            victim_threshold,
+            recent: HashMap::new(),
+            alarmed: HashSet::new(),
+            alarms: Vec::new(),
+        }
+    }
+
+    /// The deployable default: 5 distinct victims within 60 s.
+    pub fn default_threshold() -> Self {
+        DeauthFloodDetector::new(SimDuration::from_secs(60), 5)
+    }
+}
+
+impl Detector for DeauthFloodDetector {
+    fn name(&self) -> &'static str {
+        "deauth-flood"
+    }
+
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+        let MgmtFrame::Deauthentication(d) = frame else {
+            return;
+        };
+        let queue = self.recent.entry(d.source).or_default();
+        queue.push_back((at, d.destination));
+        while let Some(&(t, _)) = queue.front() {
+            if at.saturating_since(t) > self.window {
+                queue.pop_front();
+            } else {
+                break;
+            }
+        }
+        let distinct: HashSet<MacAddr> = queue.iter().map(|&(_, v)| v).collect();
+        if distinct.len() >= self.victim_threshold && self.alarmed.insert(d.source) {
+            self.alarms.push(Alarm {
+                at,
+                kind: AlarmKind::DeauthFlood {
+                    source: d.source,
+                    victims: distinct.len(),
+                },
+            });
+        }
+    }
+
+    fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+}
+
+/// A bank of detectors fed the same stream.
+#[derive(Default)]
+pub struct DetectorBank {
+    detectors: Vec<Box<dyn Detector>>,
+}
+
+impl DetectorBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        DetectorBank::default()
+    }
+
+    /// The standard client-side bank: co-location + silent-AP, plus a
+    /// downgrade detector for the given protected SSIDs.
+    pub fn client_standard(protected: impl IntoIterator<Item = Ssid>) -> Self {
+        let mut bank = DetectorBank::new();
+        bank.add(CoLocationDetector::default_threshold());
+        bank.add(SilentApDetector::default_grace());
+        bank.add(DowngradeDetector::new(protected));
+        bank.add(DeauthFloodDetector::default_threshold());
+        bank
+    }
+
+    /// Adds a detector.
+    pub fn add(&mut self, detector: impl Detector + 'static) {
+        self.detectors.push(Box::new(detector));
+    }
+
+    /// Feeds one frame to every detector.
+    pub fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+        for d in &mut self.detectors {
+            d.observe(at, frame);
+        }
+    }
+
+    /// `(detector name, alarms)` for every member.
+    pub fn report(&self) -> Vec<(&'static str, &[Alarm])> {
+        self.detectors
+            .iter()
+            .map(|d| (d.name(), d.alarms()))
+            .collect()
+    }
+
+    /// The earliest alarm across the bank.
+    pub fn first_alarm_at(&self) -> Option<SimTime> {
+        self.detectors
+            .iter()
+            .filter_map(|d| d.first_alarm_at())
+            .min()
+    }
+
+    /// Total alarms across the bank.
+    pub fn alarm_count(&self) -> usize {
+        self.detectors.iter().map(|d| d.alarms().len()).sum()
+    }
+}
+
+impl std::fmt::Debug for DetectorBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorBank")
+            .field("detectors", &self.detectors.len())
+            .field("alarms", &self.alarm_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_wifi::mgmt::{Beacon, CapabilityInfo, ProbeResponse};
+    use ch_wifi::Channel;
+
+    fn bssid() -> MacAddr {
+        MacAddr::new([0x0a, 0, 0, 0, 0, 1])
+    }
+
+    fn client() -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, 2])
+    }
+
+    fn lure(name: &str) -> MgmtFrame {
+        MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+            bssid(),
+            client(),
+            Ssid::new(name).unwrap(),
+            Channel::default_attack_channel(),
+        ))
+    }
+
+    fn beacon(name: &str) -> MgmtFrame {
+        MgmtFrame::Beacon(Beacon::open(
+            bssid(),
+            Ssid::new(name).unwrap(),
+            Channel::default_attack_channel(),
+        ))
+    }
+
+    #[test]
+    fn colocation_fires_once_at_threshold() {
+        let mut d = CoLocationDetector::new(3);
+        d.observe(SimTime::from_millis(1), &lure("A"));
+        d.observe(SimTime::from_millis(2), &lure("B"));
+        assert!(d.alarms().is_empty());
+        d.observe(SimTime::from_millis(3), &lure("C"));
+        assert_eq!(d.alarms().len(), 1);
+        // Re-observing the same SSIDs or more does not re-alarm.
+        d.observe(SimTime::from_millis(4), &lure("D"));
+        assert_eq!(d.alarms().len(), 1);
+        assert_eq!(d.first_alarm_at(), Some(SimTime::from_millis(3)));
+        match &d.alarms()[0].kind {
+            AlarmKind::CoLocation { distinct_ssids, .. } => {
+                assert_eq!(*distinct_ssids, 3)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn colocation_ignores_repeats_of_one_ssid() {
+        let mut d = CoLocationDetector::new(3);
+        for i in 0..10 {
+            d.observe(SimTime::from_millis(i), &lure("SameNet"));
+        }
+        assert!(d.alarms().is_empty());
+    }
+
+    #[test]
+    fn downgrade_fires_only_on_remembered_protected() {
+        let mut d = DowngradeDetector::new([Ssid::new("Corp").unwrap()]);
+        d.observe(SimTime::from_millis(1), &lure("Open-Cafe"));
+        assert!(d.alarms().is_empty());
+        d.observe(SimTime::from_millis(2), &lure("Corp"));
+        assert_eq!(d.alarms().len(), 1);
+        // A properly protected beacon of the same SSID is fine.
+        let mut protected = Beacon::open(
+            bssid(),
+            Ssid::new("Corp").unwrap(),
+            Channel::default_attack_channel(),
+        );
+        protected.capabilities = CapabilityInfo::protected_ap();
+        d.observe(SimTime::from_millis(3), &MgmtFrame::Beacon(protected));
+        assert_eq!(d.alarms().len(), 1);
+    }
+
+    #[test]
+    fn silent_ap_detects_beaconless_responders() {
+        let mut d = SilentApDetector::new(5);
+        for i in 0..5 {
+            d.observe(SimTime::from_millis(i), &lure("X"));
+        }
+        assert_eq!(d.alarms().len(), 1);
+        // A beaconing AP with the same behaviour is never flagged.
+        let mut ok = SilentApDetector::new(5);
+        ok.observe(SimTime::ZERO, &beacon("X"));
+        for i in 0..50 {
+            ok.observe(SimTime::from_millis(i), &lure("X"));
+        }
+        assert!(ok.alarms().is_empty());
+    }
+
+    #[test]
+    fn bank_aggregates() {
+        let mut bank = DetectorBank::client_standard([Ssid::new("Corp").unwrap()]);
+        for i in 0..30u64 {
+            bank.observe(SimTime::from_millis(i), &lure(&format!("N{i}")));
+        }
+        bank.observe(SimTime::from_millis(31), &lure("Corp"));
+        assert!(bank.alarm_count() >= 3, "{bank:?}");
+        assert!(bank.first_alarm_at().is_some());
+        let report = bank.report();
+        assert_eq!(report.len(), 4);
+        assert!(report.iter().any(|(n, a)| *n == "co-location" && !a.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be >= 2")]
+    fn threshold_one_rejected() {
+        let _ = CoLocationDetector::new(1);
+    }
+}
+
+#[cfg(test)]
+mod deauth_flood_tests {
+    use super::*;
+    use ch_wifi::mgmt::{Deauthentication, MgmtFrame, ReasonCode};
+
+    fn deauth(at_s: u64, source: u8, victim: u8) -> (SimTime, MgmtFrame) {
+        (
+            SimTime::from_secs(at_s),
+            MgmtFrame::Deauthentication(Deauthentication {
+                source: MacAddr::new([0, 0x90, 0x4c, 0, 0, source]),
+                destination: MacAddr::new([2, 0, 0, 0, 0, victim]),
+                reason: ReasonCode::PrevAuthExpired,
+            }),
+        )
+    }
+
+    #[test]
+    fn flood_detected_at_threshold() {
+        let mut d = DeauthFloodDetector::new(SimDuration::from_secs(60), 3);
+        for (i, victim) in (1..=3u8).enumerate() {
+            let (at, frame) = deauth(i as u64 * 10, 7, victim);
+            d.observe(at, &frame);
+        }
+        assert_eq!(d.alarms().len(), 1);
+        match &d.alarms()[0].kind {
+            AlarmKind::DeauthFlood { victims, .. } => assert_eq!(*victims, 3),
+            other => panic!("{other:?}"),
+        }
+        // One alarm per source, even on continued flooding.
+        let (at, frame) = deauth(35, 7, 9);
+        d.observe(at, &frame);
+        assert_eq!(d.alarms().len(), 1);
+    }
+
+    #[test]
+    fn occasional_deauths_tolerated() {
+        let mut d = DeauthFloodDetector::new(SimDuration::from_secs(60), 3);
+        // Three victims, but spread over five minutes: window slides past.
+        for (i, victim) in (1..=3u8).enumerate() {
+            let (at, frame) = deauth(i as u64 * 150, 7, victim);
+            d.observe(at, &frame);
+        }
+        assert!(d.alarms().is_empty());
+        // Repeated deauths of the SAME victim never trip it either.
+        let mut d2 = DeauthFloodDetector::default_threshold();
+        for i in 0..20 {
+            let (at, frame) = deauth(i, 7, 1);
+            d2.observe(at, &frame);
+        }
+        assert!(d2.alarms().is_empty());
+    }
+
+    #[test]
+    fn sources_tracked_independently() {
+        let mut d = DeauthFloodDetector::new(SimDuration::from_secs(60), 3);
+        for victim in 1..=2u8 {
+            let (at, frame) = deauth(victim as u64, 7, victim);
+            d.observe(at, &frame);
+            let (at, frame) = deauth(victim as u64, 8, victim);
+            d.observe(at, &frame);
+        }
+        assert!(d.alarms().is_empty(), "neither source crossed threshold");
+    }
+
+    #[test]
+    #[should_panic(expected = "deauth threshold must be >= 2")]
+    fn tiny_threshold_rejected() {
+        let _ = DeauthFloodDetector::new(SimDuration::from_secs(60), 1);
+    }
+}

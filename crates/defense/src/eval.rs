@@ -1,0 +1,231 @@
+//! Detection evaluation: how fast does each attacker generation trip the
+//! standard client-side bank?
+//!
+//! The probe simulates one vulnerable client scanning repeatedly near an
+//! attacker; every emitted frame is fed to the detectors. The outcome is
+//! the number of attacker frames on air before the first alarm — a direct,
+//! comparable "stealth budget" per attacker.
+
+use ch_attack::{Attacker, Lure};
+use ch_sim::{SimDuration, SimTime};
+use ch_wifi::mgmt::{Beacon, MgmtFrame, ProbeRequest, ProbeResponse};
+use ch_wifi::{Channel, MacAddr, Ssid};
+
+use crate::detectors::DetectorBank;
+
+/// The result of one attacker-vs-detector-bank evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionOutcome {
+    /// Attacker name.
+    pub attacker: &'static str,
+    /// Attacker frames emitted before (and including) the one that fired
+    /// the first alarm; `None` if the bank never fired.
+    pub frames_to_detection: Option<usize>,
+    /// Scan rounds completed before detection (or total rounds if never).
+    pub rounds_to_detection: Option<usize>,
+    /// Total alarms after the full evaluation.
+    pub total_alarms: usize,
+}
+
+impl DetectionOutcome {
+    /// `true` if the bank caught the attacker at all.
+    pub fn detected(&self) -> bool {
+        self.frames_to_detection.is_some()
+    }
+}
+
+/// Runs `rounds` scan rounds of a single client against `attacker`,
+/// feeding every attacker frame to `bank`.
+///
+/// The client sends a broadcast probe per round (and, to exercise KARMA, a
+/// direct probe for `direct_ssid` if provided). Frames are fed in air
+/// order; detection is evaluated after each frame.
+pub fn evaluate_attacker(
+    attacker: &mut dyn Attacker,
+    bank: &mut DetectorBank,
+    rounds: usize,
+    direct_ssid: Option<Ssid>,
+) -> DetectionOutcome {
+    evaluate_attacker_with_beacons(attacker, bank, rounds, direct_ssid, false)
+}
+
+/// [`evaluate_attacker`], with the attacker optionally *beaconing* its top
+/// lure SSID like a legitimate AP — a stealth countermeasure against the
+/// silent-AP heuristic (at the cost of a continuously observable
+/// footprint). The co-location heuristic is unaffected.
+pub fn evaluate_attacker_with_beacons(
+    attacker: &mut dyn Attacker,
+    bank: &mut DetectorBank,
+    rounds: usize,
+    direct_ssid: Option<Ssid>,
+    beaconing: bool,
+) -> DetectionOutcome {
+    let client = MacAddr::new([0xac, 0x37, 0x43, 0, 0, 0x5d]);
+    let channel = Channel::default_attack_channel();
+    let mut frames = 0usize;
+    let mut detection: Option<(usize, usize)> = None;
+
+    // A beaconing attacker advertises from the moment it powers on —
+    // before any probe arrives — exactly like a legitimate AP.
+    let mut beacon_ssid: Option<Ssid> = beaconing
+        .then(|| Ssid::new_lossy("Free Public WiFi"));
+    'rounds: for round in 0..rounds {
+        let now = SimTime::ZERO + SimDuration::from_secs(60 * round as u64);
+        if beaconing {
+            if let Some(ssid) = &beacon_ssid {
+                // ~10 beacons/s; feed a representative sample per round.
+                for k in 0..10u64 {
+                    let frame = MgmtFrame::Beacon(Beacon::open(
+                        attacker.bssid(),
+                        ssid.clone(),
+                        channel,
+                    ));
+                    bank.observe(now + SimDuration::from_millis(k * 102), &frame);
+                }
+            }
+        }
+        let mut probes = vec![ProbeRequest::broadcast(client)];
+        if let Some(ssid) = &direct_ssid {
+            probes.push(ProbeRequest::direct(client, ssid.clone()));
+        }
+        for probe in probes {
+            let lures: Vec<Lure> = attacker.respond_to_probe(now, &probe, 40);
+            if beaconing {
+                // Track the top lure so later beacons advertise it.
+                if let Some(top) = lures.first() {
+                    beacon_ssid = Some(top.ssid.clone());
+                }
+            }
+            for lure in &lures {
+                frames += 1;
+                let frame = MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+                    attacker.bssid(),
+                    client,
+                    lure.ssid.clone(),
+                    channel,
+                ));
+                bank.observe(now, &frame);
+                if detection.is_none() && bank.first_alarm_at().is_some() {
+                    detection = Some((frames, round));
+                    // Keep feeding the rest of the evaluation so
+                    // `total_alarms` reflects the full exposure, but we can
+                    // stop early if the caller only wants detection: we
+                    // continue for alarm totals.
+                }
+            }
+        }
+        if detection.is_some() && round + 1 >= rounds.min(detection.unwrap().1 + 2) {
+            break 'rounds;
+        }
+    }
+
+    DetectionOutcome {
+        attacker: attacker.name(),
+        frames_to_detection: detection.map(|(f, _)| f),
+        rounds_to_detection: detection.map(|(_, r)| r),
+        total_alarms: bank.alarm_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_attack::{CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker};
+    use ch_geo::{CityModel, HeatMap, PhotoCollection, WigleSnapshot};
+    use ch_sim::SimRng;
+
+    fn bssid() -> MacAddr {
+        MacAddr::new([0x0a, 0xbc, 0xde, 0, 0, 1])
+    }
+
+    fn city_hunter() -> CityHunter {
+        let mut rng = SimRng::seed_from(0xDEF);
+        let city = CityModel::synthesize(&mut rng);
+        let wigle = WigleSnapshot::synthesize(&city, &mut rng);
+        let photos = PhotoCollection::synthesize(&city, 10_000, &mut rng);
+        let heat = HeatMap::from_photos(&city, &photos, 100.0);
+        let site = city.pois()[0].location;
+        CityHunter::new(bssid(), &wigle, &heat, site, CityHunterConfig::default())
+    }
+
+    #[test]
+    fn city_hunter_detected_within_one_burst() {
+        let mut attacker = city_hunter();
+        let mut bank = DetectorBank::client_standard([]);
+        let outcome = evaluate_attacker(&mut attacker, &mut bank, 5, None);
+        assert!(outcome.detected());
+        // The co-location detector fires at its threshold (8 SSIDs), well
+        // inside the first 40-lure burst.
+        assert!(
+            outcome.frames_to_detection.unwrap() <= 40,
+            "{outcome:?}"
+        );
+        assert_eq!(outcome.rounds_to_detection, Some(0));
+    }
+
+    #[test]
+    fn karma_invisible_without_direct_probes() {
+        let mut attacker = KarmaAttacker::new(bssid());
+        let mut bank = DetectorBank::client_standard([]);
+        let outcome = evaluate_attacker(&mut attacker, &mut bank, 5, None);
+        assert!(!outcome.detected(), "KARMA emits nothing to detect");
+        assert_eq!(outcome.total_alarms, 0);
+    }
+
+    #[test]
+    fn karma_caught_by_downgrade_on_direct_probe() {
+        let mut attacker = KarmaAttacker::new(bssid());
+        let corp = Ssid::new("Corp-WPA2").unwrap();
+        let mut bank = DetectorBank::client_standard([corp.clone()]);
+        let outcome = evaluate_attacker(&mut attacker, &mut bank, 3, Some(corp));
+        assert!(outcome.detected(), "{outcome:?}");
+        assert_eq!(outcome.frames_to_detection, Some(1));
+    }
+
+    #[test]
+    fn beaconing_evades_silent_ap_but_not_colocation() {
+        use crate::detectors::{AlarmKind, CoLocationDetector, SilentApDetector};
+
+        // Silent-AP alone: a beaconing attacker is never flagged by it.
+        let mut attacker = city_hunter();
+        let mut bank = DetectorBank::new();
+        bank.add(SilentApDetector::default_grace());
+        let outcome =
+            evaluate_attacker_with_beacons(&mut attacker, &mut bank, 5, None, true);
+        assert!(
+            !outcome.detected(),
+            "beaconing must evade the silent-AP heuristic: {outcome:?}"
+        );
+
+        // But the co-location heuristic still fires on the lure burst.
+        let mut attacker2 = city_hunter();
+        let mut bank2 = DetectorBank::new();
+        bank2.add(CoLocationDetector::default_threshold());
+        let outcome2 =
+            evaluate_attacker_with_beacons(&mut attacker2, &mut bank2, 5, None, true);
+        assert!(outcome2.detected());
+        // And the verdict names the co-location signature.
+        let report = bank2.report();
+        assert!(report.iter().any(|(name, alarms)| *name == "co-location"
+            && alarms
+                .iter()
+                .any(|a| matches!(a.kind, AlarmKind::CoLocation { .. }))));
+    }
+
+    #[test]
+    fn mana_detected_once_database_grows() {
+        let mut attacker = ManaAttacker::new(bssid());
+        // Pre-harvest: 10 legacy clients disclosed SSIDs elsewhere.
+        for i in 0..10u32 {
+            let probe = ProbeRequest::direct(
+                MacAddr::from_index([2, 0, 0], i + 10),
+                Ssid::new_lossy(format!("Disclosed-{i}")),
+            );
+            attacker.respond_to_probe(SimTime::ZERO, &probe, 40);
+        }
+        let mut bank = DetectorBank::client_standard([]);
+        let outcome = evaluate_attacker(&mut attacker, &mut bank, 5, None);
+        assert!(outcome.detected());
+        assert!(outcome.frames_to_detection.unwrap() <= 10);
+    }
+}

@@ -1,0 +1,50 @@
+//! # ch-defense — evil-twin countermeasures
+//!
+//! The paper closes by noting that "existing techniques to detect evil
+//! twin APs … can still work as effective countermeasures for the
+//! City-Hunter". This crate makes that claim testable: it implements the
+//! cheap, deployable end of the detection literature the paper cites
+//! (client-side heuristics in the spirit of Gonzales et al. 2010 /
+//! Hsu et al. 2015, and an operator-side monitor in the spirit of
+//! Ma et al. 2008) and evaluates them against the actual frames our
+//! attackers emit.
+//!
+//! * [`detectors`] — frame-stream detectors with a common [`Detector`]
+//!   trait:
+//!   [`detectors::CoLocationDetector`] (one BSSID advertising implausibly
+//!   many SSIDs), [`detectors::DowngradeDetector`] (a remembered
+//!   *protected* SSID offered open), and
+//!   [`detectors::SilentApDetector`] (probe responses from a BSSID that
+//!   never beacons).
+//! * [`monitor`] — an operator-side aggregator that fuses alarms across
+//!   observation points and names rogue BSSIDs.
+//! * [`eval`] — drives each attacker generation against the detector
+//!   bank and reports frames-to-detection.
+//!
+//! ```
+//! use ch_defense::detectors::{CoLocationDetector, Detector};
+//! use ch_wifi::mgmt::{MgmtFrame, ProbeResponse};
+//! use ch_wifi::{Channel, MacAddr, Ssid};
+//! use ch_sim::SimTime;
+//!
+//! let mut detector = CoLocationDetector::default_threshold();
+//! let bssid = MacAddr::new([0x0a, 0, 0, 0, 0, 1]);
+//! for i in 0..10 {
+//!     let frame = MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+//!         bssid,
+//!         MacAddr::new([2, 0, 0, 0, 0, 2]),
+//!         Ssid::new_lossy(format!("Net-{i}")),
+//!         Channel::default_attack_channel(),
+//!     ));
+//!     detector.observe(SimTime::from_millis(i), &frame);
+//! }
+//! assert!(!detector.alarms().is_empty());
+//! ```
+
+pub mod detectors;
+pub mod eval;
+pub mod monitor;
+
+pub use detectors::{Alarm, AlarmKind, Detector, DetectorBank};
+pub use eval::{evaluate_attacker, DetectionOutcome};
+pub use monitor::NetworkMonitor;

@@ -1,0 +1,148 @@
+//! Operator-side monitoring.
+//!
+//! A venue operator (the defending side of Ma et al. 2008's hybrid
+//! framework) aggregates detector alarms from multiple observation points
+//! and maintains a rogue-BSSID list, which is what a real deployment would
+//! feed into containment (deauthenticating the rogue, alerting staff).
+
+use std::collections::{BTreeMap, HashSet};
+
+use ch_sim::SimTime;
+use ch_wifi::MacAddr;
+
+use crate::detectors::{Alarm, AlarmKind};
+
+/// Aggregated view of alarms across observation points.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkMonitor {
+    /// Rogue verdicts: BSSID → first-flagged instant.
+    rogues: BTreeMap<MacAddr, SimTime>,
+    /// Known-legitimate BSSIDs (the operator's own inventory).
+    allowlist: HashSet<MacAddr>,
+    alarms_ingested: usize,
+}
+
+impl NetworkMonitor {
+    /// A monitor with an empty inventory.
+    pub fn new() -> Self {
+        NetworkMonitor::default()
+    }
+
+    /// Registers the operator's own APs; alarms against them are treated
+    /// as misconfiguration rather than rogue activity.
+    pub fn allow(&mut self, bssid: MacAddr) {
+        self.allowlist.insert(bssid);
+    }
+
+    /// Ingests one alarm from any observation point.
+    pub fn ingest(&mut self, alarm: &Alarm) {
+        self.alarms_ingested += 1;
+        let bssid = match alarm.kind {
+            AlarmKind::CoLocation { bssid, .. } => bssid,
+            AlarmKind::SecurityDowngrade { bssid, .. } => bssid,
+            AlarmKind::SilentAp { bssid, .. } => bssid,
+            AlarmKind::DeauthFlood { source, .. } => source,
+        };
+        if self.allowlist.contains(&bssid) {
+            return;
+        }
+        self.rogues.entry(bssid).or_insert(alarm.at);
+    }
+
+    /// Ingests a batch.
+    pub fn ingest_all<'a>(&mut self, alarms: impl IntoIterator<Item = &'a Alarm>) {
+        for alarm in alarms {
+            self.ingest(alarm);
+        }
+    }
+
+    /// The rogue list: `(bssid, first flagged)`, ordered by BSSID.
+    pub fn rogues(&self) -> impl Iterator<Item = (MacAddr, SimTime)> + '_ {
+        self.rogues.iter().map(|(b, t)| (*b, *t))
+    }
+
+    /// `true` if `bssid` has been flagged.
+    pub fn is_rogue(&self, bssid: MacAddr) -> bool {
+        self.rogues.contains_key(&bssid)
+    }
+
+    /// When `bssid` was first flagged.
+    pub fn flagged_at(&self, bssid: MacAddr) -> Option<SimTime> {
+        self.rogues.get(&bssid).copied()
+    }
+
+    /// Total alarms processed.
+    pub fn alarms_ingested(&self) -> usize {
+        self.alarms_ingested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_wifi::Ssid;
+
+    fn alarm(at_ms: u64, bssid: MacAddr) -> Alarm {
+        Alarm {
+            at: SimTime::from_millis(at_ms),
+            kind: AlarmKind::CoLocation {
+                bssid,
+                distinct_ssids: 9,
+            },
+        }
+    }
+
+    #[test]
+    fn first_flag_time_sticks() {
+        let mut m = NetworkMonitor::new();
+        let rogue = MacAddr::new([0x0a, 0, 0, 0, 0, 1]);
+        m.ingest(&alarm(50, rogue));
+        m.ingest(&alarm(10, rogue)); // later alarm with earlier time: keep first ingested
+        assert!(m.is_rogue(rogue));
+        assert_eq!(m.flagged_at(rogue), Some(SimTime::from_millis(50)));
+        assert_eq!(m.alarms_ingested(), 2);
+        assert_eq!(m.rogues().count(), 1);
+    }
+
+    #[test]
+    fn allowlisted_bssids_never_flagged() {
+        let mut m = NetworkMonitor::new();
+        let own = MacAddr::new([0x00, 0x11, 0, 0, 0, 1]);
+        m.allow(own);
+        m.ingest(&alarm(5, own));
+        assert!(!m.is_rogue(own));
+        assert_eq!(m.rogues().count(), 0);
+    }
+
+    #[test]
+    fn all_alarm_kinds_attribute_bssid() {
+        let mut m = NetworkMonitor::new();
+        let b1 = MacAddr::new([0x0a, 0, 0, 0, 0, 1]);
+        let b2 = MacAddr::new([0x0a, 0, 0, 0, 0, 2]);
+        let b3 = MacAddr::new([0x0a, 0, 0, 0, 0, 3]);
+        m.ingest_all(&[
+            Alarm {
+                at: SimTime::from_millis(1),
+                kind: AlarmKind::CoLocation {
+                    bssid: b1,
+                    distinct_ssids: 8,
+                },
+            },
+            Alarm {
+                at: SimTime::from_millis(2),
+                kind: AlarmKind::SecurityDowngrade {
+                    bssid: b2,
+                    ssid: Ssid::new("Corp").unwrap(),
+                },
+            },
+            Alarm {
+                at: SimTime::from_millis(3),
+                kind: AlarmKind::SilentAp {
+                    bssid: b3,
+                    responses: 20,
+                },
+            },
+        ]);
+        assert!(m.is_rogue(b1) && m.is_rogue(b2) && m.is_rogue(b3));
+    }
+}

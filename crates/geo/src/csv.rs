@@ -1,0 +1,344 @@
+//! WiGLE-style CSV export/import.
+//!
+//! The real City-Hunter was seeded from wigle.net exports. This module
+//! round-trips our synthetic snapshot through a WiGLE-like CSV so that
+//! (a) users can eyeball the data the attacker starts from, and (b) an
+//! externally produced file in the same shape can be loaded instead of the
+//! synthetic one.
+//!
+//! Columns: `netid,ssid,trilat,trilong,encryption,category` — the subset
+//! of WiGLE's export schema the attack consumes. SSIDs are CSV-quoted, so
+//! names containing commas, quotes or leading `#` survive.
+
+use std::fmt::Write as _;
+
+use ch_wifi::{MacAddr, Ssid};
+
+use crate::netdb::{NetworkRecord, SsidCategory, WigleSnapshot};
+use crate::point::GeoPoint;
+
+/// The header line written and expected.
+pub const HEADER: &str = "netid,ssid,trilat,trilong,encryption,category";
+
+/// Error importing a CSV snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsvError {
+    /// The first line is not [`HEADER`].
+    BadHeader {
+        /// What was found instead.
+        found: String,
+    },
+    /// A data line has the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+        /// Offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader { found } => {
+                write!(f, "bad csv header: expected {HEADER:?}, found {found:?}")
+            }
+            CsvError::FieldCount { line, found } => {
+                write!(f, "line {line}: expected 6 fields, found {found}")
+            }
+            CsvError::BadField {
+                line,
+                column,
+                value,
+            } => write!(f, "line {line}: bad {column} value {value:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Exports a snapshot as WiGLE-style CSV.
+pub fn to_csv(snapshot: &WigleSnapshot) -> String {
+    let mut out = String::with_capacity(64 * snapshot.len() + HEADER.len());
+    out.push_str(HEADER);
+    out.push('\n');
+    for record in snapshot.records() {
+        let (lat, lon) = record.location.to_lat_lon();
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{},{}",
+            record.bssid,
+            quote(record.ssid.as_str()),
+            lat,
+            lon,
+            if record.open { "none" } else { "wpa2" },
+            category_str(record.category),
+        );
+    }
+    out
+}
+
+/// Imports a snapshot from WiGLE-style CSV.
+///
+/// # Errors
+///
+/// Any [`CsvError`] on malformed input.
+pub fn from_csv(text: &str) -> Result<WigleSnapshot, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim_end() == HEADER => {}
+        Some((_, header)) => {
+            return Err(CsvError::BadHeader {
+                found: header.to_owned(),
+            })
+        }
+        None => {
+            return Err(CsvError::BadHeader {
+                found: String::new(),
+            })
+        }
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv(line);
+        if fields.len() != 6 {
+            return Err(CsvError::FieldCount {
+                line: line_no,
+                found: fields.len(),
+            });
+        }
+        let bad = |column: &'static str, value: &str| CsvError::BadField {
+            line: line_no,
+            column,
+            value: value.to_owned(),
+        };
+        let bssid: MacAddr = fields[0]
+            .parse()
+            .map_err(|_| bad("netid", &fields[0]))?;
+        let ssid = Ssid::new(fields[1].clone()).map_err(|_| bad("ssid", &fields[1]))?;
+        let lat: f64 = fields[2]
+            .parse()
+            .map_err(|_| bad("trilat", &fields[2]))?;
+        let lon: f64 = fields[3]
+            .parse()
+            .map_err(|_| bad("trilong", &fields[3]))?;
+        let open = match fields[4].as_str() {
+            "none" => true,
+            "wpa2" | "wpa" | "wep" => false,
+            other => return Err(bad("encryption", other)),
+        };
+        let category = parse_category(&fields[5]).ok_or_else(|| {
+            bad("category", &fields[5])
+        })?;
+        records.push(NetworkRecord {
+            ssid,
+            bssid,
+            location: lat_lon_to_point(lat, lon),
+            open,
+            category,
+        });
+    }
+    Ok(WigleSnapshot::from_records(records))
+}
+
+fn category_str(category: SsidCategory) -> &'static str {
+    match category {
+        SsidCategory::Chain => "chain",
+        SsidCategory::Hotspot => "hotspot",
+        SsidCategory::Venue => "venue",
+        SsidCategory::Residential => "residential",
+        SsidCategory::Carrier => "carrier",
+    }
+}
+
+fn parse_category(s: &str) -> Option<SsidCategory> {
+    Some(match s {
+        "chain" => SsidCategory::Chain,
+        "hotspot" => SsidCategory::Hotspot,
+        "venue" => SsidCategory::Venue,
+        "residential" => SsidCategory::Residential,
+        "carrier" => SsidCategory::Carrier,
+        _ => return None,
+    })
+}
+
+fn lat_lon_to_point(lat: f64, lon: f64) -> GeoPoint {
+    use crate::point::{ORIGIN_LAT, ORIGIN_LON};
+    const METERS_PER_DEG_LAT: f64 = 111_320.0;
+    let north_m = (lat - ORIGIN_LAT) * METERS_PER_DEG_LAT;
+    let meters_per_deg_lon = METERS_PER_DEG_LAT * ORIGIN_LAT.to_radians().cos();
+    let east_m = (lon - ORIGIN_LON) * meters_per_deg_lon;
+    GeoPoint::new(east_m, north_m)
+}
+
+/// RFC-4180-style quoting: always quote the SSID field, doubling any
+/// embedded quotes.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        if c == '"' {
+            out.push('"');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    out
+}
+
+/// Splits one CSV line honouring quoted fields.
+fn split_csv(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            other => current.push(other),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityModel;
+    use ch_sim::SimRng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_snapshot_roundtrip() {
+        let mut rng = SimRng::seed_from(0xC5);
+        let city = CityModel::synthesize(&mut rng);
+        let snapshot = WigleSnapshot::synthesize(&city, &mut rng);
+        let csv = to_csv(&snapshot);
+        let restored = from_csv(&csv).unwrap();
+        assert_eq!(restored.len(), snapshot.len());
+        assert_eq!(restored.ssid_count(), snapshot.ssid_count());
+        // Spot-check a record: identity fields exact, location within the
+        // 1e-6-degree print precision (~0.1 m).
+        let a = &snapshot.records()[123];
+        let b = &restored.records()[123];
+        assert_eq!(a.ssid, b.ssid);
+        assert_eq!(a.bssid, b.bssid);
+        assert_eq!(a.open, b.open);
+        assert_eq!(a.category, b.category);
+        assert!(a.location.distance_to(b.location) < 0.5);
+    }
+
+    #[test]
+    fn tricky_ssids_survive() {
+        let tricky = [
+            "has,comma",
+            "has\"quote",
+            "#HKAirport Free WiFi",
+            " leading space",
+            "",
+        ];
+        let records: Vec<NetworkRecord> = tricky
+            .iter()
+            .enumerate()
+            .map(|(i, name)| NetworkRecord {
+                ssid: Ssid::new(*name).unwrap(),
+                bssid: MacAddr::from_index([0, 0, 1], i as u32 + 1),
+                location: GeoPoint::new(10.0 * i as f64, 5.0),
+                open: i % 2 == 0,
+                category: SsidCategory::Chain,
+            })
+            .collect();
+        let snapshot = WigleSnapshot::from_records(records);
+        let restored = from_csv(&to_csv(&snapshot)).unwrap();
+        for (a, b) in snapshot.records().iter().zip(restored.records()) {
+            assert_eq!(a.ssid, b.ssid);
+            assert_eq!(a.open, b.open);
+        }
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            from_csv("wrong,header\n"),
+            Err(CsvError::BadHeader { .. })
+        ));
+        assert!(matches!(from_csv(""), Err(CsvError::BadHeader { .. })));
+    }
+
+    #[test]
+    fn field_errors_carry_line_numbers() {
+        let csv = format!("{HEADER}\nzz:zz:zz:zz:zz:zz,\"X\",22.3,114.1,none,chain\n");
+        match from_csv(&csv) {
+            Err(CsvError::BadField { line, column, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "netid");
+            }
+            other => panic!("{other:?}"),
+        }
+        let csv = format!("{HEADER}\nonly,three,fields\n");
+        assert!(matches!(
+            from_csv(&csv),
+            Err(CsvError::FieldCount { line: 2, found: 3 })
+        ));
+        let csv =
+            format!("{HEADER}\n00:1b:2f:00:00:01,\"X\",22.3,114.1,rot13,chain\n");
+        assert!(matches!(
+            from_csv(&csv),
+            Err(CsvError::BadField {
+                column: "encryption",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = format!(
+            "{HEADER}\n\n00:1b:2f:00:00:01,\"A\",22.30,114.17,none,venue\n\n"
+        );
+        let snapshot = from_csv(&csv).unwrap();
+        assert_eq!(snapshot.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ssid_roundtrip_through_csv(name in "[ -~]{0,32}") {
+            prop_assume!(Ssid::new(name.clone()).is_ok());
+            let record = NetworkRecord {
+                ssid: Ssid::new(name).unwrap(),
+                bssid: MacAddr::from_index([0, 0, 2], 7),
+                location: GeoPoint::new(100.0, 200.0),
+                open: true,
+                category: SsidCategory::Hotspot,
+            };
+            let snapshot = WigleSnapshot::from_records(vec![record.clone()]);
+            let restored = from_csv(&to_csv(&snapshot)).unwrap();
+            prop_assert_eq!(&restored.records()[0].ssid, &record.ssid);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The city heat map (§IV-B, Fig. 4).
+//!
+//! Photos are binned into a regular grid over the city extent; the value of
+//! a cell is its photo count. The per-SSID heat value — the quantity the
+//! paper actually ranks SSIDs by — is the sum of the cell values at each of
+//! the SSID's AP locations, computed by
+//! [`crate::netdb::WigleSnapshot::ssid_heat`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::city::CityModel;
+use crate::photos::PhotoCollection;
+use crate::point::{GeoPoint, GeoRect};
+
+/// A regular-grid heat map of photo density.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatMap {
+    extent: GeoRect,
+    cell_m: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<u32>,
+}
+
+impl HeatMap {
+    /// Bins `photos` into cells of `cell_m` metres over the city extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_m` is not strictly positive.
+    pub fn from_photos(city: &CityModel, photos: &PhotoCollection, cell_m: f64) -> Self {
+        assert!(cell_m > 0.0, "cell size must be positive");
+        let extent = city.extent();
+        let cols = (extent.width() / cell_m).ceil() as usize;
+        let rows = (extent.height() / cell_m).ceil() as usize;
+        let mut cells = vec![0u32; cols * rows];
+        let mut outside = 0u32;
+        for &p in photos.photos() {
+            match cell_index(extent, cell_m, cols, rows, p) {
+                Some(i) => cells[i] += 1,
+                None => outside += 1,
+            }
+        }
+        // Jittered photos can stray slightly outside the extent; that's
+        // expected, but losing a large share would bias the map.
+        debug_assert!(
+            (outside as usize) < photos.len() / 4,
+            "{outside} of {} photos fell outside the extent",
+            photos.len()
+        );
+        HeatMap {
+            extent,
+            cell_m,
+            cols,
+            rows,
+            cells,
+        }
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    /// Cell size in metres.
+    pub fn cell_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// The heat value at a point (0 outside the extent).
+    pub fn value_at(&self, p: GeoPoint) -> f64 {
+        cell_index(self.extent, self.cell_m, self.cols, self.rows, p)
+            .map_or(0.0, |i| self.cells[i] as f64)
+    }
+
+    /// Raw cell value by grid coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col`/`row` are out of bounds.
+    pub fn cell(&self, col: usize, row: usize) -> u32 {
+        assert!(col < self.cols && row < self.rows, "cell out of bounds");
+        self.cells[row * self.cols + col]
+    }
+
+    /// Total photo mass captured by the map.
+    pub fn total_mass(&self) -> u64 {
+        self.cells.iter().map(|&c| c as u64).sum()
+    }
+
+    /// The maximum cell value.
+    pub fn max_cell(&self) -> u32 {
+        self.cells.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The heat values of all cells inside `region`, row-major — used to
+    /// render the Fig. 4 district panels.
+    pub fn region_cells(&self, region: GeoRect) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut row_start = region.min.north_m + self.cell_m / 2.0;
+        while row_start < region.max.north_m {
+            let mut row = Vec::new();
+            let mut col_start = region.min.east_m + self.cell_m / 2.0;
+            while col_start < region.max.east_m {
+                row.push(self.value_at(GeoPoint::new(col_start, row_start)) as u32);
+                col_start += self.cell_m;
+            }
+            out.push(row);
+            row_start += self.cell_m;
+        }
+        out
+    }
+
+    /// Renders `region` as an ASCII density panel (north at the top) with
+    /// the given downsampling factor; the Fig. 4 stand-in.
+    pub fn render_ascii(&self, region: GeoRect, downsample: usize) -> String {
+        const SHADES: [char; 8] = [' ', '.', ':', '-', '=', '+', '*', '#'];
+        let cells = self.region_cells(region);
+        let ds = downsample.max(1);
+        let max = cells
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(1) as f64;
+        let mut out = String::new();
+        for chunk in cells.rchunks(ds) {
+            for col in (0..chunk[0].len()).step_by(ds) {
+                let mut acc = 0u64;
+                let mut n = 0u64;
+                for row in chunk {
+                    for c in row.iter().skip(col).take(ds) {
+                        acc += *c as u64;
+                        n += 1;
+                    }
+                }
+                let mean = acc as f64 / n.max(1) as f64;
+                // Log-ish scaling so sparse street noise stays visible.
+                let t = (mean / max).sqrt();
+                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize)
+                    .min(SHADES.len() - 1);
+                out.push(SHADES[idx]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn cell_index(
+    extent: GeoRect,
+    cell_m: f64,
+    cols: usize,
+    rows: usize,
+    p: GeoPoint,
+) -> Option<usize> {
+    if !extent.contains(p) {
+        return None;
+    }
+    let col = (((p.east_m - extent.min.east_m) / cell_m) as usize).min(cols - 1);
+    let row = (((p.north_m - extent.min.north_m) / cell_m) as usize).min(rows - 1);
+    Some(row * cols + col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::PoiKind;
+    use ch_sim::SimRng;
+
+    fn setup() -> (CityModel, HeatMap, PhotoCollection) {
+        let mut rng = SimRng::seed_from(6);
+        let city = CityModel::synthesize(&mut rng);
+        let photos = PhotoCollection::synthesize(&city, 25_000, &mut rng);
+        let heat = HeatMap::from_photos(&city, &photos, 100.0);
+        (city, heat, photos)
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let (city, heat, _) = setup();
+        let (cols, rows) = heat.dims();
+        assert_eq!(cols, (city.extent().width() / 100.0).ceil() as usize);
+        assert_eq!(rows, (city.extent().height() / 100.0).ceil() as usize);
+    }
+
+    #[test]
+    fn mass_conservation_within_extent() {
+        let (city, heat, photos) = setup();
+        let inside = photos
+            .photos()
+            .iter()
+            .filter(|p| city.extent().contains(**p))
+            .count() as u64;
+        assert_eq!(heat.total_mass(), inside);
+    }
+
+    #[test]
+    fn airport_is_hot() {
+        let (city, heat, _) = setup();
+        let airport = city.pois_of_kind(PoiKind::Airport).next().unwrap();
+        let hot = heat.value_at(airport.location);
+        // Median cell is near zero; the airport cell must be far above it.
+        assert!(hot > 50.0, "airport heat {hot}");
+        assert!(hot <= heat.max_cell() as f64);
+    }
+
+    #[test]
+    fn outside_extent_is_zero() {
+        let (_, heat, _) = setup();
+        assert_eq!(heat.value_at(GeoPoint::new(-10.0, -10.0)), 0.0);
+        assert_eq!(heat.value_at(GeoPoint::new(1e6, 1e6)), 0.0);
+    }
+
+    #[test]
+    fn region_render_has_expected_shape() {
+        let (city, heat, _) = setup();
+        let district = &city.districts()[0];
+        let panel = heat.render_ascii(district.area, 2);
+        let lines: Vec<&str> = panel.lines().collect();
+        assert!(!lines.is_empty());
+        // All lines equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+        // The panel must show some texture (not all blank, not all full).
+        let blanks = panel.chars().filter(|&c| c == ' ').count();
+        let marks = panel
+            .chars()
+            .filter(|&c| c != ' ' && c != '\n')
+            .count();
+        assert!(blanks > 0 && marks > 0, "blanks={blanks} marks={marks}");
+    }
+
+    #[test]
+    fn cell_lookup_matches_value_at() {
+        let (city, heat, _) = setup();
+        let p = GeoPoint::new(150.0, 250.0);
+        let col = (p.east_m / 100.0) as usize;
+        let row = (p.north_m / 100.0) as usize;
+        assert_eq!(heat.cell(col, row) as f64, heat.value_at(p));
+        let _ = city;
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_size_panics() {
+        let mut rng = SimRng::seed_from(1);
+        let city = CityModel::synthesize(&mut rng);
+        let photos = PhotoCollection::from_points(vec![]);
+        let _ = HeatMap::from_photos(&city, &photos, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of bounds")]
+    fn cell_out_of_bounds_panics() {
+        let (_, heat, _) = setup();
+        let (cols, rows) = heat.dims();
+        let _ = heat.cell(cols, rows);
+    }
+}
+
+impl HeatMap {
+    /// Exports the grid as CSV (row-major, north at the bottom row 0) for
+    /// plotting in external tools — the machine-readable twin of
+    /// [`HeatMap::render_ascii`].
+    pub fn to_csv_grid(&self) -> String {
+        let mut out = String::with_capacity(self.cols * self.rows * 4);
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                if col > 0 {
+                    out.push(',');
+                }
+                out.push_str(&self.cells[row * self.cols + col].to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+    use crate::city::CityModel;
+    use crate::photos::PhotoCollection;
+    use ch_sim::SimRng;
+
+    #[test]
+    fn csv_grid_shape_and_mass() {
+        let mut rng = SimRng::seed_from(31);
+        let city = CityModel::synthesize(&mut rng);
+        let photos = PhotoCollection::synthesize(&city, 5_000, &mut rng);
+        let heat = HeatMap::from_photos(&city, &photos, 200.0);
+        let csv = heat.to_csv_grid();
+        let (cols, rows) = heat.dims();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), rows);
+        assert!(lines.iter().all(|l| l.split(',').count() == cols));
+        let mass: u64 = csv
+            .lines()
+            .flat_map(|l| l.split(','))
+            .map(|v| v.parse::<u64>().expect("cells are integers"))
+            .sum();
+        assert_eq!(mass, heat.total_mass());
+    }
+}

@@ -1,0 +1,52 @@
+//! # ch-geo — synthetic city, WiGLE-like AP database, photo heat map
+//!
+//! City-Hunter seeds its SSID database *offline* from two public data
+//! sources: the WiGLE wardriving database (which APs exist where, and
+//! whether they are open) and geotagged photos (a crowd-density proxy used
+//! to build a city *heat map*). Neither source is available to this
+//! reproduction, so this crate synthesizes a city with the same statistical
+//! structure:
+//!
+//! * [`city`] — districts and points of interest (malls, an airport,
+//!   stations, eateries, residential blocks) with footfall weights;
+//! * [`netdb`] — a WiGLE-like snapshot of network records: city-wide chain
+//!   SSIDs with hundreds of APs, hotspot SSIDs concentrated at high-footfall
+//!   POIs, a long tail of (mostly protected) residential networks, and
+//!   carrier SSIDs;
+//! * [`photos`] — a synthetic geotagged-photo collection whose density
+//!   tracks POI footfall (plus noise), standing in for Instagram/Panoramio;
+//! * [`heat`] — the grid heat map built from photos, and the per-SSID heat
+//!   value (sum of heat at the SSID's AP locations, §IV-B);
+//! * [`weights`] — the rank-order ("ratio method") weight assignment the
+//!   paper takes from Barron & Barrett 1996.
+//!
+//! The phone population in `ch-phone` draws its Preferred Network Lists
+//! from this same city, which is precisely the correlation the attack
+//! exploits.
+//!
+//! ```
+//! use ch_geo::{city::CityModel, heat::HeatMap, netdb::WigleSnapshot, photos::PhotoCollection};
+//! use ch_sim::SimRng;
+//!
+//! let mut rng = SimRng::seed_from(7);
+//! let city = CityModel::synthesize(&mut rng);
+//! let snapshot = WigleSnapshot::synthesize(&city, &mut rng);
+//! let photos = PhotoCollection::synthesize(&city, 20_000, &mut rng);
+//! let heat = HeatMap::from_photos(&city, &photos, 50.0);
+//! let ranked = snapshot.top_by_heat(&heat, 5);
+//! assert_eq!(ranked.len(), 5);
+//! ```
+
+pub mod city;
+pub mod csv;
+pub mod heat;
+pub mod netdb;
+pub mod photos;
+pub mod point;
+pub mod weights;
+
+pub use city::{CityModel, District, Poi, PoiKind};
+pub use heat::HeatMap;
+pub use netdb::{NetworkRecord, SsidCategory, WigleSnapshot};
+pub use photos::PhotoCollection;
+pub use point::GeoPoint;

@@ -1,0 +1,127 @@
+//! Synthetic geotagged photos.
+//!
+//! §IV-B estimates crowd density from the number of geotagged photos posted
+//! in each area ("we assume that the number of photos of an area posted
+//! roughly reflects the number of people there"). This module generates
+//! that proxy: photos are taken at POIs with probability proportional to
+//! footfall, jittered around the POI, plus a uniform "street noise" floor.
+//! The heat map in [`crate::heat`] then consumes only the photo locations —
+//! the same pipeline the paper runs on Instagram data.
+
+use serde::{Deserialize, Serialize};
+
+use ch_sim::SimRng;
+
+use crate::city::CityModel;
+use crate::point::GeoPoint;
+
+/// Fraction of photos that are uniform street noise rather than POI-bound.
+const NOISE_FRACTION: f64 = 0.15;
+
+/// Standard deviation of the jitter around a POI, in metres.
+const POI_JITTER_M: f64 = 90.0;
+
+/// A synthetic geotagged-photo collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhotoCollection {
+    photos: Vec<GeoPoint>,
+}
+
+impl PhotoCollection {
+    /// Generates `count` photos over the city.
+    pub fn synthesize(city: &CityModel, count: usize, rng: &mut SimRng) -> Self {
+        let mut rng = rng.fork("photos");
+        let mut photos = Vec::with_capacity(count);
+        for _ in 0..count {
+            let p = if rng.chance(NOISE_FRACTION) {
+                city.extent().sample(&mut rng)
+            } else {
+                let poi = city.sample_poi_by_footfall(&mut rng);
+                poi.location.offset(
+                    rng.normal(0.0, POI_JITTER_M),
+                    rng.normal(0.0, POI_JITTER_M),
+                )
+            };
+            photos.push(p);
+        }
+        PhotoCollection { photos }
+    }
+
+    /// Builds a collection from explicit points (tests).
+    pub fn from_points(photos: Vec<GeoPoint>) -> Self {
+        PhotoCollection { photos }
+    }
+
+    /// The photo locations.
+    pub fn photos(&self) -> &[GeoPoint] {
+        &self.photos
+    }
+
+    /// Number of photos.
+    pub fn len(&self) -> usize {
+        self.photos.len()
+    }
+
+    /// `true` if the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.photos.is_empty()
+    }
+
+    /// Photos within `radius_m` of `point`.
+    pub fn count_near(&self, point: GeoPoint, radius_m: f64) -> usize {
+        self.photos
+            .iter()
+            .filter(|p| p.distance_to(point) <= radius_m)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::PoiKind;
+
+    fn setup() -> (CityModel, PhotoCollection) {
+        let mut rng = SimRng::seed_from(4);
+        let city = CityModel::synthesize(&mut rng);
+        let photos = PhotoCollection::synthesize(&city, 30_000, &mut rng);
+        (city, photos)
+    }
+
+    #[test]
+    fn count_requested() {
+        let (_, photos) = setup();
+        assert_eq!(photos.len(), 30_000);
+        assert!(!photos.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = setup();
+        let (_, b) = setup();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn photos_cluster_at_high_footfall_pois() {
+        let (city, photos) = setup();
+        let airport = city.pois_of_kind(PoiKind::Airport).next().unwrap();
+        let lowest_home = city
+            .pois_of_kind(PoiKind::ResidentialBlock)
+            .min_by(|a, b| a.footfall.partial_cmp(&b.footfall).unwrap())
+            .unwrap();
+        let near_airport = photos.count_near(airport.location, 300.0);
+        let near_home = photos.count_near(lowest_home.location, 300.0);
+        assert!(
+            near_airport > 5 * (near_home + 1),
+            "airport {near_airport} vs home {near_home}"
+        );
+    }
+
+    #[test]
+    fn count_near_radius_zero() {
+        let photos = PhotoCollection::from_points(vec![GeoPoint::new(5.0, 5.0)]);
+        assert_eq!(photos.count_near(GeoPoint::new(5.0, 5.0), 0.0), 1);
+        assert_eq!(photos.count_near(GeoPoint::new(6.0, 5.0), 0.5), 0);
+    }
+}

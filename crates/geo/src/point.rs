@@ -1,0 +1,154 @@
+//! City-frame geography.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the city frame, in metres east/north of the city origin.
+///
+/// The synthetic city is small enough (tens of kilometres) that a flat
+/// metric frame is exact for our purposes; [`GeoPoint::to_lat_lon`] provides
+/// a nominal WGS-84 view for WiGLE-style exports.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Metres east of the city origin.
+    pub east_m: f64,
+    /// Metres north of the city origin.
+    pub north_m: f64,
+}
+
+/// Nominal latitude of the city origin (Hong Kong-ish), used only for the
+/// cosmetic lat/lon view.
+pub const ORIGIN_LAT: f64 = 22.3;
+/// Nominal longitude of the city origin.
+pub const ORIGIN_LON: f64 = 114.17;
+
+const METERS_PER_DEG_LAT: f64 = 111_320.0;
+
+impl GeoPoint {
+    /// Creates a point from metric offsets.
+    pub const fn new(east_m: f64, north_m: f64) -> Self {
+        GeoPoint { east_m, north_m }
+    }
+
+    /// Euclidean distance in metres.
+    pub fn distance_to(self, other: GeoPoint) -> f64 {
+        ((self.east_m - other.east_m).powi(2) + (self.north_m - other.north_m).powi(2))
+            .sqrt()
+    }
+
+    /// Nominal WGS-84 coordinates for WiGLE-style record exports.
+    pub fn to_lat_lon(self) -> (f64, f64) {
+        let lat = ORIGIN_LAT + self.north_m / METERS_PER_DEG_LAT;
+        let meters_per_deg_lon = METERS_PER_DEG_LAT * ORIGIN_LAT.to_radians().cos();
+        let lon = ORIGIN_LON + self.east_m / meters_per_deg_lon;
+        (lat, lon)
+    }
+
+    /// The point offset by the given metres.
+    pub fn offset(self, de: f64, dn: f64) -> GeoPoint {
+        GeoPoint::new(self.east_m + de, self.north_m + dn)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.0}E, {:.0}N)", self.east_m, self.north_m)
+    }
+}
+
+/// An axis-aligned region of the city frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoRect {
+    /// South-west corner.
+    pub min: GeoPoint,
+    /// North-east corner.
+    pub max: GeoPoint,
+}
+
+impl GeoRect {
+    /// Creates a rectangle from two opposite corners (any order).
+    pub fn new(a: GeoPoint, b: GeoPoint) -> Self {
+        GeoRect {
+            min: GeoPoint::new(a.east_m.min(b.east_m), a.north_m.min(b.north_m)),
+            max: GeoPoint::new(a.east_m.max(b.east_m), a.north_m.max(b.north_m)),
+        }
+    }
+
+    /// Width (east-west extent) in metres.
+    pub fn width(&self) -> f64 {
+        self.max.east_m - self.min.east_m
+    }
+
+    /// Height (north-south extent) in metres.
+    pub fn height(&self) -> f64 {
+        self.max.north_m - self.min.north_m
+    }
+
+    /// Geometric centre.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.min.east_m + self.max.east_m) / 2.0,
+            (self.min.north_m + self.max.north_m) / 2.0,
+        )
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        p.east_m >= self.min.east_m
+            && p.east_m <= self.max.east_m
+            && p.north_m >= self.min.north_m
+            && p.north_m <= self.max.north_m
+    }
+
+    /// A uniformly random point inside the rectangle.
+    pub fn sample(&self, rng: &mut ch_sim::SimRng) -> GeoPoint {
+        GeoPoint::new(
+            rng.range_f64(self.min.east_m, self.max.east_m),
+            rng.range_f64(self.min.north_m, self.max.north_m),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_sim::SimRng;
+
+    #[test]
+    fn distance_basic() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(300.0, 400.0);
+        assert_eq!(a.distance_to(b), 500.0);
+    }
+
+    #[test]
+    fn lat_lon_view_is_monotonic() {
+        let (lat0, lon0) = GeoPoint::new(0.0, 0.0).to_lat_lon();
+        let (lat1, lon1) = GeoPoint::new(1_000.0, 1_000.0).to_lat_lon();
+        assert!(lat1 > lat0);
+        assert!(lon1 > lon0);
+        assert!((lat0 - ORIGIN_LAT).abs() < 1e-9);
+        // 1 km north is about 0.009 degrees of latitude.
+        assert!((lat1 - lat0 - 0.00898).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rect_contains_and_sample() {
+        let r = GeoRect::new(GeoPoint::new(100.0, 0.0), GeoPoint::new(0.0, 200.0));
+        assert_eq!(r.min, GeoPoint::new(0.0, 0.0));
+        assert_eq!(r.width(), 100.0);
+        assert_eq!(r.height(), 200.0);
+        assert!(r.contains(r.center()));
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            assert!(r.contains(r.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn offset_moves_point() {
+        let p = GeoPoint::new(10.0, 20.0).offset(-10.0, 5.0);
+        assert_eq!(p, GeoPoint::new(0.0, 25.0));
+    }
+}

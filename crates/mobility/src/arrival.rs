@@ -1,0 +1,220 @@
+//! Group arrivals: a non-homogeneous Poisson process over companion groups.
+
+use ch_sim::{SimDuration, SimRng, SimTime};
+
+use crate::venue::VenueTemplate;
+
+/// One arriving group of companions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupArrival {
+    /// Group identifier, unique within the run.
+    pub group_id: u32,
+    /// When the group reaches the venue entry.
+    pub arrive_at: SimTime,
+    /// Number of companions (1–4).
+    pub size: usize,
+}
+
+/// Generates the arrival stream for one experiment run.
+///
+/// The run covers `duration` of wall-clock time starting at `start_hour`
+/// (e.g. `8` for the paper's 8 am – 9 am test). Arrivals are drawn per
+/// one-minute slice as Poisson counts at the venue's hourly rate, with
+/// uniform placement inside the slice — an NHPP discretization that keeps
+/// the hourly totals exact in expectation while remaining O(slices).
+#[derive(Debug, Clone)]
+pub struct GroupArrivalProcess {
+    rate_per_min: Vec<f64>,
+    sizes_rush: Vec<bool>,
+    venue: VenueTemplate,
+    duration: SimDuration,
+}
+
+impl GroupArrivalProcess {
+    /// Prepares the process for `venue`, starting at wall-clock
+    /// `start_hour`, covering `duration`.
+    pub fn new(venue: &VenueTemplate, start_hour: usize, duration: SimDuration) -> Self {
+        let minutes = duration.as_secs().div_ceil(60) as usize;
+        let mut rate_per_min = Vec::with_capacity(minutes);
+        let mut sizes_rush = Vec::with_capacity(minutes);
+        for m in 0..minutes {
+            let hour = start_hour + m / 60;
+            rate_per_min.push(venue.groups_per_hour(hour) / 60.0);
+            sizes_rush.push(venue.profile.is_rush_hour(hour));
+        }
+        GroupArrivalProcess {
+            rate_per_min,
+            sizes_rush,
+            venue: venue.clone(),
+            duration,
+        }
+    }
+
+    /// Expected number of groups over the run.
+    pub fn expected_groups(&self) -> f64 {
+        self.rate_per_min.iter().sum()
+    }
+
+    /// Draws the full arrival stream, sorted by time.
+    pub fn generate(&self, rng: &mut SimRng) -> Vec<GroupArrival> {
+        let mut rng = rng.fork("arrivals");
+        let mut arrivals = Vec::new();
+        let mut group_id = 0u32;
+        for (minute, &rate) in self.rate_per_min.iter().enumerate() {
+            let count = rng.poisson(rate);
+            let slice_start = SimTime::from_mins(minute as u64);
+            for _ in 0..count {
+                let offset = SimDuration::from_secs_f64(rng.range_f64(0.0, 60.0));
+                let arrive_at = slice_start + offset;
+                if arrive_at > SimTime::ZERO + self.duration {
+                    continue;
+                }
+                let sizes = if self.sizes_rush[minute] {
+                    &self.venue.rush_group_sizes
+                } else {
+                    &self.venue.group_sizes
+                };
+                arrivals.push(GroupArrival {
+                    group_id,
+                    arrive_at,
+                    size: sizes.sample(&mut rng),
+                });
+                group_id += 1;
+            }
+        }
+        arrivals.sort_by_key(|g| g.arrive_at);
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::venue::VenueKind;
+
+    #[test]
+    fn expected_volume_tracks_profile() {
+        let venue = VenueKind::SubwayPassage.template();
+        let rush = GroupArrivalProcess::new(&venue, 8, SimDuration::from_hours(1));
+        let lull = GroupArrivalProcess::new(&venue, 14, SimDuration::from_hours(1));
+        assert!(rush.expected_groups() > 2.0 * lull.expected_groups());
+    }
+
+    #[test]
+    fn generated_count_close_to_expectation() {
+        let venue = VenueKind::Canteen.template();
+        let process = GroupArrivalProcess::new(&venue, 12, SimDuration::from_hours(1));
+        let mut rng = SimRng::seed_from(11);
+        let groups = process.generate(&mut rng);
+        let expected = process.expected_groups();
+        let got = groups.len() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt(),
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_window() {
+        let venue = VenueKind::RailwayStation.template();
+        let process = GroupArrivalProcess::new(&venue, 9, SimDuration::from_mins(30));
+        let mut rng = SimRng::seed_from(13);
+        let groups = process.generate(&mut rng);
+        let end = SimTime::ZERO + SimDuration::from_mins(30);
+        for pair in groups.windows(2) {
+            assert!(pair[0].arrive_at <= pair[1].arrive_at);
+        }
+        assert!(groups.iter().all(|g| g.arrive_at <= end));
+        assert!(groups.iter().all(|g| (1..=4).contains(&g.size)));
+    }
+
+    #[test]
+    fn group_ids_unique() {
+        let venue = VenueKind::ShoppingCenter.template();
+        let process = GroupArrivalProcess::new(&venue, 16, SimDuration::from_mins(20));
+        let mut rng = SimRng::seed_from(17);
+        let groups = process.generate(&mut rng);
+        let mut ids: Vec<u32> = groups.iter().map(|g| g.group_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), groups.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let venue = VenueKind::Canteen.template();
+        let process = GroupArrivalProcess::new(&venue, 18, SimDuration::from_mins(45));
+        let a = process.generate(&mut SimRng::seed_from(23));
+        let b = process.generate(&mut SimRng::seed_from(23));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rush_hours_produce_larger_groups() {
+        let venue = VenueKind::SubwayPassage.template();
+        let mean_size = |hour: usize, seed: u64| {
+            let p = GroupArrivalProcess::new(&venue, hour, SimDuration::from_hours(1));
+            let groups = p.generate(&mut SimRng::seed_from(seed));
+            groups.iter().map(|g| g.size as f64).sum::<f64>() / groups.len() as f64
+        };
+        // Average over several seeds to stabilize.
+        let rush: f64 = (0..5).map(|s| mean_size(8, s)).sum::<f64>() / 5.0;
+        let lull: f64 = (0..5).map(|s| mean_size(14, s)).sum::<f64>() / 5.0;
+        assert!(rush > lull, "rush {rush} vs lull {lull}");
+    }
+}
+
+#[cfg(test)]
+mod occupancy_tests {
+    use super::*;
+    use crate::path::visits_for_group;
+    use crate::venue::VenueKind;
+    use ch_sim::SimTime;
+
+    /// Little's law sanity check: mean venue occupancy ≈ arrival rate ×
+    /// mean dwell. Binds the arrival process and the path generator
+    /// together — if either drifts, the canteen stops looking like a
+    /// canteen.
+    #[test]
+    fn littles_law_holds_in_the_canteen() {
+        let venue = VenueKind::Canteen.template();
+        let duration = SimDuration::from_hours(2);
+        let process = GroupArrivalProcess::new(&venue, 12, duration);
+        let mut rng = SimRng::seed_from(77);
+        let groups = process.generate(&mut rng);
+        let mut visits = Vec::new();
+        let mut rng_paths = SimRng::seed_from(78);
+        for g in &groups {
+            visits.extend(visits_for_group(&venue, g, &mut rng_paths));
+        }
+        // People per second entering (λ) and mean dwell (W), measured.
+        let people = visits.len() as f64;
+        let lambda = people / duration.as_secs_f64();
+        let mean_dwell: f64 = visits
+            .iter()
+            .map(|v| v.duration().as_secs_f64())
+            .sum::<f64>()
+            / people;
+        let expected_occupancy = lambda * mean_dwell;
+
+        // Observed mean occupancy by sampling each minute in the middle
+        // hour (avoids the fill/drain transients).
+        let mut total = 0usize;
+        let mut samples = 0usize;
+        let mut t = SimTime::from_mins(30);
+        while t <= SimTime::from_mins(90) {
+            total += visits
+                .iter()
+                .filter(|v| v.position_at(t).is_some())
+                .count();
+            samples += 1;
+            t += SimDuration::from_mins(1);
+        }
+        let observed = total as f64 / samples as f64;
+        let ratio = observed / expected_occupancy;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "Little's law violated: observed {observed:.0}, L=λW {expected_occupancy:.0}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # ch-mobility — crowds for urban venues
+//!
+//! The paper evaluates City-Hunter in four places whose *mobility patterns*
+//! differ (§V-A): a subway passage (everyone moving fast), a canteen
+//! (mostly seated), and a shopping centre and railway station (hybrid).
+//! Venue mobility is the first-order driver of the attack's hit rate,
+//! because it determines how many scan rounds — and therefore how many lure
+//! SSIDs — the attacker gets per client.
+//!
+//! This crate generates those crowds:
+//!
+//! * [`profile::TimeOfDayProfile`] — hourly arrival-intensity curves with
+//!   the rush-hour / meal-time peaks visible in Fig. 5;
+//! * [`arrival::GroupArrivalProcess`] — a non-homogeneous Poisson process
+//!   over *groups* of companions (families, friends — the social structure
+//!   behind the freshness buffer's §IV-A rationale);
+//! * [`venue::VenueTemplate`] — geometry, attacker position and movement
+//!   mix for each of the four venues;
+//! * [`path::MotionPath`] / [`path::Visit`] — per-person trajectories with
+//!   `position_at(t)` sampling.
+//!
+//! ```
+//! use ch_mobility::{arrival::GroupArrivalProcess, venue::VenueKind};
+//! use ch_sim::{SimDuration, SimRng, SimTime};
+//!
+//! let venue = VenueKind::Canteen.template();
+//! let mut rng = SimRng::seed_from(3);
+//! let process = GroupArrivalProcess::new(&venue, 12, SimDuration::from_mins(30));
+//! let groups = process.generate(&mut rng);
+//! assert!(!groups.is_empty());
+//! assert!(groups.iter().all(|g| g.arrive_at <= SimTime::from_mins(30)));
+//! ```
+
+pub mod arrival;
+pub mod path;
+pub mod profile;
+pub mod venue;
+
+pub use arrival::{GroupArrival, GroupArrivalProcess};
+pub use path::{MotionPath, Visit};
+pub use profile::TimeOfDayProfile;
+pub use venue::{VenueKind, VenueTemplate};

@@ -1,0 +1,299 @@
+//! Per-person trajectories.
+//!
+//! A [`Visit`] is one person's passage through the venue: an entry time, an
+//! exit time, and a [`MotionPath`] that can be sampled at any instant. The
+//! scenario runner samples positions at scan times to decide whether a
+//! phone is in radio range of the attacker — which is exactly how mobility
+//! turns into "how many SSIDs can be tried on this client" (§III-C).
+
+use ch_sim::{Position, SimDuration, SimRng, SimTime};
+
+use crate::arrival::GroupArrival;
+use crate::venue::VenueTemplate;
+
+/// How one person moves during their visit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MotionPath {
+    /// Walks a straight line from `from` to `to` over the whole visit.
+    Transit {
+        /// Entry position.
+        from: Position,
+        /// Exit position.
+        to: Position,
+    },
+    /// Walks in, sits at `seat`, walks out; the walking legs take
+    /// `walk_leg` each.
+    Dwell {
+        /// Entry position.
+        from: Position,
+        /// Seated position.
+        seat: Position,
+        /// Exit position.
+        to: Position,
+        /// Duration of each walking leg.
+        walk_leg: SimDuration,
+    },
+}
+
+/// One person's presence in the venue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Visit {
+    /// The group this person arrived with.
+    pub group_id: u32,
+    /// When the person enters the venue.
+    pub enter_at: SimTime,
+    /// When the person leaves.
+    pub exit_at: SimTime,
+    /// Their trajectory.
+    pub path: MotionPath,
+}
+
+impl Visit {
+    /// The person's position at `t`, or `None` if they are not in the
+    /// venue at that instant.
+    pub fn position_at(&self, t: SimTime) -> Option<Position> {
+        if t < self.enter_at || t > self.exit_at {
+            return None;
+        }
+        let elapsed = t.since(self.enter_at);
+        let total = self.exit_at.since(self.enter_at);
+        Some(match &self.path {
+            MotionPath::Transit { from, to } => {
+                let frac = if total.is_zero() {
+                    1.0
+                } else {
+                    elapsed.as_secs_f64() / total.as_secs_f64()
+                };
+                from.lerp(*to, frac)
+            }
+            MotionPath::Dwell {
+                from,
+                seat,
+                to,
+                walk_leg,
+            } => {
+                let leg = *walk_leg;
+                if elapsed < leg {
+                    let frac = elapsed.as_secs_f64() / leg.as_secs_f64().max(1e-9);
+                    from.lerp(*seat, frac)
+                } else if total.saturating_sub(elapsed) < leg {
+                    let out = total - elapsed;
+                    let frac = 1.0 - out.as_secs_f64() / leg.as_secs_f64().max(1e-9);
+                    seat.lerp(*to, frac)
+                } else {
+                    *seat
+                }
+            }
+        })
+    }
+
+    /// Duration of the visit.
+    pub fn duration(&self) -> SimDuration {
+        self.exit_at.since(self.enter_at)
+    }
+
+    /// `true` while walking-through visits are moving at `t` (dwellers
+    /// count as static while seated).
+    pub fn is_moving_at(&self, t: SimTime) -> bool {
+        match &self.path {
+            MotionPath::Transit { .. } => self.position_at(t).is_some(),
+            MotionPath::Dwell { walk_leg, .. } => {
+                if t < self.enter_at || t > self.exit_at {
+                    return false;
+                }
+                let elapsed = t.since(self.enter_at);
+                let total = self.duration();
+                elapsed < *walk_leg || total.saturating_sub(elapsed) < *walk_leg
+            }
+        }
+    }
+}
+
+trait SaturatingSub {
+    fn saturating_sub(self, other: Self) -> Self;
+}
+
+impl SaturatingSub for SimDuration {
+    fn saturating_sub(self, other: Self) -> Self {
+        if other >= self {
+            SimDuration::ZERO
+        } else {
+            self - other
+        }
+    }
+}
+
+/// Expands a [`GroupArrival`] into per-person [`Visit`]s.
+///
+/// Group members enter within a few seconds of each other, follow similar
+/// paths, and (for dwellers) sit together — which is what gives a *fresh*
+/// SSID hit its predictive power over companions (§IV-A).
+pub fn visits_for_group(
+    venue: &VenueTemplate,
+    group: &GroupArrival,
+    rng: &mut SimRng,
+) -> Vec<Visit> {
+    let entry = venue.entry_point(rng);
+    let exit = venue.exit_point(entry, rng);
+    let is_transit = rng.chance(venue.movement.transit_fraction);
+    let speed = rng.range_f64(venue.movement.walk_speed_mps.0, venue.movement.walk_speed_mps.1);
+    // The group shares one table; members sit within a metre of it.
+    let table = Position::new(
+        rng.range_f64(venue.footprint.min.x, venue.footprint.max.x),
+        rng.range_f64(venue.footprint.min.y, venue.footprint.max.y),
+    );
+
+    let mut visits = Vec::with_capacity(group.size);
+    for member in 0..group.size {
+        // Companions trail the leader by a couple of seconds and walk at
+        // the group's pace.
+        let stagger = SimDuration::from_secs_f64(member as f64 * rng.range_f64(0.5, 2.0));
+        let enter_at = group.arrive_at + stagger;
+        if is_transit {
+            let distance = entry.distance_to(exit).max(1.0);
+            let travel = SimDuration::from_secs_f64(distance / speed);
+            visits.push(Visit {
+                group_id: group.group_id,
+                enter_at,
+                exit_at: enter_at + travel,
+                path: MotionPath::Transit {
+                    from: entry,
+                    to: exit,
+                },
+            });
+        } else {
+            let seat = venue.footprint.clamp(Position::new(
+                table.x + rng.range_f64(-1.0, 1.0),
+                table.y + rng.range_f64(-1.0, 1.0),
+            ));
+            let (dwell_min, dwell_max) = venue.movement.dwell;
+            let dwell = if dwell_max > dwell_min {
+                let span = (dwell_max - dwell_min).as_secs_f64();
+                dwell_min + SimDuration::from_secs_f64(rng.range_f64(0.0, span))
+            } else {
+                dwell_min
+            };
+            let walk_leg = SimDuration::from_secs_f64(
+                entry.distance_to(seat).max(1.0) / speed,
+            );
+            visits.push(Visit {
+                group_id: group.group_id,
+                enter_at,
+                exit_at: enter_at + walk_leg + dwell + walk_leg,
+                path: MotionPath::Dwell {
+                    from: entry,
+                    seat,
+                    to: exit,
+                    walk_leg,
+                },
+            });
+        }
+    }
+    visits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::venue::VenueKind;
+
+    fn group(size: usize) -> GroupArrival {
+        GroupArrival {
+            group_id: 1,
+            arrive_at: SimTime::from_mins(5),
+            size,
+        }
+    }
+
+    #[test]
+    fn transit_visit_crosses_the_passage() {
+        let venue = VenueKind::SubwayPassage.template();
+        let mut rng = SimRng::seed_from(1);
+        let visits = visits_for_group(&venue, &group(1), &mut rng);
+        assert_eq!(visits.len(), 1);
+        let v = &visits[0];
+        // 120 m at 1.0–1.7 m/s: between ~70 s and 2 min.
+        assert!(v.duration() >= SimDuration::from_secs(60), "{}", v.duration());
+        assert!(v.duration() <= SimDuration::from_secs(130), "{}", v.duration());
+        let start = v.position_at(v.enter_at).unwrap();
+        let end = v.position_at(v.exit_at).unwrap();
+        assert_eq!(start.x, venue.footprint.min.x);
+        assert_eq!(end.x, venue.footprint.max.x);
+        // Midway they are strictly inside.
+        let mid = v
+            .position_at(v.enter_at + v.duration() / 2)
+            .unwrap();
+        assert!(mid.x > start.x && mid.x < end.x);
+        assert!(v.is_moving_at(v.enter_at + v.duration() / 2));
+    }
+
+    #[test]
+    fn dwell_visit_sits_still() {
+        let venue = VenueKind::Canteen.template();
+        let mut rng = SimRng::seed_from(2);
+        let visits = visits_for_group(&venue, &group(1), &mut rng);
+        let v = &visits[0];
+        assert!(v.duration() >= SimDuration::from_mins(12));
+        // Sample mid-visit twice: seated people do not move.
+        let t1 = v.enter_at + v.duration() / 3;
+        let t2 = v.enter_at + v.duration() / 2;
+        let p1 = v.position_at(t1).unwrap();
+        let p2 = v.position_at(t2).unwrap();
+        assert_eq!(p1, p2, "seated visitor moved");
+        assert!(!v.is_moving_at(t1));
+        assert!(venue.footprint.contains(p1));
+    }
+
+    #[test]
+    fn outside_visit_window_position_is_none() {
+        let venue = VenueKind::Canteen.template();
+        let mut rng = SimRng::seed_from(3);
+        let v = &visits_for_group(&venue, &group(1), &mut rng)[0];
+        assert_eq!(v.position_at(SimTime::ZERO), None);
+        assert_eq!(
+            v.position_at(v.exit_at + SimDuration::from_secs(1)),
+            None
+        );
+        assert!(!v.is_moving_at(SimTime::ZERO));
+    }
+
+    #[test]
+    fn companions_stagger_but_stay_together() {
+        let venue = VenueKind::Canteen.template();
+        let mut rng = SimRng::seed_from(4);
+        let visits = visits_for_group(&venue, &group(3), &mut rng);
+        assert_eq!(visits.len(), 3);
+        // Entry times increase member by member.
+        assert!(visits[0].enter_at <= visits[1].enter_at);
+        assert!(visits[1].enter_at <= visits[2].enter_at);
+        // If all are dwellers, seats are within a few metres of each other.
+        let seats: Vec<Position> = visits
+            .iter()
+            .filter_map(|v| match &v.path {
+                MotionPath::Dwell { seat, .. } => Some(*seat),
+                _ => None,
+            })
+            .collect();
+        if seats.len() == 3 {
+            assert!(seats[0].distance_to(seats[1]) < 5.0);
+            assert!(seats[0].distance_to(seats[2]) < 5.0);
+        }
+    }
+
+    #[test]
+    fn zero_duration_transit_does_not_divide_by_zero() {
+        let v = Visit {
+            group_id: 0,
+            enter_at: SimTime::from_secs(10),
+            exit_at: SimTime::from_secs(10),
+            path: MotionPath::Transit {
+                from: Position::new(0.0, 0.0),
+                to: Position::new(5.0, 0.0),
+            },
+        };
+        assert_eq!(
+            v.position_at(SimTime::from_secs(10)),
+            Some(Position::new(5.0, 0.0))
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Time-of-day arrival-intensity profiles.
+//!
+//! Fig. 5's client counts show "salient temporal pattern": two commuter
+//! peaks in the subway passage (8–9 am, 6–7 pm), three meal peaks in the
+//! canteen, and broader afternoon swells at the shopping centre and railway
+//! station. Profiles here are 24 hourly multipliers around a mean of ~1.0;
+//! a venue's base arrival rate is scaled by the multiplier of the current
+//! hour.
+
+/// A 24-hour arrival-intensity curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeOfDayProfile {
+    hourly: [f64; 24],
+}
+
+impl TimeOfDayProfile {
+    /// Builds a profile from 24 non-negative hourly multipliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any multiplier is negative or non-finite.
+    pub fn new(hourly: [f64; 24]) -> Self {
+        assert!(
+            hourly.iter().all(|m| m.is_finite() && *m >= 0.0),
+            "profile multipliers must be finite and non-negative"
+        );
+        TimeOfDayProfile { hourly }
+    }
+
+    /// A flat profile (every hour identical).
+    pub fn flat() -> Self {
+        TimeOfDayProfile::new([1.0; 24])
+    }
+
+    /// Commuter profile: sharp peaks at 8–9 am and 6–7 pm.
+    pub fn commuter() -> Self {
+        let mut h = [0.25; 24];
+        for (hour, v) in [
+            (6, 0.8),
+            (7, 1.6),
+            (8, 2.4),
+            (9, 1.3),
+            (10, 0.8),
+            (11, 0.7),
+            (12, 0.9),
+            (13, 0.8),
+            (14, 0.7),
+            (15, 0.7),
+            (16, 0.9),
+            (17, 1.5),
+            (18, 2.2),
+            (19, 1.4),
+            (20, 0.8),
+            (21, 0.5),
+        ] {
+            h[hour] = v;
+        }
+        TimeOfDayProfile::new(h)
+    }
+
+    /// Canteen profile: breakfast, lunch and dinner peaks.
+    pub fn mealtime() -> Self {
+        let mut h = [0.1; 24];
+        for (hour, v) in [
+            (7, 0.8),
+            (8, 1.5),
+            (9, 0.7),
+            (10, 0.4),
+            (11, 1.0),
+            (12, 2.4),
+            (13, 1.9),
+            (14, 0.6),
+            (15, 0.4),
+            (16, 0.4),
+            (17, 1.0),
+            (18, 2.1),
+            (19, 1.5),
+            (20, 0.6),
+        ] {
+            h[hour] = v;
+        }
+        TimeOfDayProfile::new(h)
+    }
+
+    /// Shopping-centre profile: slow morning, strong afternoon/evening.
+    pub fn retail() -> Self {
+        let mut h = [0.1; 24];
+        for (hour, v) in [
+            (8, 0.4),
+            (9, 0.6),
+            (10, 0.9),
+            (11, 1.1),
+            (12, 1.4),
+            (13, 1.4),
+            (14, 1.3),
+            (15, 1.4),
+            (16, 1.5),
+            (17, 1.7),
+            (18, 1.8),
+            (19, 1.6),
+            (20, 1.1),
+            (21, 0.6),
+        ] {
+            h[hour] = v;
+        }
+        TimeOfDayProfile::new(h)
+    }
+
+    /// Railway-station profile: commuter peaks plus steady midday travel.
+    pub fn terminus() -> Self {
+        let mut h = [0.2; 24];
+        for (hour, v) in [
+            (6, 0.7),
+            (7, 1.4),
+            (8, 2.0),
+            (9, 1.2),
+            (10, 1.0),
+            (11, 1.0),
+            (12, 1.1),
+            (13, 1.0),
+            (14, 1.0),
+            (15, 1.0),
+            (16, 1.2),
+            (17, 1.7),
+            (18, 2.0),
+            (19, 1.4),
+            (20, 0.9),
+            (21, 0.6),
+        ] {
+            h[hour] = v;
+        }
+        TimeOfDayProfile::new(h)
+    }
+
+    /// The multiplier for a wall-clock hour (0–23; values ≥ 24 wrap).
+    pub fn multiplier(&self, hour: usize) -> f64 {
+        self.hourly[hour % 24]
+    }
+
+    /// The hour (8..20) with the largest multiplier — "the" rush hour of a
+    /// daytime deployment.
+    pub fn peak_daytime_hour(&self) -> usize {
+        (8..20)
+            .max_by(|&a, &b| {
+                self.hourly[a]
+                    .partial_cmp(&self.hourly[b])
+                    .expect("multipliers are finite")
+            })
+            .expect("range non-empty")
+    }
+
+    /// `true` if `hour` is within 20 % of the daytime peak — the "rush
+    /// hour" predicate used when reporting Fig. 5/6 observations.
+    pub fn is_rush_hour(&self, hour: usize) -> bool {
+        self.multiplier(hour) >= 0.8 * self.hourly[self.peak_daytime_hour()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commuter_has_two_peaks() {
+        let p = TimeOfDayProfile::commuter();
+        assert!(p.multiplier(8) > p.multiplier(10));
+        assert!(p.multiplier(18) > p.multiplier(15));
+        // Morning peak is the daytime max.
+        assert_eq!(p.peak_daytime_hour(), 8);
+        assert!(p.is_rush_hour(8));
+        assert!(p.is_rush_hour(18));
+        assert!(!p.is_rush_hour(14));
+    }
+
+    #[test]
+    fn mealtime_has_three_peaks() {
+        let p = TimeOfDayProfile::mealtime();
+        for peak in [8, 12, 18] {
+            assert!(
+                p.multiplier(peak) > p.multiplier(peak + 2),
+                "hour {peak} should be a local peak"
+            );
+        }
+    }
+
+    #[test]
+    fn retail_ramps_into_evening() {
+        let p = TimeOfDayProfile::retail();
+        assert!(p.multiplier(18) > p.multiplier(9));
+    }
+
+    #[test]
+    fn flat_is_flat() {
+        let p = TimeOfDayProfile::flat();
+        for h in 0..24 {
+            assert_eq!(p.multiplier(h), 1.0);
+        }
+        assert!(p.is_rush_hour(13)); // everything ties at the peak
+    }
+
+    #[test]
+    fn multiplier_wraps() {
+        let p = TimeOfDayProfile::commuter();
+        assert_eq!(p.multiplier(26), p.multiplier(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_multiplier_rejected() {
+        let mut h = [1.0; 24];
+        h[3] = -0.5;
+        let _ = TimeOfDayProfile::new(h);
+    }
+}

@@ -1,0 +1,51 @@
+//! # ch-phone — the smartphone population
+//!
+//! The attack's victims. Each [`device::Phone`] owns a Preferred Network
+//! List ([`pnl::Pnl`]) generated from the same synthetic city the attacker
+//! mines, an OS-dependent probing policy ([`os`]), a periodic scan schedule
+//! ([`scanner`]) and open-network auto-join logic ([`device`]).
+//!
+//! The calibration story (§II–§III of the paper, Table I):
+//!
+//! * most phones send only **broadcast** probes; ~14 % are legacy devices
+//!   that also send **direct** probes disclosing PNL entries;
+//! * only a minority of phones carry *open public* networks in their PNL
+//!   at all — those are the only clients any SSID-luring attack can catch;
+//! * public PNL entries skew towards the SSIDs people actually encounter
+//!   (heat-weighted), with a flattening exponent and a "foreign network"
+//!   share standing in for everything a city-wide WiGLE snapshot cannot
+//!   know;
+//! * companions in a group share extra, *unpopular* networks (their estate,
+//!   their office) — the §IV-A social signal the freshness buffer exploits;
+//! * iOS devices of subscribing users carry carrier auto-join SSIDs
+//!   (`PCCW1x` et al., §V-B) that appear in no public database.
+//!
+//! All knobs live in [`popgen::PopulationParams`] so experiments and
+//! ablations can move them deliberately.
+//!
+//! ```
+//! use ch_phone::popgen::{PopulationBuilder, PopulationParams};
+//! use ch_geo::{CityModel, HeatMap, PhotoCollection, WigleSnapshot};
+//! use ch_sim::SimRng;
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let city = CityModel::synthesize(&mut rng);
+//! let wigle = WigleSnapshot::synthesize(&city, &mut rng);
+//! let photos = PhotoCollection::synthesize(&city, 10_000, &mut rng);
+//! let heat = HeatMap::from_photos(&city, &photos, 100.0);
+//! let mut builder = PopulationBuilder::new(&wigle, &heat, PopulationParams::default());
+//! let phones = builder.phones_for_group(7, 3, &mut rng);
+//! assert_eq!(phones.len(), 3);
+//! ```
+
+pub mod device;
+pub mod os;
+pub mod pnl;
+pub mod popgen;
+pub mod scanner;
+
+pub use device::{JoinDecision, MacMode, Phone};
+pub use os::{OsKind, ProbePolicy};
+pub use pnl::{NetworkSecurity, Pnl, PnlEntry, PnlOrigin};
+pub use popgen::{PopulationBuilder, PopulationParams, PublicSsidPool};
+pub use scanner::{ScanConfig, ScanPlan};

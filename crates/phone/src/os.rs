@@ -1,0 +1,161 @@
+//! Operating systems and probing policies.
+
+use serde::{Deserialize, Serialize};
+
+use ch_sim::SimRng;
+
+/// The operating-system families the probing behaviour depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OsKind {
+    /// A current iOS release: broadcast probes only; may carry carrier
+    /// auto-join SSIDs (§V-B).
+    ModernIos,
+    /// A current Android release: broadcast probes only.
+    ModernAndroid,
+    /// An old Android / feature-phone stack that still walks its PNL with
+    /// direct probes — the population KARMA and MANA harvest from.
+    LegacyDirect,
+}
+
+/// What a phone reveals when it scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbePolicy {
+    /// Sends a single wildcard (broadcast) probe per scan.
+    BroadcastOnly,
+    /// Sends a broadcast probe *and* direct probes for PNL entries,
+    /// cycling through the list a few entries per scan.
+    Direct {
+        /// How many PNL entries are disclosed per scan round.
+        entries_per_scan: usize,
+    },
+}
+
+impl OsKind {
+    /// The probing policy of this OS.
+    pub fn probe_policy(self) -> ProbePolicy {
+        match self {
+            OsKind::ModernIos | OsKind::ModernAndroid => ProbePolicy::BroadcastOnly,
+            OsKind::LegacyDirect => ProbePolicy::Direct {
+                entries_per_scan: 3,
+            },
+        }
+    }
+
+    /// `true` if this OS ever sends direct probes.
+    pub fn sends_direct(self) -> bool {
+        matches!(self.probe_policy(), ProbePolicy::Direct { .. })
+    }
+
+    /// `true` for iOS (the carrier auto-join population).
+    pub fn is_ios(self) -> bool {
+        matches!(self, OsKind::ModernIos)
+    }
+}
+
+/// The market mix of OS families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OsMix {
+    /// Probability of [`OsKind::ModernIos`].
+    pub ios: f64,
+    /// Probability of [`OsKind::ModernAndroid`].
+    pub android: f64,
+    /// Probability of [`OsKind::LegacyDirect`] — the direct-probe share;
+    /// the paper's field tests saw 85/614 ≈ 14 % and 103/688 ≈ 15 %.
+    pub legacy: f64,
+}
+
+impl OsMix {
+    /// A mix calibrated to the paper's observed ~14 % direct-probe share.
+    pub fn hongkong_2017() -> Self {
+        OsMix {
+            ios: 0.42,
+            android: 0.44,
+            legacy: 0.14,
+        }
+    }
+
+    /// Validates that the probabilities form a distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the three shares are non-negative and sum to ~1.
+    pub fn validate(&self) {
+        let sum = self.ios + self.android + self.legacy;
+        assert!(
+            self.ios >= 0.0
+                && self.android >= 0.0
+                && self.legacy >= 0.0
+                && (sum - 1.0).abs() < 1e-9,
+            "os mix must sum to 1: {self:?}"
+        );
+    }
+
+    /// Draws an OS.
+    pub fn sample(&self, rng: &mut SimRng) -> OsKind {
+        match rng
+            .weighted_index(&[self.ios, self.android, self.legacy])
+            .expect("mix validated")
+        {
+            0 => OsKind::ModernIos,
+            1 => OsKind::ModernAndroid,
+            _ => OsKind::LegacyDirect,
+        }
+    }
+}
+
+impl Default for OsMix {
+    fn default() -> Self {
+        OsMix::hongkong_2017()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_match_generations() {
+        assert_eq!(
+            OsKind::ModernIos.probe_policy(),
+            ProbePolicy::BroadcastOnly
+        );
+        assert_eq!(
+            OsKind::ModernAndroid.probe_policy(),
+            ProbePolicy::BroadcastOnly
+        );
+        assert!(OsKind::LegacyDirect.sends_direct());
+        assert!(!OsKind::ModernIos.sends_direct());
+        assert!(OsKind::ModernIos.is_ios());
+        assert!(!OsKind::LegacyDirect.is_ios());
+    }
+
+    #[test]
+    fn default_mix_is_valid_and_matches_paper_share() {
+        let mix = OsMix::default();
+        mix.validate();
+        assert!((mix.legacy - 0.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_tracks_mix() {
+        let mix = OsMix::hongkong_2017();
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let legacy = (0..n)
+            .filter(|_| mix.sample(&mut rng) == OsKind::LegacyDirect)
+            .count();
+        let share = legacy as f64 / n as f64;
+        assert!((share - 0.14).abs() < 0.01, "legacy share {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn invalid_mix_rejected() {
+        OsMix {
+            ios: 0.9,
+            android: 0.9,
+            legacy: 0.0,
+        }
+        .validate();
+    }
+}

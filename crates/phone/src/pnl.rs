@@ -1,0 +1,230 @@
+//! Preferred Network Lists.
+//!
+//! A PNL entry remembers an SSID *and* the security type it was joined
+//! with. That second half is what limits every SSID-luring attack: an evil
+//! twin can advertise any SSID, but the victim only auto-joins if its PNL
+//! entry is **open** — a protected entry demands the original network's
+//! credentials, which the attacker does not have. The paper encodes this by
+//! restricting its database to "SSIDs belonging to free APs" (§III-B).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use ch_wifi::Ssid;
+
+/// Security the network was joined with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkSecurity {
+    /// Open network — auto-join on SSID match alone.
+    Open,
+    /// WPA2-protected — an open twin is not joined.
+    Protected,
+}
+
+/// Why the entry is in the PNL (diagnostics and generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PnlOrigin {
+    /// The user's home network.
+    Home,
+    /// The user's workplace network.
+    Work,
+    /// A public hotspot the user once joined.
+    Public,
+    /// A network shared with the user's household/social group.
+    Shared,
+    /// A carrier-provisioned auto-join network (iOS, §V-B).
+    Carrier,
+    /// A network from outside the modelled city.
+    Foreign,
+}
+
+/// One remembered network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PnlEntry {
+    /// Remembered SSID.
+    pub ssid: Ssid,
+    /// Remembered security type.
+    pub security: NetworkSecurity,
+    /// Provenance.
+    pub origin: PnlOrigin,
+}
+
+impl PnlEntry {
+    /// An open entry.
+    pub fn open(ssid: Ssid, origin: PnlOrigin) -> Self {
+        PnlEntry {
+            ssid,
+            security: NetworkSecurity::Open,
+            origin,
+        }
+    }
+
+    /// A protected entry.
+    pub fn protected(ssid: Ssid, origin: PnlOrigin) -> Self {
+        PnlEntry {
+            ssid,
+            security: NetworkSecurity::Protected,
+            origin,
+        }
+    }
+}
+
+/// A phone's Preferred Network List.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pnl {
+    entries: Vec<PnlEntry>,
+}
+
+impl Pnl {
+    /// An empty PNL (a phone that never joined any network).
+    pub fn new() -> Self {
+        Pnl::default()
+    }
+
+    /// Builds from entries, dropping duplicate SSIDs (first wins — matching
+    /// OS behaviour, where a rejoin updates rather than duplicates).
+    pub fn from_entries(entries: impl IntoIterator<Item = PnlEntry>) -> Self {
+        let mut pnl = Pnl::new();
+        for e in entries {
+            pnl.push(e);
+        }
+        pnl
+    }
+
+    /// Adds an entry unless the SSID is already remembered.
+    /// Returns whether it was inserted.
+    pub fn push(&mut self, entry: PnlEntry) -> bool {
+        if self.contains_ssid(&entry.ssid) {
+            false
+        } else {
+            self.entries.push(entry);
+            true
+        }
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[PnlEntry] {
+        &self.entries
+    }
+
+    /// Number of remembered networks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` if `ssid` is remembered (any security).
+    pub fn contains_ssid(&self, ssid: &Ssid) -> bool {
+        self.entries.iter().any(|e| &e.ssid == ssid)
+    }
+
+    /// The entry for `ssid`, if remembered.
+    pub fn entry(&self, ssid: &Ssid) -> Option<&PnlEntry> {
+        self.entries.iter().find(|e| &e.ssid == ssid)
+    }
+
+    /// `true` if an *open* twin advertising `ssid` would be auto-joined:
+    /// the SSID is remembered as an open network.
+    pub fn would_autojoin_open(&self, ssid: &Ssid) -> bool {
+        self.entry(ssid)
+            .is_some_and(|e| e.security == NetworkSecurity::Open)
+    }
+
+    /// The set of SSIDs a lure could hit (open entries).
+    pub fn open_ssids(&self) -> HashSet<&Ssid> {
+        self.entries
+            .iter()
+            .filter(|e| e.security == NetworkSecurity::Open)
+            .map(|e| &e.ssid)
+            .collect()
+    }
+
+    /// `true` if any open entry exists — the phone is luring-vulnerable.
+    pub fn is_vulnerable(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.security == NetworkSecurity::Open)
+    }
+}
+
+impl FromIterator<PnlEntry> for Pnl {
+    fn from_iter<I: IntoIterator<Item = PnlEntry>>(iter: I) -> Self {
+        Pnl::from_entries(iter)
+    }
+}
+
+impl Extend<PnlEntry> for Pnl {
+    fn extend<I: IntoIterator<Item = PnlEntry>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssid(s: &str) -> Ssid {
+        Ssid::new(s).unwrap()
+    }
+
+    #[test]
+    fn dedup_on_push() {
+        let mut pnl = Pnl::new();
+        assert!(pnl.push(PnlEntry::open(ssid("A"), PnlOrigin::Public)));
+        assert!(!pnl.push(PnlEntry::protected(ssid("A"), PnlOrigin::Home)));
+        assert_eq!(pnl.len(), 1);
+        // First entry wins.
+        assert_eq!(pnl.entry(&ssid("A")).unwrap().security, NetworkSecurity::Open);
+    }
+
+    #[test]
+    fn autojoin_requires_open_entry() {
+        let pnl = Pnl::from_entries([
+            PnlEntry::open(ssid("FreeCafe"), PnlOrigin::Public),
+            PnlEntry::protected(ssid("HomeNet"), PnlOrigin::Home),
+        ]);
+        assert!(pnl.would_autojoin_open(&ssid("FreeCafe")));
+        assert!(!pnl.would_autojoin_open(&ssid("HomeNet")));
+        assert!(!pnl.would_autojoin_open(&ssid("Unknown")));
+        assert!(pnl.is_vulnerable());
+    }
+
+    #[test]
+    fn protected_only_pnl_is_invulnerable() {
+        let pnl = Pnl::from_entries([
+            PnlEntry::protected(ssid("HomeNet"), PnlOrigin::Home),
+            PnlEntry::protected(ssid("WorkNet"), PnlOrigin::Work),
+        ]);
+        assert!(!pnl.is_vulnerable());
+        assert!(pnl.open_ssids().is_empty());
+        assert_eq!(pnl.len(), 2);
+    }
+
+    #[test]
+    fn empty_pnl() {
+        let pnl = Pnl::new();
+        assert!(pnl.is_empty());
+        assert!(!pnl.is_vulnerable());
+        assert!(!pnl.contains_ssid(&ssid("X")));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let pnl: Pnl = [
+            PnlEntry::open(ssid("A"), PnlOrigin::Public),
+            PnlEntry::open(ssid("B"), PnlOrigin::Shared),
+            PnlEntry::open(ssid("A"), PnlOrigin::Public),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(pnl.len(), 2);
+        assert_eq!(pnl.open_ssids().len(), 2);
+    }
+}

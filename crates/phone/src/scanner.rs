@@ -1,0 +1,219 @@
+//! Scan scheduling.
+//!
+//! Disconnected phones scan periodically; the interval (screen state,
+//! power policy) varies per device. The scan cadence is what converts
+//! *residence time near the attacker* into *scan opportunities*: a commuter
+//! crossing the subway passage yields one or two scans (hence the 40/80
+//! SSID histogram of Fig. 2(b)), a seated diner yields dozens.
+
+use ch_sim::{SimDuration, SimRng, SimTime};
+
+/// Per-device scan timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanConfig {
+    /// Mean interval between scans while disconnected.
+    pub mean_interval: SimDuration,
+    /// Uniform jitter applied to each interval (fraction of the mean,
+    /// `0.0..1.0`).
+    pub jitter: f64,
+}
+
+impl ScanConfig {
+    /// Default 2017-era disconnected-scan cadence: every ~60 s ± 50 %.
+    pub fn default_2017() -> Self {
+        ScanConfig {
+            mean_interval: SimDuration::from_secs(60),
+            jitter: 0.5,
+        }
+    }
+
+    /// Draws a per-device config around the population default (some
+    /// phones are chattier than others).
+    pub fn sample(rng: &mut SimRng) -> Self {
+        ScanConfig::sample_range(rng, (40.0, 90.0))
+    }
+
+    /// Draws a per-device config with the mean interval uniform in the
+    /// given range of seconds — the population-level scan-cadence knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo <= hi`.
+    pub fn sample_range(rng: &mut SimRng, (lo, hi): (f64, f64)) -> Self {
+        assert!(lo > 0.0 && lo <= hi, "bad scan-interval range {lo}..{hi}");
+        let mean = if lo == hi {
+            lo
+        } else {
+            rng.range_f64(lo, hi)
+        };
+        ScanConfig {
+            mean_interval: SimDuration::from_secs_f64(mean),
+            jitter: 0.5,
+        }
+    }
+
+    /// The next scan instant after `now`.
+    pub fn next_after(&self, now: SimTime, rng: &mut SimRng) -> SimTime {
+        let mean = self.mean_interval.as_secs_f64();
+        let lo = mean * (1.0 - self.jitter);
+        let hi = mean * (1.0 + self.jitter);
+        now + SimDuration::from_secs_f64(rng.range_f64(lo, hi.max(lo + 1e-6)))
+    }
+
+    /// The first scan after the phone becomes active at `start`: uniform in
+    /// one interval, so scan phases are uncorrelated across phones.
+    pub fn first_after(&self, start: SimTime, rng: &mut SimRng) -> SimTime {
+        let mean = self.mean_interval.as_secs_f64();
+        start + SimDuration::from_secs_f64(rng.range_f64(0.0, mean))
+    }
+}
+
+/// A materialized scan schedule over a visit window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPlan {
+    times: Vec<SimTime>,
+}
+
+impl ScanPlan {
+    /// All scan instants in `[enter, exit]` for a phone with `config`.
+    pub fn for_window(
+        config: &ScanConfig,
+        enter: SimTime,
+        exit: SimTime,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut times = Vec::new();
+        let mut t = config.first_after(enter, rng);
+        while t <= exit {
+            times.push(t);
+            t = config.next_after(t, rng);
+        }
+        ScanPlan { times }
+    }
+
+    /// The scan instants, ascending.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Number of scans in the window.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the phone never scans during the window.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_bounded_by_jitter() {
+        let cfg = ScanConfig::default_2017();
+        let mut rng = SimRng::seed_from(1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            let next = cfg.next_after(t, &mut rng);
+            let gap = next.since(t);
+            assert!(gap >= SimDuration::from_secs(30), "{gap}");
+            assert!(gap <= SimDuration::from_secs(90), "{gap}");
+            t = next;
+        }
+    }
+
+    #[test]
+    fn first_scan_within_one_interval() {
+        let cfg = ScanConfig::default_2017();
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..100 {
+            let first = cfg.first_after(SimTime::from_secs(100), &mut rng);
+            assert!(first >= SimTime::from_secs(100));
+            assert!(first <= SimTime::from_secs(160));
+        }
+    }
+
+    #[test]
+    fn transit_window_yields_one_or_two_scans() {
+        // A ~75-second passage transit: mostly 1–2 scans, sometimes 0 —
+        // the shape behind Fig. 2(b).
+        let cfg = ScanConfig::default_2017();
+        let mut rng = SimRng::seed_from(3);
+        let mut histogram = [0usize; 4];
+        for _ in 0..2_000 {
+            let plan = ScanPlan::for_window(
+                &cfg,
+                SimTime::from_secs(0),
+                SimTime::from_secs(75),
+                &mut rng,
+            );
+            histogram[plan.len().min(3)] += 1;
+        }
+        assert!(histogram[1] > 1_000, "one-scan dominates: {histogram:?}");
+        assert!(histogram[2] > 100, "two scans happen: {histogram:?}");
+        assert!(histogram[3] < 50, "three scans are rare: {histogram:?}");
+    }
+
+    #[test]
+    fn dwell_window_yields_many_scans() {
+        let cfg = ScanConfig::default_2017();
+        let mut rng = SimRng::seed_from(4);
+        let plan = ScanPlan::for_window(
+            &cfg,
+            SimTime::ZERO,
+            SimTime::from_mins(30),
+            &mut rng,
+        );
+        assert!(plan.len() >= 20, "{}", plan.len());
+        assert!(plan.len() <= 60, "{}", plan.len());
+        for pair in plan.times().windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn empty_window_no_scans() {
+        let cfg = ScanConfig::default_2017();
+        let mut rng = SimRng::seed_from(5);
+        let plan = ScanPlan::for_window(
+            &cfg,
+            SimTime::from_secs(10),
+            SimTime::from_secs(10),
+            &mut rng,
+        );
+        // First scan lands uniformly in [10, 70): almost surely after exit.
+        assert!(plan.len() <= 1);
+    }
+
+    #[test]
+    fn sample_range_respects_bounds() {
+        let mut rng = SimRng::seed_from(9);
+        for _ in 0..50 {
+            let cfg = ScanConfig::sample_range(&mut rng, (10.0, 20.0));
+            assert!(cfg.mean_interval >= SimDuration::from_secs(10));
+            assert!(cfg.mean_interval <= SimDuration::from_secs(20));
+        }
+        let fixed = ScanConfig::sample_range(&mut rng, (30.0, 30.0));
+        assert_eq!(fixed.mean_interval, SimDuration::from_secs(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad scan-interval range")]
+    fn sample_range_rejects_inverted() {
+        let mut rng = SimRng::seed_from(9);
+        let _ = ScanConfig::sample_range(&mut rng, (20.0, 10.0));
+    }
+
+    #[test]
+    fn per_device_sampling_varies() {
+        let mut rng = SimRng::seed_from(6);
+        let a = ScanConfig::sample(&mut rng);
+        let b = ScanConfig::sample(&mut rng);
+        assert_ne!(a.mean_interval, b.mean_interval);
+        assert!(a.mean_interval >= SimDuration::from_secs(40));
+        assert!(a.mean_interval <= SimDuration::from_secs(90));
+    }
+}

@@ -1,0 +1,1168 @@
+//! One driver per table and figure of the paper.
+//!
+//! Every driver is deterministic in its seed, builds (or receives) the
+//! standard city, runs the corresponding deployment(s), and returns a
+//! structured outcome with a `render()` that prints the same rows/series
+//! the paper reports. The `ch-bench` binaries are thin wrappers over these
+//! functions.
+
+use ch_attack::CityHunterConfig;
+use ch_mobility::VenueKind;
+use ch_sim::{SimDuration, SimTime};
+use ch_wifi::Ssid;
+
+use crate::metrics::SummaryRow;
+use crate::report::{pct, ratio_label, render_histogram, render_summary_table};
+use crate::runner::{run_experiment, AttackerKind, RunConfig};
+use crate::world::CityData;
+
+/// The fixed city seed: all experiments share one synthetic Hong Kong.
+pub const CITY_SEED: u64 = 0x0C17_F00D;
+
+/// Builds the shared city (cached by the caller when running several
+/// experiments).
+pub fn standard_city() -> CityData {
+    CityData::standard(CITY_SEED)
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+/// Outcome of the Table I reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Outcome {
+    /// KARMA's 30-minute canteen row.
+    pub karma: SummaryRow,
+    /// MANA's 30-minute canteen row.
+    pub mana: SummaryRow,
+}
+
+impl Table1Outcome {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        format!(
+            "TABLE I: Comparing the results of KARMA and MANA (canteen, 30 min)\n{}",
+            render_summary_table(&[self.karma.clone(), self.mana.clone()])
+        )
+    }
+}
+
+/// Table I: KARMA vs MANA in the canteen over lunch (the paper ran them
+/// simultaneously 40 m apart; independent runs model that separation).
+pub fn table1_with(data: &CityData, seed: u64) -> Table1Outcome {
+    let karma = run_experiment(
+        data,
+        &RunConfig::canteen_30min(AttackerKind::Karma, seed ^ 0xA1),
+    )
+    .summary("KARMA");
+    let mana = run_experiment(
+        data,
+        &RunConfig::canteen_30min(AttackerKind::Mana, seed ^ 0xA2),
+    )
+    .summary("MANA");
+    Table1Outcome { karma, mana }
+}
+
+/// [`table1_with`] over a freshly built standard city.
+pub fn table1(seed: u64) -> Table1Outcome {
+    table1_with(&standard_city(), seed)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1
+// ---------------------------------------------------------------------------
+
+/// Outcome of the Fig. 1 reproduction (MANA's database-growth pathology).
+#[derive(Debug, Clone)]
+pub struct Fig1Outcome {
+    /// `(minute, database size)` — Fig. 1(a), first curve.
+    pub db_size: Vec<(u64, usize)>,
+    /// `(minute, cumulative broadcast clients connected)` — Fig. 1(a),
+    /// second curve.
+    pub connected: Vec<(u64, usize)>,
+    /// `(2-minute window, hits, clients)` — Fig. 1(b), real-time h_b^r.
+    pub realtime_hb: Vec<(u64, usize, usize)>,
+}
+
+impl Fig1Outcome {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Fig. 1(a): MANA SSID-database size and broadcast clients connected\n");
+        out.push_str(&format!(
+            "{:>8} {:>10} {:>12}\n",
+            "minute", "db size", "connected"
+        ));
+        for ((m, db), (_, conn)) in self.db_size.iter().zip(&self.connected) {
+            out.push_str(&format!("{m:>8} {db:>10} {conn:>12}\n"));
+        }
+        out.push_str("\nFig. 1(b): real-time broadcast hit rate h_b^r (2-minute windows)\n");
+        out.push_str(&format!(
+            "{:>8} {:>8} {:>8} {:>8}\n",
+            "window", "hit", "seen", "h_b^r"
+        ));
+        for (w, hit, seen) in &self.realtime_hb {
+            let rate = if *seen == 0 {
+                0.0
+            } else {
+                *hit as f64 / *seen as f64
+            };
+            out.push_str(&format!("{w:>8} {hit:>8} {seen:>8} {:>8}\n", pct(rate)));
+        }
+        out
+    }
+}
+
+/// Fig. 1: a 30-minute MANA canteen run, sampled per minute / 2-minute
+/// windows.
+pub fn fig1_with(data: &CityData, seed: u64) -> Fig1Outcome {
+    let duration = SimDuration::from_mins(30);
+    let metrics = run_experiment(
+        data,
+        &RunConfig::canteen_30min(AttackerKind::Mana, seed ^ 0xF1),
+    );
+    let db_size = metrics
+        .db_series()
+        .iter()
+        .map(|(t, s)| (t.as_secs() / 60, *s))
+        .collect();
+    let connected = metrics
+        .cumulative_broadcast_hits(duration, SimDuration::from_mins(1))
+        .into_iter()
+        .map(|(t, c)| (t.as_secs() / 60, c))
+        .collect();
+    let realtime_hb = metrics.realtime_hb(duration, SimDuration::from_mins(2));
+    Fig1Outcome {
+        db_size,
+        connected,
+        realtime_hb,
+    }
+}
+
+/// [`fig1_with`] over a freshly built standard city.
+pub fn fig1(seed: u64) -> Fig1Outcome {
+    fig1_with(&standard_city(), seed)
+}
+
+// ---------------------------------------------------------------------------
+// Table II / Table III / Fig. 2
+// ---------------------------------------------------------------------------
+
+/// Outcome of the Table II reproduction.
+#[derive(Debug, Clone)]
+pub struct Table2Outcome {
+    /// MANA's canteen row (re-run).
+    pub mana: SummaryRow,
+    /// Preliminary City-Hunter's canteen row.
+    pub prelim: SummaryRow,
+    /// Share of broadcast hits whose SSID came from WiGLE (§III-C reports
+    /// ~74 %).
+    pub wigle_share: f64,
+    /// Mean SSIDs sent to each connected broadcast client (§III-C: ~130).
+    pub mean_offered_connected: f64,
+}
+
+impl Table2Outcome {
+    /// Renders the table plus the two §III-C observations.
+    pub fn render(&self) -> String {
+        format!(
+            "TABLE II: MANA vs City-Hunter with the two §III improvements (canteen, 30 min)\n{}\n\
+             broadcast hits from WiGLE: {}\n\
+             mean SSIDs sent per connected broadcast client: {:.0}\n",
+            render_summary_table(&[self.mana.clone(), self.prelim.clone()]),
+            pct(self.wigle_share),
+            self.mean_offered_connected,
+        )
+    }
+}
+
+/// Table II: MANA vs the preliminary City-Hunter in the canteen.
+pub fn table2_with(data: &CityData, seed: u64) -> Table2Outcome {
+    let mana = run_experiment(
+        data,
+        &RunConfig::canteen_30min(AttackerKind::Mana, seed ^ 0xB1),
+    )
+    .summary("MANA");
+    let metrics = run_experiment(
+        data,
+        &RunConfig::canteen_30min(AttackerKind::Prelim, seed ^ 0xB2),
+    );
+    let prelim = metrics.summary("City-Hunter (prelim)");
+    let (wigle, direct, carrier) = metrics.source_breakdown();
+    let total_hits = (wigle + direct + carrier).max(1);
+    Table2Outcome {
+        mana,
+        prelim,
+        wigle_share: wigle as f64 / total_hits as f64,
+        mean_offered_connected: metrics.mean_offered_to_connected(),
+    }
+}
+
+/// [`table2_with`] over a freshly built standard city.
+pub fn table2(seed: u64) -> Table2Outcome {
+    table2_with(&standard_city(), seed)
+}
+
+/// Outcome of the Table III reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3Outcome {
+    /// Preliminary City-Hunter's subway-passage row.
+    pub prelim: SummaryRow,
+}
+
+impl Table3Outcome {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        format!(
+            "TABLE III: Preliminary City-Hunter in the subway passage (30 min)\n{}",
+            render_summary_table(std::slice::from_ref(&self.prelim))
+        )
+    }
+}
+
+/// Table III: the preliminary City-Hunter deployed in the passage.
+pub fn table3_with(data: &CityData, seed: u64) -> Table3Outcome {
+    let prelim = run_experiment(
+        data,
+        &RunConfig::passage_30min(AttackerKind::Prelim, seed ^ 0xC1),
+    )
+    .summary("Subway Passage");
+    Table3Outcome { prelim }
+}
+
+/// [`table3_with`] over a freshly built standard city.
+pub fn table3(seed: u64) -> Table3Outcome {
+    table3_with(&standard_city(), seed)
+}
+
+/// Outcome of the Fig. 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig2Outcome {
+    /// Fig. 2(a): SSIDs sent to each *connected* broadcast client in the
+    /// canteen (sorted ascending).
+    pub canteen_offered_connected: Vec<usize>,
+    /// Fig. 2(b): SSIDs sent to *all* broadcast clients in the passage.
+    pub passage_offered_all: Vec<usize>,
+}
+
+impl Fig2Outcome {
+    /// Mean of panel (a), the paper's "average of 130".
+    pub fn canteen_mean(&self) -> f64 {
+        if self.canteen_offered_connected.is_empty() {
+            return 0.0;
+        }
+        self.canteen_offered_connected.iter().sum::<usize>() as f64
+            / self.canteen_offered_connected.len() as f64
+    }
+
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fig. 2(a): SSIDs sent to each connected client (canteen) — n={}, mean={:.0}\n",
+            self.canteen_offered_connected.len(),
+            self.canteen_mean(),
+        ));
+        out.push_str(&render_histogram(&self.canteen_offered_connected, 40));
+        out.push_str(&format!(
+            "\nFig. 2(b): SSIDs tested per broadcast client (passage) — n={}\n",
+            self.passage_offered_all.len()
+        ));
+        out.push_str(&render_histogram(&self.passage_offered_all, 40));
+        out
+    }
+}
+
+/// Fig. 2: the per-client SSID-depth distributions behind Tables II/III.
+pub fn fig2_with(data: &CityData, seed: u64) -> Fig2Outcome {
+    let canteen = run_experiment(
+        data,
+        &RunConfig::canteen_30min(AttackerKind::Prelim, seed ^ 0xB2),
+    );
+    let passage = run_experiment(
+        data,
+        &RunConfig::passage_30min(AttackerKind::Prelim, seed ^ 0xC1),
+    );
+    Fig2Outcome {
+        canteen_offered_connected: canteen.offered_counts(true),
+        passage_offered_all: passage
+            .offered_counts(false)
+            .into_iter()
+            .filter(|&c| c > 0)
+            .collect(),
+    }
+}
+
+/// [`fig2_with`] over a freshly built standard city.
+pub fn fig2(seed: u64) -> Fig2Outcome {
+    fig2_with(&standard_city(), seed)
+}
+
+// ---------------------------------------------------------------------------
+// Table IV / Fig. 4 (offline data products)
+// ---------------------------------------------------------------------------
+
+/// Outcome of the Table IV reproduction.
+#[derive(Debug, Clone)]
+pub struct Table4Outcome {
+    /// Top-5 SSIDs by raw AP count.
+    pub by_ap_count: Vec<(Ssid, usize)>,
+    /// Top-5 SSIDs by heat value.
+    pub by_heat: Vec<(Ssid, f64)>,
+}
+
+impl Table4Outcome {
+    /// Renders the two rankings side by side.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "TABLE IV: Top 5 SSIDs selected using different criteria\n",
+        );
+        out.push_str(&format!(
+            "| {:<4} | {:<28} | {:<28} |\n",
+            "Rank", "Top 5 by AP count", "Top 5 by heat value"
+        ));
+        out.push_str(&format!("|{}|\n", "-".repeat(70)));
+        for i in 0..5 {
+            let left = self
+                .by_ap_count
+                .get(i)
+                .map(|(s, n)| format!("{s} ({n})"))
+                .unwrap_or_default();
+            let right = self
+                .by_heat
+                .get(i)
+                .map(|(s, h)| format!("{s} ({h:.0})"))
+                .unwrap_or_default();
+            out.push_str(&format!("| {:<4} | {left:<28} | {right:<28} |\n", i + 1));
+        }
+        out
+    }
+}
+
+/// Table IV: ranking the city's open SSIDs by AP count vs heat value.
+pub fn table4_with(data: &CityData) -> Table4Outcome {
+    Table4Outcome {
+        by_ap_count: data.wigle.top_by_ap_count(5, true),
+        by_heat: data.wigle.top_by_heat(&data.heat, 5),
+    }
+}
+
+/// [`table4_with`] over a freshly built standard city.
+pub fn table4() -> Table4Outcome {
+    table4_with(&standard_city())
+}
+
+/// Outcome of the Fig. 4 reproduction: ASCII heat-map panels for two
+/// districts (Kowloon, Lantao Island).
+#[derive(Debug, Clone)]
+pub struct Fig4Outcome {
+    /// `(district name, rendered panel)`.
+    pub panels: Vec<(String, String)>,
+}
+
+impl Fig4Outcome {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 4: photo-density heat map by district\n");
+        for (name, panel) in &self.panels {
+            out.push_str(&format!("\n--- {name} ---\n{panel}"));
+        }
+        out
+    }
+}
+
+/// Fig. 4: the heat map for the two districts the paper shows.
+pub fn fig4_with(data: &CityData) -> Fig4Outcome {
+    let panels = data
+        .city
+        .districts()
+        .iter()
+        .filter(|d| d.name == "Kowloon" || d.name == "Lantao Island")
+        .map(|d| (d.name.clone(), data.heat.render_ascii(d.area, 2)))
+        .collect();
+    Fig4Outcome { panels }
+}
+
+/// [`fig4_with`] over a freshly built standard city.
+pub fn fig4() -> Fig4Outcome {
+    fig4_with(&standard_city())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 / Fig. 6 (the 4-venue × 12-hour campaign)
+// ---------------------------------------------------------------------------
+
+/// One hourly test in one venue.
+#[derive(Debug, Clone)]
+pub struct HourResult {
+    /// Wall-clock start hour (8..=19).
+    pub hour: usize,
+    /// The Fig. 5 stacked-bar numbers.
+    pub row: SummaryRow,
+    /// Fig. 6 source breakdown `(wigle, direct, carrier)` of broadcast hits.
+    pub sources: (usize, usize, usize),
+    /// Fig. 6 buffer breakdown `(popularity side, freshness side)`.
+    pub lanes: (usize, usize),
+}
+
+/// A venue's 12 hourly tests.
+#[derive(Debug, Clone)]
+pub struct VenueSeries {
+    /// The venue.
+    pub venue: VenueKind,
+    /// Results for hours 8..=19.
+    pub hours: Vec<HourResult>,
+}
+
+impl VenueSeries {
+    /// Mean broadcast hit rate across the hours (the §V-A per-venue
+    /// averages: passage 12 %, canteen 17.9 %, shopping 14 %, railway
+    /// 16.6 %).
+    pub fn average_hb(&self) -> f64 {
+        if self.hours.is_empty() {
+            return 0.0;
+        }
+        self.hours.iter().map(|h| h.row.h_b()).sum::<f64>() / self.hours.len() as f64
+    }
+
+    /// Mean overall hit rate across the hours.
+    pub fn average_h(&self) -> f64 {
+        if self.hours.is_empty() {
+            return 0.0;
+        }
+        self.hours.iter().map(|h| h.row.h()).sum::<f64>() / self.hours.len() as f64
+    }
+}
+
+/// Outcome of the Fig. 5 + Fig. 6 campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// One series per venue, in Fig. 5 order.
+    pub venues: Vec<VenueSeries>,
+}
+
+impl CampaignOutcome {
+    /// Renders the Fig. 5 panels (client stacks + h/h_b per hour).
+    pub fn render_fig5(&self) -> String {
+        let mut out = String::from(
+            "Fig. 5: City-Hunter performance per venue and hour (8am-8pm)\n",
+        );
+        for series in &self.venues {
+            out.push_str(&format!(
+                "\n--- {} (avg h={}, avg h_b={}) ---\n",
+                series.venue.name(),
+                pct(series.average_h()),
+                pct(series.average_hb()),
+            ));
+            out.push_str(&format!(
+                "{:>5} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+                "hour", "total", "bc-conn", "bc-not", "dir-conn", "dir-not", "h", "h_b"
+            ));
+            for h in &series.hours {
+                out.push_str(&format!(
+                    "{:>5} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+                    format!("{}:00", h.hour),
+                    h.row.total_clients,
+                    h.row.broadcast_connected,
+                    h.row.broadcast_clients - h.row.broadcast_connected,
+                    h.row.direct_connected,
+                    h.row.direct_clients - h.row.direct_connected,
+                    pct(h.row.h()),
+                    pct(h.row.h_b()),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the Fig. 6 breakdowns (source and buffer stacks + ratios).
+    pub fn render_fig6(&self) -> String {
+        let mut out = String::from(
+            "Fig. 6: breakdown of SSIDs that hit broadcast clients\n",
+        );
+        for series in &self.venues {
+            out.push_str(&format!("\n--- {} ---\n", series.venue.name()));
+            out.push_str(&format!(
+                "{:>5} {:>7} {:>7} {:>9} | {:>7} {:>7} {:>9}\n",
+                "hour", "wigle", "direct", "ratio", "pop", "fresh", "ratio"
+            ));
+            for h in &series.hours {
+                let (wigle, direct, carrier) = h.sources;
+                let (pop, fresh) = h.lanes;
+                let _ = carrier;
+                out.push_str(&format!(
+                    "{:>5} {:>7} {:>7} {:>9} | {:>7} {:>7} {:>9}\n",
+                    format!("{}:00", h.hour),
+                    wigle,
+                    direct,
+                    ratio_label(direct, wigle),
+                    pop,
+                    fresh,
+                    ratio_label(fresh, pop),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The Fig. 5/6 campaign: the full City-Hunter deployed in all four venues
+/// for twelve one-hour tests each (8am–8pm), database re-initialized per
+/// test as in §V-A. Heavy: 48 hour-long simulations.
+pub fn campaign_with(data: &CityData, seed: u64, hours: &[usize]) -> CampaignOutcome {
+    let venues = VenueKind::ALL
+        .iter()
+        .map(|&venue| {
+            let hour_results = hours
+                .iter()
+                .map(|&hour| {
+                    let config = RunConfig {
+                        venue,
+                        start_hour: hour,
+                        duration: SimDuration::from_hours(1),
+                        attacker: AttackerKind::CityHunter(CityHunterConfig {
+                            seed: seed ^ (hour as u64) << 8,
+                            ..CityHunterConfig::default()
+                        }),
+                        seed: seed ^ venue_salt(venue) ^ ((hour as u64) << 16),
+                        lure_budget: None,
+                        loss: None,
+                        population: None,
+                        arrival_multiplier: None,
+                    };
+                    let metrics = run_experiment(data, &config);
+                    HourResult {
+                        hour,
+                        row: metrics.summary(format!("{} {hour}:00", venue.name())),
+                        sources: metrics.source_breakdown(),
+                        lanes: metrics.lane_breakdown(),
+                    }
+                })
+                .collect();
+            VenueSeries {
+                venue,
+                hours: hour_results,
+            }
+        })
+        .collect();
+    CampaignOutcome { venues }
+}
+
+/// The full 8am–8pm campaign.
+pub fn campaign(seed: u64) -> CampaignOutcome {
+    let hours: Vec<usize> = (8..20).collect();
+    campaign_with(&standard_city(), seed, &hours)
+}
+
+fn venue_salt(venue: VenueKind) -> u64 {
+    match venue {
+        VenueKind::SubwayPassage => 0x1000_0000,
+        VenueKind::Canteen => 0x2000_0000,
+        VenueKind::ShoppingCenter => 0x3000_0000,
+        VenueKind::RailwayStation => 0x4000_0000,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablation (design-choice benches promised in DESIGN.md)
+// ---------------------------------------------------------------------------
+
+/// One ablation configuration's results in both reference venues.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub label: String,
+    /// Canteen summary.
+    pub canteen: SummaryRow,
+    /// Passage summary.
+    pub passage: SummaryRow,
+}
+
+/// Outcome of the ablation matrix.
+#[derive(Debug, Clone)]
+pub struct AblationOutcome {
+    /// One row per variant.
+    pub rows: Vec<AblationRow>,
+}
+
+impl AblationOutcome {
+    /// Renders the matrix.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Ablation: City-Hunter design choices (30-min runs)\n",
+        );
+        out.push_str(&format!(
+            "| {:<26} | {:>14} | {:>14} | {:>14} | {:>14} |\n",
+            "variant", "canteen h", "canteen h_b", "passage h", "passage h_b"
+        ));
+        out.push_str(&format!("|{}|\n", "-".repeat(96)));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "| {:<26} | {:>14} | {:>14} | {:>14} | {:>14} |\n",
+                row.label,
+                pct(row.canteen.h()),
+                pct(row.canteen.h_b()),
+                pct(row.passage.h()),
+                pct(row.passage.h_b()),
+            ));
+        }
+        out
+    }
+}
+
+/// The ablation matrix: each §IV/§V design choice disabled in isolation,
+/// plus the §V-B extensions enabled.
+pub fn ablation_with(data: &CityData, seed: u64) -> AblationOutcome {
+    let variants: Vec<(&str, CityHunterConfig)> = vec![
+        ("full", CityHunterConfig::default()),
+        (
+            "fixed split (no adaptation)",
+            CityHunterConfig {
+                adaptive_sizing: false,
+                ..CityHunterConfig::default()
+            },
+        ),
+        (
+            "no freshness buffer",
+            CityHunterConfig {
+                use_freshness: false,
+                adaptive_sizing: false,
+                ..CityHunterConfig::default()
+            },
+        ),
+        (
+            "no WiGLE seed",
+            CityHunterConfig {
+                use_wigle: false,
+                ..CityHunterConfig::default()
+            },
+        ),
+        (
+            "no untried tracking",
+            CityHunterConfig {
+                untried_tracking: false,
+                ..CityHunterConfig::default()
+            },
+        ),
+        (
+            "+ deauth extension",
+            CityHunterConfig {
+                deauth: true,
+                ..CityHunterConfig::default()
+            },
+        ),
+        (
+            "+ carrier preload",
+            CityHunterConfig {
+                carrier_preload: true,
+                ..CityHunterConfig::default()
+            },
+        ),
+    ];
+    let rows = variants
+        .into_iter()
+        .map(|(label, config)| {
+            let canteen = run_experiment(
+                data,
+                &RunConfig::canteen_30min(
+                    AttackerKind::CityHunter(config.clone()),
+                    seed ^ 0xD1,
+                ),
+            )
+            .summary(label);
+            let passage = run_experiment(
+                data,
+                &RunConfig::passage_30min(AttackerKind::CityHunter(config), seed ^ 0xD2),
+            )
+            .summary(label);
+            AblationRow {
+                label: label.to_owned(),
+                canteen,
+                passage,
+            }
+        })
+        .collect();
+    AblationOutcome { rows }
+}
+
+/// [`ablation_with`] over a freshly built standard city.
+pub fn ablation(seed: u64) -> AblationOutcome {
+    ablation_with(&standard_city(), seed)
+}
+
+// ---------------------------------------------------------------------------
+
+/// Offsets hour-indexed timestamps for rendering.
+pub fn hour_label(start: SimTime) -> String {
+    format!("{:02}:00", 8 + start.as_secs() / 3600)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_reproduces_heat_vs_count_contrast() {
+        let data = standard_city();
+        let outcome = table4_with(&data);
+        assert_eq!(outcome.by_ap_count.len(), 5);
+        assert_eq!(outcome.by_heat.len(), 5);
+        // Paper Table IV: the count ranking is led by the big chains…
+        assert_eq!(outcome.by_ap_count[0].0.as_str(), "-Free HKBN Wi-Fi-");
+        // …and the airport SSID enters the top-5 only under heat ranking.
+        let count_names: Vec<&str> = outcome
+            .by_ap_count
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .collect();
+        let heat_names: Vec<&str> =
+            outcome.by_heat.iter().map(|(s, _)| s.as_str()).collect();
+        assert!(!count_names.contains(&"#HKAirport Free WiFi"));
+        assert!(
+            heat_names.contains(&"#HKAirport Free WiFi"),
+            "heat ranking must surface the airport SSID: {heat_names:?}"
+        );
+        let rendered = outcome.render();
+        assert!(rendered.contains("Rank"));
+        assert!(rendered.contains("#HKAirport Free WiFi"));
+    }
+
+    #[test]
+    fn fig4_renders_two_districts() {
+        let data = standard_city();
+        let outcome = fig4_with(&data);
+        assert_eq!(outcome.panels.len(), 2);
+        let names: Vec<&str> = outcome.panels.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"Kowloon"));
+        assert!(names.contains(&"Lantao Island"));
+        for (_, panel) in &outcome.panels {
+            assert!(panel.lines().count() > 10, "panel too small");
+        }
+    }
+
+    #[test]
+    fn hour_label_formats() {
+        assert_eq!(hour_label(SimTime::ZERO), "08:00");
+        assert_eq!(hour_label(SimTime::from_hours(4)), "12:00");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sensitivity sweeps (the §III-A cap, made visible)
+// ---------------------------------------------------------------------------
+
+/// One sweep point: the independent variable plus replicated outcomes.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Independent-variable label (e.g. `"40"` lures, `"60m"` range).
+    pub x: String,
+    /// Replicated h_b summary at this point.
+    pub h_b: ch_sim::Summary,
+    /// Replicated client-volume summary at this point.
+    pub clients: ch_sim::Summary,
+}
+
+/// A one-dimensional sensitivity sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// What was swept.
+    pub label: String,
+    /// The points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepOutcome {
+    /// Renders the sweep as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!("Sweep: {}\n", self.label);
+        out.push_str(&format!(
+            "{:>10} {:>9} {:>9} {:>10}\n",
+            "x", "h_b", "±95%", "clients"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>10} {:>9} {:>9} {:>10.0}\n",
+                p.x,
+                pct(p.h_b.mean()),
+                pct(1.96 * p.h_b.std_err()),
+                p.clients.mean(),
+            ));
+        }
+        out
+    }
+}
+
+fn sweep_point(
+    data: &CityData,
+    base: &RunConfig,
+    x: impl Into<String>,
+    seeds: &[u64],
+) -> SweepPoint {
+    let replication = crate::replicate::replicate(data, base, "sweep", seeds);
+    SweepPoint {
+        x: x.into(),
+        h_b: replication.h_b,
+        clients: replication.clients,
+    }
+}
+
+/// Sweeps the number of lures the attacker *sends* per broadcast probe.
+///
+/// The §III-A arithmetic says only ~40 probe responses fit the client's
+/// listen window; sending more is free for the attacker but physically
+/// cannot be received. The curve therefore rises up to 40 and then goes
+/// flat — the saturation MANA unknowingly lived beyond.
+pub fn sweep_lure_budget(data: &CityData, base_seed: u64, replicas: usize) -> SweepOutcome {
+    let seeds = crate::replicate::seed_range(base_seed, replicas);
+    // The preliminary attacker honours arbitrary send budgets (the full
+    // City-Hunter self-caps at its 40-slot buffer total by design), so it
+    // is the one that can demonstrate the over-sending plateau.
+    let points = [5usize, 10, 20, 40, 80, 160]
+        .iter()
+        .map(|&budget| {
+            let base = RunConfig {
+                lure_budget: Some(budget),
+                ..RunConfig::canteen_30min(AttackerKind::Prelim, 0)
+            };
+            sweep_point(data, &base, budget.to_string(), &seeds)
+        })
+        .collect();
+    SweepOutcome {
+        label: "lures sent per broadcast probe (prelim attacker, canteen, \
+                30 min) — reception is capped near 40 by the scan window"
+            .into(),
+        points,
+    }
+}
+
+/// Sweeps the attacker's radio range (transmit power): h_b and the
+/// observed-client volume vs maximum range in the subway passage.
+pub fn sweep_radio_range(data: &CityData, base_seed: u64, replicas: usize) -> SweepOutcome {
+    let seeds = crate::replicate::seed_range(base_seed, replicas);
+    let points = [20.0f64, 40.0, 60.0, 80.0, 100.0]
+        .iter()
+        .map(|&range| {
+            let base = RunConfig {
+                loss: Some(ch_sim::LossModel::new(range * 0.6, range, 0.97)),
+                ..RunConfig::passage_30min(
+                    AttackerKind::CityHunter(CityHunterConfig::default()),
+                    0,
+                )
+            };
+            sweep_point(data, &base, format!("{range:.0}m"), &seeds)
+        })
+        .collect();
+    SweepOutcome {
+        label: "attacker radio range (subway passage, 30 min)".into(),
+        points,
+    }
+}
+
+/// Forward-looking study: per-scan MAC randomization (a post-2017 privacy
+/// feature) vs City-Hunter. Randomizing phones present a fresh MAC every
+/// scan, so the §III-A per-client untried tracking can never accumulate —
+/// each scan replays the head of the ranking — and the client counts
+/// themselves inflate (every scan looks like a new device).
+pub fn sweep_mac_randomization(
+    data: &CityData,
+    base_seed: u64,
+    replicas: usize,
+) -> SweepOutcome {
+    let seeds = crate::replicate::seed_range(base_seed, replicas);
+    let points = [0.0f64, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|&fraction| {
+            let mut population = data.population_params_for(ch_mobility::VenueKind::Canteen);
+            population.mac_randomizing = fraction;
+            let base = RunConfig {
+                population: Some(population),
+                ..RunConfig::canteen_30min(
+                    AttackerKind::CityHunter(CityHunterConfig::default()),
+                    0,
+                )
+            };
+            sweep_point(data, &base, format!("{:.0}%", fraction * 100.0), &seeds)
+        })
+        .collect();
+    SweepOutcome {
+        label: "per-scan MAC randomization share (canteen, 30 min) — \
+                note the client counts inflating as identities fragment"
+            .into(),
+        points,
+    }
+}
+
+/// The crowd-density sweep the abstract promises ("public places with
+/// different crowd density"): the canteen's arrival rate scaled from a
+/// near-empty room to a crush, full City-Hunter deployed.
+pub fn sweep_crowd_density(
+    data: &CityData,
+    base_seed: u64,
+    replicas: usize,
+) -> SweepOutcome {
+    let seeds = crate::replicate::seed_range(base_seed, replicas);
+    let points = [0.25f64, 0.5, 1.0, 2.0, 4.0]
+        .iter()
+        .map(|&multiplier| {
+            let base = RunConfig {
+                arrival_multiplier: Some(multiplier),
+                ..RunConfig::canteen_30min(
+                    AttackerKind::CityHunter(CityHunterConfig::default()),
+                    0,
+                )
+            };
+            sweep_point(data, &base, format!("{multiplier}x"), &seeds)
+        })
+        .collect();
+    SweepOutcome {
+        label: "crowd density (canteen arrival-rate multiplier, 30 min)".into(),
+        points,
+    }
+}
+
+/// Scan-cadence sweep: how the clients' disconnected-scan interval shapes
+/// the passage outcome. Fig. 2(b)'s 40/80 histogram is pure mechanics —
+/// transit time divided by scan interval — so halving the interval doubles
+/// the two-burst share and lifts h_b.
+pub fn sweep_scan_interval(
+    data: &CityData,
+    base_seed: u64,
+    replicas: usize,
+) -> SweepOutcome {
+    let seeds = crate::replicate::seed_range(base_seed, replicas);
+    let points = [(15.0, 30.0), (30.0, 60.0), (40.0, 90.0), (80.0, 160.0)]
+        .iter()
+        .map(|&(lo, hi)| {
+            let mut population =
+                data.population_params_for(ch_mobility::VenueKind::SubwayPassage);
+            population.scan_interval_secs = (lo, hi);
+            let base = RunConfig {
+                population: Some(population),
+                ..RunConfig::passage_30min(
+                    AttackerKind::CityHunter(CityHunterConfig::default()),
+                    0,
+                )
+            };
+            sweep_point(data, &base, format!("{lo:.0}-{hi:.0}s"), &seeds)
+        })
+        .collect();
+    SweepOutcome {
+        label: "disconnected-scan interval (subway passage, 30 min)".into(),
+        points,
+    }
+}
+
+/// Warm-start study (beyond the paper): §V-A re-initializes the database
+/// before every test; what does *not* doing that buy? One attacker
+/// instance hunts the canteen for several consecutive half-hours, its
+/// database, weights and buffer split carrying over, against a cold-
+/// started control each slot.
+#[derive(Debug, Clone)]
+pub struct WarmStartOutcome {
+    /// Per-slot `(label, cold h_b, warm h_b, warm database size)`.
+    pub slots: Vec<(String, f64, f64, usize)>,
+}
+
+impl WarmStartOutcome {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Warm-start study: database re-initialized per test (paper, 'cold')\n\
+             vs carried across tests ('warm'); canteen, consecutive 30-min slots\n\n",
+        );
+        out.push_str(&format!(
+            "{:>8} {:>10} {:>10} {:>10}\n",
+            "slot", "cold h_b", "warm h_b", "warm db"
+        ));
+        for (label, cold, warm, db) in &self.slots {
+            out.push_str(&format!(
+                "{label:>8} {:>10} {:>10} {db:>10}\n",
+                pct(*cold),
+                pct(*warm),
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the warm-start study over `slots` consecutive half-hours.
+pub fn warm_start_with(data: &CityData, seed: u64, slots: usize) -> WarmStartOutcome {
+    use crate::runner::run_experiment_with_attacker;
+    use ch_attack::{Attacker, CityHunter};
+
+    let site = data.site_for(ch_mobility::VenueKind::Canteen);
+    let bssid = ch_wifi::MacAddr::from_index([0x0a, 0xbc, 0xde], 1);
+    let mut warm = CityHunter::new(
+        bssid,
+        &data.wigle,
+        &data.heat,
+        site,
+        CityHunterConfig {
+            seed,
+            ..CityHunterConfig::default()
+        },
+    );
+
+    let mut results = Vec::new();
+    for slot in 0..slots {
+        let config = RunConfig {
+            start_hour: 11 + slot / 2, // consecutive lunchtime half-hours
+            seed: seed ^ ((slot as u64 + 1) << 20),
+            ..RunConfig::canteen_30min(
+                AttackerKind::CityHunter(CityHunterConfig {
+                    seed: seed ^ (slot as u64),
+                    ..CityHunterConfig::default()
+                }),
+                0,
+            )
+        };
+        let cold = run_experiment(data, &config).summary("cold");
+        let warm_metrics = run_experiment_with_attacker(data, &config, &mut warm);
+        let warm_row = warm_metrics.summary("warm");
+        results.push((
+            format!("#{}", slot + 1),
+            cold.h_b(),
+            warm_row.h_b(),
+            warm.database_len(),
+        ));
+    }
+    WarmStartOutcome { slots: results }
+}
+
+/// [`warm_start_with`] over a freshly built standard city, 4 slots.
+pub fn warm_start(seed: u64) -> WarmStartOutcome {
+    warm_start_with(&standard_city(), seed, 4)
+}
+
+/// Fig. 3 stand-in: the paper's logic-flow diagram, rendered with this
+/// implementation's live parameters. (Fig. 3 is an architecture diagram,
+/// not a measurement; this keeps "every figure" regenerable.)
+pub fn fig3() -> String {
+    use ch_attack::buffers::{GHOST_LEN, GHOST_PICKS};
+    use ch_attack::prelim::{WIGLE_NEARBY, WIGLE_TOP_BY_HEAT};
+    use ch_wifi::timing;
+
+    format!(
+        r#"Fig. 3: the logic flow of City-Hunter (live parameters)
+
+ [1. Database initialization]
+     WiGLE top-{top} by heat value (rank weights {top}..1)
+     + {near} SSIDs nearest the attack site (rank weights {near}..1)
+         |
+         v
+ [2. On-line database updating]   <--- (after every scan exchange)
+     direct probe  -> add SSID / bump weight
+     broadcast hit -> bump weight, stamp freshness
+         |
+         v
+ [3. SSID selection & buffer-size adjustment]
+     Popularity Buffer (p) with a {ghost}-entry ghost list
+     Freshness  Buffer (f) with a {ghost}-entry ghost list
+     constraint: p + f = {budget}
+     {picks} random ghosts per side replace each side's lowest picks
+     ghost hit on the PB side -> p+1, f-1; on the FB side -> f+1, p-1
+         |
+         v
+ [4. Send SSIDs to broadcast probes]
+     up to {budget} probe responses per scan
+     ({window} listen window at {airtime} per response)
+     never repeat an SSID to the same client MAC; then back to step 2
+"#,
+        top = WIGLE_TOP_BY_HEAT,
+        near = WIGLE_NEARBY,
+        ghost = GHOST_LEN,
+        picks = GHOST_PICKS,
+        budget = timing::responses_per_scan(),
+        window = timing::EXTENDED_WAIT,
+        airtime = timing::PROBE_RESPONSE_AIRTIME,
+    )
+}
+
+#[cfg(test)]
+mod fig3_tests {
+    #[test]
+    fn fig3_reflects_live_constants() {
+        let rendered = super::fig3();
+        assert!(rendered.contains("top-200"));
+        assert!(rendered.contains("p + f = 40"));
+        assert!(rendered.contains("10ms"));
+        assert!(rendered.contains("250us"));
+    }
+}
+
+impl CampaignOutcome {
+    /// Exports the campaign as CSV for external plotting: one row per
+    /// venue-hour with the Fig. 5 stacks, rates, and the Fig. 6
+    /// breakdowns.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "venue,hour,total_clients,broadcast_connected,broadcast_not,\
+             direct_connected,direct_not,h,h_b,src_wigle,src_direct,\
+             src_carrier,lane_popularity,lane_freshness\n",
+        );
+        for series in &self.venues {
+            for h in &series.hours {
+                let (wigle, direct, carrier) = h.sources;
+                let (pop, fresh) = h.lanes;
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{:.4},{:.4},{},{},{},{},{}\n",
+                    series.venue.name().replace(' ', "_"),
+                    h.hour,
+                    h.row.total_clients,
+                    h.row.broadcast_connected,
+                    h.row.broadcast_clients - h.row.broadcast_connected,
+                    h.row.direct_connected,
+                    h.row.direct_clients - h.row.direct_connected,
+                    h.row.h(),
+                    h.row.h_b(),
+                    wigle,
+                    direct,
+                    carrier,
+                    pop,
+                    fresh,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod campaign_csv_tests {
+    use super::*;
+    use crate::metrics::SummaryRow;
+
+    #[test]
+    fn csv_shape_matches_campaign() {
+        let outcome = CampaignOutcome {
+            venues: vec![VenueSeries {
+                venue: VenueKind::Canteen,
+                hours: vec![HourResult {
+                    hour: 12,
+                    row: SummaryRow {
+                        label: "x".into(),
+                        total_clients: 100,
+                        direct_clients: 10,
+                        broadcast_clients: 90,
+                        direct_connected: 4,
+                        broadcast_connected: 9,
+                    },
+                    sources: (7, 2, 0),
+                    lanes: (8, 1),
+                }],
+            }],
+        };
+        let csv = outcome.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split(',').count(), 14);
+        let row: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(row[0], "canteen");
+        assert_eq!(row[1], "12");
+        assert_eq!(row[3], "9");
+        assert_eq!(row[4], "81"); // 90 - 9
+        assert_eq!(row[8], "0.1000"); // h_b
+        assert_eq!(row[9], "7");
+    }
+}

@@ -1,0 +1,36 @@
+//! # ch-scenarios — the experiment harness
+//!
+//! Wires every substrate together into the paper's field deployments:
+//!
+//! * [`world`] — builds the shared city data (WiGLE snapshot, heat map),
+//!   places each venue at a matching city POI, and assembles a
+//!   [`world::World`] for one deployment;
+//! * [`runner`] — the discrete-event loop: group arrivals → per-person
+//!   visits and phones → scan events → probe/response exchanges over the
+//!   radio medium (with the §III-A 40-response budget enforced by airtime)
+//!   → open-system join handshakes through the byte-level codec;
+//! * [`metrics`] — everything the paper reports: h, h_b, real-time h_b^r,
+//!   per-client SSIDs-offered counts, hit breakdowns by source
+//!   (WiGLE vs direct probe) and buffer (PB vs FB), time series;
+//! * [`report`] — text tables and series formatted like the paper's;
+//! * [`experiments`] — one driver per table and figure (Table I–IV,
+//!   Fig. 1–2, 4–6) plus the ablation matrix.
+//!
+//! ```no_run
+//! use ch_scenarios::experiments;
+//!
+//! let outcome = experiments::table1(1);
+//! println!("{}", outcome.render());
+//! ```
+
+pub mod experiments;
+pub mod metrics;
+pub mod replicate;
+pub mod report;
+pub mod runner;
+pub mod world;
+
+pub use metrics::{ClientClass, ExperimentMetrics, SummaryRow};
+pub use replicate::{replicate, Replication};
+pub use runner::{run_experiment, AttackerKind, RunConfig};
+pub use world::{CityData, World};

@@ -1,0 +1,543 @@
+//! Experiment metrics — every quantity the paper's tables and figures
+//! report.
+
+use std::collections::HashMap;
+
+use ch_attack::{Lure, LureLane, LureSource};
+use ch_sim::{SimDuration, SimTime};
+use ch_wifi::{MacAddr, Ssid};
+
+/// How the paper classifies a client: by whether it ever disclosed SSIDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientClass {
+    /// Sent only broadcast probes.
+    Broadcast,
+    /// Sent at least one direct probe.
+    Direct,
+}
+
+/// A successful association.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitRecord {
+    /// When the client associated.
+    pub at: SimTime,
+    /// The SSID that hit.
+    pub ssid: Ssid,
+    /// Database provenance of the SSID (Fig. 6 source axis).
+    pub source: LureSource,
+    /// Selection lane (Fig. 6 buffer axis).
+    pub lane: LureLane,
+}
+
+/// Per-client record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientRecord {
+    /// Broadcast-only or direct.
+    pub class: ClientClass,
+    /// First probe received from this client.
+    pub first_seen: SimTime,
+    /// Distinct SSIDs offered (sent) to this client so far.
+    pub offered: usize,
+    /// The hit, if the client was lured.
+    pub hit: Option<HitRecord>,
+}
+
+/// The one-line summary behind Tables I–III.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SummaryRow {
+    /// Attack / scenario label.
+    pub label: String,
+    /// Clients whose probes were received.
+    pub total_clients: usize,
+    /// … of which direct-probers.
+    pub direct_clients: usize,
+    /// … of which broadcast-only.
+    pub broadcast_clients: usize,
+    /// Direct-probers connected.
+    pub direct_connected: usize,
+    /// Broadcast-only clients connected.
+    pub broadcast_connected: usize,
+}
+
+impl SummaryRow {
+    /// Overall hit rate `h`.
+    pub fn h(&self) -> f64 {
+        if self.total_clients == 0 {
+            0.0
+        } else {
+            (self.direct_connected + self.broadcast_connected) as f64
+                / self.total_clients as f64
+        }
+    }
+
+    /// Broadcast hit rate `h_b`.
+    pub fn h_b(&self) -> f64 {
+        if self.broadcast_clients == 0 {
+            0.0
+        } else {
+            self.broadcast_connected as f64 / self.broadcast_clients as f64
+        }
+    }
+}
+
+/// All data collected during one run.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentMetrics {
+    clients: HashMap<MacAddr, ClientRecord>,
+    /// `(time, database size)` samples.
+    db_series: Vec<(SimTime, usize)>,
+    /// Deauthentication frames emitted (§V-B accounting).
+    pub deauth_frames: u64,
+}
+
+impl ExperimentMetrics {
+    /// Empty metrics.
+    pub fn new() -> Self {
+        ExperimentMetrics::default()
+    }
+
+    /// Records that a probe from `client` was received.
+    pub fn observe_probe(&mut self, now: SimTime, client: MacAddr, broadcast: bool) {
+        let rec = self.clients.entry(client).or_insert(ClientRecord {
+            class: ClientClass::Broadcast,
+            first_seen: now,
+            offered: 0,
+            hit: None,
+        });
+        if !broadcast {
+            rec.class = ClientClass::Direct;
+        }
+    }
+
+    /// Records `count` SSIDs offered to `client`.
+    pub fn record_offers(&mut self, client: MacAddr, count: usize) {
+        if let Some(rec) = self.clients.get_mut(&client) {
+            rec.offered += count;
+        }
+    }
+
+    /// Records a successful association.
+    pub fn record_hit(&mut self, now: SimTime, client: MacAddr, lure: &Lure) {
+        if let Some(rec) = self.clients.get_mut(&client) {
+            if rec.hit.is_none() {
+                rec.hit = Some(HitRecord {
+                    at: now,
+                    ssid: lure.ssid.clone(),
+                    source: lure.source,
+                    lane: lure.lane,
+                });
+            }
+        }
+    }
+
+    /// Samples the attacker database size (Fig. 1(a)).
+    pub fn sample_db(&mut self, now: SimTime, size: usize) {
+        self.db_series.push((now, size));
+    }
+
+    /// All client records.
+    pub fn clients(&self) -> impl Iterator<Item = (&MacAddr, &ClientRecord)> {
+        self.clients.iter()
+    }
+
+    /// Number of clients observed.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The Tables I–III summary.
+    pub fn summary(&self, label: impl Into<String>) -> SummaryRow {
+        let mut row = SummaryRow {
+            label: label.into(),
+            total_clients: 0,
+            direct_clients: 0,
+            broadcast_clients: 0,
+            direct_connected: 0,
+            broadcast_connected: 0,
+        };
+        for rec in self.clients.values() {
+            row.total_clients += 1;
+            match rec.class {
+                ClientClass::Direct => {
+                    row.direct_clients += 1;
+                    if rec.hit.is_some() {
+                        row.direct_connected += 1;
+                    }
+                }
+                ClientClass::Broadcast => {
+                    row.broadcast_clients += 1;
+                    if rec.hit.is_some() {
+                        row.broadcast_connected += 1;
+                    }
+                }
+            }
+        }
+        row
+    }
+
+    /// The database-size series, ascending in time.
+    pub fn db_series(&self) -> &[(SimTime, usize)] {
+        &self.db_series
+    }
+
+    /// Cumulative broadcast-client connections sampled per `step`
+    /// (Fig. 1(a)'s second curve).
+    pub fn cumulative_broadcast_hits(
+        &self,
+        duration: SimDuration,
+        step: SimDuration,
+    ) -> Vec<(SimTime, usize)> {
+        let mut hit_times: Vec<SimTime> = self
+            .clients
+            .values()
+            .filter(|r| r.class == ClientClass::Broadcast)
+            .filter_map(|r| r.hit.as_ref().map(|h| h.at))
+            .collect();
+        hit_times.sort_unstable();
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + step;
+        while t <= SimTime::ZERO + duration {
+            let count = hit_times.partition_point(|&h| h <= t);
+            out.push((t, count));
+            t += step;
+        }
+        out
+    }
+
+    /// Real-time broadcast hit rate per window (Fig. 1(b)): clients are
+    /// assigned to the window of their first probe; a client counts as hit
+    /// if it was eventually lured.
+    pub fn realtime_hb(
+        &self,
+        duration: SimDuration,
+        window: SimDuration,
+    ) -> Vec<(u64, usize, usize)> {
+        let buckets = duration.as_micros().div_ceil(window.as_micros()) as usize;
+        let mut totals = vec![0usize; buckets];
+        let mut hits = vec![0usize; buckets];
+        for rec in self.clients.values() {
+            if rec.class != ClientClass::Broadcast {
+                continue;
+            }
+            let b = (rec.first_seen.bucket(window) as usize).min(buckets.saturating_sub(1));
+            totals[b] += 1;
+            if rec.hit.is_some() {
+                hits[b] += 1;
+            }
+        }
+        (0..buckets)
+            .map(|b| (b as u64, hits[b], totals[b]))
+            .collect()
+    }
+
+    /// SSIDs-offered counts (Fig. 2): per broadcast client, optionally
+    /// only the connected ones.
+    pub fn offered_counts(&self, connected_only: bool) -> Vec<usize> {
+        let mut counts: Vec<usize> = self
+            .clients
+            .values()
+            .filter(|r| r.class == ClientClass::Broadcast)
+            .filter(|r| !connected_only || r.hit.is_some())
+            .map(|r| r.offered)
+            .collect();
+        counts.sort_unstable();
+        counts
+    }
+
+    /// Fig. 6 source breakdown over broadcast hits:
+    /// `(from_wigle, from_direct_probes, from_carrier)`.
+    pub fn source_breakdown(&self) -> (usize, usize, usize) {
+        let mut wigle = 0;
+        let mut direct = 0;
+        let mut carrier = 0;
+        for rec in self.clients.values() {
+            if rec.class != ClientClass::Broadcast {
+                continue;
+            }
+            if let Some(hit) = &rec.hit {
+                match hit.source {
+                    LureSource::Wigle => wigle += 1,
+                    LureSource::DirectProbe => direct += 1,
+                    LureSource::Carrier => carrier += 1,
+                }
+            }
+        }
+        (wigle, direct, carrier)
+    }
+
+    /// Fig. 6 buffer breakdown over broadcast hits:
+    /// `(popularity_side, freshness_side)` where each side includes its
+    /// ghost list, as in the paper's stacked bars.
+    pub fn lane_breakdown(&self) -> (usize, usize) {
+        let mut popularity = 0;
+        let mut freshness = 0;
+        for rec in self.clients.values() {
+            if rec.class != ClientClass::Broadcast {
+                continue;
+            }
+            if let Some(hit) = &rec.hit {
+                match hit.lane {
+                    LureLane::Popularity
+                    | LureLane::PopularityGhost
+                    | LureLane::Database => popularity += 1,
+                    LureLane::Freshness | LureLane::FreshnessGhost => freshness += 1,
+                    LureLane::DirectReply => {}
+                }
+            }
+        }
+        (popularity, freshness)
+    }
+
+    /// Mean SSIDs offered to connected broadcast clients (the "average
+    /// 130" of §III-C).
+    pub fn mean_offered_to_connected(&self) -> f64 {
+        let counts = self.offered_counts(true);
+        if counts.is_empty() {
+            0.0
+        } else {
+            counts.iter().sum::<usize>() as f64 / counts.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    fn lure(name: &str, source: LureSource, lane: LureLane) -> Lure {
+        Lure::new(Ssid::new(name).unwrap(), source, lane)
+    }
+
+    #[test]
+    fn classification_direct_wins() {
+        let mut m = ExperimentMetrics::new();
+        m.observe_probe(SimTime::ZERO, mac(1), true);
+        m.observe_probe(SimTime::from_secs(5), mac(1), false);
+        m.observe_probe(SimTime::from_secs(9), mac(1), true);
+        let row = m.summary("t");
+        assert_eq!(row.total_clients, 1);
+        assert_eq!(row.direct_clients, 1);
+        assert_eq!(row.broadcast_clients, 0);
+    }
+
+    #[test]
+    fn summary_rates() {
+        let mut m = ExperimentMetrics::new();
+        for i in 0..10 {
+            m.observe_probe(SimTime::ZERO, mac(i), true);
+        }
+        for i in 10..12 {
+            m.observe_probe(SimTime::ZERO, mac(i), false);
+        }
+        m.record_hit(
+            SimTime::from_secs(1),
+            mac(0),
+            &lure("A", LureSource::Wigle, LureLane::Popularity),
+        );
+        m.record_hit(
+            SimTime::from_secs(2),
+            mac(10),
+            &lure("B", LureSource::DirectProbe, LureLane::DirectReply),
+        );
+        let row = m.summary("t");
+        assert_eq!(row.broadcast_connected, 1);
+        assert_eq!(row.direct_connected, 1);
+        assert!((row.h() - 2.0 / 12.0).abs() < 1e-12);
+        assert!((row.h_b() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_hit_ignored() {
+        let mut m = ExperimentMetrics::new();
+        m.observe_probe(SimTime::ZERO, mac(1), true);
+        let first = lure("A", LureSource::Wigle, LureLane::Popularity);
+        m.record_hit(SimTime::from_secs(1), mac(1), &first);
+        m.record_hit(
+            SimTime::from_secs(2),
+            mac(1),
+            &lure("B", LureSource::DirectProbe, LureLane::Freshness),
+        );
+        let rec = m.clients().next().unwrap().1;
+        assert_eq!(rec.hit.as_ref().unwrap().ssid.as_str(), "A");
+    }
+
+    #[test]
+    fn hit_for_unknown_client_is_noop() {
+        let mut m = ExperimentMetrics::new();
+        m.record_hit(
+            SimTime::ZERO,
+            mac(1),
+            &lure("A", LureSource::Wigle, LureLane::Popularity),
+        );
+        assert_eq!(m.client_count(), 0);
+    }
+
+    #[test]
+    fn realtime_hb_buckets_by_first_seen() {
+        let mut m = ExperimentMetrics::new();
+        // Two clients in window 0, one hit; one client in window 1, hit.
+        m.observe_probe(SimTime::from_secs(10), mac(1), true);
+        m.observe_probe(SimTime::from_secs(20), mac(2), true);
+        m.observe_probe(SimTime::from_mins(3), mac(3), true);
+        m.record_hit(
+            SimTime::from_mins(5),
+            mac(1),
+            &lure("A", LureSource::Wigle, LureLane::Popularity),
+        );
+        m.record_hit(
+            SimTime::from_mins(4),
+            mac(3),
+            &lure("B", LureSource::Wigle, LureLane::Popularity),
+        );
+        let windows = m.realtime_hb(SimDuration::from_mins(6), SimDuration::from_mins(2));
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0], (0, 1, 2));
+        assert_eq!(windows[1], (1, 1, 1));
+        assert_eq!(windows[2], (2, 0, 0));
+    }
+
+    #[test]
+    fn cumulative_hits_monotone() {
+        let mut m = ExperimentMetrics::new();
+        for i in 0..5 {
+            m.observe_probe(SimTime::from_secs(i), mac(i as u8), true);
+            m.record_hit(
+                SimTime::from_mins(i * 5 + 1),
+                mac(i as u8),
+                &lure("A", LureSource::Wigle, LureLane::Popularity),
+            );
+        }
+        let series =
+            m.cumulative_broadcast_hits(SimDuration::from_mins(30), SimDuration::from_mins(5));
+        assert_eq!(series.len(), 6);
+        for pair in series.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(series.last().unwrap().1, 5);
+    }
+
+    #[test]
+    fn breakdowns() {
+        let mut m = ExperimentMetrics::new();
+        let cases = [
+            (1u8, LureSource::Wigle, LureLane::Popularity),
+            (2, LureSource::Wigle, LureLane::PopularityGhost),
+            (3, LureSource::DirectProbe, LureLane::Freshness),
+            (4, LureSource::Wigle, LureLane::FreshnessGhost),
+            (5, LureSource::Carrier, LureLane::Popularity),
+        ];
+        for (i, source, lane) in cases {
+            m.observe_probe(SimTime::ZERO, mac(i), true);
+            m.record_hit(SimTime::from_secs(1), mac(i), &lure("X", source, lane));
+        }
+        assert_eq!(m.source_breakdown(), (3, 1, 1));
+        assert_eq!(m.lane_breakdown(), (3, 2));
+    }
+
+    #[test]
+    fn offered_counts_and_mean() {
+        let mut m = ExperimentMetrics::new();
+        m.observe_probe(SimTime::ZERO, mac(1), true);
+        m.observe_probe(SimTime::ZERO, mac(2), true);
+        m.record_offers(mac(1), 40);
+        m.record_offers(mac(1), 40);
+        m.record_offers(mac(2), 40);
+        m.record_hit(
+            SimTime::from_secs(1),
+            mac(1),
+            &lure("A", LureSource::Wigle, LureLane::Popularity),
+        );
+        assert_eq!(m.offered_counts(false), vec![40, 80]);
+        assert_eq!(m.offered_counts(true), vec![80]);
+        assert_eq!(m.mean_offered_to_connected(), 80.0);
+    }
+
+    #[test]
+    fn empty_metrics_safe() {
+        let m = ExperimentMetrics::new();
+        let row = m.summary("empty");
+        assert_eq!(row.h(), 0.0);
+        assert_eq!(row.h_b(), 0.0);
+        assert!(m.offered_counts(false).is_empty());
+        assert_eq!(m.mean_offered_to_connected(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    proptest! {
+        /// The summary is always an exact partition of the observed
+        /// clients, for any interleaving of observations, offers and hits.
+        #[test]
+        fn prop_summary_partitions_clients(
+            events in proptest::collection::vec(
+                (0u8..24, 0u8..3, 0u64..1_800),
+                0..300,
+            ),
+        ) {
+            let mut m = ExperimentMetrics::new();
+            for (client, kind, at_secs) in events {
+                let at = SimTime::from_secs(at_secs);
+                match kind {
+                    0 => m.observe_probe(at, mac(client), true),
+                    1 => m.observe_probe(at, mac(client), false),
+                    _ => m.record_hit(
+                        at,
+                        mac(client),
+                        &Lure::new(
+                            Ssid::new("X").expect("short"),
+                            LureSource::Wigle,
+                            LureLane::Popularity,
+                        ),
+                    ),
+                }
+            }
+            let row = m.summary("prop");
+            prop_assert_eq!(
+                row.total_clients,
+                row.direct_clients + row.broadcast_clients
+            );
+            prop_assert_eq!(row.total_clients, m.client_count());
+            prop_assert!(row.direct_connected <= row.direct_clients);
+            prop_assert!(row.broadcast_connected <= row.broadcast_clients);
+            prop_assert!(row.h() <= 1.0 && row.h() >= 0.0);
+            prop_assert!(row.h_b() <= 1.0 && row.h_b() >= 0.0);
+            // Breakdown totals never exceed broadcast connections.
+            let (w, d, c) = m.source_breakdown();
+            prop_assert_eq!(w + d + c, row.broadcast_connected);
+            let (p, f) = m.lane_breakdown();
+            prop_assert_eq!(p + f, row.broadcast_connected);
+        }
+
+        /// Real-time windows partition the broadcast clients exactly.
+        #[test]
+        fn prop_realtime_windows_partition(
+            firsts in proptest::collection::vec(0u64..1_800, 1..100),
+        ) {
+            let mut m = ExperimentMetrics::new();
+            for (i, &at_secs) in firsts.iter().enumerate() {
+                m.observe_probe(
+                    SimTime::from_secs(at_secs),
+                    MacAddr::from_index([2, 0, 0], i as u32 + 1),
+                    true,
+                );
+            }
+            let windows =
+                m.realtime_hb(SimDuration::from_mins(30), SimDuration::from_mins(2));
+            let seen: usize = windows.iter().map(|(_, _, n)| n).sum();
+            prop_assert_eq!(seen, firsts.len());
+            prop_assert_eq!(windows.len(), 15);
+        }
+    }
+}

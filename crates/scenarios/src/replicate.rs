@@ -1,0 +1,242 @@
+//! Multi-seed replication.
+//!
+//! The paper reports one field run per condition; the simulator can
+//! quantify run-to-run variation instead. [`replicate`] executes the same
+//! deployment across `n` seeds (in parallel) and summarizes `h`, `h_b` and
+//! the client volume with mean ± CI via [`ch_sim::Summary`].
+
+use ch_sim::stats::Summary;
+#[cfg(test)]
+use ch_sim::SimDuration;
+
+use crate::metrics::SummaryRow;
+use crate::runner::{run_experiment, AttackerKind, RunConfig};
+use crate::world::CityData;
+
+/// The replicated result of one deployment condition.
+#[derive(Debug, Clone)]
+pub struct Replication {
+    /// Condition label.
+    pub label: String,
+    /// Per-seed summary rows, in seed order.
+    pub rows: Vec<SummaryRow>,
+    /// Summary of the overall hit rate `h`.
+    pub h: Summary,
+    /// Summary of the broadcast hit rate `h_b`.
+    pub h_b: Summary,
+    /// Summary of the observed-client volume.
+    pub clients: Summary,
+}
+
+impl Replication {
+    /// Renders one paper-style line with confidence intervals.
+    pub fn render_line(&self) -> String {
+        format!(
+            "{:<30} h = {:5.1}% ± {:4.1}%   h_b = {:5.1}% ± {:4.1}%   clients = {:6.0} ± {:4.0}   (n={})",
+            self.label,
+            100.0 * self.h.mean(),
+            100.0 * 1.96 * self.h.std_err(),
+            100.0 * self.h_b.mean(),
+            100.0 * 1.96 * self.h_b.std_err(),
+            self.clients.mean(),
+            1.96 * self.clients.std_err(),
+            self.rows.len(),
+        )
+    }
+}
+
+/// Runs `base` across `seeds.len()` seeds in parallel and summarizes.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn replicate(
+    data: &CityData,
+    base: &RunConfig,
+    label: impl Into<String>,
+    seeds: &[u64],
+) -> Replication {
+    assert!(!seeds.is_empty(), "replication needs at least one seed");
+    let label = label.into();
+    let rows: Vec<SummaryRow> = crossbeam_scope_map(seeds, |&seed| {
+        let config = RunConfig {
+            seed,
+            ..base.clone()
+        };
+        run_experiment(data, &config).summary(label.clone())
+    });
+    let h: Vec<f64> = rows.iter().map(SummaryRow::h).collect();
+    let h_b: Vec<f64> = rows.iter().map(SummaryRow::h_b).collect();
+    let clients: Vec<f64> = rows.iter().map(|r| r.total_clients as f64).collect();
+    Replication {
+        label,
+        h: Summary::of(&h).expect("non-empty"),
+        h_b: Summary::of(&h_b).expect("non-empty"),
+        clients: Summary::of(&clients).expect("non-empty"),
+        rows,
+    }
+}
+
+/// Convenience: seeds `base_seed, base_seed+1, …` for `n` replicas.
+pub fn seed_range(base_seed: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| base_seed + i).collect()
+}
+
+/// Replicates every attacker generation under one venue condition — the
+/// statistical version of the Tables I/II comparison.
+pub fn replicate_attackers(
+    data: &CityData,
+    venue_config: &RunConfig,
+    seeds: &[u64],
+) -> Vec<Replication> {
+    let contenders: Vec<(&str, AttackerKind)> = vec![
+        ("KARMA", AttackerKind::Karma),
+        ("MANA", AttackerKind::Mana),
+        ("City-Hunter (prelim)", AttackerKind::Prelim),
+        (
+            "City-Hunter (full)",
+            AttackerKind::CityHunter(Default::default()),
+        ),
+    ];
+    contenders
+        .into_iter()
+        .map(|(label, attacker)| {
+            let base = RunConfig {
+                attacker,
+                ..venue_config.clone()
+            };
+            replicate(data, &base, label, seeds)
+        })
+        .collect()
+}
+
+/// A scoped-thread parallel map over a slice (ordered results). Falls back
+/// to sequential execution for tiny inputs.
+fn crossbeam_scope_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        items.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *results[i].lock() = Some(f(&items[i]));
+            });
+        }
+    })
+    .expect("replication worker panicked");
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// A ready-made replication study: the canonical canteen and passage
+/// conditions at the given replication factor.
+pub fn standard_study(data: &CityData, base_seed: u64, replicas: usize) -> Vec<Replication> {
+    let seeds = seed_range(base_seed, replicas);
+    let mut out = Vec::new();
+    for (venue_label, config) in [
+        (
+            "canteen 12:00",
+            RunConfig::canteen_30min(AttackerKind::Karma, 0),
+        ),
+        (
+            "passage 08:00",
+            RunConfig::passage_30min(AttackerKind::Karma, 0),
+        ),
+    ] {
+        for mut replication in replicate_attackers(data, &config, &seeds) {
+            replication.label = format!("{} @ {}", replication.label, venue_label);
+            out.push(replication);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_mobility::VenueKind;
+
+    fn data() -> CityData {
+        CityData::standard(0x11)
+    }
+
+    fn quick_config(attacker: AttackerKind) -> RunConfig {
+        RunConfig {
+            venue: VenueKind::Canteen,
+            start_hour: 12,
+            duration: SimDuration::from_mins(6),
+            attacker,
+            seed: 0,
+            lure_budget: None,
+            loss: None,
+            population: None,
+            arrival_multiplier: None,
+        }
+    }
+
+    #[test]
+    fn replication_is_deterministic_and_ordered() {
+        let data = data();
+        let seeds = seed_range(100, 4);
+        let base = quick_config(AttackerKind::Mana);
+        let a = replicate(&data, &base, "mana", &seeds);
+        let b = replicate(&data, &base, "mana", &seeds);
+        assert_eq!(a.rows, b.rows, "parallel map must preserve seed order");
+        assert_eq!(a.h.mean(), b.h.mean());
+        assert_eq!(a.rows.len(), 4);
+    }
+
+    #[test]
+    fn summaries_match_rows() {
+        let data = data();
+        let seeds = seed_range(7, 3);
+        let rep = replicate(&data, &quick_config(AttackerKind::Prelim), "p", &seeds);
+        let manual_mean =
+            rep.rows.iter().map(SummaryRow::h_b).sum::<f64>() / rep.rows.len() as f64;
+        assert!((rep.h_b.mean() - manual_mean).abs() < 1e-12);
+        assert!(!rep.render_line().is_empty());
+        assert!(rep.clients.mean() > 0.0);
+    }
+
+    #[test]
+    fn single_seed_runs_sequentially() {
+        let data = data();
+        let rep = replicate(
+            &data,
+            &quick_config(AttackerKind::Karma),
+            "karma",
+            &[42],
+        );
+        assert_eq!(rep.rows.len(), 1);
+        assert_eq!(rep.h_b.mean(), 0.0, "KARMA h_b stays zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_rejected() {
+        let data = data();
+        let _ = replicate(&data, &quick_config(AttackerKind::Karma), "x", &[]);
+    }
+
+    #[test]
+    fn seed_range_shape() {
+        assert_eq!(seed_range(5, 3), vec![5, 6, 7]);
+        assert!(seed_range(0, 0).is_empty());
+    }
+}

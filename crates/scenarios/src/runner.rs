@@ -1,0 +1,657 @@
+//! The discrete-event experiment loop.
+//!
+//! One run = one venue × one hour-block × one attacker, exactly like one
+//! bar of Fig. 5. The loop is event-driven over phone scan instants:
+//!
+//! 1. group arrivals (NHPP) → per-person visits → phones with PNLs;
+//! 2. at each scan instant, an in-range probing phone emits its probes;
+//!    frames cross the lossy medium in both directions;
+//! 3. the attacker picks lures; the probe-response burst is serialized on
+//!    the channel, so at most ~40 responses land inside the client's
+//!    listen window (§III-A) — enforced by airtime, not by fiat;
+//! 4. a client that recognizes an open PNL entry runs the open-system
+//!    auth + association handshake *through the byte-level codec*, and
+//!    the hit is recorded with full provenance.
+
+use ch_attack::{
+    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker,
+    PrelimCityHunter,
+};
+use ch_attack::ext::DeauthScheduler;
+use ch_mobility::arrival::GroupArrivalProcess;
+use ch_mobility::path::{visits_for_group, Visit};
+use ch_mobility::VenueKind;
+use ch_phone::popgen::PopulationBuilder;
+use ch_phone::{JoinDecision, Phone};
+use ch_phone::scanner::ScanPlan;
+use ch_sim::{EventQueue, LossModel, SimDuration, SimRng, SimTime};
+use ch_wifi::codec;
+use ch_wifi::mgmt::{
+    AssocRequest, AssocResponse, Authentication, CapabilityInfo, MgmtFrame,
+    ProbeResponse, StatusCode,
+};
+use ch_wifi::timing;
+use ch_wifi::{Channel, MacAddr};
+
+use crate::metrics::ExperimentMetrics;
+use crate::world::{CityData, World};
+
+/// Which attacker to deploy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackerKind {
+    /// KARMA baseline.
+    Karma,
+    /// MANA baseline.
+    Mana,
+    /// §III preliminary City-Hunter.
+    Prelim,
+    /// §IV full City-Hunter with the given configuration.
+    CityHunter(CityHunterConfig),
+}
+
+impl AttackerKind {
+    /// Instantiates the attacker for a deployment site.
+    fn build(&self, data: &CityData, world: &World) -> Box<dyn Attacker> {
+        let bssid = MacAddr::from_index([0x0a, 0xbc, 0xde], 1);
+        match self {
+            AttackerKind::Karma => Box::new(KarmaAttacker::new(bssid)),
+            AttackerKind::Mana => Box::new(ManaAttacker::new(bssid)),
+            AttackerKind::Prelim => Box::new(PrelimCityHunter::new(
+                bssid,
+                &data.wigle,
+                &data.heat,
+                world.site,
+            )),
+            AttackerKind::CityHunter(config) => Box::new(CityHunter::new(
+                bssid,
+                &data.wigle,
+                &data.heat,
+                world.site,
+                config.clone(),
+            )),
+        }
+    }
+}
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Venue to deploy in.
+    pub venue: VenueKind,
+    /// Wall-clock hour the run starts at (8 = the paper's first test).
+    pub start_hour: usize,
+    /// Run length (the paper uses 30-minute and 1-hour tests).
+    pub duration: SimDuration,
+    /// Attacker to deploy (database re-initialized per run, as in §V-A).
+    pub attacker: AttackerKind,
+    /// Master seed for this run.
+    pub seed: u64,
+    /// How many lures the attacker *sends* per broadcast probe. Defaults
+    /// to the §III-A reception budget (40); values above it are sent but
+    /// truncated by the client's listen window — the physical cap the
+    /// sweep bench demonstrates.
+    pub lure_budget: Option<usize>,
+    /// Radio loss model override (default: `LossModel::urban_100mw()`).
+    pub loss: Option<LossModel>,
+    /// Population-parameter override (default: the venue's calibrated
+    /// [`crate::world::CityData::population_params_for`] values). Used by
+    /// failure-injection studies such as MAC randomization.
+    pub population: Option<ch_phone::popgen::PopulationParams>,
+    /// Scales the venue's group-arrival rate (default 1.0) — the crowd-
+    /// density knob behind the density sweep.
+    pub arrival_multiplier: Option<f64>,
+}
+
+impl RunConfig {
+    /// A 30-minute canteen lunch test — the §II/§III setting.
+    pub fn canteen_30min(attacker: AttackerKind, seed: u64) -> Self {
+        RunConfig {
+            venue: VenueKind::Canteen,
+            start_hour: 12,
+            duration: SimDuration::from_mins(30),
+            attacker,
+            seed,
+            lure_budget: None,
+            loss: None,
+            population: None,
+            arrival_multiplier: None,
+        }
+    }
+
+    /// A 30-minute subway-passage test — the §III-C setting.
+    pub fn passage_30min(attacker: AttackerKind, seed: u64) -> Self {
+        RunConfig {
+            venue: VenueKind::SubwayPassage,
+            start_hour: 8,
+            duration: SimDuration::from_mins(30),
+            attacker,
+            seed,
+            lure_budget: None,
+            loss: None,
+            population: None,
+            arrival_multiplier: None,
+        }
+    }
+}
+
+/// How often the attacker database size is sampled (Fig. 1(a)).
+const DB_SAMPLE_STEP: SimDuration = SimDuration::from_secs(60);
+
+struct Agent {
+    phone: Phone,
+    visit: Visit,
+}
+
+/// Observes every frame that crosses the simulated air — the hook behind
+/// pcap capture (`ch_wifi::pcap`). Implementations must be cheap when
+/// disabled; the runner skips frame construction entirely for observers
+/// that report `enabled() == false`.
+pub trait FrameObserver {
+    /// `true` if frames should be materialized and delivered.
+    fn enabled(&self) -> bool;
+
+    /// Called for each delivered frame, in air order.
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame);
+}
+
+/// The no-op observer used by [`run_experiment`].
+impl FrameObserver for () {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn observe(&mut self, _at: SimTime, _frame: &MgmtFrame) {}
+}
+
+/// A [`FrameObserver`] that streams frames into a pcap capture.
+///
+/// Timestamps are clamped to be non-decreasing: the runner processes
+/// per-client exchanges whole, so frames of two overlapping exchanges can
+/// arrive with ~10 ms of mutual skew — a physical sniffer would have
+/// captured them in arrival order, which is what the clamp restores.
+pub struct PcapObserver<W: std::io::Write> {
+    writer: ch_wifi::pcap::PcapWriter<W>,
+    last_at: SimTime,
+}
+
+impl<W: std::io::Write> PcapObserver<W> {
+    /// Starts a capture into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the pcap header.
+    pub fn new(sink: W) -> std::io::Result<Self> {
+        Ok(PcapObserver {
+            writer: ch_wifi::pcap::PcapWriter::new(sink)?,
+            last_at: SimTime::ZERO,
+        })
+    }
+
+    /// Finishes the capture and returns the sink.
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner()
+    }
+
+    /// Frames captured so far.
+    pub fn frames_written(&self) -> u64 {
+        self.writer.frames_written()
+    }
+}
+
+impl<W: std::io::Write> FrameObserver for PcapObserver<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+        self.last_at = self.last_at.max(at);
+        self.writer
+            .write_frame(self.last_at, frame)
+            .expect("pcap sink write failed");
+    }
+}
+
+/// Runs one experiment and returns its metrics.
+pub fn run_experiment(data: &CityData, config: &RunConfig) -> ExperimentMetrics {
+    run_experiment_observed(data, config, &mut ())
+}
+
+/// [`run_experiment`] with a [`FrameObserver`] receiving every delivered
+/// frame (probe requests, lure responses, join handshakes, deauths).
+pub fn run_experiment_observed(
+    data: &CityData,
+    config: &RunConfig,
+    observer: &mut dyn FrameObserver,
+) -> ExperimentMetrics {
+    let world = assemble_world(data, config);
+    let mut attacker = config.attacker.build(data, &world);
+    run_with(data, config, &world, attacker.as_mut(), observer)
+}
+
+/// Runs one experiment against a *caller-owned* attacker, so state (the
+/// SSID database, weights, buffer split) carries across runs — the
+/// warm-start study. `config.attacker` is ignored.
+pub fn run_experiment_with_attacker(
+    data: &CityData,
+    config: &RunConfig,
+    attacker: &mut dyn Attacker,
+) -> ExperimentMetrics {
+    let world = assemble_world(data, config);
+    run_with(data, config, &world, attacker, &mut ())
+}
+
+fn assemble_world(data: &CityData, config: &RunConfig) -> World {
+    let mut world = World::assemble(data, config.venue);
+    if let Some(population) = &config.population {
+        world.population = population.clone();
+    }
+    if let Some(multiplier) = config.arrival_multiplier {
+        assert!(
+            multiplier.is_finite() && multiplier >= 0.0,
+            "arrival multiplier must be a non-negative number"
+        );
+        world.venue.base_groups_per_hour *= multiplier;
+    }
+    world
+}
+
+fn run_with(
+    data: &CityData,
+    config: &RunConfig,
+    world: &World,
+    attacker: &mut dyn Attacker,
+    observer: &mut dyn FrameObserver,
+) -> ExperimentMetrics {
+    let root = SimRng::seed_from(config.seed);
+    let mut rng_pop = root.fork("population");
+    let mut rng_paths = root.fork("paths");
+    let mut rng_scans = root.fork("scans");
+    let mut rng_medium = root.fork("medium");
+
+    // --- Crowd and phones -------------------------------------------------
+    let process = GroupArrivalProcess::new(&world.venue, config.start_hour, config.duration);
+    let mut rng_arrivals = root.fork("arrival-stream");
+    let groups = process.generate(&mut rng_arrivals);
+    let mut builder =
+        PopulationBuilder::new(&data.wigle, &data.heat, world.population.clone());
+
+    let mut agents: Vec<Agent> = Vec::new();
+    let mut events: EventQueue<usize> = EventQueue::new();
+    for group in &groups {
+        let visits = visits_for_group(&world.venue, group, &mut rng_paths);
+        let phones = builder.phones_for_group(group.group_id, visits.len(), &mut rng_pop);
+        for (visit, phone) in visits.into_iter().zip(phones) {
+            let idx = agents.len();
+            let plan =
+                ScanPlan::for_window(&phone.scan, visit.enter_at, visit.exit_at, &mut rng_scans);
+            for &t in plan.times() {
+                events.push(t, idx);
+            }
+            agents.push(Agent { phone, visit });
+        }
+    }
+
+    // --- Radio ------------------------------------------------------------
+    let loss = config
+        .loss
+        .clone()
+        .unwrap_or_else(LossModel::urban_100mw);
+    let attacker_pos = world.venue.attacker;
+    let channel = Channel::default_attack_channel();
+    let bssid = attacker.bssid();
+    let mut deauth = DeauthScheduler::default_30s();
+
+    let mut metrics = ExperimentMetrics::new();
+    let end = SimTime::ZERO + config.duration;
+    let mut next_sample = SimTime::ZERO;
+
+    while let Some((now, idx)) = events.pop_until(end) {
+        while next_sample <= now {
+            metrics.sample_db(next_sample, attacker.database_len());
+            next_sample += DB_SAMPLE_STEP;
+        }
+
+        let agent = &mut agents[idx];
+        let Some(position) = agent.visit.position_at(now) else {
+            continue;
+        };
+        let distance = position.distance_to(attacker_pos);
+        if distance >= loss.max_range_m() {
+            // Out of radio range: the phone scans, nobody answers. Legacy
+            // phones still advance their direct-probe cursor.
+            let _ = agent.phone.probes_for_scan();
+            continue;
+        }
+
+        // §V-B deauthentication of locally-connected clients.
+        if agent.phone.connected_locally && attacker.deauth_enabled() {
+            // The attacker observed this client's data traffic; spoof its
+            // AP. One cooldown-limited frame per victim.
+            let fake_ap = MacAddr::from_index([0x00, 0x90, 0x4c], 77);
+            if let Some(frame) = deauth.try_deauth(now, agent.phone.mac, fake_ap) {
+                // The spoofed frame must itself survive the channel.
+                if rng_medium.chance(loss.delivery_prob(distance)) {
+                    let deauth_frame = MgmtFrame::Deauthentication(frame);
+                    let bytes = codec::encode(&deauth_frame);
+                    let parsed = codec::parse(&bytes).expect("own frame reparses");
+                    debug_assert!(matches!(parsed, MgmtFrame::Deauthentication(_)));
+                    if observer.enabled() {
+                        observer.observe(now, &deauth_frame);
+                    }
+                    agent.phone.handle_deauth();
+                    metrics.deauth_frames += 1;
+                }
+            }
+            continue; // it will probe at its next scan
+        }
+
+        if !agent.phone.is_probing() {
+            continue;
+        }
+        let probes = agent.phone.probes_for_scan();
+        let client_mac = agent.phone.mac;
+
+        for probe in probes {
+            // Uplink: the probe must reach the attacker.
+            if !rng_medium.chance(loss.delivery_prob(distance)) {
+                continue;
+            }
+            metrics.observe_probe(now, client_mac, probe.is_broadcast());
+            if observer.enabled() {
+                observer.observe(now, &MgmtFrame::ProbeRequest(probe.clone()));
+            }
+            let budget = config.lure_budget.unwrap_or_else(timing::responses_per_scan);
+            let lures = attacker.respond_to_probe(now, &probe, budget);
+            if lures.is_empty() {
+                continue;
+            }
+            if probe.is_broadcast() {
+                metrics.record_offers(client_mac, lures.len());
+            }
+
+            // Downlink: serialize the response burst on the channel; only
+            // frames inside the listen window can land, each subject to
+            // loss.
+            let deadline = timing::listen_deadline(now);
+            let mut elapsed = now;
+            for lure in &lures {
+                elapsed += timing::PROBE_RESPONSE_AIRTIME;
+                if elapsed > deadline {
+                    break; // window closed; rest of the burst is wasted
+                }
+                if !rng_medium.chance(loss.delivery_prob(distance)) {
+                    continue;
+                }
+                let response = ProbeResponse::open_lure(
+                    bssid,
+                    client_mac,
+                    lure.ssid.clone(),
+                    channel,
+                );
+                if observer.enabled() {
+                    observer
+                        .observe(elapsed, &MgmtFrame::ProbeResponse(response.clone()));
+                }
+                if agent.phone.evaluate_offer(&response) == JoinDecision::Join {
+                    if join_handshake(&mut agent.phone, bssid, &response, elapsed, observer) {
+                        attacker.on_hit(elapsed, client_mac, lure);
+                        metrics.record_hit(elapsed, client_mac, lure);
+                    }
+                    break;
+                }
+            }
+            if agent.phone.is_connected() {
+                break;
+            }
+        }
+    }
+
+    while next_sample <= end {
+        metrics.sample_db(next_sample, attacker.database_len());
+        next_sample += DB_SAMPLE_STEP;
+    }
+    metrics
+}
+
+/// Runs the open-system join through the byte-level codec: auth request →
+/// auth response → association request → association response. Returns
+/// `true` (and connects the phone) on success; any codec failure would
+/// surface here exactly as it would against real hardware.
+fn join_handshake(
+    phone: &mut Phone,
+    bssid: MacAddr,
+    offer: &ProbeResponse,
+    at: SimTime,
+    observer: &mut dyn FrameObserver,
+) -> bool {
+    let legs = [
+        MgmtFrame::Authentication(Authentication::request(phone.mac, bssid)),
+        MgmtFrame::Authentication(Authentication::response(
+            bssid,
+            phone.mac,
+            StatusCode::Success,
+        )),
+        MgmtFrame::AssocRequest(AssocRequest {
+            source: phone.mac,
+            bssid,
+            ssid: offer.ssid.clone(),
+            capabilities: CapabilityInfo::open_ap(),
+        }),
+        MgmtFrame::AssocResponse(AssocResponse {
+            bssid,
+            destination: phone.mac,
+            status: StatusCode::Success,
+            association_id: 1,
+        }),
+    ];
+    for frame in &legs {
+        let bytes = codec::encode(frame);
+        match codec::parse(&bytes) {
+            Ok(parsed) if &parsed == frame => {}
+            _ => return false,
+        }
+        if observer.enabled() {
+            observer.observe(at, frame);
+        }
+    }
+    phone.connect_to(offer.ssid.clone());
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ClientClass;
+
+    fn short_run(attacker: AttackerKind, seed: u64) -> ExperimentMetrics {
+        let data = CityData::standard(99);
+        let config = RunConfig {
+            venue: VenueKind::Canteen,
+            start_hour: 12,
+            duration: SimDuration::from_mins(10),
+            attacker,
+            seed,
+            lure_budget: None,
+            loss: None,
+            population: None,
+            arrival_multiplier: None,
+        };
+        run_experiment(&data, &config)
+    }
+
+    #[test]
+    fn karma_never_hits_broadcast_clients() {
+        let m = short_run(AttackerKind::Karma, 1);
+        let row = m.summary("karma");
+        assert!(row.total_clients > 50, "clients {}", row.total_clients);
+        assert_eq!(row.broadcast_connected, 0, "KARMA h_b must be 0");
+    }
+
+    #[test]
+    fn cityhunter_hits_broadcast_clients() {
+        let m = short_run(
+            AttackerKind::CityHunter(CityHunterConfig::default()),
+            2,
+        );
+        let row = m.summary("ch");
+        assert!(row.broadcast_connected > 0, "{row:?}");
+        assert!(row.h_b() > 0.02, "h_b {}", row.h_b());
+        assert!(row.h() >= row.h_b(), "h >= h_b always (§V-A)");
+    }
+
+    #[test]
+    fn direct_clients_minority() {
+        let m = short_run(AttackerKind::Mana, 3);
+        let row = m.summary("mana");
+        let direct_share = row.direct_clients as f64 / row.total_clients as f64;
+        assert!(
+            (0.08..0.25).contains(&direct_share),
+            "direct share {direct_share}"
+        );
+    }
+
+    #[test]
+    fn db_series_sampled_and_monotone_for_mana() {
+        let m = short_run(AttackerKind::Mana, 4);
+        let series = m.db_series();
+        assert!(series.len() >= 10);
+        for pair in series.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "MANA DB only grows");
+            assert!(pair[0].0 < pair[1].0);
+        }
+        assert!(series.last().unwrap().1 > 0, "some SSIDs harvested");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_metrics() {
+        let a = short_run(AttackerKind::Prelim, 7);
+        let b = short_run(AttackerKind::Prelim, 7);
+        assert_eq!(a.summary("x"), b.summary("x"));
+        assert_eq!(a.offered_counts(false), b.offered_counts(false));
+        assert_eq!(a.db_series(), b.db_series());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = short_run(AttackerKind::Prelim, 8);
+        let b = short_run(AttackerKind::Prelim, 9);
+        assert_ne!(a.summary("x"), b.summary("x"));
+    }
+
+    #[test]
+    fn offered_counts_bounded_by_database() {
+        // The §III-A untried invariant: no client is ever offered more
+        // SSIDs than the database holds, and single-scan clients get at
+        // most one 40-SSID burst.
+        let m = short_run(AttackerKind::Prelim, 10);
+        let final_db = m.db_series().last().unwrap().1;
+        let mut max_offered = 0;
+        for (_, rec) in m.clients() {
+            if rec.class == ClientClass::Broadcast {
+                assert!(
+                    rec.offered <= final_db,
+                    "offered {} > db {final_db}",
+                    rec.offered
+                );
+                max_offered = max_offered.max(rec.offered);
+            }
+        }
+        assert!(max_offered >= timing::responses_per_scan(), "{max_offered}");
+    }
+
+    #[test]
+    fn lure_budget_knob_caps_offers() {
+        let data = CityData::standard(99);
+        let config = RunConfig {
+            lure_budget: Some(10),
+            ..RunConfig {
+                venue: VenueKind::Canteen,
+                start_hour: 12,
+                duration: SimDuration::from_mins(6),
+                attacker: AttackerKind::Prelim,
+                seed: 21,
+                lure_budget: None,
+                loss: None,
+                population: None,
+                arrival_multiplier: None,
+            }
+        };
+        let m = run_experiment(&data, &config);
+        // The first burst to any client is at most 10 SSIDs.
+        let min_positive = m
+            .offered_counts(false)
+            .into_iter()
+            .filter(|&c| c > 0)
+            .min()
+            .unwrap_or(0);
+        assert!(min_positive <= 10, "{min_positive}");
+    }
+
+    #[test]
+    fn loss_knob_shrinks_coverage() {
+        let data = CityData::standard(99);
+        let base = RunConfig {
+            venue: VenueKind::SubwayPassage,
+            start_hour: 8,
+            duration: SimDuration::from_mins(6),
+            attacker: AttackerKind::Karma,
+            seed: 22,
+            lure_budget: None,
+            loss: None,
+            population: None,
+            arrival_multiplier: None,
+        };
+        let short = RunConfig {
+            loss: Some(ch_sim::LossModel::new(10.0, 15.0, 0.97)),
+            ..base.clone()
+        };
+        let wide = run_experiment(&data, &base).client_count();
+        let narrow = run_experiment(&data, &short).client_count();
+        assert!(
+            narrow * 2 < wide,
+            "15m range ({narrow}) must observe far fewer than 60m ({wide})"
+        );
+    }
+
+    #[test]
+    fn arrival_multiplier_scales_volume() {
+        let data = CityData::standard(99);
+        let base = RunConfig {
+            venue: VenueKind::Canteen,
+            start_hour: 12,
+            duration: SimDuration::from_mins(10),
+            attacker: AttackerKind::Karma,
+            seed: 23,
+            lure_budget: None,
+            loss: None,
+            population: None,
+            arrival_multiplier: None,
+        };
+        let doubled = RunConfig {
+            arrival_multiplier: Some(2.0),
+            ..base.clone()
+        };
+        let n1 = run_experiment(&data, &base).client_count() as f64;
+        let n2 = run_experiment(&data, &doubled).client_count() as f64;
+        let ratio = n2 / n1;
+        assert!((1.6..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn deauth_extension_reaches_silent_clients() {
+        let with = short_run(
+            AttackerKind::CityHunter(CityHunterConfig {
+                deauth: true,
+                ..CityHunterConfig::default()
+            }),
+            11,
+        );
+        let without = short_run(
+            AttackerKind::CityHunter(CityHunterConfig::default()),
+            11,
+        );
+        assert!(with.deauth_frames > 0);
+        assert_eq!(without.deauth_frames, 0);
+        assert!(with.client_count() > 0 && without.client_count() > 0);
+    }
+}

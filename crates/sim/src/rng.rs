@@ -1,0 +1,681 @@
+//! Seeded randomness and the distributions the workload generators need.
+//!
+//! All stochastic behaviour in the City-Hunter simulation flows through
+//! [`SimRng`]. A `SimRng` is created from an explicit `u64` seed and can be
+//! [`fork`](SimRng::fork)ed into independent child streams keyed by a label,
+//! so that adding randomness to one subsystem never perturbs another — the
+//! property that keeps regenerated tables and figures stable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic random-number generator for the simulation.
+///
+/// ```
+/// use ch_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Forked streams are independent of the parent's subsequent draws.
+/// let mut child = a.fork("arrivals");
+/// let _ = child.range_f64(0.0, 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator from this generator's seed and
+    /// a label. Forking does not consume any randomness from `self`, and the
+    /// child depends only on `(seed, label)` — not on how much of the parent
+    /// stream has been used.
+    pub fn fork(&self, label: &str) -> SimRng {
+        SimRng::seed_from(splitmix64(self.seed ^ fnv1a(label.as_bytes())))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "range_f64: empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "range_usize: empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit_f64() < p
+        }
+    }
+
+    /// Exponential variate with the given rate (events per unit);
+    /// mean `1 / rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential: rate must be > 0, got {rate}");
+        // Inverse CDF; guard the log argument away from 0.
+        let u = 1.0 - self.unit_f64();
+        -u.ln() / rate
+    }
+
+    /// Normal variate via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.unit_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Log-normal variate with the given *underlying* normal parameters.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Poisson variate with mean `lambda`.
+    ///
+    /// Uses Knuth's product method for small means and a clamped normal
+    /// approximation above 30 (plenty for our arrival counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "poisson: bad lambda {lambda}"
+        );
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let limit = (-lambda).exp();
+            let mut product = self.unit_f64();
+            let mut count = 0u64;
+            while product > limit {
+                product *= self.unit_f64();
+                count += 1;
+            }
+            count
+        } else {
+            let x = self.normal(lambda, lambda.sqrt());
+            x.round().max(0.0) as u64
+        }
+    }
+
+    /// Picks an index in `0..weights.len()` with probability proportional to
+    /// `weights[i]`. Non-finite or negative weights count as zero.
+    ///
+    /// Returns `None` if the slice is empty or all weights are zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights
+            .iter()
+            .map(|w| if w.is_finite() && *w > 0.0 { *w } else { 0.0 })
+            .sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.unit_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = if w.is_finite() && w > 0.0 { w } else { 0.0 };
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights
+            .iter()
+            .rposition(|w| w.is_finite() && *w > 0.0)
+    }
+
+    /// Picks a uniformly random element of `items`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range_usize(0, items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir-free partial
+    /// Fisher–Yates). Returns all of `0..n` shuffled if `k >= n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        let k = k.min(n);
+        for i in 0..k {
+            let j = self.range_usize(i, n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Pre-tabulated Zipf sampler over ranks `1..=n`.
+///
+/// `P(rank = r) ∝ r^(-s)`. The popularity of public SSIDs across phone PNLs
+/// is modelled as Zipf-distributed, which is what makes a small,
+/// well-chosen WiGLE seed cover a meaningful share of the population — the
+/// effect City-Hunter exploits (§III-B).
+///
+/// ```
+/// use ch_sim::{rng::Zipf, SimRng};
+///
+/// let zipf = Zipf::new(100, 1.0).unwrap();
+/// let mut rng = SimRng::seed_from(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+/// Error constructing a [`Zipf`] distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipfError {
+    n: usize,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zipf distribution needs at least one rank, got {}", self.n)
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s` (clamped to ≥ 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZipfError`] if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError { n });
+        }
+        let s = s.max(0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if the distribution has exactly one rank (never empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a 1-based rank.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i + 2.min(self.cdf.len()),
+            Err(i) => i + 1,
+        }
+        .min(self.cdf.len())
+    }
+
+    /// Probability mass of rank `r` (1-based); zero if out of range.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 || r > self.cdf.len() {
+            return 0.0;
+        }
+        if r == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[r - 1] - self.cdf[r - 2]
+        }
+    }
+
+    /// Cumulative mass of the top `k` ranks.
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[k.min(self.cdf.len()) - 1]
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(99);
+        let mut b = SimRng::seed_from(99);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_is_label_dependent_and_parent_stateless() {
+        let parent = SimRng::seed_from(5);
+        let mut c1 = parent.fork("arrivals");
+        let mut c2 = parent.fork("pnl");
+        assert_ne!(c1.next_u64(), c2.next_u64());
+
+        // Consuming the parent does not change what a fork produces.
+        let mut parent2 = SimRng::seed_from(5);
+        let _ = parent2.next_u64();
+        let mut c1_again = parent2.fork("arrivals");
+        let mut c1_ref = SimRng::seed_from(5).fork("arrivals");
+        assert_eq!(c1_again.next_u64(), c1_ref.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(1);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-1.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::seed_from(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.15, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.6, "var={var}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = SimRng::seed_from(4);
+        let n = 10_000;
+        for lambda in [0.5, 3.0, 80.0] {
+            let mean: f64 =
+                (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.08,
+                "lambda={lambda} mean={mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from(5);
+        let weights = [0.0, 9.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((7.0..12.0).contains(&ratio), "ratio={ratio}");
+        assert_eq!(rng.weighted_index(&[]), None);
+        assert_eq!(rng.weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(rng.weighted_index(&[f64::NAN, 1.0]), Some(1));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = SimRng::seed_from(6);
+        let picks = rng.sample_indices(50, 10);
+        assert_eq!(picks.len(), 10);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(picks.iter().all(|&i| i < 50));
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+        assert!(rng.sample_indices(0, 5).is_empty());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(7);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_head_mass_and_skew() {
+        let zipf = Zipf::new(2_000, 1.0).unwrap();
+        // With s=1 over 2000 ranks, the top 40 ranks carry roughly half the
+        // mass — the quantitative hook behind the WiGLE top-list (§III-B).
+        let head = zipf.head_mass(40);
+        assert!((0.4..0.6).contains(&head), "head={head}");
+        assert!(zipf.pmf(1) > zipf.pmf(2));
+        assert_eq!(zipf.pmf(0), 0.0);
+        assert_eq!(zipf.pmf(9_999), 0.0);
+        let total: f64 = (1..=2_000).map(|r| zipf.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let zipf = Zipf::new(50, 1.2).unwrap();
+        let mut rng = SimRng::seed_from(8);
+        let n = 50_000;
+        let mut counts = vec![0usize; 51];
+        for _ in 0..n {
+            let r = zipf.sample(&mut rng);
+            assert!((1..=50).contains(&r));
+            counts[r] += 1;
+        }
+        let observed_top = counts[1] as f64 / n as f64;
+        assert!(
+            (observed_top - zipf.pmf(1)).abs() < 0.02,
+            "observed={observed_top} expect={}",
+            zipf.pmf(1)
+        );
+    }
+
+    #[test]
+    fn zipf_zero_ranks_rejected() {
+        let err = Zipf::new(0, 1.0).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let zipf = Zipf::new(4, 0.0).unwrap();
+        for r in 1..=4 {
+            assert!((zipf.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+}
+
+/// Walker's alias method: O(1) sampling from a fixed weighted
+/// distribution, built in O(n).
+///
+/// [`SimRng::weighted_index`] is O(n) per draw, which is fine for one-off
+/// choices but not for the population generator, which samples a public
+/// SSID per PNL entry across tens of thousands of phones per campaign.
+///
+/// ```
+/// use ch_sim::{rng::WeightedAlias, SimRng};
+///
+/// let alias = WeightedAlias::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = SimRng::seed_from(5);
+/// let i = alias.sample(&mut rng);
+/// assert!(i == 0 || i == 2, "zero-weight index never drawn");
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedAlias {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+/// Error constructing a [`WeightedAlias`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedAliasError {
+    /// The weight slice was empty.
+    Empty,
+    /// No weight was strictly positive (or weights were non-finite).
+    NoMass,
+}
+
+impl std::fmt::Display for WeightedAliasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedAliasError::Empty => write!(f, "alias table needs weights"),
+            WeightedAliasError::NoMass => {
+                write!(f, "alias table needs positive finite mass")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightedAliasError {}
+
+impl WeightedAlias {
+    /// Builds the table. Non-finite or negative weights count as zero.
+    ///
+    /// # Errors
+    ///
+    /// [`WeightedAliasError`] if `weights` is empty or carries no mass.
+    pub fn new(weights: &[f64]) -> Result<Self, WeightedAliasError> {
+        if weights.is_empty() {
+            return Err(WeightedAliasError::Empty);
+        }
+        let clean: Vec<f64> = weights
+            .iter()
+            .map(|w| if w.is_finite() && *w > 0.0 { *w } else { 0.0 })
+            .collect();
+        let total: f64 = clean.iter().sum();
+        if total <= 0.0 {
+            return Err(WeightedAliasError::NoMass);
+        }
+        let n = clean.len();
+        let mut prob: Vec<f64> = clean.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical slack: whatever remains gets probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Ok(WeightedAlias { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` is impossible — construction rejects empty tables — but the
+    /// method exists for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws an index in O(1).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let i = rng.range_usize(0, self.prob.len());
+        if rng.unit_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod alias_tests {
+    use super::*;
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            WeightedAlias::new(&[]).unwrap_err(),
+            WeightedAliasError::Empty
+        );
+        assert!(!WeightedAliasError::Empty.to_string().is_empty());
+    }
+
+    #[test]
+    fn empirical_distribution_matches_weights() {
+        let weights = [1.0, 2.0, 0.0, 5.0];
+        let alias = WeightedAlias::new(&weights).unwrap();
+        assert_eq!(alias.len(), 4);
+        let mut rng = SimRng::seed_from(17);
+        let n = 80_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[alias.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero weight never drawn");
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let observed = counts[i] as f64 / n as f64;
+            let expected = w / total;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "index {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_weighted_index() {
+        let weights: Vec<f64> = (0..100).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let alias = WeightedAlias::new(&weights).unwrap();
+        let mut rng_a = SimRng::seed_from(23);
+        let mut rng_b = SimRng::seed_from(24);
+        let n = 50_000;
+        let mut head_alias = 0usize;
+        let mut head_linear = 0usize;
+        for _ in 0..n {
+            if alias.sample(&mut rng_a) < 10 {
+                head_alias += 1;
+            }
+            if rng_b.weighted_index(&weights).unwrap() < 10 {
+                head_linear += 1;
+            }
+        }
+        let diff = (head_alias as f64 - head_linear as f64).abs() / n as f64;
+        assert!(diff < 0.01, "alias {head_alias} vs linear {head_linear}");
+    }
+
+    #[test]
+    fn single_category() {
+        let alias = WeightedAlias::new(&[42.0]).unwrap();
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10 {
+            assert_eq!(alias.sample(&mut rng), 0);
+        }
+        assert!(!alias.is_empty());
+    }
+
+    #[test]
+    fn rejects_nan_only_mass() {
+        assert_eq!(
+            WeightedAlias::new(&[f64::NAN, -1.0, 0.0]).unwrap_err(),
+            WeightedAliasError::NoMass
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Lightweight simulation tracing.
+//!
+//! Experiments normally run with [`NullTrace`] (zero cost); tests and
+//! debugging sessions swap in a [`VecTrace`] to capture a timeline of what
+//! the simulation did without changing any behaviour.
+
+use crate::time::SimTime;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Subsystem that emitted it (e.g. `"attacker"`, `"phone"`).
+    pub source: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Sink for simulation trace events.
+///
+/// Implementations must be cheap when tracing is disabled; callers are
+/// encouraged to build messages lazily:
+///
+/// ```
+/// use ch_sim::{NullTrace, SimTime, TraceSink};
+///
+/// let mut sink = NullTrace;
+/// if sink.enabled() {
+///     sink.record(SimTime::ZERO, "demo", format!("expensive {}", 42));
+/// }
+/// ```
+pub trait TraceSink {
+    /// `true` if events will actually be kept; lets callers skip building
+    /// messages.
+    fn enabled(&self) -> bool;
+
+    /// Records one event.
+    fn record(&mut self, at: SimTime, source: &'static str, message: String);
+}
+
+/// Discards everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _at: SimTime, _source: &'static str, _message: String) {}
+}
+
+/// Keeps events in memory, optionally capped.
+#[derive(Debug, Clone, Default)]
+pub struct VecTrace {
+    events: Vec<TraceEvent>,
+    cap: Option<usize>,
+    dropped: u64,
+}
+
+impl VecTrace {
+    /// An unbounded in-memory trace.
+    pub fn new() -> Self {
+        VecTrace::default()
+    }
+
+    /// A trace that keeps at most `cap` events and counts the overflow.
+    pub fn with_cap(cap: usize) -> Self {
+        VecTrace {
+            events: Vec::new(),
+            cap: Some(cap),
+            dropped: 0,
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were discarded due to the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events from the given source only.
+    pub fn from_source<'a>(
+        &'a self,
+        source: &'a str,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.source == source)
+    }
+}
+
+impl TraceSink for VecTrace {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, at: SimTime, source: &'static str, message: String) {
+        if let Some(cap) = self.cap {
+            if self.events.len() >= cap {
+                self.dropped += 1;
+                return;
+            }
+        }
+        self.events.push(TraceEvent {
+            at,
+            source,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_trace_is_disabled() {
+        let mut t = NullTrace;
+        assert!(!t.enabled());
+        t.record(SimTime::ZERO, "x", "ignored".into());
+    }
+
+    #[test]
+    fn vec_trace_records_in_order() {
+        let mut t = VecTrace::new();
+        assert!(t.enabled());
+        t.record(SimTime::from_secs(1), "a", "first".into());
+        t.record(SimTime::from_secs(2), "b", "second".into());
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].message, "first");
+        assert_eq!(t.from_source("b").count(), 1);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn cap_drops_overflow() {
+        let mut t = VecTrace::with_cap(2);
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), "s", format!("e{i}"));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[1].message, "e1");
+    }
+}

@@ -1,0 +1,141 @@
+//! 2.4 GHz channels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 2.4 GHz 802.11 channel (1–14).
+///
+/// The paper's attacker is a single-radio Raspberry Pi parked on one
+/// channel; clients visit it during their scan sweep. The channel number
+/// travels in the DS Parameter Set information element of beacons and probe
+/// responses.
+///
+/// ```
+/// use ch_wifi::Channel;
+/// let ch = Channel::new(6)?;
+/// assert_eq!(ch.center_mhz(), 2437);
+/// # Ok::<(), ch_wifi::channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Channel(u8);
+
+/// Error constructing a [`Channel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelError {
+    number: u8,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid 2.4 GHz channel number {}", self.number)
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+impl Channel {
+    /// Creates channel `number`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError`] unless `1 <= number <= 14`.
+    pub fn new(number: u8) -> Result<Self, ChannelError> {
+        if (1..=14).contains(&number) {
+            Ok(Channel(number))
+        } else {
+            Err(ChannelError { number })
+        }
+    }
+
+    /// Channel 1 — the attacker's default perch.
+    pub const fn default_attack_channel() -> Self {
+        Channel(1)
+    }
+
+    /// The channel number.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Center frequency in MHz (channel 14 has its special offset).
+    pub fn center_mhz(self) -> u32 {
+        if self.0 == 14 {
+            2484
+        } else {
+            2407 + 5 * self.0 as u32
+        }
+    }
+
+    /// `true` if the two channels' 22 MHz masks overlap (closer than five
+    /// channel numbers apart) — why the paper placed the KARMA and MANA
+    /// attackers 40 m apart rather than sharing a spot.
+    pub fn overlaps(self, other: Channel) -> bool {
+        self.0.abs_diff(other.0) < 5
+    }
+
+    /// Iterator over all 2.4 GHz channels in scan order.
+    pub fn all() -> impl Iterator<Item = Channel> {
+        (1..=14).map(Channel)
+    }
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel::default_attack_channel()
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for Channel {
+    type Error = ChannelError;
+
+    fn try_from(number: u8) -> Result<Self, Self::Error> {
+        Channel::new(number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_bounds() {
+        assert!(Channel::new(0).is_err());
+        assert!(Channel::new(1).is_ok());
+        assert!(Channel::new(14).is_ok());
+        assert!(Channel::new(15).is_err());
+        assert!(Channel::new(0).unwrap_err().to_string().contains('0'));
+    }
+
+    #[test]
+    fn frequencies() {
+        assert_eq!(Channel::new(1).unwrap().center_mhz(), 2412);
+        assert_eq!(Channel::new(6).unwrap().center_mhz(), 2437);
+        assert_eq!(Channel::new(11).unwrap().center_mhz(), 2462);
+        assert_eq!(Channel::new(14).unwrap().center_mhz(), 2484);
+    }
+
+    #[test]
+    fn overlap_rule() {
+        let c1 = Channel::new(1).unwrap();
+        let c6 = Channel::new(6).unwrap();
+        let c4 = Channel::new(4).unwrap();
+        assert!(!c1.overlaps(c6));
+        assert!(c1.overlaps(c4));
+        assert!(c1.overlaps(c1));
+    }
+
+    #[test]
+    fn all_covers_band() {
+        let channels: Vec<_> = Channel::all().collect();
+        assert_eq!(channels.len(), 14);
+        assert_eq!(channels[0].number(), 1);
+        assert_eq!(channels[13].number(), 14);
+    }
+}

@@ -1,0 +1,508 @@
+//! Byte-level encoding and parsing of management frames.
+//!
+//! The wire format follows IEEE 802.11: a little-endian frame-control word,
+//! duration, three addresses, sequence control, then the subtype-specific
+//! fixed fields and information elements. The attacker and phone state
+//! machines exchange encoded frames through this codec in the integration
+//! tests, so frame-construction bugs would surface as handshake failures —
+//! the same place they would surface against real hardware.
+
+use bytes::{Buf, BufMut};
+
+use crate::frame::{FrameControl, MgmtHeader, MgmtSubtype};
+use crate::ie::{IeError, InformationElement};
+use crate::mac::MacAddr;
+use crate::mgmt::{
+    AssocRequest, AssocResponse, Authentication, Beacon, CapabilityInfo,
+    Deauthentication, MgmtFrame, ProbeRequest, ProbeResponse, ReasonCode, StatusCode,
+};
+use crate::ssid::Ssid;
+
+/// Error parsing a byte buffer into a [`MgmtFrame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the 24-byte management header plus the subtype's
+    /// fixed fields.
+    Truncated {
+        /// Bytes required by the point of failure.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The frame-control word is not a recognized management frame.
+    NotManagement {
+        /// Raw frame-control word.
+        word: u16,
+    },
+    /// A malformed information element.
+    Ie(IeError),
+    /// The body lacks a required element (e.g. a probe response without an
+    /// SSID).
+    MissingSsid,
+    /// Authentication algorithm other than open-system.
+    UnsupportedAuthAlgorithm {
+        /// The offending algorithm number.
+        algorithm: u16,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "frame truncated: needed {needed} bytes, had {available}")
+            }
+            CodecError::NotManagement { word } => {
+                write!(f, "frame control word {word:#06x} is not management")
+            }
+            CodecError::Ie(e) => write!(f, "bad information element: {e}"),
+            CodecError::MissingSsid => write!(f, "frame body lacks an ssid element"),
+            CodecError::UnsupportedAuthAlgorithm { algorithm } => {
+                write!(f, "unsupported authentication algorithm {algorithm}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Ie(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IeError> for CodecError {
+    fn from(e: IeError) -> Self {
+        CodecError::Ie(e)
+    }
+}
+
+const HEADER_LEN: usize = 24;
+
+/// Encodes a frame to wire bytes.
+///
+/// ```
+/// use ch_wifi::{codec, mgmt::{MgmtFrame, ProbeRequest}, MacAddr};
+/// let frame = MgmtFrame::ProbeRequest(ProbeRequest::broadcast(
+///     MacAddr::new([2, 0, 0, 0, 0, 7]),
+/// ));
+/// let bytes = codec::encode(&frame);
+/// assert!(bytes.len() >= 24);
+/// ```
+pub fn encode(frame: &MgmtFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    let fc = FrameControl::mgmt(frame.subtype());
+    out.put_u16_le(fc.to_word());
+    out.put_u16_le(0); // duration
+    let header = frame.header();
+    out.put_slice(&header.addr1.octets());
+    out.put_slice(&header.addr2.octets());
+    out.put_slice(&header.addr3.octets());
+    out.put_u16_le(header.sequence << 4);
+    encode_body(frame, &mut out);
+    out
+}
+
+fn encode_body(frame: &MgmtFrame, out: &mut Vec<u8>) {
+    match frame {
+        MgmtFrame::ProbeRequest(p) => {
+            InformationElement::Ssid(p.ssid.clone()).encode_into(out);
+            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec())
+                .encode_into(out);
+        }
+        MgmtFrame::ProbeResponse(p) => {
+            out.put_u64_le(0); // timestamp (filled by hardware in reality)
+            out.put_u16_le(100); // beacon interval
+            out.put_u16_le(p.capabilities.to_word());
+            for e in p.elements() {
+                e.encode_into(out);
+            }
+        }
+        MgmtFrame::Beacon(b) => {
+            out.put_u64_le(0);
+            out.put_u16_le(b.interval_tu);
+            out.put_u16_le(b.capabilities.to_word());
+            InformationElement::Ssid(b.ssid.clone()).encode_into(out);
+            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec())
+                .encode_into(out);
+            InformationElement::DsParameter(b.channel).encode_into(out);
+        }
+        MgmtFrame::Authentication(a) => {
+            out.put_u16_le(0); // open system
+            out.put_u16_le(a.transaction);
+            out.put_u16_le(a.status as u16);
+        }
+        MgmtFrame::AssocRequest(a) => {
+            out.put_u16_le(a.capabilities.to_word());
+            out.put_u16_le(10); // listen interval
+            InformationElement::Ssid(a.ssid.clone()).encode_into(out);
+            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec())
+                .encode_into(out);
+        }
+        MgmtFrame::AssocResponse(a) => {
+            out.put_u16_le(CapabilityInfo::open_ap().to_word());
+            out.put_u16_le(a.status as u16);
+            out.put_u16_le(a.association_id | 0xc000);
+        }
+        MgmtFrame::Deauthentication(d) => {
+            out.put_u16_le(d.reason as u16);
+        }
+    }
+}
+
+/// Parses wire bytes into a frame.
+///
+/// # Errors
+///
+/// Any [`CodecError`] on truncated or malformed input.
+pub fn parse(bytes: &[u8]) -> Result<MgmtFrame, CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::Truncated {
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    let mut buf = bytes;
+    let fc_word = buf.get_u16_le();
+    let fc = FrameControl::from_word(fc_word)
+        .ok_or(CodecError::NotManagement { word: fc_word })?;
+    let _duration = buf.get_u16_le();
+    let addr1 = read_mac(&mut buf);
+    let addr2 = read_mac(&mut buf);
+    let addr3 = read_mac(&mut buf);
+    let seq_ctl = buf.get_u16_le();
+    let header = MgmtHeader::new(addr1, addr2, addr3, seq_ctl >> 4);
+    parse_body(fc.subtype, header, buf)
+}
+
+fn read_mac(buf: &mut &[u8]) -> MacAddr {
+    let mut octets = [0u8; 6];
+    buf.copy_to_slice(&mut octets);
+    MacAddr::new(octets)
+}
+
+fn need(buf: &[u8], needed: usize) -> Result<(), CodecError> {
+    if buf.len() < needed {
+        Err(CodecError::Truncated {
+            needed: HEADER_LEN + needed,
+            available: HEADER_LEN + buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn parse_body(
+    subtype: MgmtSubtype,
+    header: MgmtHeader,
+    mut buf: &[u8],
+) -> Result<MgmtFrame, CodecError> {
+    match subtype {
+        MgmtSubtype::ProbeRequest => {
+            let elements = InformationElement::parse_all(buf)?;
+            let ssid = InformationElement::find_ssid(&elements)
+                .cloned()
+                .unwrap_or_else(Ssid::wildcard);
+            Ok(MgmtFrame::ProbeRequest(ProbeRequest {
+                source: header.addr2,
+                ssid,
+            }))
+        }
+        MgmtSubtype::ProbeResponse => {
+            need(buf, 12)?;
+            let _timestamp = buf.get_u64_le();
+            let _interval = buf.get_u16_le();
+            let capabilities = CapabilityInfo::from_word(buf.get_u16_le());
+            let elements = InformationElement::parse_all(buf)?;
+            let ssid = InformationElement::find_ssid(&elements)
+                .cloned()
+                .ok_or(CodecError::MissingSsid)?;
+            let channel = elements
+                .iter()
+                .find_map(|e| match e {
+                    InformationElement::DsParameter(c) => Some(*c),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            Ok(MgmtFrame::ProbeResponse(ProbeResponse {
+                bssid: header.addr2,
+                destination: header.addr1,
+                ssid,
+                capabilities,
+                channel,
+            }))
+        }
+        MgmtSubtype::Beacon => {
+            need(buf, 12)?;
+            let _timestamp = buf.get_u64_le();
+            let interval_tu = buf.get_u16_le();
+            let capabilities = CapabilityInfo::from_word(buf.get_u16_le());
+            let elements = InformationElement::parse_all(buf)?;
+            let ssid = InformationElement::find_ssid(&elements)
+                .cloned()
+                .ok_or(CodecError::MissingSsid)?;
+            let channel = elements
+                .iter()
+                .find_map(|e| match e {
+                    InformationElement::DsParameter(c) => Some(*c),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            Ok(MgmtFrame::Beacon(Beacon {
+                bssid: header.addr2,
+                ssid,
+                capabilities,
+                channel,
+                interval_tu,
+            }))
+        }
+        MgmtSubtype::Authentication => {
+            need(buf, 6)?;
+            let algorithm = buf.get_u16_le();
+            if algorithm != 0 {
+                return Err(CodecError::UnsupportedAuthAlgorithm { algorithm });
+            }
+            let transaction = buf.get_u16_le();
+            let status = StatusCode::from_word(buf.get_u16_le());
+            Ok(MgmtFrame::Authentication(Authentication {
+                source: header.addr2,
+                destination: header.addr1,
+                transaction,
+                status,
+            }))
+        }
+        MgmtSubtype::AssocRequest => {
+            need(buf, 4)?;
+            let capabilities = CapabilityInfo::from_word(buf.get_u16_le());
+            let _listen = buf.get_u16_le();
+            let elements = InformationElement::parse_all(buf)?;
+            let ssid = InformationElement::find_ssid(&elements)
+                .cloned()
+                .ok_or(CodecError::MissingSsid)?;
+            Ok(MgmtFrame::AssocRequest(AssocRequest {
+                source: header.addr2,
+                bssid: header.addr1,
+                ssid,
+                capabilities,
+            }))
+        }
+        MgmtSubtype::AssocResponse => {
+            need(buf, 6)?;
+            let _caps = buf.get_u16_le();
+            let status = StatusCode::from_word(buf.get_u16_le());
+            let association_id = buf.get_u16_le() & 0x3fff;
+            Ok(MgmtFrame::AssocResponse(AssocResponse {
+                bssid: header.addr2,
+                destination: header.addr1,
+                status,
+                association_id,
+            }))
+        }
+        MgmtSubtype::Deauthentication | MgmtSubtype::Disassoc => {
+            need(buf, 2)?;
+            let reason = ReasonCode::from_word(buf.get_u16_le());
+            Ok(MgmtFrame::Deauthentication(Deauthentication {
+                source: header.addr2,
+                destination: header.addr1,
+                reason,
+            }))
+        }
+    }
+}
+
+/// The encoded length of a frame without allocating (used by airtime
+/// calculations in [`crate::timing`]).
+pub fn encoded_len(frame: &MgmtFrame) -> usize {
+    // Encoding is cheap (tens of bytes); reuse it rather than duplicating
+    // per-subtype length arithmetic that could drift from `encode`.
+    encode(frame).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use proptest::prelude::*;
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    fn sample_frames() -> Vec<MgmtFrame> {
+        vec![
+            MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))),
+            MgmtFrame::ProbeRequest(ProbeRequest::direct(
+                mac(1),
+                Ssid::new("7-Eleven Free WiFi").unwrap(),
+            )),
+            MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+                mac(9),
+                mac(1),
+                Ssid::new("#HKAirport Free WiFi").unwrap(),
+                Channel::new(6).unwrap(),
+            )),
+            MgmtFrame::Beacon(Beacon::open(
+                mac(9),
+                Ssid::new("Free Public WiFi").unwrap(),
+                Channel::new(11).unwrap(),
+            )),
+            MgmtFrame::Authentication(Authentication::request(mac(1), mac(9))),
+            MgmtFrame::Authentication(Authentication::response(
+                mac(9),
+                mac(1),
+                StatusCode::Success,
+            )),
+            MgmtFrame::AssocRequest(AssocRequest {
+                source: mac(1),
+                bssid: mac(9),
+                ssid: Ssid::new("CSL").unwrap(),
+                capabilities: CapabilityInfo::open_ap(),
+            }),
+            MgmtFrame::AssocResponse(AssocResponse {
+                bssid: mac(9),
+                destination: mac(1),
+                status: StatusCode::Success,
+                association_id: 1,
+            }),
+            MgmtFrame::Deauthentication(Deauthentication {
+                source: mac(9),
+                destination: mac(1),
+                reason: ReasonCode::PrevAuthExpired,
+            }),
+        ]
+    }
+
+    #[test]
+    fn all_frame_kinds_roundtrip() {
+        for frame in sample_frames() {
+            let bytes = encode(&frame);
+            let parsed = parse(&bytes).unwrap_or_else(|e| panic!("{frame}: {e}"));
+            assert_eq!(parsed, frame, "roundtrip failed for {frame}");
+        }
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let err = parse(&[0u8; 10]).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let frame = MgmtFrame::Authentication(Authentication::request(mac(1), mac(9)));
+        let bytes = encode(&frame);
+        let err = parse(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn data_frames_rejected() {
+        let mut bytes = encode(&MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))));
+        bytes[0] = 0b0000_1000; // type = data
+        let err = parse(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::NotManagement { .. }));
+    }
+
+    #[test]
+    fn probe_response_without_ssid_rejected() {
+        // Hand-build a probe response whose body has only fixed fields.
+        let mut bytes = Vec::new();
+        bytes.put_u16_le(FrameControl::mgmt(MgmtSubtype::ProbeResponse).to_word());
+        bytes.put_u16_le(0);
+        for m in [mac(1), mac(9), mac(9)] {
+            bytes.put_slice(&m.octets());
+        }
+        bytes.put_u16_le(0);
+        bytes.put_u64_le(0);
+        bytes.put_u16_le(100);
+        bytes.put_u16_le(CapabilityInfo::open_ap().to_word());
+        assert_eq!(parse(&bytes).unwrap_err(), CodecError::MissingSsid);
+    }
+
+    #[test]
+    fn shared_key_auth_rejected() {
+        let frame = MgmtFrame::Authentication(Authentication::request(mac(1), mac(9)));
+        let mut bytes = encode(&frame);
+        bytes[HEADER_LEN] = 1; // shared-key algorithm
+        assert_eq!(
+            parse(&bytes).unwrap_err(),
+            CodecError::UnsupportedAuthAlgorithm { algorithm: 1 }
+        );
+    }
+
+    #[test]
+    fn privacy_bit_survives_roundtrip() {
+        let mut resp = ProbeResponse::open_lure(
+            mac(9),
+            mac(1),
+            Ssid::new("Secured").unwrap(),
+            Channel::default(),
+        );
+        resp.capabilities = CapabilityInfo::protected_ap();
+        let parsed = parse(&encode(&MgmtFrame::ProbeResponse(resp.clone())))
+            .unwrap();
+        match parsed {
+            MgmtFrame::ProbeResponse(p) => assert!(p.capabilities.privacy),
+            other => panic!("wrong kind {other}"),
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        for frame in sample_frames() {
+            assert_eq!(encoded_len(&frame), encode(&frame).len());
+        }
+    }
+
+    #[test]
+    fn parse_garbage_never_panics() {
+        // Deterministic pseudo-garbage sweep.
+        let mut state = 0x12345u64;
+        for len in 0..128usize {
+            let bytes: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8
+                })
+                .collect();
+            let _ = parse(&bytes);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probe_request_roundtrip(
+            octets in proptest::array::uniform6(0u8..),
+            ssid in "[ -~]{0,32}",
+        ) {
+            let frame = MgmtFrame::ProbeRequest(ProbeRequest {
+                source: MacAddr::new(octets),
+                ssid: Ssid::new(ssid).unwrap(),
+            });
+            prop_assert_eq!(parse(&encode(&frame)).unwrap(), frame);
+        }
+
+        #[test]
+        fn prop_parse_arbitrary_bytes_no_panic(
+            bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let _ = parse(&bytes);
+        }
+
+        #[test]
+        fn prop_lure_roundtrip(
+            ssid in "[ -~]{1,32}",
+            ch in 1u8..=14,
+        ) {
+            let frame = MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+                mac(9),
+                mac(1),
+                Ssid::new(ssid).unwrap(),
+                Channel::new(ch).unwrap(),
+            ));
+            prop_assert_eq!(parse(&encode(&frame)).unwrap(), frame);
+        }
+    }
+}

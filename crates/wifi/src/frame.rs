@@ -1,0 +1,267 @@
+//! Frame control and the management-frame MAC header.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::mac::MacAddr;
+
+/// Management-frame subtypes used by the attack and its substrate.
+///
+/// Values are the 4-bit subtype field of the 802.11 frame-control word
+/// (type = management = 0b00).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MgmtSubtype {
+    /// Association request (client → AP).
+    AssocRequest = 0b0000,
+    /// Association response (AP → client).
+    AssocResponse = 0b0001,
+    /// Probe request (client → broadcast or directed).
+    ProbeRequest = 0b0100,
+    /// Probe response (AP → client).
+    ProbeResponse = 0b0101,
+    /// Beacon (AP, periodic).
+    Beacon = 0b1000,
+    /// Disassociation notification.
+    Disassoc = 0b1010,
+    /// Open-system authentication exchange.
+    Authentication = 0b1011,
+    /// Deauthentication — the frame behind the §V-B forced-rescan attack.
+    Deauthentication = 0b1100,
+}
+
+impl MgmtSubtype {
+    /// Decodes a 4-bit subtype value.
+    pub fn from_bits(bits: u8) -> Option<MgmtSubtype> {
+        Some(match bits {
+            0b0000 => MgmtSubtype::AssocRequest,
+            0b0001 => MgmtSubtype::AssocResponse,
+            0b0100 => MgmtSubtype::ProbeRequest,
+            0b0101 => MgmtSubtype::ProbeResponse,
+            0b1000 => MgmtSubtype::Beacon,
+            0b1010 => MgmtSubtype::Disassoc,
+            0b1011 => MgmtSubtype::Authentication,
+            0b1100 => MgmtSubtype::Deauthentication,
+            _ => return None,
+        })
+    }
+
+    /// The 4-bit wire value.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for MgmtSubtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MgmtSubtype::AssocRequest => "assoc-req",
+            MgmtSubtype::AssocResponse => "assoc-resp",
+            MgmtSubtype::ProbeRequest => "probe-req",
+            MgmtSubtype::ProbeResponse => "probe-resp",
+            MgmtSubtype::Beacon => "beacon",
+            MgmtSubtype::Disassoc => "disassoc",
+            MgmtSubtype::Authentication => "auth",
+            MgmtSubtype::Deauthentication => "deauth",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The 16-bit frame-control word, restricted to the management plane.
+///
+/// ```
+/// use ch_wifi::{FrameControl, MgmtSubtype};
+/// let fc = FrameControl::mgmt(MgmtSubtype::ProbeRequest);
+/// assert_eq!(FrameControl::from_word(fc.to_word()), Some(fc));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameControl {
+    /// Protocol version; always 0 in deployed 802.11.
+    pub version: u8,
+    /// Management subtype.
+    pub subtype: MgmtSubtype,
+    /// Retransmission flag.
+    pub retry: bool,
+}
+
+impl FrameControl {
+    /// A version-0, non-retry management frame of the given subtype.
+    pub fn mgmt(subtype: MgmtSubtype) -> Self {
+        FrameControl {
+            version: 0,
+            subtype,
+            retry: false,
+        }
+    }
+
+    /// Encodes to the little-endian wire word.
+    pub fn to_word(self) -> u16 {
+        let mut word = (self.version as u16) & 0b11;
+        // type bits (2..4) are 00 for management.
+        word |= (self.subtype.bits() as u16) << 4;
+        if self.retry {
+            word |= 1 << 11;
+        }
+        word
+    }
+
+    /// Decodes from the wire word; `None` if the word is not a management
+    /// frame this model understands.
+    pub fn from_word(word: u16) -> Option<Self> {
+        let version = (word & 0b11) as u8;
+        let frame_type = ((word >> 2) & 0b11) as u8;
+        if frame_type != 0 {
+            return None; // not management
+        }
+        let subtype = MgmtSubtype::from_bits(((word >> 4) & 0b1111) as u8)?;
+        Some(FrameControl {
+            version,
+            subtype,
+            retry: word & (1 << 11) != 0,
+        })
+    }
+}
+
+/// The management-frame MAC header: addresses and sequence control.
+///
+/// * `addr1` — receiver (DA)
+/// * `addr2` — transmitter (SA)
+/// * `addr3` — BSSID
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MgmtHeader {
+    /// Receiver address.
+    pub addr1: MacAddr,
+    /// Transmitter address.
+    pub addr2: MacAddr,
+    /// BSSID.
+    pub addr3: MacAddr,
+    /// 12-bit sequence number (fragment number is always 0 here).
+    pub sequence: u16,
+}
+
+impl MgmtHeader {
+    /// Builds a header with the sequence number masked to 12 bits.
+    pub fn new(addr1: MacAddr, addr2: MacAddr, addr3: MacAddr, sequence: u16) -> Self {
+        MgmtHeader {
+            addr1,
+            addr2,
+            addr3,
+            sequence: sequence & 0x0fff,
+        }
+    }
+
+    /// Header for a client frame sent to an AP (`addr1 = addr3 = bssid`).
+    pub fn to_ap(client: MacAddr, bssid: MacAddr, sequence: u16) -> Self {
+        MgmtHeader::new(bssid, client, bssid, sequence)
+    }
+
+    /// Header for an AP frame sent to a client (`addr2 = addr3 = bssid`).
+    pub fn from_ap(bssid: MacAddr, client: MacAddr, sequence: u16) -> Self {
+        MgmtHeader::new(client, bssid, bssid, sequence)
+    }
+
+    /// Header for a broadcast frame from a client (probe request).
+    pub fn client_broadcast(client: MacAddr, sequence: u16) -> Self {
+        MgmtHeader::new(MacAddr::BROADCAST, client, MacAddr::BROADCAST, sequence)
+    }
+}
+
+/// Monotonic 12-bit sequence-number generator, one per transmitting station.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SequenceCounter(u16);
+
+impl SequenceCounter {
+    /// Starts at zero.
+    pub fn new() -> Self {
+        SequenceCounter(0)
+    }
+
+    /// Returns the next sequence number, wrapping at 4096 like hardware.
+    #[allow(clippy::should_implement_trait)] // not an iterator: infinite, u16
+    pub fn next(&mut self) -> u16 {
+        let seq = self.0;
+        self.0 = (self.0 + 1) & 0x0fff;
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn subtype_bits_roundtrip() {
+        for st in [
+            MgmtSubtype::AssocRequest,
+            MgmtSubtype::AssocResponse,
+            MgmtSubtype::ProbeRequest,
+            MgmtSubtype::ProbeResponse,
+            MgmtSubtype::Beacon,
+            MgmtSubtype::Disassoc,
+            MgmtSubtype::Authentication,
+            MgmtSubtype::Deauthentication,
+        ] {
+            assert_eq!(MgmtSubtype::from_bits(st.bits()), Some(st));
+        }
+        assert_eq!(MgmtSubtype::from_bits(0b0010), None);
+        assert_eq!(MgmtSubtype::from_bits(0b1111), None);
+    }
+
+    #[test]
+    fn frame_control_rejects_data_frames() {
+        // type bits = 10 (data)
+        let word = 0b0000_0000_0000_1000u16;
+        assert_eq!(FrameControl::from_word(word), None);
+    }
+
+    #[test]
+    fn retry_bit_roundtrips() {
+        let mut fc = FrameControl::mgmt(MgmtSubtype::ProbeResponse);
+        fc.retry = true;
+        let decoded = FrameControl::from_word(fc.to_word()).unwrap();
+        assert!(decoded.retry);
+    }
+
+    #[test]
+    fn header_constructors_orient_addresses() {
+        let client = MacAddr::new([2, 0, 0, 0, 0, 1]);
+        let bssid = MacAddr::new([2, 0, 0, 0, 0, 2]);
+        let up = MgmtHeader::to_ap(client, bssid, 7);
+        assert_eq!((up.addr1, up.addr2, up.addr3), (bssid, client, bssid));
+        let down = MgmtHeader::from_ap(bssid, client, 8);
+        assert_eq!((down.addr1, down.addr2, down.addr3), (client, bssid, bssid));
+        let bcast = MgmtHeader::client_broadcast(client, 9);
+        assert!(bcast.addr1.is_broadcast());
+        assert!(bcast.addr3.is_broadcast());
+    }
+
+    #[test]
+    fn sequence_masked_and_wrapping() {
+        let h = MgmtHeader::new(MacAddr::BROADCAST, MacAddr::BROADCAST, MacAddr::BROADCAST, 0xffff);
+        assert_eq!(h.sequence, 0x0fff);
+
+        let mut ctr = SequenceCounter::new();
+        for expect in 0..4096u16 {
+            assert_eq!(ctr.next(), expect);
+        }
+        assert_eq!(ctr.next(), 0, "wraps at 4096");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_frame_control_word_roundtrip(
+            subtype_bits in prop::sample::select(vec![0u8, 1, 4, 5, 8, 10, 11, 12]),
+            retry in any::<bool>(),
+        ) {
+            let fc = FrameControl {
+                version: 0,
+                subtype: MgmtSubtype::from_bits(subtype_bits).unwrap(),
+                retry,
+            };
+            prop_assert_eq!(FrameControl::from_word(fc.to_word()), Some(fc));
+        }
+    }
+}

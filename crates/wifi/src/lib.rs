@@ -1,0 +1,55 @@
+//! # ch-wifi — 802.11 management-frame substrate
+//!
+//! City-Hunter, KARMA and MANA are all built out of 802.11 *management
+//! frames*: probe requests and responses, beacons, the open-system
+//! authentication exchange, association, and deauthentication. This crate
+//! models those frames faithfully enough that the attackers in `ch-attack`
+//! and the phones in `ch-phone` speak to each other through real frame
+//! structures with a byte-level wire codec, rather than through ad-hoc
+//! structs.
+//!
+//! Contents:
+//!
+//! * [`MacAddr`] — 48-bit MAC addresses with OUI / locally-administered
+//!   semantics (and the randomized-MAC failure-injection mode uses the
+//!   locally-administered bit exactly as real phones do).
+//! * [`Ssid`] — a validated 0–32 byte SSID.
+//! * [`Channel`] — 2.4 GHz channels 1–14.
+//! * [`frame`] — frame control, management subtypes, the common header.
+//! * [`ie`] — information elements (SSID, rates, DS parameter, RSN, vendor).
+//! * [`mgmt`] — the typed management frame bodies and [`mgmt::MgmtFrame`].
+//! * [`codec`] — encode/parse between [`mgmt::MgmtFrame`] and bytes.
+//! * [`pcap`] — export frame exchanges as Wireshark-readable captures.
+//! * [`timing`] — airtime arithmetic: why one scan can only carry ~40 probe
+//!   responses (§III-A of the paper).
+//!
+//! ```
+//! use ch_wifi::{codec, mgmt::{MgmtFrame, ProbeRequest}, MacAddr};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let probe = MgmtFrame::ProbeRequest(ProbeRequest::broadcast(
+//!     MacAddr::new([0x02, 0, 0, 0, 0, 1]),
+//! ));
+//! let bytes = codec::encode(&probe);
+//! let parsed = codec::parse(&bytes)?;
+//! assert_eq!(parsed, probe);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod channel;
+pub mod codec;
+pub mod frame;
+pub mod ie;
+pub mod mac;
+pub mod mgmt;
+pub mod pcap;
+pub mod ssid;
+pub mod timing;
+
+pub use channel::Channel;
+pub use codec::CodecError;
+pub use frame::{FrameControl, MgmtHeader, MgmtSubtype};
+pub use mac::MacAddr;
+pub use mgmt::MgmtFrame;
+pub use ssid::{Ssid, SsidError};

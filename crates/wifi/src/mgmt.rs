@@ -1,0 +1,494 @@
+//! Typed management frames.
+//!
+//! These are the frames the attack trades in:
+//!
+//! * a phone scanning for networks sends a [`ProbeRequest`] — *broadcast*
+//!   (wildcard SSID) on modern OSes, *directed* (named SSID) on the legacy
+//!   devices MANA harvests from;
+//! * the attacker answers with [`ProbeResponse`]s, one per lure SSID;
+//! * a phone that recognizes an offered SSID as an *open* member of its PNL
+//!   runs the open-system [`Authentication`] exchange and then
+//!   [`AssocRequest`]/[`AssocResponse`] — a successful *hit*;
+//! * [`Deauthentication`] implements the §V-B forced-rescan extension.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::Channel;
+use crate::frame::{MgmtHeader, MgmtSubtype};
+use crate::ie::{InformationElement, RsnInfo, DEFAULT_RATES};
+use crate::mac::MacAddr;
+use crate::ssid::Ssid;
+
+/// The 16-bit capability-information field, reduced to the two bits the
+/// simulation interprets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct CapabilityInfo {
+    /// ESS bit — set by infrastructure APs.
+    pub ess: bool,
+    /// Privacy bit — set by protected networks. An evil twin luring an
+    /// *open* PNL entry leaves this clear so the victim auto-joins without
+    /// credentials.
+    pub privacy: bool,
+}
+
+impl CapabilityInfo {
+    /// Capabilities of an open infrastructure AP (the attacker's pose).
+    pub fn open_ap() -> Self {
+        CapabilityInfo {
+            ess: true,
+            privacy: false,
+        }
+    }
+
+    /// Capabilities of a WPA2-protected infrastructure AP.
+    pub fn protected_ap() -> Self {
+        CapabilityInfo {
+            ess: true,
+            privacy: true,
+        }
+    }
+
+    /// Wire encoding.
+    pub fn to_word(self) -> u16 {
+        u16::from(self.ess) | (u16::from(self.privacy) << 4)
+    }
+
+    /// Wire decoding (ignores bits the model does not track).
+    pub fn from_word(word: u16) -> Self {
+        CapabilityInfo {
+            ess: word & 1 != 0,
+            privacy: word & (1 << 4) != 0,
+        }
+    }
+}
+
+/// Status codes in authentication / association responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum StatusCode {
+    /// Success.
+    Success = 0,
+    /// Unspecified failure.
+    Unspecified = 1,
+    /// The AP cannot support all requested capabilities.
+    CapabilitiesMismatch = 10,
+    /// Association denied for other reasons.
+    AssocDenied = 17,
+}
+
+impl StatusCode {
+    /// Decodes a wire status code (unknown codes map to `Unspecified`).
+    pub fn from_word(word: u16) -> StatusCode {
+        match word {
+            0 => StatusCode::Success,
+            10 => StatusCode::CapabilitiesMismatch,
+            17 => StatusCode::AssocDenied,
+            _ => StatusCode::Unspecified,
+        }
+    }
+}
+
+/// Reason codes in deauthentication frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum ReasonCode {
+    /// Unspecified reason.
+    Unspecified = 1,
+    /// Previous authentication no longer valid — the classic spoofed-deauth
+    /// payload (Bellardo & Savage 2003), used by the §V-B extension.
+    PrevAuthExpired = 2,
+    /// Deauthenticated because the sending station is leaving.
+    Leaving = 3,
+}
+
+impl ReasonCode {
+    /// Decodes a wire reason code (unknown codes map to `Unspecified`).
+    pub fn from_word(word: u16) -> ReasonCode {
+        match word {
+            2 => ReasonCode::PrevAuthExpired,
+            3 => ReasonCode::Leaving,
+            _ => ReasonCode::Unspecified,
+        }
+    }
+}
+
+/// A probe request from a client.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProbeRequest {
+    /// Source (client) MAC.
+    pub source: MacAddr,
+    /// Requested SSID; wildcard for a broadcast probe.
+    pub ssid: Ssid,
+}
+
+impl ProbeRequest {
+    /// A modern broadcast probe: wildcard SSID, addressed to everyone.
+    pub fn broadcast(source: MacAddr) -> Self {
+        ProbeRequest {
+            source,
+            ssid: Ssid::wildcard(),
+        }
+    }
+
+    /// A legacy *direct* probe disclosing one PNL entry.
+    pub fn direct(source: MacAddr, ssid: Ssid) -> Self {
+        ProbeRequest { source, ssid }
+    }
+
+    /// `true` if this probe discloses no SSID.
+    pub fn is_broadcast(&self) -> bool {
+        self.ssid.is_wildcard()
+    }
+}
+
+/// A probe response from an AP (or an attacker posing as one).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProbeResponse {
+    /// BSSID of the responding AP.
+    pub bssid: MacAddr,
+    /// Destination client.
+    pub destination: MacAddr,
+    /// Advertised SSID.
+    pub ssid: Ssid,
+    /// Capability bits; `privacy == false` advertises an open network.
+    pub capabilities: CapabilityInfo,
+    /// Operating channel.
+    pub channel: Channel,
+}
+
+impl ProbeResponse {
+    /// The attacker's canonical lure: an open AP advertising `ssid`.
+    pub fn open_lure(
+        bssid: MacAddr,
+        destination: MacAddr,
+        ssid: Ssid,
+        channel: Channel,
+    ) -> Self {
+        ProbeResponse {
+            bssid,
+            destination,
+            ssid,
+            capabilities: CapabilityInfo::open_ap(),
+            channel,
+        }
+    }
+
+    /// The information elements this response carries on the wire.
+    pub fn elements(&self) -> Vec<InformationElement> {
+        let mut elements = vec![
+            InformationElement::Ssid(self.ssid.clone()),
+            InformationElement::SupportedRates(DEFAULT_RATES.to_vec()),
+            InformationElement::DsParameter(self.channel),
+        ];
+        if self.capabilities.privacy {
+            elements.push(InformationElement::Rsn(RsnInfo {
+                ccmp: true,
+                psk: true,
+            }));
+        }
+        elements
+    }
+}
+
+/// A beacon frame — functionally a broadcast probe response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Beacon {
+    /// BSSID of the AP.
+    pub bssid: MacAddr,
+    /// Advertised SSID.
+    pub ssid: Ssid,
+    /// Capability bits.
+    pub capabilities: CapabilityInfo,
+    /// Operating channel.
+    pub channel: Channel,
+    /// Beacon interval in time units (TU = 1024 µs); 100 by default.
+    pub interval_tu: u16,
+}
+
+impl Beacon {
+    /// A beacon for an open AP with the standard 100 TU interval.
+    pub fn open(bssid: MacAddr, ssid: Ssid, channel: Channel) -> Self {
+        Beacon {
+            bssid,
+            ssid,
+            capabilities: CapabilityInfo::open_ap(),
+            channel,
+            interval_tu: 100,
+        }
+    }
+}
+
+/// One leg of the open-system authentication exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Authentication {
+    /// Sender.
+    pub source: MacAddr,
+    /// Receiver.
+    pub destination: MacAddr,
+    /// Transaction sequence: 1 = request, 2 = response.
+    pub transaction: u16,
+    /// Status (meaningful in the response leg).
+    pub status: StatusCode,
+}
+
+impl Authentication {
+    /// The client's opening leg.
+    pub fn request(client: MacAddr, bssid: MacAddr) -> Self {
+        Authentication {
+            source: client,
+            destination: bssid,
+            transaction: 1,
+            status: StatusCode::Success,
+        }
+    }
+
+    /// The AP's answering leg.
+    pub fn response(bssid: MacAddr, client: MacAddr, status: StatusCode) -> Self {
+        Authentication {
+            source: bssid,
+            destination: client,
+            transaction: 2,
+            status,
+        }
+    }
+}
+
+/// An association request (client → AP).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AssocRequest {
+    /// Client MAC.
+    pub source: MacAddr,
+    /// Target BSSID.
+    pub bssid: MacAddr,
+    /// SSID being joined.
+    pub ssid: Ssid,
+    /// Client capability bits.
+    pub capabilities: CapabilityInfo,
+}
+
+/// An association response (AP → client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AssocResponse {
+    /// BSSID.
+    pub bssid: MacAddr,
+    /// Client MAC.
+    pub destination: MacAddr,
+    /// Grant or refusal.
+    pub status: StatusCode,
+    /// Association ID handed out on success.
+    pub association_id: u16,
+}
+
+/// A deauthentication frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Deauthentication {
+    /// Sender (spoofed as the victim's AP in the §V-B attack).
+    pub source: MacAddr,
+    /// Receiver (the victim, or broadcast).
+    pub destination: MacAddr,
+    /// Stated reason.
+    pub reason: ReasonCode,
+}
+
+/// Any management frame the simulation exchanges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MgmtFrame {
+    /// Probe request.
+    ProbeRequest(ProbeRequest),
+    /// Probe response.
+    ProbeResponse(ProbeResponse),
+    /// Beacon.
+    Beacon(Beacon),
+    /// Authentication leg.
+    Authentication(Authentication),
+    /// Association request.
+    AssocRequest(AssocRequest),
+    /// Association response.
+    AssocResponse(AssocResponse),
+    /// Deauthentication.
+    Deauthentication(Deauthentication),
+}
+
+impl MgmtFrame {
+    /// The frame's management subtype.
+    pub fn subtype(&self) -> MgmtSubtype {
+        match self {
+            MgmtFrame::ProbeRequest(_) => MgmtSubtype::ProbeRequest,
+            MgmtFrame::ProbeResponse(_) => MgmtSubtype::ProbeResponse,
+            MgmtFrame::Beacon(_) => MgmtSubtype::Beacon,
+            MgmtFrame::Authentication(_) => MgmtSubtype::Authentication,
+            MgmtFrame::AssocRequest(_) => MgmtSubtype::AssocRequest,
+            MgmtFrame::AssocResponse(_) => MgmtSubtype::AssocResponse,
+            MgmtFrame::Deauthentication(_) => MgmtSubtype::Deauthentication,
+        }
+    }
+
+    /// The MAC header this frame travels under (sequence filled by the
+    /// sender's counter; zero here).
+    pub fn header(&self) -> MgmtHeader {
+        match self {
+            MgmtFrame::ProbeRequest(p) => MgmtHeader::client_broadcast(p.source, 0),
+            MgmtFrame::ProbeResponse(p) => {
+                MgmtHeader::from_ap(p.bssid, p.destination, 0)
+            }
+            MgmtFrame::Beacon(b) => {
+                MgmtHeader::from_ap(b.bssid, MacAddr::BROADCAST, 0)
+            }
+            MgmtFrame::Authentication(a) => {
+                MgmtHeader::new(a.destination, a.source, a.destination, 0)
+            }
+            MgmtFrame::AssocRequest(a) => MgmtHeader::to_ap(a.source, a.bssid, 0),
+            MgmtFrame::AssocResponse(a) => {
+                MgmtHeader::from_ap(a.bssid, a.destination, 0)
+            }
+            MgmtFrame::Deauthentication(d) => {
+                MgmtHeader::new(d.destination, d.source, d.source, 0)
+            }
+        }
+    }
+
+    /// Source (transmitter) address.
+    pub fn source(&self) -> MacAddr {
+        self.header().addr2
+    }
+}
+
+impl fmt::Display for MgmtFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MgmtFrame::ProbeRequest(p) if p.is_broadcast() => {
+                write!(f, "probe-req[broadcast] from {}", p.source)
+            }
+            MgmtFrame::ProbeRequest(p) => {
+                write!(f, "probe-req[{}] from {}", p.ssid, p.source)
+            }
+            MgmtFrame::ProbeResponse(p) => {
+                write!(f, "probe-resp[{}] {} -> {}", p.ssid, p.bssid, p.destination)
+            }
+            MgmtFrame::Beacon(b) => write!(f, "beacon[{}] from {}", b.ssid, b.bssid),
+            MgmtFrame::Authentication(a) => {
+                write!(f, "auth#{} {} -> {}", a.transaction, a.source, a.destination)
+            }
+            MgmtFrame::AssocRequest(a) => {
+                write!(f, "assoc-req[{}] {} -> {}", a.ssid, a.source, a.bssid)
+            }
+            MgmtFrame::AssocResponse(a) => {
+                write!(f, "assoc-resp({:?}) {} -> {}", a.status, a.bssid, a.destination)
+            }
+            MgmtFrame::Deauthentication(d) => {
+                write!(f, "deauth({:?}) {} -> {}", d.reason, d.source, d.destination)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    #[test]
+    fn capability_word_roundtrip() {
+        for caps in [
+            CapabilityInfo::open_ap(),
+            CapabilityInfo::protected_ap(),
+            CapabilityInfo::default(),
+        ] {
+            assert_eq!(CapabilityInfo::from_word(caps.to_word()), caps);
+        }
+        assert!(!CapabilityInfo::open_ap().privacy);
+        assert!(CapabilityInfo::protected_ap().privacy);
+    }
+
+    #[test]
+    fn status_and_reason_decode() {
+        assert_eq!(StatusCode::from_word(0), StatusCode::Success);
+        assert_eq!(StatusCode::from_word(10), StatusCode::CapabilitiesMismatch);
+        assert_eq!(StatusCode::from_word(999), StatusCode::Unspecified);
+        assert_eq!(ReasonCode::from_word(2), ReasonCode::PrevAuthExpired);
+        assert_eq!(ReasonCode::from_word(999), ReasonCode::Unspecified);
+    }
+
+    #[test]
+    fn broadcast_probe_has_wildcard_ssid() {
+        let p = ProbeRequest::broadcast(mac(1));
+        assert!(p.is_broadcast());
+        let d = ProbeRequest::direct(mac(1), Ssid::new("CSL").unwrap());
+        assert!(!d.is_broadcast());
+    }
+
+    #[test]
+    fn open_lure_advertises_no_privacy() {
+        let lure = ProbeResponse::open_lure(
+            mac(9),
+            mac(1),
+            Ssid::new("Free Public WiFi").unwrap(),
+            Channel::default(),
+        );
+        assert!(!lure.capabilities.privacy);
+        let elements = lure.elements();
+        assert!(InformationElement::find_ssid(&elements).is_some());
+        assert!(!InformationElement::has_rsn(&elements));
+    }
+
+    #[test]
+    fn protected_response_carries_rsn() {
+        let mut resp = ProbeResponse::open_lure(
+            mac(9),
+            mac(1),
+            Ssid::new("Home-AP").unwrap(),
+            Channel::default(),
+        );
+        resp.capabilities = CapabilityInfo::protected_ap();
+        assert!(InformationElement::has_rsn(&resp.elements()));
+    }
+
+    #[test]
+    fn auth_legs() {
+        let req = Authentication::request(mac(1), mac(9));
+        assert_eq!(req.transaction, 1);
+        let resp = Authentication::response(mac(9), mac(1), StatusCode::Success);
+        assert_eq!(resp.transaction, 2);
+        assert_eq!(resp.source, mac(9));
+    }
+
+    #[test]
+    fn headers_orient_by_frame_kind() {
+        let probe = MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1)));
+        assert!(probe.header().addr1.is_broadcast());
+        assert_eq!(probe.source(), mac(1));
+
+        let resp = MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+            mac(9),
+            mac(1),
+            Ssid::new("X").unwrap(),
+            Channel::default(),
+        ));
+        assert_eq!(resp.header().addr1, mac(1));
+        assert_eq!(resp.source(), mac(9));
+
+        let deauth = MgmtFrame::Deauthentication(Deauthentication {
+            source: mac(7),
+            destination: MacAddr::BROADCAST,
+            reason: ReasonCode::PrevAuthExpired,
+        });
+        assert!(deauth.header().addr1.is_broadcast());
+        assert_eq!(deauth.source(), mac(7));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let probe = MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1)));
+        assert!(probe.to_string().contains("broadcast"));
+        let direct = MgmtFrame::ProbeRequest(ProbeRequest::direct(
+            mac(1),
+            Ssid::new("CSL").unwrap(),
+        ));
+        assert!(direct.to_string().contains("CSL"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Pcap capture export.
+//!
+//! Writes simulated frame exchanges as standard libpcap files with
+//! `LINKTYPE_IEEE802_11` (105), so a City-Hunter run can be opened in
+//! Wireshark/tcpdump and inspected frame by frame — probe requests, the
+//! 40-lure response bursts, the open-system join, spoofed deauths.
+//!
+//! A matching reader is provided for round-trip tests and for re-analyzing
+//! previously exported captures.
+
+use std::io::{self, Read, Write};
+
+use ch_sim::SimTime;
+
+use crate::codec;
+use crate::mgmt::MgmtFrame;
+
+/// Classic pcap magic (microsecond timestamps, native byte order).
+const MAGIC: u32 = 0xa1b2_c3d4;
+/// `LINKTYPE_IEEE802_11`: 802.11 frames without radiotap.
+const LINKTYPE_802_11: u32 = 105;
+/// Snapshot length: management frames are tiny; 4 KiB is generous.
+const SNAPLEN: u32 = 4096;
+
+/// One captured frame: capture instant plus the frame itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedFrame {
+    /// Capture timestamp (simulation time doubles as epoch offset).
+    pub at: SimTime,
+    /// The frame.
+    pub frame: MgmtFrame,
+}
+
+/// Streaming pcap writer over any [`Write`] sink (a `&mut Vec<u8>` works).
+#[derive(Debug)]
+pub struct PcapWriter<W> {
+    sink: W,
+    frames_written: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates the writer and emits the pcap global header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W) -> io::Result<Self> {
+        sink.write_all(&MAGIC.to_le_bytes())?;
+        sink.write_all(&2u16.to_le_bytes())?; // version major
+        sink.write_all(&4u16.to_le_bytes())?; // version minor
+        sink.write_all(&0i32.to_le_bytes())?; // thiszone
+        sink.write_all(&0u32.to_le_bytes())?; // sigfigs
+        sink.write_all(&SNAPLEN.to_le_bytes())?;
+        sink.write_all(&LINKTYPE_802_11.to_le_bytes())?;
+        Ok(PcapWriter {
+            sink,
+            frames_written: 0,
+        })
+    }
+
+    /// Appends one frame at simulation time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn write_frame(&mut self, at: SimTime, frame: &MgmtFrame) -> io::Result<()> {
+        let bytes = codec::encode(frame);
+        let ts_sec = at.as_secs() as u32;
+        let ts_usec = (at.as_micros() % 1_000_000) as u32;
+        self.sink.write_all(&ts_sec.to_le_bytes())?;
+        self.sink.write_all(&ts_usec.to_le_bytes())?;
+        self.sink.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&bytes)?;
+        self.frames_written += 1;
+        Ok(())
+    }
+
+    /// Number of frames written so far.
+    pub fn frames_written(&self) -> u64 {
+        self.frames_written
+    }
+
+    /// Finishes the capture and returns the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+/// Error reading a pcap capture.
+#[derive(Debug)]
+pub enum PcapReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected magic/linktype.
+    BadHeader {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A frame failed to parse as an 802.11 management frame.
+    BadFrame(codec::CodecError),
+}
+
+impl std::fmt::Display for PcapReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapReadError::Io(e) => write!(f, "i/o error reading capture: {e}"),
+            PcapReadError::BadHeader { reason } => {
+                write!(f, "not a city-hunter pcap capture: {reason}")
+            }
+            PcapReadError::BadFrame(e) => write!(f, "bad frame in capture: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PcapReadError::Io(e) => Some(e),
+            PcapReadError::BadFrame(e) => Some(e),
+            PcapReadError::BadHeader { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PcapReadError {
+    fn from(e: io::Error) -> Self {
+        PcapReadError::Io(e)
+    }
+}
+
+/// Reads an entire capture produced by [`PcapWriter`].
+///
+/// # Errors
+///
+/// Any [`PcapReadError`] on malformed input.
+pub fn read_capture<R: Read>(mut source: R) -> Result<Vec<CapturedFrame>, PcapReadError> {
+    let mut header = [0u8; 24];
+    source.read_exact(&mut header)?;
+    if u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) != MAGIC {
+        return Err(PcapReadError::BadHeader {
+            reason: "wrong magic",
+        });
+    }
+    if u32::from_le_bytes(header[20..24].try_into().expect("4 bytes")) != LINKTYPE_802_11
+    {
+        return Err(PcapReadError::BadHeader {
+            reason: "wrong linktype",
+        });
+    }
+    let mut frames = Vec::new();
+    loop {
+        let mut record = [0u8; 16];
+        match source.read_exact(&mut record) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let ts_sec = u32::from_le_bytes(record[0..4].try_into().expect("4 bytes"));
+        let ts_usec = u32::from_le_bytes(record[4..8].try_into().expect("4 bytes"));
+        let incl_len =
+            u32::from_le_bytes(record[8..12].try_into().expect("4 bytes")) as usize;
+        let mut bytes = vec![0u8; incl_len];
+        source.read_exact(&mut bytes)?;
+        let frame = codec::parse(&bytes).map_err(PcapReadError::BadFrame)?;
+        frames.push(CapturedFrame {
+            at: SimTime::from_micros(ts_sec as u64 * 1_000_000 + ts_usec as u64),
+            frame,
+        });
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mgmt::{ProbeRequest, ProbeResponse};
+    use crate::{Channel, MacAddr, Ssid};
+
+    fn mac(i: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, i])
+    }
+
+    fn sample_exchange() -> Vec<CapturedFrame> {
+        vec![
+            CapturedFrame {
+                at: SimTime::from_millis(1_500),
+                frame: MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))),
+            },
+            CapturedFrame {
+                at: SimTime::from_millis(1_510),
+                frame: MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
+                    mac(9),
+                    mac(1),
+                    Ssid::new("Free Public WiFi").unwrap(),
+                    Channel::new(1).unwrap(),
+                )),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut writer = PcapWriter::new(Vec::new()).unwrap();
+        for cf in sample_exchange() {
+            writer.write_frame(cf.at, &cf.frame).unwrap();
+        }
+        assert_eq!(writer.frames_written(), 2);
+        let bytes = writer.into_inner();
+        let read = read_capture(&bytes[..]).unwrap();
+        assert_eq!(read, sample_exchange());
+    }
+
+    #[test]
+    fn header_is_standard_pcap() {
+        let writer = PcapWriter::new(Vec::new()).unwrap();
+        let bytes = writer.into_inner();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[0..4], &MAGIC.to_le_bytes());
+        assert_eq!(&bytes[20..24], &105u32.to_le_bytes());
+    }
+
+    #[test]
+    fn empty_capture_reads_empty() {
+        let writer = PcapWriter::new(Vec::new()).unwrap();
+        let bytes = writer.into_inner();
+        assert!(read_capture(&bytes[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = PcapWriter::new(Vec::new()).unwrap().into_inner();
+        bytes[0] ^= 0xff;
+        match read_capture(&bytes[..]) {
+            Err(PcapReadError::BadHeader { reason }) => {
+                assert_eq!(reason, "wrong magic")
+            }
+            other => panic!("expected BadHeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_linktype_rejected() {
+        let mut bytes = PcapWriter::new(Vec::new()).unwrap().into_inner();
+        bytes[20] = 1; // LINKTYPE_ETHERNET
+        assert!(matches!(
+            read_capture(&bytes[..]),
+            Err(PcapReadError::BadHeader {
+                reason: "wrong linktype"
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_record_is_io_error() {
+        let mut writer = PcapWriter::new(Vec::new()).unwrap();
+        writer
+            .write_frame(
+                SimTime::ZERO,
+                &MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))),
+            )
+            .unwrap();
+        let bytes = writer.into_inner();
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(matches!(
+            read_capture(truncated),
+            Err(PcapReadError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_frame_is_bad_frame() {
+        let mut writer = PcapWriter::new(Vec::new()).unwrap();
+        writer
+            .write_frame(
+                SimTime::ZERO,
+                &MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))),
+            )
+            .unwrap();
+        let mut bytes = writer.into_inner();
+        // Flip the frame-control type bits to data.
+        bytes[24 + 16] = 0b0000_1000;
+        assert!(matches!(
+            read_capture(&bytes[..]),
+            Err(PcapReadError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn timestamps_preserved_to_the_microsecond() {
+        let at = SimTime::from_micros(3_661_000_042);
+        let mut writer = PcapWriter::new(Vec::new()).unwrap();
+        writer
+            .write_frame(at, &MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))))
+            .unwrap();
+        let read = read_capture(&writer.into_inner()[..]).unwrap();
+        assert_eq!(read[0].at, at);
+    }
+}

@@ -1,0 +1,214 @@
+//! Service Set Identifiers.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum SSID length in bytes, per IEEE 802.11.
+pub const MAX_SSID_LEN: usize = 32;
+
+/// A validated SSID: 0–32 bytes.
+///
+/// SSIDs are the currency of the whole attack — the paper's SSID database,
+/// buffers and probe responses all traffic in them — so the type enforces
+/// the 802.11 length bound once, at the boundary, and everything downstream
+/// can rely on it.
+///
+/// The empty SSID (the *wildcard*) is what a broadcast probe request
+/// carries; [`Ssid::is_wildcard`] tests for it.
+///
+/// ```
+/// use ch_wifi::Ssid;
+/// let ssid: Ssid = "7-Eleven Free WiFi".parse()?;
+/// assert_eq!(ssid.as_str(), "7-Eleven Free WiFi");
+/// assert!(!ssid.is_wildcard());
+/// # Ok::<(), ch_wifi::SsidError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ssid(String);
+
+/// Error constructing an [`Ssid`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsidError {
+    /// The SSID exceeds [`MAX_SSID_LEN`] bytes.
+    TooLong {
+        /// Actual byte length supplied.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SsidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsidError::TooLong { len } => {
+                write!(f, "ssid is {len} bytes, maximum is {MAX_SSID_LEN}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SsidError {}
+
+impl Ssid {
+    /// The wildcard (zero-length) SSID carried by broadcast probe requests.
+    pub fn wildcard() -> Self {
+        Ssid(String::new())
+    }
+
+    /// Creates an SSID, validating the length bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsidError::TooLong`] if `name` exceeds 32 bytes.
+    pub fn new(name: impl Into<String>) -> Result<Self, SsidError> {
+        let name = name.into();
+        if name.len() > MAX_SSID_LEN {
+            return Err(SsidError::TooLong { len: name.len() });
+        }
+        Ok(Ssid(name))
+    }
+
+    /// Creates an SSID, truncating to the 32-byte bound on a UTF-8
+    /// character boundary instead of failing. Handy for generated names.
+    pub fn new_lossy(name: impl Into<String>) -> Self {
+        let mut name = name.into();
+        while name.len() > MAX_SSID_LEN {
+            name.pop();
+        }
+        Ssid(name)
+    }
+
+    /// The SSID as text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The SSID bytes as they appear in the SSID information element.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Byte length (what the IE length field carries).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the zero-length wildcard SSID.
+    pub fn is_wildcard(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Alias for [`Ssid::is_wildcard`], for collection-like call sites.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Ssid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_wildcard() {
+            write!(f, "<wildcard>")
+        } else {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+impl FromStr for Ssid {
+    type Err = SsidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ssid::new(s)
+    }
+}
+
+impl TryFrom<&str> for Ssid {
+    type Error = SsidError;
+
+    fn try_from(s: &str) -> Result<Self, Self::Error> {
+        Ssid::new(s)
+    }
+}
+
+impl AsRef<str> for Ssid {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for Ssid {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn wildcard_is_empty() {
+        let w = Ssid::wildcard();
+        assert!(w.is_wildcard());
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.to_string(), "<wildcard>");
+    }
+
+    #[test]
+    fn length_bound_enforced() {
+        assert!(Ssid::new("x".repeat(32)).is_ok());
+        let err = Ssid::new("x".repeat(33)).unwrap_err();
+        assert_eq!(err, SsidError::TooLong { len: 33 });
+        assert!(err.to_string().contains("33"));
+    }
+
+    #[test]
+    fn lossy_truncates_on_char_boundary() {
+        // 17 × '日' = 51 bytes; truncation must not split a code point.
+        let s = Ssid::new_lossy("日".repeat(17));
+        assert!(s.len() <= 32);
+        assert_eq!(s.as_str().chars().count(), 10);
+    }
+
+    #[test]
+    fn borrow_enables_str_lookup() {
+        let mut set: HashSet<Ssid> = HashSet::new();
+        set.insert(Ssid::new("CSL").unwrap());
+        assert!(set.contains("CSL"));
+        assert!(!set.contains("CMCC-WEB"));
+    }
+
+    #[test]
+    fn parse_paper_ssids() {
+        for name in [
+            "7-Eleven Free WiFi",
+            "#HKAirport Free WiFi",
+            "-Free HKBN Wi-Fi-",
+            "Free Public WiFi",
+            "CMCC-WEB",
+            "PCCW1x",
+        ] {
+            let ssid: Ssid = name.parse().unwrap();
+            assert_eq!(ssid.as_str(), name);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_new_lossy_always_valid(name in ".{0,64}") {
+            let ssid = Ssid::new_lossy(name);
+            prop_assert!(ssid.len() <= MAX_SSID_LEN);
+        }
+
+        #[test]
+        fn prop_roundtrip_via_str(name in "[ -~]{0,32}") {
+            let ssid = Ssid::new(name.clone()).unwrap();
+            prop_assert_eq!(ssid.as_str(), name.as_str());
+        }
+    }
+}

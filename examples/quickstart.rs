@@ -1,0 +1,50 @@
+//! Quickstart: deploy City-Hunter in a canteen for 30 simulated minutes
+//! and print the paper-style summary row.
+//!
+//! ```text
+//! cargo run --release -p city-hunter --example quickstart [seed]
+//! ```
+
+use city_hunter::prelude::*;
+use city_hunter::scenarios::report::render_summary_table;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    // 1. Build the synthetic city: districts, POIs, the WiGLE-like AP
+    //    snapshot and the photo-derived heat map (§IV-B's offline inputs).
+    println!("building the standard city (seed {seed})...");
+    let data = CityData::standard(seed);
+    println!(
+        "  {} AP records, {} distinct SSIDs, heat-map mass {}",
+        data.wigle.len(),
+        data.wigle.ssid_count(),
+        data.heat.total_mass()
+    );
+
+    // 2. Deploy the full §IV City-Hunter in the canteen over lunch.
+    let config = RunConfig::canteen_30min(
+        AttackerKind::CityHunter(CityHunterConfig::default()),
+        seed,
+    );
+    println!(
+        "deploying City-Hunter: {} at 12:00 for 30 min...",
+        config.venue.name()
+    );
+    let metrics = run_experiment(&data, &config);
+
+    // 3. Report.
+    let row = metrics.summary("City-Hunter");
+    println!("\n{}", render_summary_table(std::slice::from_ref(&row)));
+    let (wigle, direct, carrier) = metrics.source_breakdown();
+    let (popularity, freshness) = metrics.lane_breakdown();
+    println!("broadcast hits by SSID source: {wigle} WiGLE / {direct} direct-probe / {carrier} carrier");
+    println!("broadcast hits by buffer:      {popularity} popularity / {freshness} freshness");
+    println!(
+        "mean SSIDs tried per connected broadcast client: {:.0}",
+        metrics.mean_offered_to_connected()
+    );
+}

@@ -1,0 +1,62 @@
+//! The high-mobility scenario the §IV design targets: a subway passage,
+//! rush hour vs mid-afternoon lull.
+//!
+//! Shows (a) the per-client SSID-depth histogram that motivates sending
+//! the *best* 40 first (Fig. 2(b)), and (b) the rush-hour lift in h_b the
+//! paper attributes to companion groups (§V-A).
+//!
+//! ```text
+//! cargo run --release -p city-hunter --example subway_rush_hour [seed]
+//! ```
+
+use city_hunter::prelude::*;
+use city_hunter::scenarios::report::{pct, render_histogram, render_summary_table};
+use city_hunter::sim::SimDuration;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    let data = CityData::standard(seed);
+
+    let mut rows = Vec::new();
+    let mut histograms = Vec::new();
+    for (label, hour) in [("rush hour (08:00)", 8), ("lull (14:00)", 14)] {
+        let config = RunConfig {
+            venue: VenueKind::SubwayPassage,
+            start_hour: hour,
+            duration: SimDuration::from_hours(1),
+            attacker: AttackerKind::CityHunter(CityHunterConfig::default()),
+            seed: seed ^ (hour as u64) << 4,
+            lure_budget: None,
+            loss: None,
+            population: None,
+            arrival_multiplier: None,
+        };
+        let metrics = run_experiment(&data, &config);
+        rows.push(metrics.summary(label));
+        let offered: Vec<usize> = metrics
+            .offered_counts(false)
+            .into_iter()
+            .filter(|&c| c > 0)
+            .collect();
+        histograms.push((label, offered, metrics.lane_breakdown()));
+    }
+
+    println!("Subway passage, City-Hunter, one hour per slot:\n");
+    println!("{}", render_summary_table(&rows));
+    println!(
+        "rush-hour h_b {} vs lull h_b {}\n",
+        pct(rows[0].h_b()),
+        pct(rows[1].h_b())
+    );
+
+    for (label, offered, (popularity, freshness)) in &histograms {
+        println!("SSIDs tested per broadcast client — {label}:");
+        println!("{}", render_histogram(offered, 40));
+        println!(
+            "hit lanes: {popularity} popularity-side, {freshness} freshness-side\n"
+        );
+    }
+}

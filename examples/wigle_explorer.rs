@@ -1,0 +1,56 @@
+//! Explore the attacker's offline data products: the WiGLE-style snapshot
+//! and the photo heat map. Prints the Table IV rankings with full context
+//! and writes the snapshot to `wigle_snapshot.csv` for inspection in a
+//! spreadsheet (the same file can be re-imported to drive experiments —
+//! see `ch_geo::csv`).
+//!
+//! ```text
+//! cargo run --release -p city-hunter --example wigle_explorer [seed]
+//! ```
+
+use city_hunter::geo::csv::to_csv;
+use city_hunter::geo::netdb::SsidCategory;
+use city_hunter::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x0C17_F00D);
+    let data = CityData::standard(seed);
+
+    println!("snapshot: {} AP records, {} distinct SSIDs", data.wigle.len(), data.wigle.ssid_count());
+    let mut by_category = std::collections::BTreeMap::new();
+    for record in data.wigle.records() {
+        let label = match record.category {
+            SsidCategory::Chain => "chain",
+            SsidCategory::Hotspot => "hotspot",
+            SsidCategory::Venue => "venue",
+            SsidCategory::Residential => "residential",
+            SsidCategory::Carrier => "carrier",
+        };
+        *by_category.entry(label).or_insert(0usize) += 1;
+    }
+    println!("\nAP records by category:");
+    for (label, count) in &by_category {
+        println!("  {label:<12} {count}");
+    }
+
+    println!("\ntop 10 SSIDs by AP count (open only):");
+    for (rank, (ssid, count)) in data.wigle.top_by_ap_count(10, true).iter().enumerate()
+    {
+        println!("  {:>2}. {ssid:<28} {count} APs", rank + 1);
+    }
+    println!("\ntop 10 SSIDs by heat value (the §IV-B ranking):");
+    for (rank, (ssid, heat)) in
+        data.wigle.top_by_heat(&data.heat, 10).iter().enumerate()
+    {
+        let aps = data.wigle.ap_count(ssid);
+        println!("  {:>2}. {ssid:<28} heat {heat:>8.0} ({aps} APs)", rank + 1);
+    }
+
+    let path = "wigle_snapshot.csv";
+    std::fs::write(path, to_csv(&data.wigle))?;
+    println!("\nwrote {path} ({} records)", data.wigle.len());
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Countermeasures against live deployments: the detector bank rides the
+//! runner's frame observer through full experiments.
+
+use city_hunter::defense::detectors::{AlarmKind, DetectorBank};
+use city_hunter::defense::monitor::NetworkMonitor;
+use city_hunter::prelude::*;
+use city_hunter::scenarios::runner::{run_experiment_observed, FrameObserver};
+use city_hunter::sim::{SimDuration, SimTime};
+use city_hunter::wifi::mgmt::MgmtFrame;
+
+struct BankObserver {
+    bank: DetectorBank,
+}
+
+impl FrameObserver for BankObserver {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+        self.bank.observe(at, frame);
+    }
+}
+
+fn config(deauth: bool, seed: u64) -> RunConfig {
+    RunConfig {
+        venue: VenueKind::Canteen,
+        start_hour: 12,
+        duration: SimDuration::from_mins(10),
+        attacker: AttackerKind::CityHunter(CityHunterConfig {
+            deauth,
+            ..CityHunterConfig::default()
+        }),
+        seed,
+        lure_budget: None,
+        loss: None,
+        population: None,
+        arrival_multiplier: None,
+    }
+}
+
+#[test]
+fn live_city_hunter_detected_before_first_victim() {
+    let data = CityData::standard(0xDEF1);
+    let mut observer = BankObserver {
+        bank: DetectorBank::client_standard([]),
+    };
+    let metrics = run_experiment_observed(&data, &config(false, 1), &mut observer);
+    let first_alarm = observer
+        .bank
+        .first_alarm_at()
+        .expect("City-Hunter must be detected");
+    // Detection precedes the first successful lure.
+    let first_hit = metrics
+        .clients()
+        .filter_map(|(_, rec)| rec.hit.as_ref().map(|h| h.at))
+        .min();
+    if let Some(hit_at) = first_hit {
+        assert!(
+            first_alarm <= hit_at,
+            "first alarm {first_alarm} after first victim {hit_at}"
+        );
+    }
+    // The operator monitor names exactly one rogue: the attacker.
+    let mut monitor = NetworkMonitor::new();
+    for (_, alarms) in observer.bank.report() {
+        monitor.ingest_all(alarms);
+    }
+    let rogues: Vec<_> = monitor.rogues().collect();
+    assert_eq!(rogues.len(), 1, "{rogues:?}");
+}
+
+#[test]
+fn deauth_extension_trips_the_flood_detector() {
+    let data = CityData::standard(0xDEF2);
+    let mut observer = BankObserver {
+        bank: DetectorBank::client_standard([]),
+    };
+    let metrics = run_experiment_observed(&data, &config(true, 2), &mut observer);
+    assert!(metrics.deauth_frames >= 5, "{}", metrics.deauth_frames);
+    let report = observer.bank.report();
+    let flood_alarms = report
+        .iter()
+        .find(|(name, _)| *name == "deauth-flood")
+        .map(|(_, alarms)| alarms.len())
+        .unwrap_or(0);
+    assert!(flood_alarms >= 1, "deauth flood must be flagged: {report:?}");
+    // The flood verdict points at the spoofed source.
+    let (_, alarms) = report
+        .iter()
+        .find(|(name, _)| *name == "deauth-flood")
+        .expect("detector present");
+    assert!(alarms
+        .iter()
+        .all(|a| matches!(a.kind, AlarmKind::DeauthFlood { .. })));
+}
+
+#[test]
+fn no_deauth_no_flood_alarm() {
+    let data = CityData::standard(0xDEF3);
+    let mut observer = BankObserver {
+        bank: DetectorBank::client_standard([]),
+    };
+    let _ = run_experiment_observed(&data, &config(false, 3), &mut observer);
+    let report = observer.bank.report();
+    let flood_alarms = report
+        .iter()
+        .find(|(name, _)| *name == "deauth-flood")
+        .map(|(_, alarms)| alarms.len())
+        .unwrap_or(0);
+    assert_eq!(flood_alarms, 0, "no deauth, no flood alarm");
+}

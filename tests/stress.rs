@@ -1,0 +1,32 @@
+//! Opt-in stress test (`cargo test -- --ignored`): a full-length,
+//! full-volume deployment end to end in one process, checking nothing
+//! degenerates at scale.
+
+use city_hunter::prelude::*;
+use city_hunter::sim::SimDuration;
+
+#[test]
+#[ignore = "stress: one full simulated hour at 4x crowd density"]
+fn one_hour_quadruple_density_canteen() {
+    let data = CityData::standard(0x57E);
+    let config = RunConfig {
+        venue: VenueKind::Canteen,
+        start_hour: 12,
+        duration: SimDuration::from_hours(1),
+        attacker: AttackerKind::CityHunter(CityHunterConfig::default()),
+        seed: 1,
+        lure_budget: None,
+        loss: None,
+        population: None,
+        arrival_multiplier: Some(4.0),
+    };
+    let metrics = run_experiment(&data, &config);
+    let row = metrics.summary("stress");
+    assert!(row.total_clients > 3_000, "{}", row.total_clients);
+    assert!(row.h() >= row.h_b());
+    assert!((0.02..0.40).contains(&row.h_b()), "h_b {}", row.h_b());
+    // Offered counts stay bounded by the (grown) database size.
+    let max_offered = metrics.offered_counts(false).into_iter().max().unwrap();
+    let final_db = metrics.db_series().last().unwrap().1;
+    assert!(max_offered <= final_db, "{max_offered} > {final_db}");
+}
