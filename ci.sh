@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, clippy (warnings are errors), the
+# project's own static-analysis pass, and the test suite. Run before
+# pushing; CI runs the same four steps.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ch-lint"
+cargo run -q -p ch-analysis --bin ch-lint
+
+echo "==> cargo test"
+# Invariant checks (ch_invariant!) are active in debug builds, which is
+# what `cargo test` uses, so the whole suite runs with them on.
+cargo test -q --workspace
+
+echo "ci.sh: all gates passed"

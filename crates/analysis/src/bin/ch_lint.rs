@@ -1,0 +1,102 @@
+//! `ch-lint`: the City-Hunter workspace lint gate.
+//!
+//! ```text
+//! cargo run -p ch-analysis --bin ch-lint [-- OPTIONS]
+//!
+//! OPTIONS:
+//!   --root <dir>     workspace root (default: discovered from the cwd)
+//!   --allow <rule>   disable a rule for this run
+//!   --deny <rule>    re-enable a rule overridden in ch-lint.toml
+//!   --list-rules     print the rule ids and exit
+//! ```
+//!
+//! Exit status: 0 when no denied findings, 1 when findings were reported,
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ch_analysis::config::{Config, Level};
+use ch_analysis::rules::ALL_RULES;
+use ch_analysis::workspace::{analyze_workspace, find_workspace_root};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("ch-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut overrides: Vec<(String, Level)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = args.next().ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(dir));
+            }
+            "--allow" => {
+                let rule = args.next().ok_or("--allow needs a rule id")?;
+                overrides.push((rule, Level::Allow));
+            }
+            "--deny" => {
+                let rule = args.next().ok_or("--deny needs a rule id")?;
+                overrides.push((rule, Level::Deny));
+            }
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{rule}");
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "ch-lint: City-Hunter workspace lint gate\n\
+                     usage: ch-lint [--root DIR] [--allow RULE] [--deny RULE] [--list-rules]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory")?
+        }
+    };
+
+    let mut config = Config::default();
+    let config_path = root.join("ch-lint.toml");
+    if let Ok(text) = std::fs::read_to_string(&config_path) {
+        config.apply_toml(&text)?;
+    }
+    for (rule, level) in overrides {
+        config.set(&rule, level)?;
+    }
+
+    let report = analyze_workspace(&root, &config)?;
+    for finding in &report.findings {
+        eprintln!("{finding}");
+    }
+    eprintln!(
+        "ch-lint: {} finding(s) across {} file(s) in {} crate(s)",
+        report.findings.len(),
+        report.files_scanned,
+        report.crates_scanned
+    );
+    Ok(if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

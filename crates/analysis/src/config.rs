@@ -1,0 +1,139 @@
+//! Allow/deny configuration: `ch-lint.toml` plus command-line overrides.
+//!
+//! The file format is a deliberately tiny TOML subset — one `rule = "level"`
+//! assignment per line, `#` comments, optional `[rules]` section header:
+//!
+//! ```toml
+//! [rules]
+//! default-hasher = "deny"
+//! missing-decode = "allow"
+//! ```
+//!
+//! Command-line `--allow <rule>` / `--deny <rule>` flags override the file.
+
+use crate::rules::ALL_RULES;
+
+/// What to do with a rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Report and fail the run.
+    Deny,
+    /// Skip the rule entirely.
+    Allow,
+}
+
+/// Effective per-rule levels. Every rule defaults to [`Level::Deny`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    levels: Vec<(&'static str, Level)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            levels: ALL_RULES.iter().map(|r| (*r, Level::Deny)).collect(),
+        }
+    }
+}
+
+impl Config {
+    /// The level for `rule` (unknown rules are denied — they will already
+    /// have been rejected during parsing).
+    pub fn level(&self, rule: &str) -> Level {
+        self.levels
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map_or(Level::Deny, |(_, l)| *l)
+    }
+
+    /// `true` if the rule's findings should be reported.
+    pub fn is_denied(&self, rule: &str) -> bool {
+        self.level(rule) == Level::Deny
+    }
+
+    /// Sets a rule's level, validating the rule id.
+    pub fn set(&mut self, rule: &str, level: Level) -> Result<(), String> {
+        match self.levels.iter_mut().find(|(r, _)| *r == rule) {
+            Some(slot) => {
+                slot.1 = level;
+                Ok(())
+            }
+            None => Err(format!(
+                "unknown rule `{rule}` (expected one of: {})",
+                ALL_RULES.join(", ")
+            )),
+        }
+    }
+
+    /// Applies a `ch-lint.toml` document on top of the current levels.
+    pub fn apply_toml(&mut self, text: &str) -> Result<(), String> {
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "ch-lint.toml:{}: expected `rule = \"level\"`",
+                    lineno + 1
+                ));
+            };
+            let key = key.trim();
+            let value = value.trim().trim_matches('"');
+            let level = match value {
+                "deny" => Level::Deny,
+                "allow" => Level::Allow,
+                other => {
+                    return Err(format!(
+                        "ch-lint.toml:{}: level must be \"allow\" or \"deny\", got \"{other}\"",
+                        lineno + 1
+                    ))
+                }
+            };
+            self.set(key, level)
+                .map_err(|e| format!("ch-lint.toml:{}: {e}", lineno + 1))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_denies_every_rule() {
+        let cfg = Config::default();
+        for rule in ALL_RULES {
+            assert!(cfg.is_denied(rule), "{rule} should default to deny");
+        }
+    }
+
+    #[test]
+    fn toml_subset_parses() {
+        let mut cfg = Config::default();
+        cfg.apply_toml(
+            "# comment\n[rules]\nmissing-decode = \"allow\" # trailing\npanic-path = \"deny\"\n",
+        )
+        .unwrap();
+        assert!(!cfg.is_denied("missing-decode"));
+        assert!(cfg.is_denied("panic-path"));
+        assert!(cfg.is_denied("default-hasher"));
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let mut cfg = Config::default();
+        let err = cfg.apply_toml("no-such-rule = \"deny\"\n").unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+        let err = cfg.set("bogus", Level::Allow).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn bad_level_rejected() {
+        let mut cfg = Config::default();
+        let err = cfg.apply_toml("panic-path = \"warn\"\n").unwrap_err();
+        assert!(err.contains("allow"), "{err}");
+    }
+}

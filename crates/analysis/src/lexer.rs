@@ -1,0 +1,518 @@
+//! A minimal Rust lexer for rule checking.
+//!
+//! `ch-lint` does not need a real parser: its rules are token patterns
+//! (`HashMap` followed by generics, `.unwrap(`, `Instant :: now`, …).
+//! What it *does* need to get exactly right is what a grep cannot:
+//!
+//! * comments and string/char literals must never produce tokens (a doc
+//!   comment mentioning `panic!` is not a panic);
+//! * raw strings (`r#"…"#`), byte strings, nested block comments and
+//!   lifetimes (`'a` is not an unterminated char literal) must lex;
+//! * `// ch-lint: allow(rule)` comments must be collected so findings can
+//!   be suppressed at the offending line;
+//! * `#[cfg(test)] mod … { … }` regions must be identified so test-only
+//!   code is exempt from production rules.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Any single punctuation/operator character.
+    Punct(char),
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            TokenKind::Punct(_) => None,
+        }
+    }
+
+    /// `true` if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A lexed source file: tokens, suppression comments, test-region map.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    /// `(line, rule)` pairs from `// ch-lint: allow(rule, …)` comments.
+    pub allows: Vec<(u32, String)>,
+    /// `is_test[i]` is `true` when `tokens[i]` sits inside a
+    /// `#[cfg(test)] mod` body.
+    pub is_test: Vec<bool>,
+}
+
+impl LexedFile {
+    /// `true` if `rule` is suppressed at `line` — the allow comment may
+    /// trail the offending line or sit on the line directly above it.
+    /// (`allows` already stores the line each comment *applies to*.)
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|(l, r)| r == rule && *l == line)
+    }
+}
+
+/// Lexes `source`, never failing: unterminated constructs consume the
+/// rest of the input, which is the forgiving behaviour a linter wants.
+pub fn lex(source: &str) -> LexedFile {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: LexedFile::default(),
+    };
+    lx.run();
+    let is_test = test_regions(&lx.out.tokens);
+    let mut file = lx.out;
+    file.is_test = is_test;
+    file
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_alphabetic() || c == '_' => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    if !c.is_whitespace() {
+                        self.out.tokens.push(Token {
+                            kind: TokenKind::Punct(c),
+                            line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles `r"…"`/`r#"…"#`/`b"…"`/`br#"…"#`/`b'…'` prefixes. Returns
+    /// `false` without consuming anything when `r`/`b` starts a plain
+    /// identifier (`rng`, `break`, …).
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let first = self.peek(0);
+        let mut ahead = 1; // chars of prefix before any hashes
+        if first == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        let is_raw = first == Some('r') || ahead == 2;
+        let mut hashes = 0;
+        if is_raw {
+            while self.peek(ahead) == Some('#') {
+                ahead += 1;
+                hashes += 1;
+            }
+        }
+        if self.peek(ahead) == Some('"') {
+            for _ in 0..=ahead {
+                self.bump(); // prefix and opening quote
+            }
+            if is_raw {
+                // Raw strings have no escapes: end at `"` + `hashes` hashes.
+                while let Some(c) = self.bump() {
+                    if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+            } else {
+                // b"…": ordinary escape rules.
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            }
+            return true;
+        }
+        if first == Some('b') && self.peek(1) == Some('\'') {
+            self.bump(); // the `b`; then lex as a char literal
+            self.char_or_lifetime();
+            return true;
+        }
+        false
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        // A trailing comment blesses its own line; a comment on a line of
+        // its own blesses the line below it.
+        let trailing = self.out.tokens.last().is_some_and(|t| t.line == line);
+        let applies_to = if trailing { line } else { line + 1 };
+        record_allows(&text, applies_to, &mut self.out.allows);
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: skip the escape sequence head, then
+                // run to the closing quote (covers '\n', '\'', '\u{…}').
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek(1) == Some('\'') {
+                    // 'x'
+                    self.bump();
+                    self.bump();
+                } else {
+                    // lifetime: consume the identifier, no closing quote
+                    while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+            Some(_) => {
+                // Symbol char literal like ' ' or '{'
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.tokens.push(Token {
+            kind: TokenKind::Ident(text),
+            line,
+        });
+    }
+
+    fn number(&mut self) {
+        // Numbers never participate in any rule: consume the usual suspects
+        // (digits, `_`, type suffixes, hex letters, one decimal point).
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_' || c == '.') {
+            if self.peek(0) == Some('.') && self.peek(1) == Some('.') {
+                break; // range operator, not a decimal point
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Extracts `allow(rule, …)` directives from one line comment.
+fn record_allows(comment: &str, line: u32, allows: &mut Vec<(u32, String)>) {
+    let Some(idx) = comment.find("ch-lint:") else {
+        return;
+    };
+    let rest = comment[idx + "ch-lint:".len()..].trim_start();
+    let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.find(')').map(|end| &r[..end]))
+    else {
+        return;
+    };
+    for rule in args.split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            allows.push((line, rule.to_string()));
+        }
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)] mod name { … }` body.
+fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut is_test = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(body_open) = cfg_test_mod_at(tokens, i) {
+            // Walk the balanced braces of the module body.
+            let mut depth = 0usize;
+            let mut j = body_open;
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                is_test[j] = true;
+                j += 1;
+            }
+            if j < tokens.len() {
+                is_test[j] = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    is_test
+}
+
+/// If `tokens[i..]` starts a `#[cfg(test)] … mod name {`, returns the index
+/// of the opening brace.
+fn cfg_test_mod_at(tokens: &[Token], i: usize) -> Option<usize> {
+    let pat = [
+        tokens.get(i)?.is_punct('#'),
+        tokens.get(i + 1)?.is_punct('['),
+        tokens.get(i + 2)?.ident() == Some("cfg"),
+        tokens.get(i + 3)?.is_punct('('),
+        tokens.get(i + 4)?.ident() == Some("test"),
+        tokens.get(i + 5)?.is_punct(')'),
+        tokens.get(i + 6)?.is_punct(']'),
+    ];
+    if pat.iter().any(|ok| !ok) {
+        return None;
+    }
+    // Skip any further attributes between the cfg and the item.
+    let mut j = i + 7;
+    while tokens.get(j)?.is_punct('#') {
+        let mut depth = 0usize;
+        j += 1; // at '['
+        loop {
+            let t = tokens.get(j)?;
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if tokens.get(j)?.ident() == Some("pub") {
+        j += 1;
+        if tokens.get(j)?.is_punct('(') {
+            // pub(crate) etc.
+            while !tokens.get(j)?.is_punct(')') {
+                j += 1;
+            }
+            j += 1;
+        }
+    }
+    if tokens.get(j)?.ident() != Some("mod") {
+        return None;
+    }
+    j += 1; // module name
+    tokens.get(j)?.ident()?;
+    j += 1;
+    if tokens.get(j)?.is_punct('{') {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* panic! in /* a nested */ block */
+            let s = "Instant::now() in a string";
+            let r = r#"thread_rng in a raw "string""#;
+            let b = b"SystemTime";
+            real_ident();
+        "##;
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "let", "r", "let", "b", "real_ident"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } after()";
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn char_literals_lex() {
+        let src = "let c = 'x'; let n = '\\n'; let q = '\\''; tail()";
+        assert!(idents(src).contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let file = lex("a\nb\n\nc");
+        let lines: Vec<u32> = file.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn allow_comments_are_recorded_and_scoped() {
+        let src = "\
+let a = 1; // ch-lint: allow(default-hasher)
+// ch-lint: allow(panic-path, nondeterminism)
+let b = 2;
+let c = 3;
+";
+        let file = lex(src);
+        assert!(file.is_allowed("default-hasher", 1));
+        assert!(!file.is_allowed("default-hasher", 2));
+        assert!(file.is_allowed("panic-path", 3)); // line under the comment
+        assert!(file.is_allowed("nondeterminism", 3));
+        assert!(!file.is_allowed("panic-path", 4));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_is_marked() {
+        let src = "\
+fn prod() {}
+#[cfg(test)]
+mod tests {
+    fn t() { inner_marker(); }
+}
+fn prod2() {}
+";
+        let file = lex(src);
+        let flag_of = |name: &str| {
+            let idx = file
+                .tokens
+                .iter()
+                .position(|t| t.ident() == Some(name))
+                .unwrap();
+            file.is_test[idx]
+        };
+        assert!(!flag_of("prod"));
+        assert!(flag_of("inner_marker"));
+        assert!(!flag_of("prod2"));
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod_stay_marked() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    struct S { f: u8 }
+    fn t() { if true { marked(); } }
+}
+fn unmarked() {}
+";
+        let file = lex(src);
+        let idx = file
+            .tokens
+            .iter()
+            .position(|t| t.ident() == Some("marked"))
+            .unwrap();
+        assert!(file.is_test[idx]);
+        let idx = file
+            .tokens
+            .iter()
+            .position(|t| t.ident() == Some("unmarked"))
+            .unwrap();
+        assert!(!file.is_test[idx]);
+    }
+}

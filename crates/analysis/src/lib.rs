@@ -1,0 +1,101 @@
+//! # ch-analysis — the City-Hunter static-analysis pass
+//!
+//! The simulation's headline claim is *bit-for-bit reproducibility*: the
+//! same seed regenerates every table of the paper. `ch-lint` (this crate's
+//! binary) is the workspace gate that keeps the properties behind that
+//! claim true by construction:
+//!
+//! * **R1 `default-hasher`** — determinism-critical crates must not build
+//!   `HashMap`/`HashSet` on std's randomly seeded hasher (iteration order
+//!   would differ per process); they use [`ch_sim::DetHashMap`]-style
+//!   collections instead.
+//! * **R2 `nondeterminism`** — no wall-clock reads (`Instant::now`,
+//!   `SystemTime::now`) or ambient randomness (`thread_rng`) outside
+//!   `ch-bench` and test code.
+//! * **R3 `panic-path`** — the frame codec and attack engine crates
+//!   (`ch-wifi`, `ch-arc`, `ch-attack`) keep library code panic-free:
+//!   malformed input must surface as `Result`, not a crash mid-campaign.
+//! * **R4 `missing-decode`** — every public wire-format type in
+//!   `ch-wifi::frame`/`ch-wifi::ie` that can encode must also be able to
+//!   decode, so formats round-trip.
+//!
+//! Run it with `cargo run -p ch-analysis --bin ch-lint`. A finding is
+//! suppressed by a trailing or directly preceding
+//! `// ch-lint: allow(<rule>)` comment; rules can be globally downgraded
+//! in `ch-lint.toml` or with `--allow <rule>` on the command line.
+//!
+//! The analyzer is dependency-free by design (the build must work in a
+//! hermetic environment): [`lexer`] is a small hand-rolled Rust lexer
+//! that understands exactly as much of the language as the token-pattern
+//! rules in [`rules`] require — comments, strings, lifetimes and
+//! `#[cfg(test)]` regions.
+//!
+//! [`ch_sim::DetHashMap`]: ../ch_sim/collections/type.DetHashMap.html
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+/// Where a file sits in its crate, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Under `src/`: production code, all rules apply.
+    Library,
+    /// Under `tests/`, `benches/` or `examples/`: R1–R3 exempt.
+    TestTarget,
+}
+
+/// Per-file context handed to the rules.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Package name from the owning crate's `Cargo.toml` (e.g. `ch-sim`).
+    pub crate_name: String,
+    /// Path as it should appear in diagnostics (workspace-relative).
+    pub path: String,
+    pub kind: FileKind,
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (one of [`rules::ALL_RULES`]).
+    pub rule: &'static str,
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        write!(f, "  --> {}:{}", self.path, self.line)
+    }
+}
+
+/// Lexes and checks one source file. The entry point the fixture tests
+/// drive directly; [`workspace::analyze_workspace`] wraps it with crate
+/// discovery.
+pub fn analyze_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    rules::check_file(ctx, &lexed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_renders_like_rustc() {
+        let f = Finding {
+            rule: "panic-path",
+            path: "crates/wifi/src/ie.rs".into(),
+            line: 217,
+            message: "`.expect()` in library code".into(),
+        };
+        let text = f.to_string();
+        assert!(text.starts_with("error[panic-path]:"), "{text}");
+        assert!(text.contains("crates/wifi/src/ie.rs:217"), "{text}");
+    }
+}

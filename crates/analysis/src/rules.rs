@@ -1,0 +1,380 @@
+//! The ch-lint rules.
+//!
+//! | id               | checks                                               |
+//! |------------------|------------------------------------------------------|
+//! | `default-hasher` | R1: no `HashMap`/`HashSet` with std's random hasher  |
+//! |                  | in determinism-critical crates                       |
+//! | `nondeterminism` | R2: no `Instant::now` / `SystemTime::now` /          |
+//! |                  | `thread_rng` outside `ch-bench` and test code        |
+//! | `panic-path`     | R3: no `.unwrap()` / `.expect(…)` / `panic!` in the  |
+//! |                  | library code of `ch-wifi`, `ch-arc`, `ch-attack`     |
+//! | `missing-decode` | R4: every public type in `ch-wifi::frame`/`::ie`     |
+//! |                  | with an `encode*` method has a `decode*`/`parse*`    |
+//! |                  | counterpart                                          |
+//!
+//! Any rule is suppressed at a site by a trailing (or directly preceding)
+//! `// ch-lint: allow(<rule>)` comment.
+
+use crate::lexer::{LexedFile, Token};
+use crate::{FileContext, FileKind, Finding};
+
+/// Crates whose state must be bit-for-bit reproducible across runs (R1).
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "ch-sim",
+    "ch-phone",
+    "ch-mobility",
+    "ch-scenarios",
+    "ch-arc",
+    "ch-attack",
+];
+
+/// Crates whose library code must not panic (R3).
+pub const PANIC_FREE_CRATES: &[&str] = &["ch-wifi", "ch-arc", "ch-attack"];
+
+/// Crates exempt from R2 (benchmarks legitimately read wall clocks).
+pub const WALL_CLOCK_CRATES: &[&str] = &["ch-bench"];
+
+/// All rule identifiers, for config validation and `--list-rules`.
+pub const ALL_RULES: &[&str] = &[
+    "default-hasher",
+    "nondeterminism",
+    "panic-path",
+    "missing-decode",
+];
+
+/// Runs every applicable rule over one lexed file.
+pub fn check_file(ctx: &FileContext, file: &LexedFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    rule_default_hasher(ctx, file, &mut findings);
+    rule_nondeterminism(ctx, file, &mut findings);
+    rule_panic_path(ctx, file, &mut findings);
+    rule_missing_decode(ctx, file, &mut findings);
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    findings
+}
+
+fn push_unless_allowed(
+    findings: &mut Vec<Finding>,
+    file: &LexedFile,
+    ctx: &FileContext,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) {
+    if !file.is_allowed(rule, line) {
+        findings.push(Finding {
+            rule,
+            path: ctx.path.clone(),
+            line,
+            message,
+        });
+    }
+}
+
+/// True when `tokens[i]` is production code for `ctx` (not a test target,
+/// not inside `#[cfg(test)] mod`).
+fn in_production(ctx: &FileContext, file: &LexedFile, i: usize) -> bool {
+    ctx.kind == FileKind::Library && !file.is_test[i]
+}
+
+// --- R1: default-hasher ---------------------------------------------------
+
+fn rule_default_hasher(ctx: &FileContext, file: &LexedFile, findings: &mut Vec<Finding>) {
+    if !DETERMINISM_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        if !in_production(ctx, file, i) {
+            continue;
+        }
+        // A hasher type parameter makes the collection deterministic:
+        // `HashMap<K, V, S>` has two top-level commas, `HashSet<T, S>` one.
+        let needed_commas = if name == "HashMap" { 2 } else { 1 };
+        if generic_arg_commas(toks, i + 1) >= Some(needed_commas) {
+            continue;
+        }
+        push_unless_allowed(
+            findings,
+            file,
+            ctx,
+            "default-hasher",
+            tok.line,
+            format!(
+                "`{name}` with std's randomly seeded hasher in determinism-critical \
+                 crate `{}`; use `ch_sim::Det{name}` (or pass an explicit hasher)",
+                ctx.crate_name
+            ),
+        );
+    }
+}
+
+/// If the token at `i` (optionally after a `::` turbofish) opens a generic
+/// argument list, returns the number of top-level commas inside it.
+fn generic_arg_commas(toks: &[Token], mut i: usize) -> Option<usize> {
+    if toks.get(i)?.is_punct(':')
+        && toks.get(i + 1)?.is_punct(':')
+        && toks.get(i + 2)?.is_punct('<')
+    {
+        i += 2;
+    }
+    if !toks.get(i)?.is_punct('<') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    loop {
+        let t = toks.get(i)?;
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(commas);
+            }
+        } else if t.is_punct(',') && depth == 1 {
+            commas += 1;
+        } else if t.is_punct(';') || t.is_punct('{') {
+            // Not a generic list after all (e.g. a `<` comparison).
+            return None;
+        }
+        i += 1;
+    }
+}
+
+// --- R2: nondeterminism ---------------------------------------------------
+
+fn rule_nondeterminism(ctx: &FileContext, file: &LexedFile, findings: &mut Vec<Finding>) {
+    if WALL_CLOCK_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if !in_production(ctx, file, i) {
+            continue;
+        }
+        let offending = match name {
+            "Instant" | "SystemTime" if path_call(toks, i, "now") => {
+                format!("`{name}::now()` reads the wall clock")
+            }
+            "thread_rng" => "`thread_rng` draws OS-seeded randomness".to_string(),
+            _ => continue,
+        };
+        push_unless_allowed(
+            findings,
+            file,
+            ctx,
+            "nondeterminism",
+            tok.line,
+            format!(
+                "{offending}; simulations must take time from `SimTime` and \
+                 randomness from a seeded `SimRng`"
+            ),
+        );
+    }
+}
+
+/// `tokens[i]` followed by `:: method`.
+fn path_call(toks: &[Token], i: usize, method: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.ident() == Some(method))
+}
+
+// --- R3: panic-path -------------------------------------------------------
+
+fn rule_panic_path(ctx: &FileContext, file: &LexedFile, findings: &mut Vec<Finding>) {
+    if !PANIC_FREE_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let Some(name) = tok.ident() else { continue };
+        if !in_production(ctx, file, i) {
+            continue;
+        }
+        let what = match name {
+            "unwrap" | "expect"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                format!(".{name}()")
+            }
+            "panic" if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) => "panic!".to_string(),
+            _ => continue,
+        };
+        push_unless_allowed(
+            findings,
+            file,
+            ctx,
+            "panic-path",
+            tok.line,
+            format!(
+                "`{what}` in library code of panic-free crate `{}`; return a \
+                 Result/Option or justify with an allow comment",
+                ctx.crate_name
+            ),
+        );
+    }
+}
+
+// --- R4: missing-decode ---------------------------------------------------
+
+/// Path suffixes R4 applies to: the ch-wifi wire-format modules.
+const CODEC_MODULES: &[&str] = &["src/frame.rs", "src/ie.rs"];
+
+fn rule_missing_decode(ctx: &FileContext, file: &LexedFile, findings: &mut Vec<Finding>) {
+    if ctx.crate_name != "ch-wifi" {
+        return;
+    }
+    let unix_path = ctx.path.replace('\\', "/");
+    if !CODEC_MODULES.iter().any(|m| unix_path.ends_with(m)) {
+        return;
+    }
+    let toks = &file.tokens;
+
+    // Public type declarations: `pub struct X` / `pub enum X`.
+    let mut public_types: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].ident() == Some("pub")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| matches!(t.ident(), Some("struct" | "enum")))
+        {
+            if let Some(name) = toks.get(i + 2).and_then(Token::ident) {
+                public_types.push(name);
+            }
+        }
+    }
+
+    // Inherent-impl methods, with the line of each `fn`.
+    for (type_name, methods) in inherent_impl_methods(toks) {
+        if !public_types.contains(&type_name) {
+            continue;
+        }
+        let has_decoder = methods
+            .iter()
+            .any(|(m, _)| m.starts_with("decode") || m.starts_with("parse"));
+        for (method, line) in &methods {
+            if method.starts_with("encode") && !has_decoder {
+                push_unless_allowed(
+                    findings,
+                    file,
+                    ctx,
+                    "missing-decode",
+                    *line,
+                    format!(
+                        "public type `{type_name}` can `{method}` but has no \
+                         `decode*`/`parse*` counterpart; wire formats must \
+                         round-trip"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Collects `(type_name, [(method, line)])` for every inherent `impl` block
+/// (trait impls are skipped — their methods belong to the trait contract).
+fn inherent_impl_methods(toks: &[Token]) -> Vec<(&str, Vec<(&str, u32)>)> {
+    let mut out: Vec<(&str, Vec<(&str, u32)>)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].ident() != Some("impl") {
+            i += 1;
+            continue;
+        }
+        i += 1;
+        // Skip `impl<...>` generics.
+        if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+            i = match skip_balanced(toks, i, '<', '>') {
+                Some(j) => j,
+                None => break,
+            };
+        }
+        // Read the type path up to `{`, `for`, or `where`.
+        let mut type_name: Option<&str> = None;
+        let mut is_trait_impl = false;
+        let mut in_where = false;
+        while let Some(t) = toks.get(i) {
+            if t.is_punct('{') {
+                break;
+            }
+            if let Some(id) = t.ident() {
+                if id == "for" {
+                    is_trait_impl = true;
+                } else if id == "where" {
+                    // Bounds follow; the head type is already recorded.
+                    in_where = true;
+                } else if !in_where {
+                    // Later path segments overwrite: `fmt::Display` → Display.
+                    type_name = Some(id);
+                }
+            } else if t.is_punct('<') {
+                i = match skip_balanced(toks, i, '<', '>') {
+                    Some(j) => j,
+                    None => return out,
+                };
+                continue;
+            }
+            i += 1;
+        }
+        let Some(body_open) = toks.get(i).filter(|t| t.is_punct('{')).map(|_| i) else {
+            continue;
+        };
+        let body_close = match skip_balanced(toks, body_open, '{', '}') {
+            Some(j) => j,
+            None => toks.len(),
+        };
+        if is_trait_impl {
+            i = body_close;
+            continue;
+        }
+        let mut methods = Vec::new();
+        let mut depth = 0i32;
+        for j in body_open..body_close {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+            } else if depth == 1 && toks[j].ident() == Some("fn") {
+                if let Some(name) = toks.get(j + 1).and_then(Token::ident) {
+                    methods.push((name, toks[j + 1].line));
+                }
+            }
+        }
+        if let Some(name) = type_name {
+            match out.iter_mut().find(|(t, _)| *t == name) {
+                Some((_, ms)) => ms.extend(methods),
+                None => out.push((name, methods)),
+            }
+        }
+        i = body_close;
+    }
+    out
+}
+
+/// From `toks[open]` (which must be `open_c`), returns the index just past
+/// the matching `close_c`.
+fn skip_balanced(toks: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}

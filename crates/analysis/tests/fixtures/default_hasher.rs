@@ -1,0 +1,26 @@
+//! R1 fixture — scanned as library code of a determinism-critical crate.
+use std::collections::HashMap;
+use std::collections::HashSet; // ch-lint: allow(default-hasher)
+
+pub struct State {
+    pub index: HashMap<u64, u32>,
+    pub seen: HashSet<u64>,
+}
+
+pub fn build() -> HashMap<u64, u32, std::hash::RandomState> {
+    HashMap::new()
+}
+
+pub fn seeded(set: HashSet<u64, std::hash::RandomState>) -> usize {
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt_in_tests() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

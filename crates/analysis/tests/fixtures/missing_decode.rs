@@ -1,0 +1,57 @@
+//! R4 fixture — encode without decode in a wire-format module.
+
+/// Violation: public, encodes, never decodes.
+pub struct BeaconStub {
+    pub field: u8,
+}
+
+impl BeaconStub {
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.field);
+    }
+
+    pub fn len(&self) -> usize {
+        1
+    }
+}
+
+/// Fine: encode is paired with a parse counterpart.
+pub struct ProbeStub {
+    pub field: u8,
+}
+
+impl ProbeStub {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.field);
+    }
+
+    pub fn parse(bytes: &[u8]) -> Option<ProbeStub> {
+        bytes.first().map(|&field| ProbeStub { field })
+    }
+}
+
+/// Fine: private types are not part of the wire contract.
+struct ScratchStub;
+
+impl ScratchStub {
+    fn encode_into(&self, _out: &mut Vec<u8>) {}
+}
+
+/// Fine: decode split across a second impl block of the same type.
+pub struct SplitStub;
+
+impl SplitStub {
+    pub fn encode_into(&self, _out: &mut Vec<u8>) {}
+}
+
+impl SplitStub {
+    pub fn decode(_bytes: &[u8]) -> Option<SplitStub> {
+        Some(SplitStub)
+    }
+}
+
+impl std::fmt::Display for BeaconStub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.field)
+    }
+}

@@ -1,0 +1,31 @@
+//! R2 fixture — wall clocks and ambient randomness in library code.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch_ms() -> u128 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_millis()
+}
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng(); // ch-lint: allow(nondeterminism)
+    rng.gen()
+}
+
+pub fn roll_unblessed() -> u32 {
+    rand::thread_rng().gen()
+}
+
+// "Instant::now() in a string or comment is fine"
+pub const DOC: &str = "call Instant::now() never";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_allowed_here() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,41 @@
+//! R3 fixture — panic paths in a panic-free crate's library code.
+
+/// Docs may say panic! freely; `.unwrap()` in prose is also fine.
+pub fn first(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}
+
+pub fn header(bytes: &[u8]) -> u16 {
+    let word: [u8; 2] = bytes[..2].try_into().expect("sliced to 2");
+    u16::from_le_bytes(word)
+}
+
+pub fn checked(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap() // ch-lint: allow(panic-path) — caller guarantees non-empty
+}
+
+pub fn boom() {
+    panic!("unreachable by construction");
+}
+
+pub fn fine(bytes: &[u8]) -> Option<u8> {
+    let value = bytes.first().copied()?;
+    value.checked_add(1) // unwrap_or / expect_err style names must not match
+}
+
+pub fn named_not_called() -> &'static str {
+    // idents alone (no call) must not match:
+    let unwrap = "unwrap";
+    let expect = "expect";
+    let _ = (unwrap, expect);
+    "ok"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1u8).unwrap();
+        assert!(std::panic::catch_unwind(|| panic!("test-only")).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Fixture-driven tests for the four ch-lint rules: each fixture contains
+//! known violations; the tests pin rule ids *and* line numbers, plus the
+//! `// ch-lint: allow(...)` suppression behaviour.
+
+use ch_analysis::{analyze_source, FileContext, FileKind, Finding};
+
+fn run(crate_name: &str, path: &str, kind: FileKind, source: &str) -> Vec<(String, u32)> {
+    let ctx = FileContext {
+        crate_name: crate_name.to_string(),
+        path: path.to_string(),
+        kind,
+    };
+    analyze_source(&ctx, source)
+        .into_iter()
+        .map(|f: Finding| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+#[test]
+fn r1_default_hasher_fixture() {
+    let src = include_str!("fixtures/default_hasher.rs");
+    let got = run(
+        "ch-sim",
+        "crates/sim/src/fixture.rs",
+        FileKind::Library,
+        src,
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("default-hasher".to_string(), 2),  // use … HashMap
+            ("default-hasher".to_string(), 6),  // HashMap<u64, u32> (no hasher)
+            ("default-hasher".to_string(), 7),  // HashSet<u64>
+            ("default-hasher".to_string(), 11), // HashMap::new()
+        ],
+        "line 3 is allow-suppressed; lines 10/14 carry explicit hashers; the \
+         #[cfg(test)] mod is exempt"
+    );
+}
+
+#[test]
+fn r1_does_not_apply_outside_determinism_crates() {
+    let src = include_str!("fixtures/default_hasher.rs");
+    let got = run(
+        "ch-analysis",
+        "crates/analysis/src/x.rs",
+        FileKind::Library,
+        src,
+    );
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn r2_nondeterminism_fixture() {
+    let src = include_str!("fixtures/nondeterminism.rs");
+    let got = run(
+        "ch-geo",
+        "crates/geo/src/fixture.rs",
+        FileKind::Library,
+        src,
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("nondeterminism".to_string(), 5),  // Instant::now()
+            ("nondeterminism".to_string(), 9),  // SystemTime::now()
+            ("nondeterminism".to_string(), 19), // thread_rng()
+        ],
+        "line 14 is allow-suppressed; strings, comments and the test mod \
+         must not fire"
+    );
+}
+
+#[test]
+fn r2_exempts_bench_crate_and_test_targets() {
+    let src = include_str!("fixtures/nondeterminism.rs");
+    let bench = run("ch-bench", "crates/bench/src/x.rs", FileKind::Library, src);
+    assert!(bench.is_empty(), "{bench:?}");
+    let test_target = run("ch-geo", "crates/geo/tests/x.rs", FileKind::TestTarget, src);
+    assert!(test_target.is_empty(), "{test_target:?}");
+}
+
+#[test]
+fn r3_panic_path_fixture() {
+    let src = include_str!("fixtures/panic_path.rs");
+    let got = run(
+        "ch-wifi",
+        "crates/wifi/src/fixture.rs",
+        FileKind::Library,
+        src,
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("panic-path".to_string(), 5),  // .unwrap()
+            ("panic-path".to_string(), 9),  // .expect(…)
+            ("panic-path".to_string(), 18), // panic!
+        ],
+        "line 14 is allow-suppressed; bare `unwrap`/`expect` identifiers and \
+         test code must not fire"
+    );
+}
+
+#[test]
+fn r3_does_not_apply_to_non_panic_free_crates() {
+    let src = include_str!("fixtures/panic_path.rs");
+    let got = run("ch-sim", "crates/sim/src/x.rs", FileKind::Library, src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn r4_missing_decode_fixture() {
+    let src = include_str!("fixtures/missing_decode.rs");
+    let got = run("ch-wifi", "crates/wifi/src/ie.rs", FileKind::Library, src);
+    assert_eq!(
+        got,
+        vec![("missing-decode".to_string(), 9)], // BeaconStub::encode_into
+        "ProbeStub pairs encode/parse, SplitStub decodes in a second impl, \
+         ScratchStub is private, Display is a trait impl"
+    );
+}
+
+#[test]
+fn r4_scoped_to_wire_format_modules() {
+    let src = include_str!("fixtures/missing_decode.rs");
+    // Same crate, different module: out of scope.
+    let got = run(
+        "ch-wifi",
+        "crates/wifi/src/codec.rs",
+        FileKind::Library,
+        src,
+    );
+    assert!(got.is_empty(), "{got:?}");
+    // Same path shape, different crate: out of scope.
+    let got = run("ch-sim", "crates/sim/src/ie.rs", FileKind::Library, src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn allow_comment_suppresses_only_its_rule() {
+    let src =
+        "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap() // ch-lint: allow(nondeterminism)\n}\n";
+    let got = run("ch-arc", "crates/arc/src/x.rs", FileKind::Library, src);
+    assert_eq!(got, vec![("panic-path".to_string(), 2)]);
+}

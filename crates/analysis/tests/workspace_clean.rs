@@ -1,0 +1,35 @@
+//! The acceptance gate turned into a test: running ch-lint over the real
+//! workspace must come back clean, and the walker must actually have
+//! visited the crates it claims to police.
+
+use std::path::Path;
+
+use ch_analysis::config::Config;
+use ch_analysis::workspace::{analyze_workspace, find_workspace_root};
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root");
+    let report = analyze_workspace(&root, &Config::default()).expect("analysis runs");
+    assert!(
+        report.findings.is_empty(),
+        "ch-lint findings in the workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.crates_scanned >= 10,
+        "only {} crates scanned — walker lost the workspace",
+        report.crates_scanned
+    );
+    assert!(
+        report.files_scanned >= 40,
+        "only {} files scanned",
+        report.files_scanned
+    );
+}

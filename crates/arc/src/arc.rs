@@ -15,6 +15,8 @@
 
 use std::hash::Hash;
 
+use ch_sim::ch_invariant;
+
 use crate::ordered::OrderedSet;
 use crate::traits::Cache;
 
@@ -69,6 +71,32 @@ impl<K: Eq + Hash + Clone> ArcCache<K> {
         (self.t1.len(), self.t2.len(), self.b1.len(), self.b2.len())
     }
 
+    /// The ARC structural invariants (FAST '03 §I.B), checked after every
+    /// request when invariant checks are compiled in (`cargo test`, debug
+    /// builds, or `--features ch-sim/debug-invariants`).
+    fn check_invariants(&self) {
+        let (t1, t2, b1, b2) = self.list_sizes();
+        let c = self.capacity;
+        ch_invariant!(
+            t1 + t2 <= c,
+            "residents |T1|+|T2| = {t1}+{t2} exceed capacity {c}"
+        );
+        ch_invariant!(t1 + b1 <= c, "|L1| = |T1|+|B1| = {t1}+{b1} exceeds {c}");
+        ch_invariant!(
+            t1 + t2 + b1 + b2 <= 2 * c,
+            "history |L1|+|L2| = {} exceeds 2c = {}",
+            t1 + t2 + b1 + b2,
+            2 * c
+        );
+        ch_invariant!(self.p <= c, "target p = {} outside [0, {c}]", self.p);
+        // Once the total history has reached capacity the cache stays
+        // exactly full: every eviction is paired with an admission.
+        ch_invariant!(
+            t1 + t2 + b1 + b2 < c || t1 + t2 == c,
+            "cache underfull ({t1}+{t2} < {c}) despite full history"
+        );
+    }
+
     /// REPLACE from the paper: evict from T1 into B1, or from T2 into B2,
     /// steering actual sizes toward the target `p`.
     fn replace(&mut self, in_b2: bool) {
@@ -88,6 +116,26 @@ impl<K: Eq + Hash + Clone> ArcCache<K> {
 
 impl<K: Eq + Hash + Clone> Cache<K> for ArcCache<K> {
     fn request(&mut self, key: &K) -> bool {
+        let hit = self.request_inner(key);
+        self.check_invariants();
+        hit
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.t1.contains(key) || self.t2.contains(key)
+    }
+
+    fn len(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<K: Eq + Hash + Clone> ArcCache<K> {
+    fn request_inner(&mut self, key: &K) -> bool {
         let c = self.capacity;
 
         // Case I: hit in T1 or T2 — promote to T2 MRU.
@@ -135,18 +183,6 @@ impl<K: Eq + Hash + Clone> Cache<K> for ArcCache<K> {
         }
         self.t1.push_mru(key.clone());
         false
-    }
-
-    fn contains(&self, key: &K) -> bool {
-        self.t1.contains(key) || self.t2.contains(key)
-    }
-
-    fn len(&self) -> usize {
-        self.t1.len() + self.t2.len()
-    }
-
-    fn capacity(&self) -> usize {
-        self.capacity
     }
 }
 
@@ -221,7 +257,11 @@ mod tests {
             arc.request(&i);
         }
         let (_, _, b1, _) = arc.list_sizes();
-        assert!(b1 > 0, "setup must create B1 ghosts, got sizes {:?}", arc.list_sizes());
+        assert!(
+            b1 > 0,
+            "setup must create B1 ghosts, got sizes {:?}",
+            arc.list_sizes()
+        );
         let ghost = *arc.b1.iter_lru_to_mru().next().unwrap();
         let p_before = arc.p();
         arc.request(&ghost); // B1 ghost hit
@@ -243,7 +283,11 @@ mod tests {
             arc.request(&i);
         }
         let (_, _, _, b2) = arc.list_sizes();
-        assert!(b2 > 0, "setup must create B2 ghosts, got {:?}", arc.list_sizes());
+        assert!(
+            b2 > 0,
+            "setup must create B2 ghosts, got {:?}",
+            arc.list_sizes()
+        );
         let ghost = *arc.b2.iter_lru_to_mru().next().unwrap();
         arc.p = 3; // pretend recency had been favoured
         let p_before = arc.p();
@@ -315,6 +359,66 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ArcCache::<u8>::new(0);
+    }
+
+    /// Drives a corrupted cache through `check_invariants` and returns the
+    /// panic message.
+    fn violation_message(arc: &ArcCache<u32>) -> String {
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            arc.check_invariants();
+        }))
+        .expect_err("corrupted cache must trip an invariant");
+        err.downcast_ref::<String>()
+            .expect("ch_invariant panics with a formatted string")
+            .clone()
+    }
+
+    #[test]
+    fn invariant_catches_resident_overflow() {
+        // |T1| + |T2| <= c
+        let mut arc = ArcCache::new(2);
+        for k in [1u32, 2, 3] {
+            arc.t1.push_mru(k); // bypass request(): plant 3 residents in a 2-cache
+        }
+        assert!(violation_message(&arc).contains("exceed capacity"));
+    }
+
+    #[test]
+    fn invariant_catches_l1_overflow() {
+        // |T1| + |B1| <= c
+        let mut arc = ArcCache::new(2);
+        arc.t1.push_mru(1u32);
+        arc.t1.push_mru(2);
+        arc.b1.push_mru(3);
+        assert!(violation_message(&arc).contains("|L1|"));
+    }
+
+    #[test]
+    fn invariant_catches_history_overflow() {
+        // |T1| + |T2| + |B1| + |B2| <= 2c, violated on the L2 side so the
+        // narrower L1 check cannot fire first.
+        let mut arc = ArcCache::new(1);
+        arc.t2.push_mru(1u32);
+        arc.b2.push_mru(2);
+        arc.b2.push_mru(3);
+        assert!(violation_message(&arc).contains("2c"));
+    }
+
+    #[test]
+    fn invariant_catches_p_out_of_range() {
+        let mut arc = ArcCache::<u32>::new(2);
+        arc.p = 3;
+        assert!(violation_message(&arc).contains("target p"));
+    }
+
+    #[test]
+    fn invariant_catches_underfull_cache() {
+        // Full history but residents below capacity: an eviction that lost
+        // its paired admission.
+        let mut arc = ArcCache::new(2);
+        arc.t2.push_mru(1u32);
+        arc.b2.push_mru(2);
+        assert!(violation_message(&arc).contains("underfull"));
     }
 
     proptest! {

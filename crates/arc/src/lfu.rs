@@ -1,6 +1,8 @@
 //! Least-frequently-used cache.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use ch_sim::DetHashMap;
 use std::hash::Hash;
 
 use crate::traits::Cache;
@@ -24,7 +26,7 @@ use crate::traits::Cache;
 #[derive(Debug, Clone)]
 pub struct LfuCache<K> {
     // key -> (count, last-touch sequence)
-    entries: HashMap<K, (u64, u64)>,
+    entries: DetHashMap<K, (u64, u64)>,
     // (count, last-touch sequence, key) ordered ascending: first = evictee.
     order: BTreeSet<(u64, u64, K)>,
     capacity: usize,
@@ -40,7 +42,7 @@ impl<K: Eq + Hash + Ord + Clone> LfuCache<K> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         LfuCache {
-            entries: HashMap::new(),
+            entries: ch_sim::det_hash_map(),
             order: BTreeSet::new(),
             capacity,
             next_seq: 0,

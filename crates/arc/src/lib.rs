@@ -1,3 +1,9 @@
+// Panic-freedom gate (clippy side of ch-lint rule R3); tests are exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 //! # ch-arc — Adaptive Replacement Cache and baselines
 //!
 //! City-Hunter's dynamic popularity/freshness buffer split (§IV-C) is

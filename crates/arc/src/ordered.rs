@@ -5,12 +5,14 @@
 //! a `BTreeMap` from sequence number back to key. "Most recently used" is
 //! the largest sequence number.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use ch_sim::DetHashMap;
 use std::hash::Hash;
 
 #[derive(Debug, Clone)]
 pub(crate) struct OrderedSet<K> {
-    seq_of: HashMap<K, u64>,
+    seq_of: DetHashMap<K, u64>,
     key_of: BTreeMap<u64, K>,
     next_seq: u64,
 }
@@ -18,7 +20,7 @@ pub(crate) struct OrderedSet<K> {
 impl<K: Eq + Hash + Clone> OrderedSet<K> {
     pub(crate) fn new() -> Self {
         OrderedSet {
-            seq_of: HashMap::new(),
+            seq_of: ch_sim::det_hash_map(),
             key_of: BTreeMap::new(),
             next_seq: 0,
         }
@@ -49,8 +51,7 @@ impl<K: Eq + Hash + Clone> OrderedSet<K> {
 
     /// Removes and returns the LRU key.
     pub(crate) fn pop_lru(&mut self) -> Option<K> {
-        let (&seq, _) = self.key_of.iter().next()?;
-        let key = self.key_of.remove(&seq).expect("seq just seen");
+        let (_, key) = self.key_of.pop_first()?;
         self.seq_of.remove(&key);
         Some(key)
     }

@@ -35,10 +35,7 @@ where
     K: Eq + Hash + Clone,
     C: Cache<K>,
 {
-    trace
-        .into_iter()
-        .filter(|key| cache.request(key))
-        .count()
+    trace.into_iter().filter(|key| cache.request(key)).count()
 }
 
 #[cfg(test)]

@@ -82,12 +82,7 @@ pub trait Attacker {
     /// Chooses up to `budget` lures for this probe. For direct probes the
     /// canonical move is a single mimicking reply; for broadcast probes the
     /// policy is what distinguishes the attackers.
-    fn respond_to_probe(
-        &mut self,
-        now: SimTime,
-        probe: &ProbeRequest,
-        budget: usize,
-    ) -> Vec<Lure>;
+    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure>;
 
     /// A client associated after receiving `lure` — update hit statistics,
     /// weights, freshness, adaptive sizes.

@@ -13,7 +13,7 @@
 //! small (`p += 1, f -= 1`); a hit by an FB-ghost pick grows the FB — the
 //! ARC feedback loop (`ch-arc`) transplanted onto SSID selection.
 
-use ch_sim::SimRng;
+use ch_sim::{ch_invariant, SimRng};
 use ch_wifi::Ssid;
 
 use crate::api::LureLane;
@@ -79,6 +79,24 @@ impl AdaptiveBuffers {
         self.total
     }
 
+    /// The §IV-C size invariants: the split always sums to the joint
+    /// budget and neither buffer adapts below [`MIN_BUFFER`].
+    fn check_invariants(&self) {
+        ch_invariant!(
+            self.p + self.f == self.total,
+            "buffer split {}+{} drifted from budget {}",
+            self.p,
+            self.f,
+            self.total
+        );
+        ch_invariant!(
+            self.p >= MIN_BUFFER && self.f >= MIN_BUFFER,
+            "buffer split ({}, {}) below MIN_BUFFER = {MIN_BUFFER}",
+            self.p,
+            self.f
+        );
+    }
+
     /// Selects up to `budget` SSIDs for one client.
     ///
     /// `by_weight` and `by_freshness` must already be filtered to SSIDs
@@ -93,15 +111,15 @@ impl AdaptiveBuffers {
         budget: usize,
         rng: &mut SimRng,
     ) -> Vec<(Ssid, LureLane)> {
+        self.check_invariants();
         let budget = budget.min(self.total);
         // Scale the split if the runner hands us a smaller budget.
         let p_quota = (self.p * budget).div_ceil(self.total).min(budget);
         let f_quota = budget - p_quota;
 
         let mut picked: Vec<(Ssid, LureLane)> = Vec::with_capacity(budget);
-        let contains = |picked: &Vec<(Ssid, LureLane)>, s: &Ssid| {
-            picked.iter().any(|(q, _)| q == s)
-        };
+        let contains =
+            |picked: &Vec<(Ssid, LureLane)>, s: &Ssid| picked.iter().any(|(q, _)| q == s);
 
         // --- Popularity side (picked first: an SSID that is both popular
         // and fresh is credited to the PB, so the FB lane measures the
@@ -114,11 +132,7 @@ impl AdaptiveBuffers {
         }
         // PB ghost: two random picks from the next GHOST_LEN by weight.
         if p_quota > 0 {
-            let ghost_pool: Vec<&Ssid> = by_weight
-                .iter()
-                .skip(pb_core)
-                .take(GHOST_LEN)
-                .collect();
+            let ghost_pool: Vec<&Ssid> = by_weight.iter().skip(pb_core).take(GHOST_LEN).collect();
             for i in rng.sample_indices(ghost_pool.len(), GHOST_PICKS.min(p_quota)) {
                 let ssid = ghost_pool[i];
                 if !contains(&picked, ssid) {
@@ -172,6 +186,13 @@ impl AdaptiveBuffers {
             LureLane::FreshnessGhost => 3,
             _ => 4,
         });
+        // The lane quotas are constructed to sum to at most `budget`; the
+        // truncate below is a release-mode safety net, so check first.
+        ch_invariant!(
+            picked.len() <= budget,
+            "selected {} SSIDs against a budget of {budget}",
+            picked.len()
+        );
         picked.truncate(budget);
         picked
     }
@@ -193,7 +214,7 @@ impl AdaptiveBuffers {
             }
             _ => {}
         }
-        debug_assert_eq!(self.p + self.f, self.total);
+        self.check_invariants();
     }
 }
 
@@ -302,6 +323,49 @@ mod tests {
     #[should_panic(expected = "p + f must equal the budget")]
     fn bad_split_rejected() {
         let _ = AdaptiveBuffers::new(30, 5, 40, true);
+    }
+
+    #[test]
+    fn invariant_catches_split_drift() {
+        // A split that no longer sums to the budget must trip the check on
+        // the next adaptation, even for a lane that would not move it.
+        let mut b = AdaptiveBuffers::paper_default();
+        b.p += 1; // corrupt: 33 + 8 != 40
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.adapt(LureLane::Popularity);
+        }))
+        .expect_err("drifted split must panic");
+        let msg = err.downcast_ref::<String>().expect("formatted message");
+        assert!(msg.contains("drifted from budget"), "{msg}");
+    }
+
+    #[test]
+    fn invariant_catches_starved_buffer_on_select() {
+        let mut b = AdaptiveBuffers::paper_default();
+        b.p = b.total - 1;
+        b.f = 1; // below MIN_BUFFER
+        let weight = ssids("w", 50);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = SimRng::seed_from(9);
+            b.select(&weight, &[], 40, &mut rng);
+        }))
+        .expect_err("starved buffer must panic");
+        let msg = err.downcast_ref::<String>().expect("formatted message");
+        assert!(msg.contains("MIN_BUFFER"), "{msg}");
+    }
+
+    #[test]
+    fn selection_stays_within_budget_for_all_small_budgets() {
+        // Exercises the `picked.len() <= budget` invariant across the full
+        // quota-splitting range, including budgets below GHOST_PICKS.
+        let b = AdaptiveBuffers::paper_default();
+        let weight = ssids("w", 120);
+        let fresh = ssids("f", 60);
+        for budget in 1..=40 {
+            let mut rng = SimRng::seed_from(budget as u64);
+            let picked = b.select(&weight, &fresh, budget, &mut rng);
+            assert!(picked.len() <= budget, "budget {budget} overshot");
+        }
     }
 
     proptest! {

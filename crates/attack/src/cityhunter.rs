@@ -7,9 +7,9 @@ use ch_sim::{SimRng, SimTime};
 use ch_wifi::mgmt::ProbeRequest;
 use ch_wifi::MacAddr;
 
-use crate::api::{direct_reply, Attacker, Lure, LureSource};
 #[cfg(test)]
 use crate::api::LureLane;
+use crate::api::{direct_reply, Attacker, Lure, LureSource};
 use crate::buffers::AdaptiveBuffers;
 use crate::clienttrack::ClientTracker;
 use crate::db::SsidDatabase;
@@ -142,12 +142,7 @@ impl Attacker for CityHunter {
         self.bssid
     }
 
-    fn respond_to_probe(
-        &mut self,
-        now: SimTime,
-        probe: &ProbeRequest,
-        budget: usize,
-    ) -> Vec<Lure> {
+    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure> {
         if !probe.is_broadcast() {
             // Step 2 (online updating): harvest, then reply KARMA-style.
             self.db.observe_direct_probe(probe.ssid.clone(), now);
@@ -268,14 +263,14 @@ mod tests {
             carrier_preload: true,
             ..CityHunterConfig::default()
         });
-        let lures =
-            ch.respond_to_probe(SimTime::ZERO, &ProbeRequest::broadcast(mac(1)), 40);
+        let lures = ch.respond_to_probe(SimTime::ZERO, &ProbeRequest::broadcast(mac(1)), 40);
         let carriers = carrier_ssids();
-        let offered_carriers = lures
-            .iter()
-            .filter(|l| carriers.contains(&l.ssid))
-            .count();
-        assert_eq!(offered_carriers, carriers.len(), "all carriers offered first");
+        let offered_carriers = lures.iter().filter(|l| carriers.contains(&l.ssid)).count();
+        assert_eq!(
+            offered_carriers,
+            carriers.len(),
+            "all carriers offered first"
+        );
         assert!(lures
             .iter()
             .filter(|l| carriers.contains(&l.ssid))

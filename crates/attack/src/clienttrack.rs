@@ -5,14 +5,14 @@
 //! list for each of them." We store the complement — the set already
 //! *sent* per MAC — which is equivalent and much smaller.
 
-use std::collections::{HashMap, HashSet};
+use ch_sim::{DetHashMap, DetHashSet};
 
 use ch_wifi::{MacAddr, Ssid};
 
 /// Tracks which SSIDs have been sent to which client.
 #[derive(Debug, Clone, Default)]
 pub struct ClientTracker {
-    sent: HashMap<MacAddr, HashSet<Ssid>>,
+    sent: DetHashMap<MacAddr, DetHashSet<Ssid>>,
 }
 
 impl ClientTracker {
@@ -28,14 +28,12 @@ impl ClientTracker {
 
     /// How many SSIDs have been sent to `client` so far.
     pub fn sent_count(&self, client: MacAddr) -> usize {
-        self.sent.get(&client).map_or(0, HashSet::len)
+        self.sent.get(&client).map_or(0, DetHashSet::len)
     }
 
     /// `true` if `ssid` was already sent to `client`.
     pub fn was_sent(&self, client: MacAddr, ssid: &Ssid) -> bool {
-        self.sent
-            .get(&client)
-            .is_some_and(|set| set.contains(ssid))
+        self.sent.get(&client).is_some_and(|set| set.contains(ssid))
     }
 
     /// Records that `ssid` has been sent to `client`.
@@ -75,6 +73,7 @@ impl ClientTracker {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::HashSet;
 
     fn mac(i: u8) -> MacAddr {
         MacAddr::new([2, 0, 0, 0, 0, i])

@@ -4,7 +4,7 @@
 //! the heat-ranked WiGLE seed, then bumped by online events), hit
 //! statistics, and the freshness timestamp the FB runs on.
 
-use std::collections::HashMap;
+use ch_sim::DetHashMap;
 
 use ch_sim::SimTime;
 use ch_wifi::Ssid;
@@ -42,7 +42,7 @@ pub struct DbEntry {
 /// The attacker's SSID database.
 #[derive(Debug, Clone, Default)]
 pub struct SsidDatabase {
-    entries: HashMap<Ssid, DbEntry>,
+    entries: DetHashMap<Ssid, DbEntry>,
     /// Cached weight-descending order; rebuilt lazily.
     ranked: Vec<Ssid>,
     dirty: bool,
@@ -136,9 +136,7 @@ impl SsidDatabase {
             order.sort_by(|a, b| {
                 let wa = self.entries[a].weight;
                 let wb = self.entries[b].weight;
-                wb.partial_cmp(&wa)
-                    .expect("weights are finite")
-                    .then_with(|| a.cmp(b))
+                wb.total_cmp(&wa).then_with(|| a.cmp(b))
             });
             self.ranked = order;
             self.dirty = false;
@@ -187,8 +185,14 @@ mod tests {
         db.observe_direct_probe(ssid("X"), SimTime::ZERO);
         let w0 = db.entry(&ssid("X")).unwrap().weight;
         db.observe_direct_probe(ssid("X"), SimTime::from_secs(1));
-        assert_eq!(db.entry(&ssid("X")).unwrap().weight, w0 + DIRECT_REPEAT_BONUS);
-        assert_eq!(db.entry(&ssid("X")).unwrap().source, LureSource::DirectProbe);
+        assert_eq!(
+            db.entry(&ssid("X")).unwrap().weight,
+            w0 + DIRECT_REPEAT_BONUS
+        );
+        assert_eq!(
+            db.entry(&ssid("X")).unwrap().source,
+            LureSource::DirectProbe
+        );
     }
 
     #[test]

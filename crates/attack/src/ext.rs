@@ -10,7 +10,7 @@
 //! [`crate::db::SsidDatabase::seed_carrier`] /
 //! [`crate::cityhunter::CityHunterConfig::carrier_preload`].
 
-use std::collections::HashMap;
+use ch_sim::DetHashMap;
 
 use ch_sim::{SimDuration, SimTime};
 use ch_wifi::mgmt::{Deauthentication, ReasonCode};
@@ -21,7 +21,7 @@ use ch_wifi::MacAddr;
 pub struct DeauthScheduler {
     /// Minimum spacing between deauths aimed at the same victim.
     cooldown: SimDuration,
-    last_sent: HashMap<MacAddr, SimTime>,
+    last_sent: DetHashMap<MacAddr, SimTime>,
     frames_sent: u64,
 }
 
@@ -30,7 +30,7 @@ impl DeauthScheduler {
     pub fn new(cooldown: SimDuration) -> Self {
         DeauthScheduler {
             cooldown,
-            last_sent: HashMap::new(),
+            last_sent: ch_sim::det_hash_map(),
             frames_sent: 0,
         }
     }
@@ -93,11 +93,17 @@ mod tests {
     fn cooldown_enforced_per_victim() {
         let mut d = DeauthScheduler::new(SimDuration::from_secs(30));
         assert!(d.try_deauth(SimTime::ZERO, mac(1), mac(7)).is_some());
-        assert!(d.try_deauth(SimTime::from_secs(10), mac(1), mac(7)).is_none());
+        assert!(d
+            .try_deauth(SimTime::from_secs(10), mac(1), mac(7))
+            .is_none());
         // A different victim is unaffected.
-        assert!(d.try_deauth(SimTime::from_secs(10), mac(2), mac(7)).is_some());
+        assert!(d
+            .try_deauth(SimTime::from_secs(10), mac(2), mac(7))
+            .is_some());
         // After the cooldown, the first victim can be hit again.
-        assert!(d.try_deauth(SimTime::from_secs(31), mac(1), mac(7)).is_some());
+        assert!(d
+            .try_deauth(SimTime::from_secs(31), mac(1), mac(7))
+            .is_some());
         assert_eq!(d.frames_sent(), 3);
     }
 }

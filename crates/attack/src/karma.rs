@@ -76,9 +76,7 @@ mod tests {
     fn silent_on_broadcast() {
         let mut karma = KarmaAttacker::new(mac(9));
         let probe = ProbeRequest::broadcast(mac(1));
-        assert!(karma
-            .respond_to_probe(SimTime::ZERO, &probe, 40)
-            .is_empty());
+        assert!(karma.respond_to_probe(SimTime::ZERO, &probe, 40).is_empty());
         assert_eq!(karma.database_len(), 0);
     }
 

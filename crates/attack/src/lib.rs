@@ -1,3 +1,9 @@
+// Panic-freedom gate (clippy side of ch-lint rule R3); tests are exempt.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 //! # ch-attack — the evil-twin attackers
 //!
 //! Three generations of SSID-luring attack, all implementing the same

@@ -33,7 +33,7 @@ pub struct ManaAttacker {
     /// Insertion-ordered SSID list — MANA replays in harvest order.
     harvest_order: Vec<ch_wifi::Ssid>,
     /// Per-device disclosures, for non-loud mode.
-    per_device: std::collections::HashMap<MacAddr, Vec<ch_wifi::Ssid>>,
+    per_device: ch_sim::DetHashMap<MacAddr, Vec<ch_wifi::Ssid>>,
     loud: bool,
 }
 
@@ -44,7 +44,7 @@ impl ManaAttacker {
             bssid,
             db: SsidDatabase::new(),
             harvest_order: Vec::new(),
-            per_device: std::collections::HashMap::new(),
+            per_device: ch_sim::det_hash_map(),
             loud: true,
         }
     }
@@ -78,12 +78,7 @@ impl Attacker for ManaAttacker {
         self.bssid
     }
 
-    fn respond_to_probe(
-        &mut self,
-        now: SimTime,
-        probe: &ProbeRequest,
-        budget: usize,
-    ) -> Vec<Lure> {
+    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure> {
         if probe.is_broadcast() {
             if self.loud {
                 // Replay the database from the top; only the first
@@ -92,11 +87,7 @@ impl Attacker for ManaAttacker {
                     .iter()
                     .take(budget)
                     .map(|ssid| {
-                        Lure::new(
-                            ssid.clone(),
-                            LureSource::DirectProbe,
-                            LureLane::Database,
-                        )
+                        Lure::new(ssid.clone(), LureSource::DirectProbe, LureLane::Database)
                     })
                     .collect()
             } else {
@@ -107,11 +98,7 @@ impl Attacker for ManaAttacker {
                     .flatten()
                     .take(budget)
                     .map(|ssid| {
-                        Lure::new(
-                            ssid.clone(),
-                            LureSource::DirectProbe,
-                            LureLane::Database,
-                        )
+                        Lure::new(ssid.clone(), LureSource::DirectProbe, LureLane::Database)
                     })
                     .collect()
             }
@@ -168,11 +155,8 @@ mod tests {
             mana.respond_to_probe(SimTime::from_secs(i as u64), &probe, 40);
         }
         assert_eq!(mana.database_len(), 3);
-        let lures = mana.respond_to_probe(
-            SimTime::from_secs(10),
-            &ProbeRequest::broadcast(mac(5)),
-            40,
-        );
+        let lures =
+            mana.respond_to_probe(SimTime::from_secs(10), &ProbeRequest::broadcast(mac(5)), 40);
         let names: Vec<&str> = lures.iter().map(|l| l.ssid.as_str()).collect();
         assert_eq!(names, ["A", "B", "C"]);
         assert!(lures.iter().all(|l| l.lane == LureLane::Database));
@@ -184,21 +168,14 @@ mod tests {
         // scan sees the same head.
         let mut mana = ManaAttacker::new(mac(9));
         for i in 0..100u32 {
-            let probe =
-                ProbeRequest::direct(mac((i % 200) as u8), ssid(&format!("S{i:03}")));
+            let probe = ProbeRequest::direct(mac((i % 200) as u8), ssid(&format!("S{i:03}")));
             mana.respond_to_probe(SimTime::ZERO, &probe, 40);
         }
         assert_eq!(mana.database_len(), 100);
-        let first = mana.respond_to_probe(
-            SimTime::from_secs(1),
-            &ProbeRequest::broadcast(mac(1)),
-            40,
-        );
-        let second = mana.respond_to_probe(
-            SimTime::from_secs(60),
-            &ProbeRequest::broadcast(mac(1)),
-            40,
-        );
+        let first =
+            mana.respond_to_probe(SimTime::from_secs(1), &ProbeRequest::broadcast(mac(1)), 40);
+        let second =
+            mana.respond_to_probe(SimTime::from_secs(60), &ProbeRequest::broadcast(mac(1)), 40);
         assert_eq!(first.len(), 40);
         assert_eq!(first, second, "same head replayed to the same client");
     }
@@ -229,11 +206,8 @@ mod tests {
             40,
         );
         // Device 1's broadcast gets only its own SSID back.
-        let lures = mana.respond_to_probe(
-            SimTime::from_secs(1),
-            &ProbeRequest::broadcast(mac(1)),
-            40,
-        );
+        let lures =
+            mana.respond_to_probe(SimTime::from_secs(1), &ProbeRequest::broadcast(mac(1)), 40);
         let names: Vec<&str> = lures.iter().map(|l| l.ssid.as_str()).collect();
         assert_eq!(names, ["Mine"]);
         // A never-seen device gets nothing.
@@ -253,12 +227,8 @@ mod tests {
             40,
         );
         assert_eq!(
-            loud.respond_to_probe(
-                SimTime::from_secs(1),
-                &ProbeRequest::broadcast(mac(3)),
-                40
-            )
-            .len(),
+            loud.respond_to_probe(SimTime::from_secs(1), &ProbeRequest::broadcast(mac(3)), 40)
+                .len(),
             2
         );
     }

@@ -40,12 +40,7 @@ impl PrelimCityHunter {
     /// The heat map is accepted for interface parity with
     /// [`crate::CityHunter`] but deliberately unused: heat ranking is the
     /// §IV-B refinement this version predates.
-    pub fn new(
-        bssid: MacAddr,
-        wigle: &WigleSnapshot,
-        _heat: &HeatMap,
-        site: GeoPoint,
-    ) -> Self {
+    pub fn new(bssid: MacAddr, wigle: &WigleSnapshot, _heat: &HeatMap, site: GeoPoint) -> Self {
         let mut db = SsidDatabase::new();
         let mut reply_order = Vec::new();
         let push = |db: &mut SsidDatabase, order: &mut Vec<Ssid>, ssid: Ssid| {
@@ -93,12 +88,7 @@ impl Attacker for PrelimCityHunter {
         self.bssid
     }
 
-    fn respond_to_probe(
-        &mut self,
-        now: SimTime,
-        probe: &ProbeRequest,
-        budget: usize,
-    ) -> Vec<Lure> {
+    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure> {
         if probe.is_broadcast() {
             let picked = self
                 .tracker
@@ -202,8 +192,7 @@ mod tests {
         let db_size = ch.database_len();
         let mut total = 0;
         for round in 0..((db_size / 40) + 2) {
-            let lures =
-                ch.respond_to_probe(SimTime::from_secs(round as u64 * 60), &probe, 40);
+            let lures = ch.respond_to_probe(SimTime::from_secs(round as u64 * 60), &probe, 40);
             total += lures.len();
         }
         assert_eq!(total, db_size, "every SSID tried exactly once");
@@ -226,8 +215,7 @@ mod tests {
         let probe = ProbeRequest::broadcast(mac(3));
         let mut offered = false;
         for round in 0..20 {
-            let lures =
-                ch.respond_to_probe(SimTime::from_secs(round * 60), &probe, 40);
+            let lures = ch.respond_to_probe(SimTime::from_secs(round * 60), &probe, 40);
             if lures.iter().any(|l| l.ssid == secret) {
                 offered = true;
                 assert!(lures

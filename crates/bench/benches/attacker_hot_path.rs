@@ -7,8 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use ch_attack::{
-    Attacker, CityHunter, CityHunterConfig, ClientTracker, ManaAttacker,
-    PrelimCityHunter,
+    Attacker, CityHunter, CityHunterConfig, ClientTracker, ManaAttacker, PrelimCityHunter,
 };
 use ch_scenarios::experiments::CITY_SEED;
 use ch_scenarios::CityData;
@@ -78,11 +77,7 @@ fn bench_respond(c: &mut Criterion) {
     let static_client = ProbeRequest::broadcast(mac(42));
     group.bench_function("cityhunter_static_client_deepening", |b| {
         b.iter(|| {
-            black_box(hunter2.respond_to_probe(
-                ch_sim::SimTime::from_secs(1),
-                &static_client,
-                40,
-            ))
+            black_box(hunter2.respond_to_probe(ch_sim::SimTime::from_secs(1), &static_client, 40))
         })
     });
     group.finish();

@@ -48,7 +48,10 @@ fn bench_interleaved(c: &mut Criterion) {
             while let Some((t, i)) = q.pop() {
                 processed += 1;
                 if processed < 5_000 && rng.chance(0.8) {
-                    q.push(t + ch_sim::SimDuration::from_millis(rng.range_u64(1, 60_000)), i);
+                    q.push(
+                        t + ch_sim::SimDuration::from_millis(rng.range_u64(1, 60_000)),
+                        i,
+                    );
                 }
             }
             black_box(processed)

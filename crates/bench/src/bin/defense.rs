@@ -5,8 +5,7 @@
 //! still works against City-Hunter.
 
 use ch_attack::{
-    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker,
-    PrelimCityHunter,
+    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker, PrelimCityHunter,
 };
 use ch_defense::detectors::DetectorBank;
 use ch_defense::eval::evaluate_attacker;
@@ -55,8 +54,7 @@ fn main() {
 
     for attacker in &mut contenders {
         let mut bank = DetectorBank::client_standard([corp.clone()]);
-        let outcome =
-            evaluate_attacker(attacker.as_mut(), &mut bank, 10, Some(corp.clone()));
+        let outcome = evaluate_attacker(attacker.as_mut(), &mut bank, 10, Some(corp.clone()));
         println!(
             "{:<28} {:>10} {:>10} {:>8}",
             outcome.attacker,

@@ -31,10 +31,7 @@ impl FrameObserver for BankObserver {
 fn main() {
     let seed = ch_bench::common::seed_arg();
     let data = standard_city();
-    let config = RunConfig::canteen_30min(
-        AttackerKind::CityHunter(Default::default()),
-        seed,
-    );
+    let config = RunConfig::canteen_30min(AttackerKind::CityHunter(Default::default()), seed);
     let mut observer = BankObserver {
         bank: DetectorBank::client_standard([Ssid::new("Corp-WPA2").unwrap()]),
         frames: 0,
@@ -42,15 +39,13 @@ fn main() {
     let metrics = run_experiment_observed(&data, &config, &mut observer);
 
     let first_alarm = observer.bank.first_alarm_at();
-    let victims_total = metrics.summary("x").broadcast_connected
-        + metrics.summary("x").direct_connected;
+    let victims_total =
+        metrics.summary("x").broadcast_connected + metrics.summary("x").direct_connected;
     let victims_before = first_alarm
         .map(|t| {
             metrics
                 .clients()
-                .filter(|(_, rec)| {
-                    rec.hit.as_ref().is_some_and(|h| h.at <= t)
-                })
+                .filter(|(_, rec)| rec.hit.as_ref().is_some_and(|h| h.at <= t))
                 .count()
         })
         .unwrap_or(victims_total);
@@ -69,7 +64,10 @@ fn main() {
         }
         None => println!("  never detected (unexpected)"),
     }
-    println!("  total alarms:             {}", observer.bank.alarm_count());
+    println!(
+        "  total alarms:             {}",
+        observer.bank.alarm_count()
+    );
 
     // Operator fusion: name the rogue.
     let mut monitor = NetworkMonitor::new();

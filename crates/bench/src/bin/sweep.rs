@@ -22,7 +22,16 @@ fn main() {
     let data = standard_city();
     println!("{}", sweep_lure_budget(&data, base_seed, replicas).render());
     println!("{}", sweep_radio_range(&data, base_seed, replicas).render());
-    println!("{}", sweep_mac_randomization(&data, base_seed, replicas).render());
-    println!("{}", sweep_crowd_density(&data, base_seed, replicas).render());
-    println!("{}", sweep_scan_interval(&data, base_seed, replicas).render());
+    println!(
+        "{}",
+        sweep_mac_randomization(&data, base_seed, replicas).render()
+    );
+    println!(
+        "{}",
+        sweep_crowd_density(&data, base_seed, replicas).render()
+    );
+    println!(
+        "{}",
+        sweep_scan_interval(&data, base_seed, replicas).render()
+    );
 }

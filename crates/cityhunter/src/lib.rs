@@ -56,15 +56,14 @@ pub use ch_wifi as wifi;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use ch_attack::{
-        Attacker, CityHunter, CityHunterConfig, KarmaAttacker, Lure, LureLane,
-        LureSource, ManaAttacker, PrelimCityHunter,
+        Attacker, CityHunter, CityHunterConfig, KarmaAttacker, Lure, LureLane, LureSource,
+        ManaAttacker, PrelimCityHunter,
     };
     pub use ch_geo::{CityModel, HeatMap, PhotoCollection, WigleSnapshot};
     pub use ch_mobility::{VenueKind, VenueTemplate};
     pub use ch_phone::{Phone, Pnl, PnlEntry, PopulationBuilder, PopulationParams};
     pub use ch_scenarios::{
-        run_experiment, AttackerKind, CityData, ExperimentMetrics, RunConfig,
-        SummaryRow,
+        run_experiment, AttackerKind, CityData, ExperimentMetrics, RunConfig, SummaryRow,
     };
     pub use ch_sim::{SimDuration, SimRng, SimTime};
     pub use ch_wifi::{MacAddr, Ssid};

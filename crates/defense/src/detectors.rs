@@ -485,7 +485,9 @@ mod tests {
         assert!(bank.first_alarm_at().is_some());
         let report = bank.report();
         assert_eq!(report.len(), 4);
-        assert!(report.iter().any(|(n, a)| *n == "co-location" && !a.is_empty()));
+        assert!(report
+            .iter()
+            .any(|(n, a)| *n == "co-location" && !a.is_empty()));
     }
 
     #[test]

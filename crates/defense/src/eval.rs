@@ -67,19 +67,15 @@ pub fn evaluate_attacker_with_beacons(
 
     // A beaconing attacker advertises from the moment it powers on —
     // before any probe arrives — exactly like a legitimate AP.
-    let mut beacon_ssid: Option<Ssid> = beaconing
-        .then(|| Ssid::new_lossy("Free Public WiFi"));
+    let mut beacon_ssid: Option<Ssid> = beaconing.then(|| Ssid::new_lossy("Free Public WiFi"));
     'rounds: for round in 0..rounds {
         let now = SimTime::ZERO + SimDuration::from_secs(60 * round as u64);
         if beaconing {
             if let Some(ssid) = &beacon_ssid {
                 // ~10 beacons/s; feed a representative sample per round.
                 for k in 0..10u64 {
-                    let frame = MgmtFrame::Beacon(Beacon::open(
-                        attacker.bssid(),
-                        ssid.clone(),
-                        channel,
-                    ));
+                    let frame =
+                        MgmtFrame::Beacon(Beacon::open(attacker.bssid(), ssid.clone(), channel));
                     bank.observe(now + SimDuration::from_millis(k * 102), &frame);
                 }
             }
@@ -156,10 +152,7 @@ mod tests {
         assert!(outcome.detected());
         // The co-location detector fires at its threshold (8 SSIDs), well
         // inside the first 40-lure burst.
-        assert!(
-            outcome.frames_to_detection.unwrap() <= 40,
-            "{outcome:?}"
-        );
+        assert!(outcome.frames_to_detection.unwrap() <= 40, "{outcome:?}");
         assert_eq!(outcome.rounds_to_detection, Some(0));
     }
 
@@ -190,8 +183,7 @@ mod tests {
         let mut attacker = city_hunter();
         let mut bank = DetectorBank::new();
         bank.add(SilentApDetector::default_grace());
-        let outcome =
-            evaluate_attacker_with_beacons(&mut attacker, &mut bank, 5, None, true);
+        let outcome = evaluate_attacker_with_beacons(&mut attacker, &mut bank, 5, None, true);
         assert!(
             !outcome.detected(),
             "beaconing must evade the silent-AP heuristic: {outcome:?}"
@@ -201,8 +193,7 @@ mod tests {
         let mut attacker2 = city_hunter();
         let mut bank2 = DetectorBank::new();
         bank2.add(CoLocationDetector::default_threshold());
-        let outcome2 =
-            evaluate_attacker_with_beacons(&mut attacker2, &mut bank2, 5, None, true);
+        let outcome2 = evaluate_attacker_with_beacons(&mut attacker2, &mut bank2, 5, None, true);
         assert!(outcome2.detected());
         // And the verdict names the co-location signature.
         let report = bank2.report();

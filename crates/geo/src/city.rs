@@ -8,14 +8,12 @@
 //! PNLs (`ch-phone`). That shared origin is what makes a heat-ranked WiGLE
 //! seed predictive of PNL contents — the effect City-Hunter lives on.
 
-use serde::{Deserialize, Serialize};
-
 use ch_sim::SimRng;
 
 use crate::point::{GeoPoint, GeoRect};
 
 /// What kind of place a POI is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PoiKind {
     /// The city airport — few APs, enormous footfall (the
     /// '#HKAirport Free WiFi' effect of §IV-B).
@@ -54,7 +52,7 @@ impl PoiKind {
 }
 
 /// A point of interest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Poi {
     /// Human-readable name.
     pub name: String,
@@ -67,7 +65,7 @@ pub struct Poi {
 }
 
 /// A named district of the city.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct District {
     /// District name.
     pub name: String,
@@ -78,7 +76,7 @@ pub struct District {
 }
 
 /// The whole synthetic city.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CityModel {
     extent: GeoRect,
     districts: Vec<District>,
@@ -166,11 +164,11 @@ impl CityModel {
 
         let mut pois = Vec::new();
         let push = |pois: &mut Vec<Poi>,
-                        rng: &mut SimRng,
-                        kind: PoiKind,
-                        count: usize,
-                        base_footfall: f64,
-                        spread: f64| {
+                    rng: &mut SimRng,
+                    kind: PoiKind,
+                    count: usize,
+                    base_footfall: f64,
+                    spread: f64| {
             for i in 0..count {
                 let location = extent.sample(rng);
                 let footfall = base_footfall * rng.log_normal(0.0, spread);
@@ -183,7 +181,14 @@ impl CityModel {
             }
         };
 
-        push(&mut pois, &mut rng, PoiKind::Airport, census.airports, 60_000.0, 0.1);
+        push(
+            &mut pois,
+            &mut rng,
+            PoiKind::Airport,
+            census.airports,
+            60_000.0,
+            0.1,
+        );
         push(
             &mut pois,
             &mut rng,
@@ -200,8 +205,22 @@ impl CityModel {
             15_000.0,
             0.4,
         );
-        push(&mut pois, &mut rng, PoiKind::Mall, census.malls, 20_000.0, 0.4);
-        push(&mut pois, &mut rng, PoiKind::Canteen, census.canteens, 3_000.0, 0.5);
+        push(
+            &mut pois,
+            &mut rng,
+            PoiKind::Mall,
+            census.malls,
+            20_000.0,
+            0.4,
+        );
+        push(
+            &mut pois,
+            &mut rng,
+            PoiKind::Canteen,
+            census.canteens,
+            3_000.0,
+            0.5,
+        );
         push(
             &mut pois,
             &mut rng,
@@ -412,19 +431,19 @@ mod tests {
             }
         }
         let share = airport_hits as f64 / n as f64;
-        let expected = c.pois_of_kind(PoiKind::Airport).next().unwrap().footfall
-            / c.total_footfall();
-        assert!((share - expected).abs() < 0.03, "share={share} expected={expected}");
+        let expected =
+            c.pois_of_kind(PoiKind::Airport).next().unwrap().footfall / c.total_footfall();
+        assert!(
+            (share - expected).abs() < 0.03,
+            "share={share} expected={expected}"
+        );
     }
 
     #[test]
     fn nearest_poi_finds_itself() {
         let c = city();
         let target = &c.pois()[17];
-        assert_eq!(
-            c.nearest_poi(target.location).unwrap().name,
-            target.name
-        );
+        assert_eq!(c.nearest_poi(target.location).unwrap().name, target.name);
     }
 
     #[test]

@@ -125,24 +125,16 @@ pub fn from_csv(text: &str) -> Result<WigleSnapshot, CsvError> {
             column,
             value: value.to_owned(),
         };
-        let bssid: MacAddr = fields[0]
-            .parse()
-            .map_err(|_| bad("netid", &fields[0]))?;
+        let bssid: MacAddr = fields[0].parse().map_err(|_| bad("netid", &fields[0]))?;
         let ssid = Ssid::new(fields[1].clone()).map_err(|_| bad("ssid", &fields[1]))?;
-        let lat: f64 = fields[2]
-            .parse()
-            .map_err(|_| bad("trilat", &fields[2]))?;
-        let lon: f64 = fields[3]
-            .parse()
-            .map_err(|_| bad("trilong", &fields[3]))?;
+        let lat: f64 = fields[2].parse().map_err(|_| bad("trilat", &fields[2]))?;
+        let lon: f64 = fields[3].parse().map_err(|_| bad("trilong", &fields[3]))?;
         let open = match fields[4].as_str() {
             "none" => true,
             "wpa2" | "wpa" | "wep" => false,
             other => return Err(bad("encryption", other)),
         };
-        let category = parse_category(&fields[5]).ok_or_else(|| {
-            bad("category", &fields[5])
-        })?;
+        let category = parse_category(&fields[5]).ok_or_else(|| bad("category", &fields[5]))?;
         records.push(NetworkRecord {
             ssid,
             bssid,
@@ -305,8 +297,7 @@ mod tests {
             from_csv(&csv),
             Err(CsvError::FieldCount { line: 2, found: 3 })
         ));
-        let csv =
-            format!("{HEADER}\n00:1b:2f:00:00:01,\"X\",22.3,114.1,rot13,chain\n");
+        let csv = format!("{HEADER}\n00:1b:2f:00:00:01,\"X\",22.3,114.1,rot13,chain\n");
         assert!(matches!(
             from_csv(&csv),
             Err(CsvError::BadField {
@@ -318,9 +309,7 @@ mod tests {
 
     #[test]
     fn blank_lines_skipped() {
-        let csv = format!(
-            "{HEADER}\n\n00:1b:2f:00:00:01,\"A\",22.30,114.17,none,venue\n\n"
-        );
+        let csv = format!("{HEADER}\n\n00:1b:2f:00:00:01,\"A\",22.30,114.17,none,venue\n\n");
         let snapshot = from_csv(&csv).unwrap();
         assert_eq!(snapshot.len(), 1);
     }

@@ -6,14 +6,12 @@
 //! the SSID's AP locations, computed by
 //! [`crate::netdb::WigleSnapshot::ssid_heat`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::city::CityModel;
 use crate::photos::PhotoCollection;
 use crate::point::{GeoPoint, GeoRect};
 
 /// A regular-grid heat map of photo density.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeatMap {
     extent: GeoRect,
     cell_m: f64,
@@ -117,13 +115,7 @@ impl HeatMap {
         const SHADES: [char; 8] = [' ', '.', ':', '-', '=', '+', '*', '#'];
         let cells = self.region_cells(region);
         let ds = downsample.max(1);
-        let max = cells
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(0)
-            .max(1) as f64;
+        let max = cells.iter().flatten().copied().max().unwrap_or(0).max(1) as f64;
         let mut out = String::new();
         for chunk in cells.rchunks(ds) {
             for col in (0..chunk[0].len()).step_by(ds) {
@@ -138,8 +130,7 @@ impl HeatMap {
                 let mean = acc as f64 / n.max(1) as f64;
                 // Log-ish scaling so sparse street noise stays visible.
                 let t = (mean / max).sqrt();
-                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize)
-                    .min(SHADES.len() - 1);
+                let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
                 out.push(SHADES[idx]);
             }
             out.push('\n');
@@ -225,10 +216,7 @@ mod tests {
         assert!(lines.iter().all(|l| l.len() == w));
         // The panel must show some texture (not all blank, not all full).
         let blanks = panel.chars().filter(|&c| c == ' ').count();
-        let marks = panel
-            .chars()
-            .filter(|&c| c != ' ' && c != '\n')
-            .count();
+        let marks = panel.chars().filter(|&c| c != ' ' && c != '\n').count();
         assert!(blanks > 0 && marks > 0, "blanks={blanks} marks={marks}");
     }
 

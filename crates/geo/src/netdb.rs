@@ -20,8 +20,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use ch_sim::SimRng;
 use ch_wifi::{MacAddr, Ssid};
 
@@ -31,7 +29,7 @@ use crate::point::GeoPoint;
 
 /// Why an SSID exists in the city — drives AP counts, placement and
 /// security posture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SsidCategory {
     /// City-wide chain (convenience stores, coffee shops, ISP hotspots).
     Chain,
@@ -46,7 +44,7 @@ pub enum SsidCategory {
 }
 
 /// One AP observation, WiGLE-style.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkRecord {
     /// Advertised SSID.
     pub ssid: Ssid,
@@ -92,17 +90,22 @@ const RESIDENTIAL_OPEN_FRACTION: f64 = 0.08;
 /// The carrier auto-join SSIDs pre-provisioned on subscriber phones
 /// (§V-B); obtainable neither from WiGLE nor from direct probes.
 pub fn carrier_ssids() -> Vec<Ssid> {
-    ["PCCW1x", "CSL-Auto", "CMHK-auto", "SmarTone-Auto", "3HK-Auto"]
-        .into_iter()
-        .map(|s| Ssid::new(s).expect("carrier ssids are short"))
-        .collect()
+    [
+        "PCCW1x",
+        "CSL-Auto",
+        "CMHK-auto",
+        "SmarTone-Auto",
+        "3HK-Auto",
+    ]
+    .into_iter()
+    .map(|s| Ssid::new(s).expect("carrier ssids are short"))
+    .collect()
 }
 
 /// The wardriving snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WigleSnapshot {
     records: Vec<NetworkRecord>,
-    #[serde(skip)]
     by_ssid: HashMap<Ssid, Vec<usize>>,
 }
 
@@ -141,11 +144,7 @@ impl WigleSnapshot {
                 let location = match name {
                     // The airport SSID lives in the terminals, right where
                     // the crowds (and their photos) are (§IV-B).
-                    "#HKAirport Free WiFi" => jitter(
-                        airport_location(city),
-                        120.0,
-                        &mut rng,
-                    ),
+                    "#HKAirport Free WiFi" => jitter(airport_location(city), 120.0, &mut rng),
                     // 'Free Public WiFi' sits in crowded locations.
                     "Free Public WiFi" => jitter(
                         city.sample_poi_by_footfall(&mut rng).location,
@@ -181,9 +180,7 @@ impl WigleSnapshot {
                     location,
                     open,
                     category: match name {
-                        "#HKAirport Free WiFi" | "Free Public WiFi" => {
-                            SsidCategory::Hotspot
-                        }
+                        "#HKAirport Free WiFi" | "Free Public WiFi" => SsidCategory::Hotspot,
                         _ => SsidCategory::Chain,
                     },
                 });
@@ -289,10 +286,7 @@ impl WigleSnapshot {
     }
 
     /// The records of one SSID.
-    pub fn records_of<'a>(
-        &'a self,
-        ssid: &Ssid,
-    ) -> impl Iterator<Item = &'a NetworkRecord> + 'a {
+    pub fn records_of<'a>(&'a self, ssid: &Ssid) -> impl Iterator<Item = &'a NetworkRecord> + 'a {
         self.by_ssid
             .get(ssid)
             .into_iter()

@@ -8,8 +8,6 @@
 //! The heat map in [`crate::heat`] then consumes only the photo locations —
 //! the same pipeline the paper runs on Instagram data.
 
-use serde::{Deserialize, Serialize};
-
 use ch_sim::SimRng;
 
 use crate::city::CityModel;
@@ -22,7 +20,7 @@ const NOISE_FRACTION: f64 = 0.15;
 const POI_JITTER_M: f64 = 90.0;
 
 /// A synthetic geotagged-photo collection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhotoCollection {
     photos: Vec<GeoPoint>,
 }
@@ -37,10 +35,8 @@ impl PhotoCollection {
                 city.extent().sample(&mut rng)
             } else {
                 let poi = city.sample_poi_by_footfall(&mut rng);
-                poi.location.offset(
-                    rng.normal(0.0, POI_JITTER_M),
-                    rng.normal(0.0, POI_JITTER_M),
-                )
+                poi.location
+                    .offset(rng.normal(0.0, POI_JITTER_M), rng.normal(0.0, POI_JITTER_M))
             };
             photos.push(p);
         }

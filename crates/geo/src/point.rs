@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A point in the city frame, in metres east/north of the city origin.
 ///
 /// The synthetic city is small enough (tens of kilometres) that a flat
 /// metric frame is exact for our purposes; [`GeoPoint::to_lat_lon`] provides
 /// a nominal WGS-84 view for WiGLE-style exports.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GeoPoint {
     /// Metres east of the city origin.
     pub east_m: f64,
@@ -33,8 +31,7 @@ impl GeoPoint {
 
     /// Euclidean distance in metres.
     pub fn distance_to(self, other: GeoPoint) -> f64 {
-        ((self.east_m - other.east_m).powi(2) + (self.north_m - other.north_m).powi(2))
-            .sqrt()
+        ((self.east_m - other.east_m).powi(2) + (self.north_m - other.north_m).powi(2)).sqrt()
     }
 
     /// Nominal WGS-84 coordinates for WiGLE-style record exports.
@@ -58,7 +55,7 @@ impl fmt::Display for GeoPoint {
 }
 
 /// An axis-aligned region of the city frame.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoRect {
     /// South-west corner.
     pub min: GeoPoint,

@@ -203,10 +203,7 @@ mod occupancy_tests {
         let mut samples = 0usize;
         let mut t = SimTime::from_mins(30);
         while t <= SimTime::from_mins(90) {
-            total += visits
-                .iter()
-                .filter(|v| v.position_at(t).is_some())
-                .count();
+            total += visits.iter().filter(|v| v.position_at(t).is_some()).count();
             samples += 1;
             t += SimDuration::from_mins(1);
         }

@@ -136,7 +136,10 @@ pub fn visits_for_group(
     let entry = venue.entry_point(rng);
     let exit = venue.exit_point(entry, rng);
     let is_transit = rng.chance(venue.movement.transit_fraction);
-    let speed = rng.range_f64(venue.movement.walk_speed_mps.0, venue.movement.walk_speed_mps.1);
+    let speed = rng.range_f64(
+        venue.movement.walk_speed_mps.0,
+        venue.movement.walk_speed_mps.1,
+    );
     // The group shares one table; members sit within a metre of it.
     let table = Position::new(
         rng.range_f64(venue.footprint.min.x, venue.footprint.max.x),
@@ -173,9 +176,7 @@ pub fn visits_for_group(
             } else {
                 dwell_min
             };
-            let walk_leg = SimDuration::from_secs_f64(
-                entry.distance_to(seat).max(1.0) / speed,
-            );
+            let walk_leg = SimDuration::from_secs_f64(entry.distance_to(seat).max(1.0) / speed);
             visits.push(Visit {
                 group_id: group.group_id,
                 enter_at,
@@ -213,16 +214,22 @@ mod tests {
         assert_eq!(visits.len(), 1);
         let v = &visits[0];
         // 120 m at 1.0–1.7 m/s: between ~70 s and 2 min.
-        assert!(v.duration() >= SimDuration::from_secs(60), "{}", v.duration());
-        assert!(v.duration() <= SimDuration::from_secs(130), "{}", v.duration());
+        assert!(
+            v.duration() >= SimDuration::from_secs(60),
+            "{}",
+            v.duration()
+        );
+        assert!(
+            v.duration() <= SimDuration::from_secs(130),
+            "{}",
+            v.duration()
+        );
         let start = v.position_at(v.enter_at).unwrap();
         let end = v.position_at(v.exit_at).unwrap();
         assert_eq!(start.x, venue.footprint.min.x);
         assert_eq!(end.x, venue.footprint.max.x);
         // Midway they are strictly inside.
-        let mid = v
-            .position_at(v.enter_at + v.duration() / 2)
-            .unwrap();
+        let mid = v.position_at(v.enter_at + v.duration() / 2).unwrap();
         assert!(mid.x > start.x && mid.x < end.x);
         assert!(v.is_moving_at(v.enter_at + v.duration() / 2));
     }
@@ -250,10 +257,7 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let v = &visits_for_group(&venue, &group(1), &mut rng)[0];
         assert_eq!(v.position_at(SimTime::ZERO), None);
-        assert_eq!(
-            v.position_at(v.exit_at + SimDuration::from_secs(1)),
-            None
-        );
+        assert_eq!(v.position_at(v.exit_at + SimDuration::from_secs(1)), None);
         assert!(!v.is_moving_at(SimTime::ZERO));
     }
 

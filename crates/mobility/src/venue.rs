@@ -243,10 +243,8 @@ impl VenueTemplate {
                 // Leave via a different random boundary point.
                 let mut exit = self.entry_point(rng);
                 if exit.distance_to(entry) < 1.0 {
-                    exit = Position::new(
-                        self.footprint.max.x - exit.x + self.footprint.min.x,
-                        exit.y,
-                    );
+                    exit =
+                        Position::new(self.footprint.max.x - exit.x + self.footprint.min.x, exit.y);
                 }
                 exit
             }

@@ -1,7 +1,5 @@
 //! The phone itself: identity, probing, and join decisions.
 
-use serde::{Deserialize, Serialize};
-
 use ch_wifi::mgmt::{ProbeRequest, ProbeResponse};
 use ch_wifi::{MacAddr, Ssid};
 
@@ -10,7 +8,7 @@ use crate::pnl::Pnl;
 use crate::scanner::ScanConfig;
 
 /// How the phone manages its radio MAC across scans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MacMode {
     /// One stable MAC for the phone's lifetime (2017-era behaviour).
     Stable,
@@ -21,7 +19,7 @@ pub enum MacMode {
 }
 
 /// What a phone does with an offered network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinDecision {
     /// Auto-join: the SSID is an open PNL entry and the offer is open.
     Join,
@@ -370,9 +368,6 @@ mod mac_mode_tests {
     fn rotation_is_deterministic_per_phone_and_round() {
         let mut a = randomizing_phone();
         let mut b = randomizing_phone();
-        assert_eq!(
-            a.probes_for_scan()[0].source,
-            b.probes_for_scan()[0].source
-        );
+        assert_eq!(a.probes_for_scan()[0].source, b.probes_for_scan()[0].source);
     }
 }

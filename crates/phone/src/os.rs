@@ -1,11 +1,9 @@
 //! Operating systems and probing policies.
 
-use serde::{Deserialize, Serialize};
-
 use ch_sim::SimRng;
 
 /// The operating-system families the probing behaviour depends on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OsKind {
     /// A current iOS release: broadcast probes only; may carry carrier
     /// auto-join SSIDs (§V-B).
@@ -18,7 +16,7 @@ pub enum OsKind {
 }
 
 /// What a phone reveals when it scans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProbePolicy {
     /// Sends a single wildcard (broadcast) probe per scan.
     BroadcastOnly,
@@ -115,10 +113,7 @@ mod tests {
 
     #[test]
     fn policies_match_generations() {
-        assert_eq!(
-            OsKind::ModernIos.probe_policy(),
-            ProbePolicy::BroadcastOnly
-        );
+        assert_eq!(OsKind::ModernIos.probe_policy(), ProbePolicy::BroadcastOnly);
         assert_eq!(
             OsKind::ModernAndroid.probe_policy(),
             ProbePolicy::BroadcastOnly

@@ -7,14 +7,12 @@
 //! credentials, which the attacker does not have. The paper encodes this by
 //! restricting its database to "SSIDs belonging to free APs" (§III-B).
 
-use std::collections::HashSet;
-
-use serde::{Deserialize, Serialize};
+use ch_sim::DetHashSet;
 
 use ch_wifi::Ssid;
 
 /// Security the network was joined with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkSecurity {
     /// Open network — auto-join on SSID match alone.
     Open,
@@ -23,7 +21,7 @@ pub enum NetworkSecurity {
 }
 
 /// Why the entry is in the PNL (diagnostics and generation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PnlOrigin {
     /// The user's home network.
     Home,
@@ -40,7 +38,7 @@ pub enum PnlOrigin {
 }
 
 /// One remembered network.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PnlEntry {
     /// Remembered SSID.
     pub ssid: Ssid,
@@ -71,7 +69,7 @@ impl PnlEntry {
 }
 
 /// A phone's Preferred Network List.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Pnl {
     entries: Vec<PnlEntry>,
 }
@@ -136,7 +134,7 @@ impl Pnl {
     }
 
     /// The set of SSIDs a lure could hit (open entries).
-    pub fn open_ssids(&self) -> HashSet<&Ssid> {
+    pub fn open_ssids(&self) -> DetHashSet<&Ssid> {
         self.entries
             .iter()
             .filter(|e| e.security == NetworkSecurity::Open)
@@ -181,7 +179,10 @@ mod tests {
         assert!(!pnl.push(PnlEntry::protected(ssid("A"), PnlOrigin::Home)));
         assert_eq!(pnl.len(), 1);
         // First entry wins.
-        assert_eq!(pnl.entry(&ssid("A")).unwrap().security, NetworkSecurity::Open);
+        assert_eq!(
+            pnl.entry(&ssid("A")).unwrap().security,
+            NetworkSecurity::Open
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ impl PublicSsidPool {
     pub fn build(wigle: &WigleSnapshot, heat: &HeatMap, alpha: f64) -> Self {
         let mut ssids = Vec::new();
         let mut weights = Vec::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = ch_sim::det_hash_set();
         for record in wigle.records() {
             if !record.open || !seen.insert(record.ssid.clone()) {
                 continue;
@@ -206,12 +206,7 @@ impl PopulationBuilder {
     }
 
     /// Generates the phones of one companion group.
-    pub fn phones_for_group(
-        &mut self,
-        group_id: u32,
-        size: usize,
-        rng: &mut SimRng,
-    ) -> Vec<Phone> {
+    pub fn phones_for_group(&mut self, group_id: u32, size: usize, rng: &mut SimRng) -> Vec<Phone> {
         let mac_salt = *self
             .mac_salt
             .get_or_insert_with(|| (rng.next_u64() & 0x7f_ffff) as u32);
@@ -271,10 +266,7 @@ impl PopulationBuilder {
                     for _ in 0..k {
                         if rng.chance(p.foreign_public) {
                             pnl.push(PnlEntry::open(
-                                Ssid::new_lossy(format!(
-                                    "Away-{:06x}",
-                                    rng.next_u64() & 0xff_ffff
-                                )),
+                                Ssid::new_lossy(format!("Away-{:06x}", rng.next_u64() & 0xff_ffff)),
                                 PnlOrigin::Foreign,
                             ));
                         } else if let Some(ssid) = self.pool.sample_public(rng) {
@@ -284,9 +276,7 @@ impl PopulationBuilder {
                 }
                 // Carrier auto-join (iOS subscribers, §V-B).
                 if os.is_ios() && rng.chance(p.carrier_subscription) {
-                    let carrier = self.carriers
-                        [rng.range_usize(0, self.carriers.len())]
-                    .clone();
+                    let carrier = self.carriers[rng.range_usize(0, self.carriers.len())].clone();
                     pnl.push(PnlEntry::open(carrier, PnlOrigin::Carrier));
                 }
                 // Shared household entries.

@@ -41,11 +41,7 @@ impl ScanConfig {
     /// Panics unless `0 < lo <= hi`.
     pub fn sample_range(rng: &mut SimRng, (lo, hi): (f64, f64)) -> Self {
         assert!(lo > 0.0 && lo <= hi, "bad scan-interval range {lo}..{hi}");
-        let mean = if lo == hi {
-            lo
-        } else {
-            rng.range_f64(lo, hi)
-        };
+        let mean = if lo == hi { lo } else { rng.range_f64(lo, hi) };
         ScanConfig {
             mean_interval: SimDuration::from_secs_f64(mean),
             jitter: 0.5,
@@ -161,12 +157,7 @@ mod tests {
     fn dwell_window_yields_many_scans() {
         let cfg = ScanConfig::default_2017();
         let mut rng = SimRng::seed_from(4);
-        let plan = ScanPlan::for_window(
-            &cfg,
-            SimTime::ZERO,
-            SimTime::from_mins(30),
-            &mut rng,
-        );
+        let plan = ScanPlan::for_window(&cfg, SimTime::ZERO, SimTime::from_mins(30), &mut rng);
         assert!(plan.len() >= 20, "{}", plan.len());
         assert!(plan.len() <= 60, "{}", plan.len());
         for pair in plan.times().windows(2) {

@@ -315,9 +315,7 @@ pub struct Table4Outcome {
 impl Table4Outcome {
     /// Renders the two rankings side by side.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "TABLE IV: Top 5 SSIDs selected using different criteria\n",
-        );
+        let mut out = String::from("TABLE IV: Top 5 SSIDs selected using different criteria\n");
         out.push_str(&format!(
             "| {:<4} | {:<28} | {:<28} |\n",
             "Rank", "Top 5 by AP count", "Top 5 by heat value"
@@ -445,9 +443,8 @@ pub struct CampaignOutcome {
 impl CampaignOutcome {
     /// Renders the Fig. 5 panels (client stacks + h/h_b per hour).
     pub fn render_fig5(&self) -> String {
-        let mut out = String::from(
-            "Fig. 5: City-Hunter performance per venue and hour (8am-8pm)\n",
-        );
+        let mut out =
+            String::from("Fig. 5: City-Hunter performance per venue and hour (8am-8pm)\n");
         for series in &self.venues {
             out.push_str(&format!(
                 "\n--- {} (avg h={}, avg h_b={}) ---\n",
@@ -478,9 +475,7 @@ impl CampaignOutcome {
 
     /// Renders the Fig. 6 breakdowns (source and buffer stacks + ratios).
     pub fn render_fig6(&self) -> String {
-        let mut out = String::from(
-            "Fig. 6: breakdown of SSIDs that hit broadcast clients\n",
-        );
+        let mut out = String::from("Fig. 6: breakdown of SSIDs that hit broadcast clients\n");
         for series in &self.venues {
             out.push_str(&format!("\n--- {} ---\n", series.venue.name()));
             out.push_str(&format!(
@@ -589,9 +584,7 @@ pub struct AblationOutcome {
 impl AblationOutcome {
     /// Renders the matrix.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Ablation: City-Hunter design choices (30-min runs)\n",
-        );
+        let mut out = String::from("Ablation: City-Hunter design choices (30-min runs)\n");
         out.push_str(&format!(
             "| {:<26} | {:>14} | {:>14} | {:>14} | {:>14} |\n",
             "variant", "canteen h", "canteen h_b", "passage h", "passage h_b"
@@ -665,10 +658,7 @@ pub fn ablation_with(data: &CityData, seed: u64) -> AblationOutcome {
         .map(|(label, config)| {
             let canteen = run_experiment(
                 data,
-                &RunConfig::canteen_30min(
-                    AttackerKind::CityHunter(config.clone()),
-                    seed ^ 0xD1,
-                ),
+                &RunConfig::canteen_30min(AttackerKind::CityHunter(config.clone()), seed ^ 0xD1),
             )
             .summary(label);
             let passage = run_experiment(
@@ -716,8 +706,7 @@ mod tests {
             .iter()
             .map(|(s, _)| s.as_str())
             .collect();
-        let heat_names: Vec<&str> =
-            outcome.by_heat.iter().map(|(s, _)| s.as_str()).collect();
+        let heat_names: Vec<&str> = outcome.by_heat.iter().map(|(s, _)| s.as_str()).collect();
         assert!(!count_names.contains(&"#HKAirport Free WiFi"));
         assert!(
             heat_names.contains(&"#HKAirport Free WiFi"),
@@ -845,10 +834,7 @@ pub fn sweep_radio_range(data: &CityData, base_seed: u64, replicas: usize) -> Sw
         .map(|&range| {
             let base = RunConfig {
                 loss: Some(ch_sim::LossModel::new(range * 0.6, range, 0.97)),
-                ..RunConfig::passage_30min(
-                    AttackerKind::CityHunter(CityHunterConfig::default()),
-                    0,
-                )
+                ..RunConfig::passage_30min(AttackerKind::CityHunter(CityHunterConfig::default()), 0)
             };
             sweep_point(data, &base, format!("{range:.0}m"), &seeds)
         })
@@ -864,11 +850,7 @@ pub fn sweep_radio_range(data: &CityData, base_seed: u64, replicas: usize) -> Sw
 /// scan, so the §III-A per-client untried tracking can never accumulate —
 /// each scan replays the head of the ranking — and the client counts
 /// themselves inflate (every scan looks like a new device).
-pub fn sweep_mac_randomization(
-    data: &CityData,
-    base_seed: u64,
-    replicas: usize,
-) -> SweepOutcome {
+pub fn sweep_mac_randomization(data: &CityData, base_seed: u64, replicas: usize) -> SweepOutcome {
     let seeds = crate::replicate::seed_range(base_seed, replicas);
     let points = [0.0f64, 0.25, 0.5, 0.75, 1.0]
         .iter()
@@ -877,10 +859,7 @@ pub fn sweep_mac_randomization(
             population.mac_randomizing = fraction;
             let base = RunConfig {
                 population: Some(population),
-                ..RunConfig::canteen_30min(
-                    AttackerKind::CityHunter(CityHunterConfig::default()),
-                    0,
-                )
+                ..RunConfig::canteen_30min(AttackerKind::CityHunter(CityHunterConfig::default()), 0)
             };
             sweep_point(data, &base, format!("{:.0}%", fraction * 100.0), &seeds)
         })
@@ -896,21 +875,14 @@ pub fn sweep_mac_randomization(
 /// The crowd-density sweep the abstract promises ("public places with
 /// different crowd density"): the canteen's arrival rate scaled from a
 /// near-empty room to a crush, full City-Hunter deployed.
-pub fn sweep_crowd_density(
-    data: &CityData,
-    base_seed: u64,
-    replicas: usize,
-) -> SweepOutcome {
+pub fn sweep_crowd_density(data: &CityData, base_seed: u64, replicas: usize) -> SweepOutcome {
     let seeds = crate::replicate::seed_range(base_seed, replicas);
     let points = [0.25f64, 0.5, 1.0, 2.0, 4.0]
         .iter()
         .map(|&multiplier| {
             let base = RunConfig {
                 arrival_multiplier: Some(multiplier),
-                ..RunConfig::canteen_30min(
-                    AttackerKind::CityHunter(CityHunterConfig::default()),
-                    0,
-                )
+                ..RunConfig::canteen_30min(AttackerKind::CityHunter(CityHunterConfig::default()), 0)
             };
             sweep_point(data, &base, format!("{multiplier}x"), &seeds)
         })
@@ -925,24 +897,16 @@ pub fn sweep_crowd_density(
 /// the passage outcome. Fig. 2(b)'s 40/80 histogram is pure mechanics —
 /// transit time divided by scan interval — so halving the interval doubles
 /// the two-burst share and lifts h_b.
-pub fn sweep_scan_interval(
-    data: &CityData,
-    base_seed: u64,
-    replicas: usize,
-) -> SweepOutcome {
+pub fn sweep_scan_interval(data: &CityData, base_seed: u64, replicas: usize) -> SweepOutcome {
     let seeds = crate::replicate::seed_range(base_seed, replicas);
     let points = [(15.0, 30.0), (30.0, 60.0), (40.0, 90.0), (80.0, 160.0)]
         .iter()
         .map(|&(lo, hi)| {
-            let mut population =
-                data.population_params_for(ch_mobility::VenueKind::SubwayPassage);
+            let mut population = data.population_params_for(ch_mobility::VenueKind::SubwayPassage);
             population.scan_interval_secs = (lo, hi);
             let base = RunConfig {
                 population: Some(population),
-                ..RunConfig::passage_30min(
-                    AttackerKind::CityHunter(CityHunterConfig::default()),
-                    0,
-                )
+                ..RunConfig::passage_30min(AttackerKind::CityHunter(CityHunterConfig::default()), 0)
             };
             sweep_point(data, &base, format!("{lo:.0}-{hi:.0}s"), &seeds)
         })

@@ -1,7 +1,7 @@
 //! Experiment metrics — every quantity the paper's tables and figures
 //! report.
 
-use std::collections::HashMap;
+use ch_sim::DetHashMap;
 
 use ch_attack::{Lure, LureLane, LureSource};
 use ch_sim::{SimDuration, SimTime};
@@ -43,7 +43,7 @@ pub struct ClientRecord {
 }
 
 /// The one-line summary behind Tables I–III.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SummaryRow {
     /// Attack / scenario label.
     pub label: String,
@@ -65,8 +65,7 @@ impl SummaryRow {
         if self.total_clients == 0 {
             0.0
         } else {
-            (self.direct_connected + self.broadcast_connected) as f64
-                / self.total_clients as f64
+            (self.direct_connected + self.broadcast_connected) as f64 / self.total_clients as f64
         }
     }
 
@@ -83,7 +82,7 @@ impl SummaryRow {
 /// All data collected during one run.
 #[derive(Debug, Clone, Default)]
 pub struct ExperimentMetrics {
-    clients: HashMap<MacAddr, ClientRecord>,
+    clients: DetHashMap<MacAddr, ClientRecord>,
     /// `(time, database size)` samples.
     db_series: Vec<(SimTime, usize)>,
     /// Deauthentication frames emitted (§V-B accounting).
@@ -277,9 +276,9 @@ impl ExperimentMetrics {
             }
             if let Some(hit) = &rec.hit {
                 match hit.lane {
-                    LureLane::Popularity
-                    | LureLane::PopularityGhost
-                    | LureLane::Database => popularity += 1,
+                    LureLane::Popularity | LureLane::PopularityGhost | LureLane::Database => {
+                        popularity += 1
+                    }
                     LureLane::Freshness | LureLane::FreshnessGhost => freshness += 1,
                     LureLane::DirectReply => {}
                 }

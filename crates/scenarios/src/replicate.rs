@@ -58,7 +58,7 @@ pub fn replicate(
 ) -> Replication {
     assert!(!seeds.is_empty(), "replication needs at least one seed");
     let label = label.into();
-    let rows: Vec<SummaryRow> = crossbeam_scope_map(seeds, |&seed| {
+    let rows: Vec<SummaryRow> = scoped_parallel_map(seeds, |&seed| {
         let config = RunConfig {
             seed,
             ..base.clone()
@@ -112,10 +112,7 @@ pub fn replicate_attackers(
 
 /// A scoped-thread parallel map over a slice (ordered results). Falls back
 /// to sequential execution for tiny inputs.
-fn crossbeam_scope_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+fn scoped_parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     if items.len() <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -123,24 +120,34 @@ fn crossbeam_scope_map<T: Sync, R: Send>(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(items.len());
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        items.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                *results[i].lock() = Some(f(&items[i]));
+                let result = f(&items[i]);
+                match results[i].lock() {
+                    Ok(mut slot) => *slot = Some(result),
+                    // A worker panicking while holding this per-slot lock is
+                    // impossible (the store is the only critical section),
+                    // but stay well-defined anyway.
+                    Err(poisoned) => *poisoned.into_inner() = Some(result),
+                }
             });
         }
-    })
-    .expect("replication worker panicked");
+    });
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every slot filled")
+        })
         .collect()
 }
 
@@ -207,8 +214,7 @@ mod tests {
         let data = data();
         let seeds = seed_range(7, 3);
         let rep = replicate(&data, &quick_config(AttackerKind::Prelim), "p", &seeds);
-        let manual_mean =
-            rep.rows.iter().map(SummaryRow::h_b).sum::<f64>() / rep.rows.len() as f64;
+        let manual_mean = rep.rows.iter().map(SummaryRow::h_b).sum::<f64>() / rep.rows.len() as f64;
         assert!((rep.h_b.mean() - manual_mean).abs() < 1e-12);
         assert!(!rep.render_line().is_empty());
         assert!(rep.clients.mean() > 0.0);
@@ -217,12 +223,7 @@ mod tests {
     #[test]
     fn single_seed_runs_sequentially() {
         let data = data();
-        let rep = replicate(
-            &data,
-            &quick_config(AttackerKind::Karma),
-            "karma",
-            &[42],
-        );
+        let rep = replicate(&data, &quick_config(AttackerKind::Karma), "karma", &[42]);
         assert_eq!(rep.rows.len(), 1);
         assert_eq!(rep.h_b.mean(), 0.0, "KARMA h_b stays zero");
     }

@@ -6,18 +6,66 @@ use crate::metrics::SummaryRow;
 
 /// Serializes summary rows (plus derived rates) as pretty JSON — the
 /// machine-readable twin of [`render_summary_table`].
+///
+/// Emitted by hand (no serde in the offline build); keys follow the field
+/// order of [`SummaryRow`], then the derived `h` / `h_b` rates.
 pub fn summary_rows_to_json(rows: &[SummaryRow]) -> String {
-    let values: Vec<serde_json::Value> = rows
-        .iter()
-        .map(|row| {
-            let mut value = serde_json::to_value(row).expect("rows serialize");
-            let object = value.as_object_mut().expect("row is an object");
-            object.insert("h".into(), serde_json::json!(row.h()));
-            object.insert("h_b".into(), serde_json::json!(row.h_b()));
-            value
-        })
-        .collect();
-    serde_json::to_string_pretty(&values).expect("json serializes")
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                "\n  {{\n    \"label\": {label},\n    \"total_clients\": {total},\n",
+                "    \"direct_clients\": {direct},\n    \"broadcast_clients\": {bcast},\n",
+                "    \"direct_connected\": {dconn},\n    \"broadcast_connected\": {bconn},\n",
+                "    \"h\": {h},\n    \"h_b\": {hb}\n  }}"
+            ),
+            label = json_string(&row.label),
+            total = row.total_clients,
+            direct = row.direct_clients,
+            bcast = row.broadcast_clients,
+            dconn = row.direct_connected,
+            bconn = row.broadcast_connected,
+            h = json_f64(row.h()),
+            hb = json_f64(row.h_b()),
+        );
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// JSON string literal with the escapes the JSON grammar requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number rendering: finite floats round-trip via `{:?}`; non-finite
+/// values (not representable in JSON) become `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_owned()
+    }
 }
 
 /// Formats a rate as a percentage with one decimal, like the paper.
@@ -151,11 +199,22 @@ mod tests {
     #[test]
     fn json_rows_carry_rates() {
         let json = summary_rows_to_json(&[row()]);
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed[0]["label"], "MANA");
-        assert_eq!(parsed[0]["total_clients"], 688);
-        let h = parsed[0]["h"].as_f64().unwrap();
+        assert!(json.contains("\"label\": \"MANA\""), "{json}");
+        assert!(json.contains("\"total_clients\": 688"), "{json}");
+        let h_field = json
+            .lines()
+            .find_map(|line| line.trim().strip_prefix("\"h\": "))
+            .expect("h field present");
+        let h: f64 = h_field.trim_end_matches(',').parse().unwrap();
         assert!((h - 46.0 / 688.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_escapes_label() {
+        let mut odd = row();
+        odd.label = "quote\" slash\\ tab\t".into();
+        let json = summary_rows_to_json(&[odd]);
+        assert!(json.contains(r#""quote\" slash\\ tab\t""#), "{json}");
     }
 
     #[test]

@@ -13,22 +13,21 @@
 //!    auth + association handshake *through the byte-level codec*, and
 //!    the hit is recorded with full provenance.
 
-use ch_attack::{
-    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker,
-    PrelimCityHunter,
-};
 use ch_attack::ext::DeauthScheduler;
+use ch_attack::{
+    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker, PrelimCityHunter,
+};
 use ch_mobility::arrival::GroupArrivalProcess;
 use ch_mobility::path::{visits_for_group, Visit};
 use ch_mobility::VenueKind;
 use ch_phone::popgen::PopulationBuilder;
-use ch_phone::{JoinDecision, Phone};
 use ch_phone::scanner::ScanPlan;
+use ch_phone::{JoinDecision, Phone};
 use ch_sim::{EventQueue, LossModel, SimDuration, SimRng, SimTime};
 use ch_wifi::codec;
 use ch_wifi::mgmt::{
-    AssocRequest, AssocResponse, Authentication, CapabilityInfo, MgmtFrame,
-    ProbeResponse, StatusCode,
+    AssocRequest, AssocResponse, Authentication, CapabilityInfo, MgmtFrame, ProbeResponse,
+    StatusCode,
 };
 use ch_wifi::timing;
 use ch_wifi::{Channel, MacAddr};
@@ -272,8 +271,7 @@ fn run_with(
     let process = GroupArrivalProcess::new(&world.venue, config.start_hour, config.duration);
     let mut rng_arrivals = root.fork("arrival-stream");
     let groups = process.generate(&mut rng_arrivals);
-    let mut builder =
-        PopulationBuilder::new(&data.wigle, &data.heat, world.population.clone());
+    let mut builder = PopulationBuilder::new(&data.wigle, &data.heat, world.population.clone());
 
     let mut agents: Vec<Agent> = Vec::new();
     let mut events: EventQueue<usize> = EventQueue::new();
@@ -292,10 +290,7 @@ fn run_with(
     }
 
     // --- Radio ------------------------------------------------------------
-    let loss = config
-        .loss
-        .clone()
-        .unwrap_or_else(LossModel::urban_100mw);
+    let loss = config.loss.clone().unwrap_or_else(LossModel::urban_100mw);
     let attacker_pos = world.venue.attacker;
     let channel = Channel::default_attack_channel();
     let bssid = attacker.bssid();
@@ -360,7 +355,9 @@ fn run_with(
             if observer.enabled() {
                 observer.observe(now, &MgmtFrame::ProbeRequest(probe.clone()));
             }
-            let budget = config.lure_budget.unwrap_or_else(timing::responses_per_scan);
+            let budget = config
+                .lure_budget
+                .unwrap_or_else(timing::responses_per_scan);
             let lures = attacker.respond_to_probe(now, &probe, budget);
             if lures.is_empty() {
                 continue;
@@ -382,15 +379,10 @@ fn run_with(
                 if !rng_medium.chance(loss.delivery_prob(distance)) {
                     continue;
                 }
-                let response = ProbeResponse::open_lure(
-                    bssid,
-                    client_mac,
-                    lure.ssid.clone(),
-                    channel,
-                );
+                let response =
+                    ProbeResponse::open_lure(bssid, client_mac, lure.ssid.clone(), channel);
                 if observer.enabled() {
-                    observer
-                        .observe(elapsed, &MgmtFrame::ProbeResponse(response.clone()));
+                    observer.observe(elapsed, &MgmtFrame::ProbeResponse(response.clone()));
                 }
                 if agent.phone.evaluate_offer(&response) == JoinDecision::Join {
                     if join_handshake(&mut agent.phone, bssid, &response, elapsed, observer) {
@@ -489,10 +481,7 @@ mod tests {
 
     #[test]
     fn cityhunter_hits_broadcast_clients() {
-        let m = short_run(
-            AttackerKind::CityHunter(CityHunterConfig::default()),
-            2,
-        );
+        let m = short_run(AttackerKind::CityHunter(CityHunterConfig::default()), 2);
         let row = m.summary("ch");
         assert!(row.broadcast_connected > 0, "{row:?}");
         assert!(row.h_b() > 0.02, "h_b {}", row.h_b());
@@ -646,10 +635,7 @@ mod tests {
             }),
             11,
         );
-        let without = short_run(
-            AttackerKind::CityHunter(CityHunterConfig::default()),
-            11,
-        );
+        let without = short_run(AttackerKind::CityHunter(CityHunterConfig::default()), 11);
         assert!(with.deauth_frames > 0);
         assert_eq!(without.deauth_frames, 0);
         assert!(with.client_count() > 0 && without.client_count() > 0);

@@ -1,0 +1,57 @@
+//! The determinism regression test behind ch-lint rules R1/R2: one venue
+//! run twice with the same seed must produce *identical* metrics, down to
+//! per-client records and the rate columns. Before the deterministic-hasher
+//! sweep, map iteration order leaked process randomness into lure order and
+//! broke this.
+
+use ch_attack::cityhunter::CityHunterConfig;
+use ch_scenarios::{run_experiment, AttackerKind, CityData, RunConfig};
+
+fn summary_fingerprint(seed: u64) -> (String, Vec<String>) {
+    let data = CityData::standard(seed);
+    let config =
+        RunConfig::canteen_30min(AttackerKind::CityHunter(CityHunterConfig::default()), seed);
+    let metrics = run_experiment(&data, &config);
+    let row = metrics.summary("determinism");
+    let row_text = format!(
+        "{} {} {} {} {} {:.9} {:.9}",
+        row.total_clients,
+        row.direct_clients,
+        row.broadcast_clients,
+        row.direct_connected,
+        row.broadcast_connected,
+        row.h(),
+        row.h_b(),
+    );
+    // Per-client detail, sorted by MAC so the fingerprint is independent of
+    // iteration order — the *values* must still match exactly.
+    let mut clients: Vec<String> = metrics
+        .clients()
+        .map(|(mac, rec)| format!("{mac} {rec:?}"))
+        .collect();
+    clients.sort();
+    (row_text, clients)
+}
+
+#[test]
+fn same_seed_same_metrics() {
+    let (row_a, clients_a) = summary_fingerprint(0xC17E);
+    let (row_b, clients_b) = summary_fingerprint(0xC17E);
+    assert_eq!(row_a, row_b, "summary rows diverged between identical runs");
+    assert_eq!(
+        clients_a, clients_b,
+        "per-client records diverged between identical runs"
+    );
+    assert!(
+        !clients_a.is_empty(),
+        "run produced no clients — not exercising anything"
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    // Guards against the fingerprint being trivially constant.
+    let (_, clients_a) = summary_fingerprint(1);
+    let (_, clients_b) = summary_fingerprint(2);
+    assert_ne!(clients_a, clients_b, "seed does not influence the run");
+}

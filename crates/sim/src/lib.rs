@@ -36,6 +36,8 @@
 //! assert!((0.5..2.0).contains(&dwell));
 //! ```
 
+pub mod collections;
+pub mod invariant;
 pub mod medium;
 pub mod queue;
 pub mod rng;
@@ -44,6 +46,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use collections::{det_hash_map, det_hash_set, DetHashMap, DetHashSet, FxHasher};
 pub use medium::{DeliveryOutcome, LossModel, RadioMedium};
 pub use queue::EventQueue;
 pub use rng::SimRng;

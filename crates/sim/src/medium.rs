@@ -212,10 +212,7 @@ impl RadioMedium {
                 break;
             }
             attempted += 1;
-            if self
-                .transmit(now, tx, rx, airtime_each, rng)
-                .is_delivered()
-            {
+            if self.transmit(now, tx, rx, airtime_each, rng).is_delivered() {
                 delivered += 1;
             }
         }
@@ -297,8 +294,20 @@ mod tests {
         let mut medium = RadioMedium::new(LossModel::ideal(50.0));
         let mut r = rng();
         let a = SimDuration::from_micros(250);
-        let o1 = medium.transmit(SimTime::ZERO, Position::ORIGIN, Position::new(1.0, 0.0), a, &mut r);
-        let o2 = medium.transmit(SimTime::ZERO, Position::ORIGIN, Position::new(1.0, 0.0), a, &mut r);
+        let o1 = medium.transmit(
+            SimTime::ZERO,
+            Position::ORIGIN,
+            Position::new(1.0, 0.0),
+            a,
+            &mut r,
+        );
+        let o2 = medium.transmit(
+            SimTime::ZERO,
+            Position::ORIGIN,
+            Position::new(1.0, 0.0),
+            a,
+            &mut r,
+        );
         match (o1, o2) {
             (DeliveryOutcome::Delivered { at: t1 }, DeliveryOutcome::Delivered { at: t2 }) => {
                 assert_eq!(t1, SimTime::from_micros(250));

@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::ch_invariant;
 use crate::time::SimTime;
 
 /// A pending event: fire time, insertion sequence number, payload.
@@ -55,6 +56,9 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    /// Fire time of the most recently popped event, for the monotonicity
+    /// invariant: simulated time never runs backwards.
+    last_popped: Option<SimTime>,
 }
 
 impl<E> EventQueue<E> {
@@ -63,6 +67,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            last_popped: None,
         }
     }
 
@@ -71,6 +76,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
+            last_popped: None,
         }
     }
 
@@ -82,8 +88,22 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    ///
+    /// Pop times are non-decreasing: an event scheduled before an instant
+    /// that has already been popped (scheduling "into the past") is a
+    /// simulation bug, caught here when invariant checks are compiled in.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        let entry = self.heap.pop()?;
+        if let Some(last) = self.last_popped {
+            ch_invariant!(
+                entry.at >= last,
+                "event time ran backwards: popped {:?} after {:?}",
+                entry.at,
+                last
+            );
+        }
+        self.last_popped = Some(entry.at);
+        Some((entry.at, entry.event))
     }
 
     /// The fire time of the earliest event, if any.
@@ -111,9 +131,11 @@ impl<E> EventQueue<E> {
     }
 
     /// Discards all pending events (the sequence counter keeps advancing so
-    /// determinism is preserved across a clear).
+    /// determinism is preserved across a clear). The monotonicity watermark
+    /// resets too: a cleared queue may start a fresh timeline.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.last_popped = None;
     }
 }
 
@@ -192,14 +214,38 @@ mod tests {
 
     #[test]
     fn clear_and_len() {
-        let mut q: EventQueue<u8> = (0..10)
-            .map(|i| (SimTime::from_secs(i), i as u8))
-            .collect();
+        let mut q: EventQueue<u8> = (0..10).map(|i| (SimTime::from_secs(i), i as u8)).collect();
         assert_eq!(q.len(), 10);
         assert!(!q.is_empty());
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn scheduling_into_the_past_is_caught() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), "now");
+        assert!(q.pop().is_some());
+        q.push(SimTime::from_secs(1), "stale");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.pop();
+        }))
+        .expect_err("popping an event older than the watermark must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("ch_invariant panics with a formatted string");
+        assert!(msg.contains("ran backwards"), "{msg}");
+    }
+
+    #[test]
+    fn clear_resets_the_monotonicity_watermark() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(9), "late");
+        assert!(q.pop().is_some());
+        q.clear();
+        q.push(SimTime::from_secs(1), "fresh timeline");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), "fresh timeline")));
     }
 
     #[test]

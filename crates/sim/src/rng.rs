@@ -6,8 +6,60 @@
 //! so that adding randomness to one subsystem never perturbs another — the
 //! property that keeps regenerated tables and figures stable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// The core generator: xoshiro256** (Blackman & Vigna), seeded through
+/// SplitMix64 as its authors recommend. Implemented inline so the
+/// simulation kernel has zero external dependencies and the stream is
+/// pinned by this repo, not by a crate version bump.
+#[derive(Debug, Clone)]
+struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let s = std::array::from_fn(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix64(state)
+        });
+        Xoshiro256StarStar { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`: top 53 bits scaled down.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, span)` without modulo bias (Lemire's method
+    /// with a rejection fix-up).
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let mut x = self.next_u64();
+        let mut m = (u128::from(x)) * (u128::from(span));
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = (u128::from(x)) * (u128::from(span));
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
 
 /// Deterministic random-number generator for the simulation.
 ///
@@ -24,7 +76,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256StarStar,
     seed: u64,
 }
 
@@ -32,7 +84,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256StarStar::seed_from_u64(seed),
             seed,
         }
     }
@@ -57,7 +109,7 @@ impl SimRng {
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.unit_f64()
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -67,7 +119,13 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "range_f64: empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        let sample = lo + self.inner.unit_f64() * (hi - lo);
+        // Floating-point rounding can land exactly on `hi`; stay half-open.
+        if sample < hi {
+            sample
+        } else {
+            lo
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -77,7 +135,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
         assert!(lo < hi, "range_usize: empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.inner.below((hi - lo) as u64) as usize
     }
 
     /// Uniform `u64` in `[lo, hi)`.
@@ -87,7 +145,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.inner.below(hi - lo)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -179,9 +237,7 @@ impl SimRng {
             target -= w;
         }
         // Floating-point slack: fall back to the last positive weight.
-        weights
-            .iter()
-            .rposition(|w| w.is_finite() && *w > 0.0)
+        weights.iter().rposition(|w| w.is_finite() && *w > 0.0)
     }
 
     /// Picks a uniformly random element of `items`, or `None` if empty.
@@ -243,7 +299,11 @@ pub struct ZipfError {
 
 impl std::fmt::Display for ZipfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "zipf distribution needs at least one rank, got {}", self.n)
+        write!(
+            f,
+            "zipf distribution needs at least one rank, got {}",
+            self.n
+        )
     }
 }
 
@@ -395,8 +455,7 @@ mod tests {
         let mut rng = SimRng::seed_from(4);
         let n = 10_000;
         for lambda in [0.5, 3.0, 80.0] {
-            let mean: f64 =
-                (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| rng.poisson(lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda.max(1.0) * 0.08,
                 "lambda={lambda} mean={mean}"

@@ -192,10 +192,7 @@ mod tests {
         assert!(r.contains(Position::new(0.0, 0.0)));
         assert!(r.contains(Position::new(10.0, 4.0)));
         assert!(!r.contains(Position::new(10.1, 2.0)));
-        assert_eq!(
-            r.clamp(Position::new(20.0, -3.0)),
-            Position::new(10.0, 0.0)
-        );
+        assert_eq!(r.clamp(Position::new(20.0, -3.0)), Position::new(10.0, 0.0));
     }
 
     #[test]

@@ -357,8 +357,10 @@ mod tests {
             SimTime::from_secs(1).saturating_since(SimTime::from_secs(5)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::from_secs(1).checked_add(SimDuration::from_secs(1)),
-            Some(SimTime::from_secs(2)));
+        assert_eq!(
+            SimTime::from_secs(1).checked_add(SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(2))
+        );
         assert_eq!(SimTime::MAX.checked_add(SimDuration::from_micros(1)), None);
     }
 
@@ -366,8 +368,14 @@ mod tests {
     fn from_secs_f64_edge_cases() {
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(0.0005), SimDuration::from_micros(500));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.0005),
+            SimDuration::from_micros(500)
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1_500)
+        );
     }
 
     #[test]
@@ -385,10 +393,7 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(
-            SimTime::from_secs(3661).to_string(),
-            "01:01:01.000"
-        );
+        assert_eq!(SimTime::from_secs(3661).to_string(), "01:01:01.000");
         assert_eq!(SimDuration::from_micros(400).to_string(), "400us");
         assert_eq!(SimDuration::from_millis(12).to_string(), "12ms");
         assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");

@@ -85,10 +85,7 @@ impl VecTrace {
     }
 
     /// Events from the given source only.
-    pub fn from_source<'a>(
-        &'a self,
-        source: &'a str,
-    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+    pub fn from_source<'a>(&'a self, source: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
         self.events.iter().filter(move |e| e.source == source)
     }
 }

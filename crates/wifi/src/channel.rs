@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 2.4 GHz 802.11 channel (1–14).
 ///
 /// The paper's attacker is a single-radio Raspberry Pi parked on one
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ch.center_mhz(), 2437);
 /// # Ok::<(), ch_wifi::channel::ChannelError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Channel(u8);
 
 /// Error constructing a [`Channel`].

@@ -7,14 +7,12 @@
 //! tests, so frame-construction bugs would surface as handshake failures —
 //! the same place they would surface against real hardware.
 
-use bytes::{Buf, BufMut};
-
 use crate::frame::{FrameControl, MgmtHeader, MgmtSubtype};
 use crate::ie::{IeError, InformationElement};
 use crate::mac::MacAddr;
 use crate::mgmt::{
-    AssocRequest, AssocResponse, Authentication, Beacon, CapabilityInfo,
-    Deauthentication, MgmtFrame, ProbeRequest, ProbeResponse, ReasonCode, StatusCode,
+    AssocRequest, AssocResponse, Authentication, Beacon, CapabilityInfo, Deauthentication,
+    MgmtFrame, ProbeRequest, ProbeResponse, ReasonCode, StatusCode,
 };
 use crate::ssid::Ssid;
 
@@ -81,6 +79,59 @@ impl From<IeError> for CodecError {
 
 const HEADER_LEN: usize = 24;
 
+/// Little-endian writer helpers over `Vec<u8>` (the `bytes::BufMut` subset
+/// the codec used before the workspace went dependency-free).
+trait ByteSink {
+    fn put_u16_le(&mut self, value: u16);
+    fn put_u64_le(&mut self, value: u64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl ByteSink for Vec<u8> {
+    fn put_u16_le(&mut self, value: u16) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, value: u64) {
+        self.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Little-endian reader helpers that advance a `&[u8]` cursor. Reads past
+/// the end zero-fill instead of panicking; every call site bounds-checks
+/// first (`HEADER_LEN` guard or [`need`]), so zero-filling is never
+/// observable — it only keeps the library free of panic paths (ch-lint R3).
+trait ByteSource {
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u64_le(&mut self) -> u64;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl ByteSource for &[u8] {
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let take = dst.len().min(self.len());
+        dst[..take].copy_from_slice(&self[..take]);
+        dst[take..].fill(0);
+        *self = &self[take..];
+    }
+}
+
 /// Encodes a frame to wire bytes.
 ///
 /// ```
@@ -109,8 +160,7 @@ fn encode_body(frame: &MgmtFrame, out: &mut Vec<u8>) {
     match frame {
         MgmtFrame::ProbeRequest(p) => {
             InformationElement::Ssid(p.ssid.clone()).encode_into(out);
-            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec())
-                .encode_into(out);
+            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec()).encode_into(out);
         }
         MgmtFrame::ProbeResponse(p) => {
             out.put_u64_le(0); // timestamp (filled by hardware in reality)
@@ -125,8 +175,7 @@ fn encode_body(frame: &MgmtFrame, out: &mut Vec<u8>) {
             out.put_u16_le(b.interval_tu);
             out.put_u16_le(b.capabilities.to_word());
             InformationElement::Ssid(b.ssid.clone()).encode_into(out);
-            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec())
-                .encode_into(out);
+            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec()).encode_into(out);
             InformationElement::DsParameter(b.channel).encode_into(out);
         }
         MgmtFrame::Authentication(a) => {
@@ -138,8 +187,7 @@ fn encode_body(frame: &MgmtFrame, out: &mut Vec<u8>) {
             out.put_u16_le(a.capabilities.to_word());
             out.put_u16_le(10); // listen interval
             InformationElement::Ssid(a.ssid.clone()).encode_into(out);
-            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec())
-                .encode_into(out);
+            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec()).encode_into(out);
         }
         MgmtFrame::AssocResponse(a) => {
             out.put_u16_le(CapabilityInfo::open_ap().to_word());
@@ -166,8 +214,7 @@ pub fn parse(bytes: &[u8]) -> Result<MgmtFrame, CodecError> {
     }
     let mut buf = bytes;
     let fc_word = buf.get_u16_le();
-    let fc = FrameControl::from_word(fc_word)
-        .ok_or(CodecError::NotManagement { word: fc_word })?;
+    let fc = FrameControl::from_word(fc_word).ok_or(CodecError::NotManagement { word: fc_word })?;
     let _duration = buf.get_u16_le();
     let addr1 = read_mac(&mut buf);
     let addr2 = read_mac(&mut buf);
@@ -441,8 +488,7 @@ mod tests {
             Channel::default(),
         );
         resp.capabilities = CapabilityInfo::protected_ap();
-        let parsed = parse(&encode(&MgmtFrame::ProbeResponse(resp.clone())))
-            .unwrap();
+        let parsed = parse(&encode(&MgmtFrame::ProbeResponse(resp.clone()))).unwrap();
         match parsed {
             MgmtFrame::ProbeResponse(p) => assert!(p.capabilities.privacy),
             other => panic!("wrong kind {other}"),

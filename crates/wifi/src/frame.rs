@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::mac::MacAddr;
 
 /// Management-frame subtypes used by the attack and its substrate.
 ///
 /// Values are the 4-bit subtype field of the 802.11 frame-control word
 /// (type = management = 0b00).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum MgmtSubtype {
     /// Association request (client → AP).
@@ -76,7 +74,7 @@ impl fmt::Display for MgmtSubtype {
 /// let fc = FrameControl::mgmt(MgmtSubtype::ProbeRequest);
 /// assert_eq!(FrameControl::from_word(fc.to_word()), Some(fc));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FrameControl {
     /// Protocol version; always 0 in deployed 802.11.
     pub version: u8,
@@ -129,7 +127,7 @@ impl FrameControl {
 /// * `addr1` — receiver (DA)
 /// * `addr2` — transmitter (SA)
 /// * `addr3` — BSSID
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MgmtHeader {
     /// Receiver address.
     pub addr1: MacAddr,
@@ -240,7 +238,12 @@ mod tests {
 
     #[test]
     fn sequence_masked_and_wrapping() {
-        let h = MgmtHeader::new(MacAddr::BROADCAST, MacAddr::BROADCAST, MacAddr::BROADCAST, 0xffff);
+        let h = MgmtHeader::new(
+            MacAddr::BROADCAST,
+            MacAddr::BROADCAST,
+            MacAddr::BROADCAST,
+            0xffff,
+        );
         assert_eq!(h.sequence, 0x0fff);
 
         let mut ctr = SequenceCounter::new();

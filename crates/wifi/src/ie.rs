@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::channel::Channel;
 use crate::ssid::{Ssid, MAX_SSID_LEN};
 
@@ -37,7 +35,7 @@ pub const DEFAULT_RATES: [u8; 4] = [0x82, 0x84, 0x8b, 0x96];
 /// Only the cipher/AKM identities matter to the simulation: a protected
 /// network in a PNL cannot be auto-joined by offering an open twin, which
 /// is why the attacker pre-filters WiGLE SSIDs down to *free* APs (§III-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RsnInfo {
     /// Pairwise cipher is CCMP (vs TKIP).
     pub ccmp: bool,
@@ -46,7 +44,7 @@ pub struct RsnInfo {
 }
 
 /// One parsed information element.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum InformationElement {
     /// SSID element; wildcard (empty) in broadcast probe requests.
     Ssid(Ssid),
@@ -212,15 +210,12 @@ impl InformationElement {
                 if payload.len() > MAX_SSID_LEN {
                     return Err(IeError::OversizedSsid { len: payload.len() });
                 }
-                let text =
-                    std::str::from_utf8(payload).map_err(|_| IeError::NonUtf8Ssid)?;
+                let text = std::str::from_utf8(payload).map_err(|_| IeError::NonUtf8Ssid)?;
                 InformationElement::Ssid(
-                    Ssid::new(text).expect("length checked above"),
+                    Ssid::new(text).map_err(|_| IeError::OversizedSsid { len: payload.len() })?,
                 )
             }
-            element_id::SUPPORTED_RATES => {
-                InformationElement::SupportedRates(payload.to_vec())
-            }
+            element_id::SUPPORTED_RATES => InformationElement::SupportedRates(payload.to_vec()),
             element_id::DS_PARAMETER => {
                 let number = *payload.first().ok_or(IeError::BadChannel { number: 0 })?;
                 InformationElement::DsParameter(

@@ -1,3 +1,12 @@
+// Panic-freedom gate (clippy side of ch-lint rule R3): library code must
+// surface malformed input as Result, not crash mid-campaign. Tests are
+// exempt; a justified escape hatch is a scoped #[allow] plus a
+// `// ch-lint: allow(panic-path)` comment.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 //! # ch-wifi — 802.11 management-frame substrate
 //!
 //! City-Hunter, KARMA and MANA are all built out of 802.11 *management

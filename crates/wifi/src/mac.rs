@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// A 48-bit MAC address.
 ///
 /// The simulation uses MAC addresses the same way the paper's attacker does:
@@ -18,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!mac.is_broadcast());
 /// # Ok::<(), ch_wifi::mac::ParseMacError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MacAddr([u8; 6]);
 
 impl MacAddr {
@@ -187,10 +183,7 @@ mod tests {
         let mac = MacAddr::randomized_from(0xdead_beef_cafe);
         assert!(mac.is_locally_administered());
         assert!(!mac.is_multicast());
-        assert_ne!(
-            MacAddr::randomized_from(1),
-            MacAddr::randomized_from(2)
-        );
+        assert_ne!(MacAddr::randomized_from(1), MacAddr::randomized_from(2));
     }
 
     proptest! {

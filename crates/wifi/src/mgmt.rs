@@ -13,8 +13,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::channel::Channel;
 use crate::frame::{MgmtHeader, MgmtSubtype};
 use crate::ie::{InformationElement, RsnInfo, DEFAULT_RATES};
@@ -23,7 +21,7 @@ use crate::ssid::Ssid;
 
 /// The 16-bit capability-information field, reduced to the two bits the
 /// simulation interprets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct CapabilityInfo {
     /// ESS bit — set by infrastructure APs.
     pub ess: bool,
@@ -65,7 +63,7 @@ impl CapabilityInfo {
 }
 
 /// Status codes in authentication / association responses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u16)]
 pub enum StatusCode {
     /// Success.
@@ -91,7 +89,7 @@ impl StatusCode {
 }
 
 /// Reason codes in deauthentication frames.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u16)]
 pub enum ReasonCode {
     /// Unspecified reason.
@@ -115,7 +113,7 @@ impl ReasonCode {
 }
 
 /// A probe request from a client.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProbeRequest {
     /// Source (client) MAC.
     pub source: MacAddr,
@@ -144,7 +142,7 @@ impl ProbeRequest {
 }
 
 /// A probe response from an AP (or an attacker posing as one).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ProbeResponse {
     /// BSSID of the responding AP.
     pub bssid: MacAddr,
@@ -160,12 +158,7 @@ pub struct ProbeResponse {
 
 impl ProbeResponse {
     /// The attacker's canonical lure: an open AP advertising `ssid`.
-    pub fn open_lure(
-        bssid: MacAddr,
-        destination: MacAddr,
-        ssid: Ssid,
-        channel: Channel,
-    ) -> Self {
+    pub fn open_lure(bssid: MacAddr, destination: MacAddr, ssid: Ssid, channel: Channel) -> Self {
         ProbeResponse {
             bssid,
             destination,
@@ -193,7 +186,7 @@ impl ProbeResponse {
 }
 
 /// A beacon frame — functionally a broadcast probe response.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Beacon {
     /// BSSID of the AP.
     pub bssid: MacAddr,
@@ -221,7 +214,7 @@ impl Beacon {
 }
 
 /// One leg of the open-system authentication exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Authentication {
     /// Sender.
     pub source: MacAddr,
@@ -256,7 +249,7 @@ impl Authentication {
 }
 
 /// An association request (client → AP).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AssocRequest {
     /// Client MAC.
     pub source: MacAddr,
@@ -269,7 +262,7 @@ pub struct AssocRequest {
 }
 
 /// An association response (AP → client).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AssocResponse {
     /// BSSID.
     pub bssid: MacAddr,
@@ -282,7 +275,7 @@ pub struct AssocResponse {
 }
 
 /// A deauthentication frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Deauthentication {
     /// Sender (spoofed as the victim's AP in the §V-B attack).
     pub source: MacAddr,
@@ -293,7 +286,7 @@ pub struct Deauthentication {
 }
 
 /// Any management frame the simulation exchanges.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum MgmtFrame {
     /// Probe request.
     ProbeRequest(ProbeRequest),
@@ -330,22 +323,14 @@ impl MgmtFrame {
     pub fn header(&self) -> MgmtHeader {
         match self {
             MgmtFrame::ProbeRequest(p) => MgmtHeader::client_broadcast(p.source, 0),
-            MgmtFrame::ProbeResponse(p) => {
-                MgmtHeader::from_ap(p.bssid, p.destination, 0)
-            }
-            MgmtFrame::Beacon(b) => {
-                MgmtHeader::from_ap(b.bssid, MacAddr::BROADCAST, 0)
-            }
+            MgmtFrame::ProbeResponse(p) => MgmtHeader::from_ap(p.bssid, p.destination, 0),
+            MgmtFrame::Beacon(b) => MgmtHeader::from_ap(b.bssid, MacAddr::BROADCAST, 0),
             MgmtFrame::Authentication(a) => {
                 MgmtHeader::new(a.destination, a.source, a.destination, 0)
             }
             MgmtFrame::AssocRequest(a) => MgmtHeader::to_ap(a.source, a.bssid, 0),
-            MgmtFrame::AssocResponse(a) => {
-                MgmtHeader::from_ap(a.bssid, a.destination, 0)
-            }
-            MgmtFrame::Deauthentication(d) => {
-                MgmtHeader::new(d.destination, d.source, d.source, 0)
-            }
+            MgmtFrame::AssocResponse(a) => MgmtHeader::from_ap(a.bssid, a.destination, 0),
+            MgmtFrame::Deauthentication(d) => MgmtHeader::new(d.destination, d.source, d.source, 0),
         }
     }
 
@@ -369,16 +354,28 @@ impl fmt::Display for MgmtFrame {
             }
             MgmtFrame::Beacon(b) => write!(f, "beacon[{}] from {}", b.ssid, b.bssid),
             MgmtFrame::Authentication(a) => {
-                write!(f, "auth#{} {} -> {}", a.transaction, a.source, a.destination)
+                write!(
+                    f,
+                    "auth#{} {} -> {}",
+                    a.transaction, a.source, a.destination
+                )
             }
             MgmtFrame::AssocRequest(a) => {
                 write!(f, "assoc-req[{}] {} -> {}", a.ssid, a.source, a.bssid)
             }
             MgmtFrame::AssocResponse(a) => {
-                write!(f, "assoc-resp({:?}) {} -> {}", a.status, a.bssid, a.destination)
+                write!(
+                    f,
+                    "assoc-resp({:?}) {} -> {}",
+                    a.status, a.bssid, a.destination
+                )
             }
             MgmtFrame::Deauthentication(d) => {
-                write!(f, "deauth({:?}) {} -> {}", d.reason, d.source, d.destination)
+                write!(
+                    f,
+                    "deauth({:?}) {} -> {}",
+                    d.reason, d.source, d.destination
+                )
             }
         }
     }
@@ -485,10 +482,8 @@ mod tests {
     fn display_is_informative() {
         let probe = MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1)));
         assert!(probe.to_string().contains("broadcast"));
-        let direct = MgmtFrame::ProbeRequest(ProbeRequest::direct(
-            mac(1),
-            Ssid::new("CSL").unwrap(),
-        ));
+        let direct =
+            MgmtFrame::ProbeRequest(ProbeRequest::direct(mac(1), Ssid::new("CSL").unwrap()));
         assert!(direct.to_string().contains("CSL"));
     }
 }

@@ -137,13 +137,12 @@ impl From<io::Error> for PcapReadError {
 pub fn read_capture<R: Read>(mut source: R) -> Result<Vec<CapturedFrame>, PcapReadError> {
     let mut header = [0u8; 24];
     source.read_exact(&mut header)?;
-    if u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) != MAGIC {
+    if le_u32_at(&header, 0) != MAGIC {
         return Err(PcapReadError::BadHeader {
             reason: "wrong magic",
         });
     }
-    if u32::from_le_bytes(header[20..24].try_into().expect("4 bytes")) != LINKTYPE_802_11
-    {
+    if le_u32_at(&header, 20) != LINKTYPE_802_11 {
         return Err(PcapReadError::BadHeader {
             reason: "wrong linktype",
         });
@@ -156,10 +155,9 @@ pub fn read_capture<R: Read>(mut source: R) -> Result<Vec<CapturedFrame>, PcapRe
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
             Err(e) => return Err(e.into()),
         }
-        let ts_sec = u32::from_le_bytes(record[0..4].try_into().expect("4 bytes"));
-        let ts_usec = u32::from_le_bytes(record[4..8].try_into().expect("4 bytes"));
-        let incl_len =
-            u32::from_le_bytes(record[8..12].try_into().expect("4 bytes")) as usize;
+        let ts_sec = le_u32_at(&record, 0);
+        let ts_usec = le_u32_at(&record, 4);
+        let incl_len = le_u32_at(&record, 8) as usize;
         let mut bytes = vec![0u8; incl_len];
         source.read_exact(&mut bytes)?;
         let frame = codec::parse(&bytes).map_err(PcapReadError::BadFrame)?;
@@ -169,6 +167,16 @@ pub fn read_capture<R: Read>(mut source: R) -> Result<Vec<CapturedFrame>, PcapRe
         });
     }
     Ok(frames)
+}
+
+/// Little-endian u32 at `offset` of a buffer whose callers size it
+/// statically; short reads yield zero-padded words instead of a panic.
+fn le_u32_at(buf: &[u8], offset: usize) -> u32 {
+    let mut word = [0u8; 4];
+    for (dst, src) in word.iter_mut().zip(buf.iter().skip(offset)) {
+        *dst = *src;
+    }
+    u32::from_le_bytes(word)
 }
 
 #[cfg(test)]
@@ -262,10 +270,7 @@ mod tests {
             .unwrap();
         let bytes = writer.into_inner();
         let truncated = &bytes[..bytes.len() - 3];
-        assert!(matches!(
-            read_capture(truncated),
-            Err(PcapReadError::Io(_))
-        ));
+        assert!(matches!(read_capture(truncated), Err(PcapReadError::Io(_))));
     }
 
     #[test]
@@ -291,7 +296,10 @@ mod tests {
         let at = SimTime::from_micros(3_661_000_042);
         let mut writer = PcapWriter::new(Vec::new()).unwrap();
         writer
-            .write_frame(at, &MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))))
+            .write_frame(
+                at,
+                &MgmtFrame::ProbeRequest(ProbeRequest::broadcast(mac(1))),
+            )
             .unwrap();
         let read = read_capture(&writer.into_inner()[..]).unwrap();
         assert_eq!(read[0].at, at);

@@ -4,8 +4,6 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum SSID length in bytes, per IEEE 802.11.
 pub const MAX_SSID_LEN: usize = 32;
 
@@ -26,7 +24,7 @@ pub const MAX_SSID_LEN: usize = 32;
 /// assert!(!ssid.is_wildcard());
 /// # Ok::<(), ch_wifi::SsidError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ssid(String);
 
 /// Error constructing an [`Ssid`].

@@ -87,11 +87,7 @@ fn main() {
     let mut frames_seen = 0usize;
     for round in 0..2u64 {
         let probe = ProbeRequest::broadcast(client);
-        let lures = attacker.respond_to_probe(
-            SimTime::from_secs(round * 60),
-            &probe,
-            40,
-        );
+        let lures = attacker.respond_to_probe(SimTime::from_secs(round * 60), &probe, 40);
         for lure in &lures {
             let frame = MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
                 attacker.bssid(),

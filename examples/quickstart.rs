@@ -26,10 +26,8 @@ fn main() {
     );
 
     // 2. Deploy the full §IV City-Hunter in the canteen over lunch.
-    let config = RunConfig::canteen_30min(
-        AttackerKind::CityHunter(CityHunterConfig::default()),
-        seed,
-    );
+    let config =
+        RunConfig::canteen_30min(AttackerKind::CityHunter(CityHunterConfig::default()), seed);
     println!(
         "deploying City-Hunter: {} at 12:00 for 30 min...",
         config.venue.name()
@@ -41,7 +39,9 @@ fn main() {
     println!("\n{}", render_summary_table(std::slice::from_ref(&row)));
     let (wigle, direct, carrier) = metrics.source_breakdown();
     let (popularity, freshness) = metrics.lane_breakdown();
-    println!("broadcast hits by SSID source: {wigle} WiGLE / {direct} direct-probe / {carrier} carrier");
+    println!(
+        "broadcast hits by SSID source: {wigle} WiGLE / {direct} direct-probe / {carrier} carrier"
+    );
     println!("broadcast hits by buffer:      {popularity} popularity / {freshness} freshness");
     println!(
         "mean SSIDs tried per connected broadcast client: {:.0}",

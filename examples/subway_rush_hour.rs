@@ -55,8 +55,6 @@ fn main() {
     for (label, offered, (popularity, freshness)) in &histograms {
         println!("SSIDs tested per broadcast client — {label}:");
         println!("{}", render_histogram(offered, 40));
-        println!(
-            "hit lanes: {popularity} popularity-side, {freshness} freshness-side\n"
-        );
+        println!("hit lanes: {popularity} popularity-side, {freshness} freshness-side\n");
     }
 }

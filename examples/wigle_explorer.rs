@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(0x0C17_F00D);
     let data = CityData::standard(seed);
 
-    println!("snapshot: {} AP records, {} distinct SSIDs", data.wigle.len(), data.wigle.ssid_count());
+    println!(
+        "snapshot: {} AP records, {} distinct SSIDs",
+        data.wigle.len(),
+        data.wigle.ssid_count()
+    );
     let mut by_category = std::collections::BTreeMap::new();
     for record in data.wigle.records() {
         let label = match record.category {
@@ -37,14 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\ntop 10 SSIDs by AP count (open only):");
-    for (rank, (ssid, count)) in data.wigle.top_by_ap_count(10, true).iter().enumerate()
-    {
+    for (rank, (ssid, count)) in data.wigle.top_by_ap_count(10, true).iter().enumerate() {
         println!("  {:>2}. {ssid:<28} {count} APs", rank + 1);
     }
     println!("\ntop 10 SSIDs by heat value (the §IV-B ranking):");
-    for (rank, (ssid, heat)) in
-        data.wigle.top_by_heat(&data.heat, 10).iter().enumerate()
-    {
+    for (rank, (ssid, heat)) in data.wigle.top_by_heat(&data.heat, 10).iter().enumerate() {
         let aps = data.wigle.ap_count(ssid);
         println!("  {:>2}. {ssid:<28} heat {heat:>8.0} ({aps} APs)", rank + 1);
     }

@@ -12,16 +12,10 @@ fn data() -> CityData {
 #[test]
 fn table1_shape_karma_vs_mana() {
     let data = data();
-    let karma = run_experiment(
-        &data,
-        &RunConfig::canteen_30min(AttackerKind::Karma, 0xA1),
-    )
-    .summary("KARMA");
-    let mana = run_experiment(
-        &data,
-        &RunConfig::canteen_30min(AttackerKind::Mana, 0xA2),
-    )
-    .summary("MANA");
+    let karma = run_experiment(&data, &RunConfig::canteen_30min(AttackerKind::Karma, 0xA1))
+        .summary("KARMA");
+    let mana =
+        run_experiment(&data, &RunConfig::canteen_30min(AttackerKind::Mana, 0xA2)).summary("MANA");
 
     // Paper: KARMA h=3.9% (h_b = 0), MANA h=6.6% (h_b = 3%).
     assert_eq!(karma.broadcast_connected, 0);
@@ -36,10 +30,7 @@ fn table1_shape_karma_vs_mana() {
 #[test]
 fn table2_shape_prelim_in_canteen() {
     let data = data();
-    let metrics = run_experiment(
-        &data,
-        &RunConfig::canteen_30min(AttackerKind::Prelim, 0xB2),
-    );
+    let metrics = run_experiment(&data, &RunConfig::canteen_30min(AttackerKind::Prelim, 0xB2));
     let row = metrics.summary("prelim");
 
     // Paper: h = 19.1%, h_b = 15.9%.
@@ -62,10 +53,7 @@ fn table2_shape_prelim_in_canteen() {
 #[test]
 fn table3_shape_prelim_in_passage() {
     let data = data();
-    let metrics = run_experiment(
-        &data,
-        &RunConfig::passage_30min(AttackerKind::Prelim, 0xC1),
-    );
+    let metrics = run_experiment(&data, &RunConfig::passage_30min(AttackerKind::Prelim, 0xC1));
     let row = metrics.summary("passage");
 
     // Paper: h = 6.3%, h_b = 4.1% — far below the canteen.
@@ -80,10 +68,7 @@ fn table3_shape_prelim_in_passage() {
         .filter(|&c| c > 0)
         .collect();
     let one_burst = offered.iter().filter(|&&c| c <= 40).count() as f64;
-    let two_bursts = offered
-        .iter()
-        .filter(|&&c| c > 40 && c <= 80)
-        .count() as f64;
+    let two_bursts = offered.iter().filter(|&&c| c > 40 && c <= 80).count() as f64;
     let n = offered.len() as f64;
     assert!(one_burst / n > 0.5, "one-burst share {}", one_burst / n);
     assert!(two_bursts / n > 0.05, "two-burst share {}", two_bursts / n);
@@ -98,17 +83,11 @@ fn headline_improvement_factor() {
     // Abstract: City-Hunter's h_b is 12-18%, "about 4-8 times improvement
     // compared to MANA" (3%). Require at least 3x here.
     let data = data();
-    let mana = run_experiment(
-        &data,
-        &RunConfig::canteen_30min(AttackerKind::Mana, 0xE1),
-    )
-    .summary("mana");
+    let mana =
+        run_experiment(&data, &RunConfig::canteen_30min(AttackerKind::Mana, 0xE1)).summary("mana");
     let full = run_experiment(
         &data,
-        &RunConfig::canteen_30min(
-            AttackerKind::CityHunter(CityHunterConfig::default()),
-            0xE1,
-        ),
+        &RunConfig::canteen_30min(AttackerKind::CityHunter(CityHunterConfig::default()), 0xE1),
     )
     .summary("full");
     assert!((0.08..0.25).contains(&full.h_b()), "h_b {}", full.h_b());
@@ -125,21 +104,15 @@ fn client_volumes_match_paper_scale() {
     // Paper: ~614-688 clients per 30-min canteen test; ~1356 per 30-min
     // passage test; 2562 in the 8-9am passage hour.
     let data = data();
-    let canteen = run_experiment(
-        &data,
-        &RunConfig::canteen_30min(AttackerKind::Karma, 0xF1),
-    )
-    .summary("canteen");
+    let canteen = run_experiment(&data, &RunConfig::canteen_30min(AttackerKind::Karma, 0xF1))
+        .summary("canteen");
     assert!(
         (350..950).contains(&canteen.total_clients),
         "canteen clients {}",
         canteen.total_clients
     );
-    let passage = run_experiment(
-        &data,
-        &RunConfig::passage_30min(AttackerKind::Karma, 0xF2),
-    )
-    .summary("passage");
+    let passage = run_experiment(&data, &RunConfig::passage_30min(AttackerKind::Karma, 0xF2))
+        .summary("passage");
     assert!(
         (700..2000).contains(&passage.total_clients),
         "passage clients {}",

@@ -84,7 +84,10 @@ fn deauth_extension_trips_the_flood_detector() {
         .find(|(name, _)| *name == "deauth-flood")
         .map(|(_, alarms)| alarms.len())
         .unwrap_or(0);
-    assert!(flood_alarms >= 1, "deauth flood must be flagged: {report:?}");
+    assert!(
+        flood_alarms >= 1,
+        "deauth flood must be flagged: {report:?}"
+    );
     // The flood verdict points at the spoofed source.
     let (_, alarms) = report
         .iter()

@@ -27,10 +27,7 @@ fn full_runs_are_reproducible_for_every_attacker() {
         (AttackerKind::Karma, 1u64),
         (AttackerKind::Mana, 2),
         (AttackerKind::Prelim, 3),
-        (
-            AttackerKind::CityHunter(CityHunterConfig::default()),
-            4,
-        ),
+        (AttackerKind::CityHunter(CityHunterConfig::default()), 4),
     ] {
         let config = RunConfig {
             venue: VenueKind::RailwayStation,

@@ -225,14 +225,10 @@ fn mac_randomization_defeats_city_hunter() {
     randomized_population.mac_randomizing = 1.0;
     let config = |population| RunConfig {
         population,
-        ..RunConfig::canteen_30min(
-            AttackerKind::CityHunter(CityHunterConfig::default()),
-            0x3AC,
-        )
+        ..RunConfig::canteen_30min(AttackerKind::CityHunter(CityHunterConfig::default()), 0x3AC)
     };
     let stable = run_experiment(&data, &config(None)).summary("stable");
-    let randomized =
-        run_experiment(&data, &config(Some(randomized_population))).summary("rand");
+    let randomized = run_experiment(&data, &config(Some(randomized_population))).summary("rand");
     assert!(
         randomized.h_b() < stable.h_b() / 3.0,
         "randomized {} vs stable {}",

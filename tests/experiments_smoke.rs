@@ -34,10 +34,9 @@ fn fig1_series_are_coherent() {
             }
         })
         .collect();
-    let first_half: f64 =
-        rates[..rates.len() / 2].iter().sum::<f64>() / (rates.len() / 2) as f64;
-    let second_half: f64 = rates[rates.len() / 2..].iter().sum::<f64>()
-        / (rates.len() - rates.len() / 2) as f64;
+    let first_half: f64 = rates[..rates.len() / 2].iter().sum::<f64>() / (rates.len() / 2) as f64;
+    let second_half: f64 =
+        rates[rates.len() / 2..].iter().sum::<f64>() / (rates.len() - rates.len() / 2) as f64;
     assert!(
         second_half < first_half + 0.08,
         "h_b^r should not climb with DB size: {first_half} -> {second_half}"

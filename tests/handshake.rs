@@ -2,15 +2,15 @@
 //! codec, end to end, without the experiment runner in between.
 
 use city_hunter::attack::{Attacker, CityHunter, CityHunterConfig, KarmaAttacker};
-use city_hunter::phone::{JoinDecision, Phone};
 use city_hunter::phone::pnl::{Pnl, PnlEntry, PnlOrigin};
 use city_hunter::phone::scanner::ScanConfig;
 use city_hunter::phone::OsKind;
+use city_hunter::phone::{JoinDecision, Phone};
 use city_hunter::prelude::*;
 use city_hunter::wifi::codec;
 use city_hunter::wifi::mgmt::{
-    Authentication, CapabilityInfo, Deauthentication, MgmtFrame, ProbeRequest,
-    ProbeResponse, ReasonCode, StatusCode,
+    Authentication, CapabilityInfo, Deauthentication, MgmtFrame, ProbeRequest, ProbeResponse,
+    ReasonCode, StatusCode,
 };
 use city_hunter::wifi::timing;
 use city_hunter::wifi::Channel;
@@ -61,13 +61,13 @@ fn broadcast_probe_to_association_over_the_wire() {
     assert!(parsed_probe.is_broadcast());
 
     // 2. The attacker answers with a lure burst within the scan budget.
-    let lures = attacker.respond_to_probe(
-        SimTime::ZERO,
-        &parsed_probe,
-        timing::responses_per_scan(),
-    );
+    let lures =
+        attacker.respond_to_probe(SimTime::ZERO, &parsed_probe, timing::responses_per_scan());
     assert!(lures.len() <= timing::responses_per_scan());
-    assert!(lures.iter().any(|l| l.ssid == top), "top SSID offered first");
+    assert!(
+        lures.iter().any(|l| l.ssid == top),
+        "top SSID offered first"
+    );
 
     // 3. Each probe response crosses the wire; the phone joins on match.
     let mut joined = None;
@@ -79,9 +79,7 @@ fn broadcast_probe_to_association_over_the_wire() {
             Channel::default_attack_channel(),
         ));
         let bytes = codec::encode(&frame);
-        let MgmtFrame::ProbeResponse(response) =
-            codec::parse(&bytes).expect("lure parses")
-        else {
+        let MgmtFrame::ProbeResponse(response) = codec::parse(&bytes).expect("lure parses") else {
             panic!("wrong frame kind");
         };
         if phone.evaluate_offer(&response) == JoinDecision::Join {

@@ -32,7 +32,11 @@ fn live_run_pcap_roundtrip() {
 
     let capture = read_capture(&bytes[..]).expect("own capture re-reads");
     assert_eq!(capture.len() as u64, frames_written);
-    assert!(capture.len() > 1_000, "capture too small: {}", capture.len());
+    assert!(
+        capture.len() > 1_000,
+        "capture too small: {}",
+        capture.len()
+    );
 
     // Timestamps are non-decreasing (air order).
     for pair in capture.windows(2) {
@@ -41,12 +45,7 @@ fn live_run_pcap_roundtrip() {
 
     // The frame census is coherent with the metrics: every hit produced
     // one auth request + response + assoc request + response.
-    let count = |st: MgmtSubtype| {
-        capture
-            .iter()
-            .filter(|c| c.frame.subtype() == st)
-            .count()
-    };
+    let count = |st: MgmtSubtype| capture.iter().filter(|c| c.frame.subtype() == st).count();
     let hits = metrics
         .clients()
         .filter(|(_, rec)| rec.hit.is_some())

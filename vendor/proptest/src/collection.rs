@@ -1,0 +1,60 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification accepted by [`vec`]: a fixed size or a
+/// half-open range of sizes.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<::std::ops::Range<usize>> for SizeRange {
+    fn from(r: ::std::ops::Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: r.end().saturating_add(1),
+        }
+    }
+}
+
+/// Strategy producing a `Vec` of values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.range_u64(self.size.min as u64, self.size.max as u64) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! re-implements the small API subset the City-Hunter workspace actually
+//! uses: the [`proptest!`] macro, `prop_assert*` / `prop_assume!`,
+//! range/tuple/vec/array/string-pattern strategies, `any::<T>()`,
+//! `sample::select`, and `ProptestConfig::with_cases`.
+//!
+//! It deliberately does **not** implement shrinking or persistence; failing
+//! cases are reported with their fully rendered inputs instead. Sampling is
+//! deterministic per test (seeded from the test name), which keeps the
+//! workspace's reproducibility guarantees intact.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface test modules use.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Generates deterministic property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_prop(x in 0u8..32, v in proptest::collection::vec(0u64..10, 0..50)) {
+///         prop_assert!(x < 32);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __cases_run: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __cases_run < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts < __config.cases.saturating_mul(20).max(1000),
+                        "proptest stand-in: too many rejected cases in {}",
+                        stringify!($name),
+                    );
+                    $( let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    let __inputs = {
+                        let mut __s = String::new();
+                        $(
+                            __s.push_str(stringify!($arg));
+                            __s.push_str(" = ");
+                            __s.push_str(&format!("{:?}", &$arg));
+                            __s.push_str("; ");
+                        )+
+                        __s
+                    };
+                    let __outcome = (move || ->
+                        ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => { __cases_run += 1; }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "property {} failed after {} cases: {}\n  inputs: {}",
+                                stringify!($name), __cases_run, __msg, __inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("assertion failed: {}", stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("assertion failed: {}: {}",
+                        stringify!($cond), format!($($fmt)+))));
+        }
+    };
+}
+
+/// `assert_eq!` that reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("assertion failed: {} == {} ({:?} vs {:?})",
+                        stringify!($left), stringify!($right), __l, __r)));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("assertion failed: {} == {} ({:?} vs {:?}): {}",
+                        stringify!($left), stringify!($right), __l, __r,
+                        format!($($fmt)+))));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("assertion failed: {} != {} (both {:?})",
+                        stringify!($left), stringify!($right), __l)));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(
+                    format!("assertion failed: {} != {} (both {:?}): {}",
+                        stringify!($left), stringify!($right), __l,
+                        format!($($fmt)+))));
+        }
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Sampling from explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy drawing a uniformly random element of `options`.
+///
+/// # Panics
+///
+/// Sampling panics if `options` is empty (a test-authoring error).
+pub fn select<T: Clone + ::std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + ::std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select from empty list");
+        self.options[rng.range_u64(0, self.options.len() as u64) as usize].clone()
+    }
+}

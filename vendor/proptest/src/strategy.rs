@@ -1,0 +1,139 @@
+//! The [`Strategy`] trait and the primitive strategies (ranges, tuples,
+//! constants, string patterns).
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic sampler.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! unsigned_range_strategies {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for ::std::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.range_u64(u64::from(self.start), u64::from(self.end)) as $ty
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.range_u64(
+                        u64::from(*self.start()),
+                        u64::from(*self.end()).saturating_add(1),
+                    ) as $ty
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeFrom<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.range_u64(
+                        u64::from(self.start),
+                        u64::from(<$ty>::MAX).saturating_add(1),
+                    ) as $ty
+                }
+            }
+        )+
+    };
+}
+
+unsigned_range_strategies!(u8, u16, u32);
+
+impl Strategy for ::std::ops::Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        rng.range_u64(self.start, self.end)
+    }
+}
+
+impl Strategy for ::std::ops::Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.range_u64(self.start as u64, self.end as u64) as usize
+    }
+}
+
+impl Strategy for ::std::ops::Range<i32> {
+    type Value = i32;
+    fn sample(&self, rng: &mut TestRng) -> i32 {
+        rng.range_i64(i64::from(self.start), i64::from(self.end)) as i32
+    }
+}
+
+impl Strategy for ::std::ops::Range<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        rng.range_i64(self.start, self.end)
+    }
+}
+
+impl Strategy for ::std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for ::std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// String patterns (`"[a-z]{1,6}"`) act as strategies generating matching
+/// strings; see [`crate::string`] for the supported pattern subset.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::sample_pattern(self, rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident / $idx:tt),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategies! {
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}

@@ -1,0 +1,149 @@
+//! Generation of strings from the regex-pattern subset the workspace uses.
+//!
+//! Supported syntax: a sequence of atoms, each optionally followed by a
+//! `{m,n}` repetition. An atom is `.` (any printable char, including a
+//! sprinkling of non-ASCII to exercise lossy conversions), a `[...]` class
+//! of literal chars and `a-z` ranges, or a single literal character.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Any,
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Draws one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on patterns outside the supported subset — a test-authoring
+/// error, surfaced loudly.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = piece.max - piece.min + 1;
+        let count = piece.min + rng.range_u64(0, span as u64) as usize;
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+// A few non-ASCII samples so `.` occasionally exercises multi-byte and
+// lossy-truncation paths.
+const EXOTIC: &[char] = &['é', 'λ', '中', '🦀', '\u{0}', '\t', 'ß'];
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Any => {
+            if rng.range_u64(0, 8) == 0 {
+                EXOTIC[rng.range_u64(0, EXOTIC.len() as u64) as usize]
+            } else {
+                char::from(rng.range_u64(0x20, 0x7f) as u8)
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                .sum();
+            let mut pick = rng.range_u64(0, total);
+            for (lo, hi) in ranges {
+                let span = u64::from(*hi) - u64::from(*lo) + 1;
+                if pick < span {
+                    return char::from_u32(u32::from(*lo) + pick as u32).unwrap_or('?');
+                }
+                pick -= span;
+            }
+            unreachable!("class sampling covers the whole mass")
+        }
+        Atom::Literal(c) => *c,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let atom = Atom::Class(parse_class(&chars[i + 1..close], pattern));
+                i = close + 1;
+                atom
+            }
+            '\\' => {
+                i += 2;
+                Atom::Literal(*chars.get(i - 1).unwrap_or(&'\\'))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(8),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<(char, char)> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            ranges.push((body[i], body[i + 2]));
+            i += 3;
+        } else if i + 2 == body.len() && body[i + 1] == '-' {
+            // Trailing '-' is a literal.
+            ranges.push((body[i], body[i]));
+            ranges.push(('-', '-'));
+            i += 2;
+        } else {
+            ranges.push((body[i], body[i]));
+            i += 1;
+        }
+    }
+    ranges
+}
