@@ -19,4 +19,22 @@ echo "==> cargo test"
 # what `cargo test` uses, so the whole suite runs with them on.
 cargo test -q --workspace
 
+echo "==> fleet smoke (tiny fig5 campaign, 2 jobs, run twice)"
+# End-to-end check of the campaign engine through a real binary: a tiny
+# Fig. 5 campaign runs fresh, then again against the same manifest. The
+# second run must resume fully from cache and print an identical figure.
+smoke_dir="target/ci-fleet-smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+smoke_args=(1 --hours 12,18 --minutes 2 --jobs 2
+  --manifest "$smoke_dir/fleet_fig5.jsonl" --bench "$smoke_dir/BENCH_fleet.json")
+cargo run -q --release -p ch-bench --bin fig5 -- "${smoke_args[@]}" \
+  > "$smoke_dir/run1.txt" 2> "$smoke_dir/run1.log"
+grep -q '8 executed, 0 cached, 0 failed' "$smoke_dir/run1.log"
+cargo run -q --release -p ch-bench --bin fig5 -- "${smoke_args[@]}" \
+  > "$smoke_dir/run2.txt" 2> "$smoke_dir/run2.log"
+grep -q '0 executed, 8 cached, 0 failed' "$smoke_dir/run2.log"
+cmp "$smoke_dir/run1.txt" "$smoke_dir/run2.txt"
+test -s "$smoke_dir/BENCH_fleet.json"
+
 echo "ci.sh: all gates passed"

@@ -1,14 +1,23 @@
 //! Allow/deny configuration: `ch-lint.toml` plus command-line overrides.
 //!
-//! The file format is a deliberately tiny TOML subset — one `rule = "level"`
-//! assignment per line, `#` comments, optional `[rules]` section header:
+//! The file format is a deliberately tiny TOML subset — one assignment per
+//! line, `#` comments, and two section headers:
 //!
 //! ```toml
 //! [rules]
 //! default-hasher = "deny"
 //! missing-decode = "allow"
+//!
+//! [scoped-allow]
+//! # Suppress one rule for one file (or directory) only. Repeatable.
+//! nondeterminism = "crates/fleet/src/telemetry.rs"
 //! ```
 //!
+//! `[rules]` sets a rule's level workspace-wide; `[scoped-allow]` keeps a
+//! rule denied everywhere *except* the named workspace-relative path — the
+//! config-level counterpart of a source-level `// ch-lint: allow(...)`
+//! comment, for allowances that are architectural rather than one-line
+//! (e.g. "only the fleet's telemetry module may read the wall clock").
 //! Command-line `--allow <rule>` / `--deny <rule>` flags override the file.
 
 use crate::rules::ALL_RULES;
@@ -26,12 +35,16 @@ pub enum Level {
 #[derive(Debug, Clone)]
 pub struct Config {
     levels: Vec<(&'static str, Level)>,
+    /// `(rule, workspace-relative path)` pairs from `[scoped-allow]`: the
+    /// rule stays denied everywhere except under that file or directory.
+    scoped_allows: Vec<(&'static str, String)>,
 }
 
 impl Default for Config {
     fn default() -> Self {
         Config {
             levels: ALL_RULES.iter().map(|r| (*r, Level::Deny)).collect(),
+            scoped_allows: Vec::new(),
         }
     }
 }
@@ -65,33 +78,97 @@ impl Config {
         }
     }
 
+    /// Adds a scoped allowance: `rule` is suppressed for findings whose
+    /// path is `scope` or lies under it (when `scope` is a directory).
+    pub fn allow_scoped(&mut self, rule: &str, scope: &str) -> Result<(), String> {
+        let Some(canonical) = ALL_RULES.iter().find(|r| **r == rule) else {
+            return Err(format!(
+                "unknown rule `{rule}` (expected one of: {})",
+                ALL_RULES.join(", ")
+            ));
+        };
+        if scope.is_empty() || scope.starts_with('/') || scope.contains("..") {
+            return Err(format!(
+                "scoped-allow path must be workspace-relative, got \"{scope}\""
+            ));
+        }
+        self.scoped_allows.push((canonical, scope.to_string()));
+        Ok(())
+    }
+
+    /// The configured `(rule, path)` scoped allowances, in file order.
+    pub fn scoped_allows(&self) -> &[(&'static str, String)] {
+        &self.scoped_allows
+    }
+
+    /// `true` if a `[scoped-allow]` entry suppresses `rule` at `path`
+    /// (`path` is workspace-relative, as reported in findings).
+    pub fn is_path_allowed(&self, rule: &str, path: &str) -> bool {
+        self.scoped_allows.iter().any(|(r, scope)| {
+            *r == rule
+                && (path == scope
+                    || path
+                        .strip_prefix(scope.as_str())
+                        .is_some_and(|rest| rest.starts_with('/')))
+        })
+    }
+
     /// Applies a `ch-lint.toml` document on top of the current levels.
     pub fn apply_toml(&mut self, text: &str) -> Result<(), String> {
+        #[derive(PartialEq)]
+        enum Section {
+            Rules,
+            ScopedAllow,
+        }
+        let mut section = Section::Rules;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() || (line.starts_with('[') && line.ends_with(']')) {
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') && line.ends_with(']') {
+                section = match &line[1..line.len() - 1] {
+                    "rules" => Section::Rules,
+                    "scoped-allow" => Section::ScopedAllow,
+                    other => {
+                        return Err(format!(
+                            "ch-lint.toml:{}: unknown section `[{other}]` \
+                             (expected [rules] or [scoped-allow])",
+                            lineno + 1
+                        ))
+                    }
+                };
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(format!(
-                    "ch-lint.toml:{}: expected `rule = \"level\"`",
+                    "ch-lint.toml:{}: expected `rule = \"value\"`",
                     lineno + 1
                 ));
             };
             let key = key.trim();
             let value = value.trim().trim_matches('"');
-            let level = match value {
-                "deny" => Level::Deny,
-                "allow" => Level::Allow,
-                other => {
-                    return Err(format!(
-                        "ch-lint.toml:{}: level must be \"allow\" or \"deny\", got \"{other}\"",
-                        lineno + 1
-                    ))
+            match section {
+                Section::Rules => {
+                    let level = match value {
+                        "deny" => Level::Deny,
+                        "allow" => Level::Allow,
+                        other => {
+                            return Err(format!(
+                                "ch-lint.toml:{}: level must be \"allow\" or \"deny\", \
+                                 got \"{other}\"",
+                                lineno + 1
+                            ))
+                        }
+                    };
+                    self.set(key, level)
+                        .map_err(|e| format!("ch-lint.toml:{}: {e}", lineno + 1))?;
                 }
-            };
-            self.set(key, level)
-                .map_err(|e| format!("ch-lint.toml:{}: {e}", lineno + 1))?;
+                Section::ScopedAllow => {
+                    self.allow_scoped(key, value)
+                        .map_err(|e| format!("ch-lint.toml:{}: {e}", lineno + 1))?;
+                }
+            }
         }
         Ok(())
     }
@@ -135,5 +212,50 @@ mod tests {
         let mut cfg = Config::default();
         let err = cfg.apply_toml("panic-path = \"warn\"\n").unwrap_err();
         assert!(err.contains("allow"), "{err}");
+    }
+
+    #[test]
+    fn scoped_allow_matches_file_and_directory_scopes() {
+        let mut cfg = Config::default();
+        cfg.apply_toml(
+            "[scoped-allow]\n\
+             nondeterminism = \"crates/fleet/src/telemetry.rs\"\n\
+             panic-path = \"crates/fleet/src\"\n",
+        )
+        .unwrap();
+        // Exact file scope.
+        assert!(cfg.is_path_allowed("nondeterminism", "crates/fleet/src/telemetry.rs"));
+        assert!(!cfg.is_path_allowed("nondeterminism", "crates/fleet/src/engine.rs"));
+        // The rule stays denied overall; only the path is exempt.
+        assert!(cfg.is_denied("nondeterminism"));
+        // Directory scope covers files underneath, not lookalike prefixes.
+        assert!(cfg.is_path_allowed("panic-path", "crates/fleet/src/pool.rs"));
+        assert!(!cfg.is_path_allowed("panic-path", "crates/fleet/srcs/pool.rs"));
+        // Other rules at the allowed path are untouched.
+        assert!(!cfg.is_path_allowed("default-hasher", "crates/fleet/src/telemetry.rs"));
+    }
+
+    #[test]
+    fn scoped_allow_rejects_unknown_rules_and_bad_paths() {
+        let mut cfg = Config::default();
+        let err = cfg
+            .apply_toml("[scoped-allow]\nno-such-rule = \"crates/x\"\n")
+            .unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+        let err = cfg
+            .apply_toml("[scoped-allow]\nnondeterminism = \"/abs/path\"\n")
+            .unwrap_err();
+        assert!(err.contains("workspace-relative"), "{err}");
+        let err = cfg
+            .apply_toml("[scoped-allow]\nnondeterminism = \"a/../b\"\n")
+            .unwrap_err();
+        assert!(err.contains("workspace-relative"), "{err}");
+    }
+
+    #[test]
+    fn unknown_section_rejected() {
+        let mut cfg = Config::default();
+        let err = cfg.apply_toml("[mystery]\nfoo = \"bar\"\n").unwrap_err();
+        assert!(err.contains("unknown section"), "{err}");
     }
 }

@@ -23,6 +23,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "ch-sim",
     "ch-phone",
     "ch-mobility",
+    "ch-fleet",
     "ch-scenarios",
     "ch-arc",
     "ch-attack",

@@ -114,11 +114,11 @@ pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String>
                     kind,
                 };
                 report.files_scanned += 1;
-                report.findings.extend(
-                    analyze_source(&ctx, &source)
-                        .into_iter()
-                        .filter(|f| config.is_denied(f.rule)),
-                );
+                report
+                    .findings
+                    .extend(analyze_source(&ctx, &source).into_iter().filter(|f| {
+                        config.is_denied(f.rule) && !config.is_path_allowed(f.rule, &f.path)
+                    }));
             }
         }
     }

@@ -1,17 +1,27 @@
 //! The acceptance gate turned into a test: running ch-lint over the real
-//! workspace must come back clean, and the walker must actually have
-//! visited the crates it claims to police.
+//! workspace with the repo's `ch-lint.toml` must come back clean, and the
+//! walker must actually have visited the crates it claims to police. A
+//! second test pins the `[scoped-allow]` list so an allowance cannot
+//! silently widen beyond the one wall-clock module it was granted for.
 
+use std::fs;
 use std::path::Path;
 
 use ch_analysis::config::Config;
 use ch_analysis::workspace::{analyze_workspace, find_workspace_root};
 
+fn repo_config(root: &Path) -> Config {
+    let mut config = Config::default();
+    let text = fs::read_to_string(root.join("ch-lint.toml")).expect("repo has ch-lint.toml");
+    config.apply_toml(&text).expect("ch-lint.toml parses");
+    config
+}
+
 #[test]
 fn the_workspace_is_lint_clean() {
     let here = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = find_workspace_root(here).expect("workspace root");
-    let report = analyze_workspace(&root, &Config::default()).expect("analysis runs");
+    let report = analyze_workspace(&root, &repo_config(&root)).expect("analysis runs");
     assert!(
         report.findings.is_empty(),
         "ch-lint findings in the workspace:\n{}",
@@ -32,4 +42,43 @@ fn the_workspace_is_lint_clean() {
         "only {} files scanned",
         report.files_scanned
     );
+}
+
+/// The wall-clock allowance is exactly one file wide: under the *default*
+/// config (no scoped allows) the only findings in the whole workspace are
+/// `nondeterminism` hits inside the fleet telemetry module — proof that
+/// the `[scoped-allow]` entry suppresses nothing else.
+#[test]
+fn the_wall_clock_allowance_stays_scoped_to_fleet_telemetry() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root");
+
+    let strict = analyze_workspace(&root, &Config::default()).expect("analysis runs");
+    assert!(
+        !strict.findings.is_empty(),
+        "expected the telemetry module to trip the strict gate — if the \
+         fleet no longer reads the wall clock, drop the [scoped-allow] \
+         entry from ch-lint.toml and this test"
+    );
+    for finding in &strict.findings {
+        assert_eq!(
+            (finding.rule, finding.path.as_str()),
+            ("nondeterminism", "crates/fleet/src/telemetry.rs"),
+            "unexpected strict-mode finding: {finding}"
+        );
+    }
+
+    // And the repo config grants exactly that one allowance, nothing more.
+    let config = repo_config(&root);
+    assert_eq!(
+        config.scoped_allows(),
+        [(
+            "nondeterminism",
+            "crates/fleet/src/telemetry.rs".to_string()
+        )],
+        "ch-lint.toml's [scoped-allow] list widened — every new entry \
+         needs its own pin here"
+    );
+    assert!(!config.is_path_allowed("nondeterminism", "crates/fleet/src/engine.rs"));
+    assert!(!config.is_path_allowed("default-hasher", "crates/fleet/src/telemetry.rs"));
 }

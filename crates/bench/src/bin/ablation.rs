@@ -1,7 +1,24 @@
 //! Ablation matrix: each City-Hunter design choice disabled in isolation,
-//! plus the §V-B extensions enabled.
+//! plus the §V-B extensions enabled. Runs on the fleet engine:
+//!
+//! ```text
+//! cargo run --release -p ch-bench --bin ablation -- [seed] \
+//!     [--jobs N] [--manifest PATH] [--fresh] [--bench PATH | --no-bench]
+//! ```
 
-fn main() {
-    let outcome = ch_scenarios::experiments::ablation(ch_bench::common::seed_arg());
+use ch_bench::common;
+use ch_scenarios::experiments::{ablation_fleet, standard_city};
+
+fn main() -> Result<(), String> {
+    let seed = common::seed_arg();
+    let opts = common::fleet_options(
+        "ablation",
+        "results/fleet_ablation.jsonl",
+        &[format!("seed={seed}")],
+    );
+    let data = standard_city();
+    let (outcome, stats) = ablation_fleet(&data, seed, &opts)?;
+    eprintln!("{}", stats.render_line());
     println!("{}", outcome.render());
+    Ok(())
 }

@@ -1,17 +1,37 @@
-//! Regenerates Fig. 5: the 4-venue × 12-hour City-Hunter campaign.
+//! Regenerates Fig. 5: the 4-venue × 12-hour City-Hunter campaign, run
+//! on the fleet engine.
 //!
-//! Heavy (48 hour-long simulations); restrict with `--hours 8,12,18`.
+//! ```text
+//! cargo run --release -p ch-bench --bin fig5 -- [seed] \
+//!     [--hours 8,12,18] [--minutes N] [--jobs N] \
+//!     [--manifest PATH] [--fresh] [--bench PATH | --no-bench] [--csv]
+//! ```
+//!
+//! Parallel runs are bit-identical to `--jobs 1`; a killed run resumes
+//! from the manifest (default `results/fleet_fig5.jsonl`, shared with
+//! `fig6` — the two figures are views of the same campaign).
 
-use ch_scenarios::experiments::{campaign_with, standard_city};
+use ch_bench::common;
+use ch_scenarios::experiments::{campaign_fleet, standard_city};
+use ch_sim::SimDuration;
 
-fn main() {
-    let seed = ch_bench::common::seed_arg();
-    let hours = ch_bench::common::hours_arg();
+fn main() -> Result<(), String> {
+    let seed = common::seed_arg();
+    let hours = common::hours_arg();
+    let minutes = common::minutes_arg(60);
+    let opts = common::fleet_options(
+        "fig5",
+        "results/fleet_fig5.jsonl",
+        &common::campaign_config(seed, &hours, minutes),
+    );
     let data = standard_city();
-    let outcome = campaign_with(&data, seed, &hours);
-    if ch_bench::common::json_flag() || std::env::args().any(|a| a == "--csv") {
+    let (outcome, stats) =
+        campaign_fleet(&data, seed, &hours, SimDuration::from_mins(minutes), &opts)?;
+    eprintln!("{}", stats.render_line());
+    if common::json_flag() || common::flag("--csv") {
         println!("{}", outcome.to_csv());
     } else {
         println!("{}", outcome.render_fig5());
     }
+    Ok(())
 }

@@ -1,17 +1,30 @@
 //! Regenerates Fig. 6: hit-SSID breakdowns by source and buffer.
 //!
-//! Same campaign as fig5; restrict with `--hours 8,12,18`.
+//! Same campaign (and same manifest) as `fig5` — running either binary
+//! leaves the jobs cached for the other, so regenerating both figures
+//! costs one campaign. Flags as for `fig5`.
 
-use ch_scenarios::experiments::{campaign_with, standard_city};
+use ch_bench::common;
+use ch_scenarios::experiments::{campaign_fleet, standard_city};
+use ch_sim::SimDuration;
 
-fn main() {
-    let seed = ch_bench::common::seed_arg();
-    let hours = ch_bench::common::hours_arg();
+fn main() -> Result<(), String> {
+    let seed = common::seed_arg();
+    let hours = common::hours_arg();
+    let minutes = common::minutes_arg(60);
+    let opts = common::fleet_options(
+        "fig5",
+        "results/fleet_fig5.jsonl",
+        &common::campaign_config(seed, &hours, minutes),
+    );
     let data = standard_city();
-    let outcome = campaign_with(&data, seed, &hours);
-    if ch_bench::common::json_flag() || std::env::args().any(|a| a == "--csv") {
+    let (outcome, stats) =
+        campaign_fleet(&data, seed, &hours, SimDuration::from_mins(minutes), &opts)?;
+    eprintln!("{}", stats.render_line());
+    if common::json_flag() || common::flag("--csv") {
         println!("{}", outcome.to_csv());
     } else {
         println!("{}", outcome.render_fig6());
     }
+    Ok(())
 }

@@ -2,21 +2,19 @@
 //! confidence intervals instead of single field runs.
 //!
 //! ```text
-//! cargo run --release -p ch-bench --bin replication [base_seed] [--replicas N]
+//! cargo run --release -p ch-bench --bin replication [base_seed] \
+//!     [--replicas N] [--jobs N]
 //! ```
 
 use ch_scenarios::experiments::standard_city;
 use ch_scenarios::replicate::standard_study;
 
 fn main() {
+    ch_bench::common::apply_jobs_env();
     let base_seed = ch_bench::common::seed_arg();
-    let replicas = {
-        let args: Vec<String> = std::env::args().collect();
-        args.windows(2)
-            .find(|w| w[0] == "--replicas")
-            .and_then(|w| w[1].parse().ok())
-            .unwrap_or(8)
-    };
+    let replicas = ch_bench::common::value_of("--replicas")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(8);
     let data = standard_city();
     println!("replication study: {replicas} seeds per condition\n");
     for replication in standard_study(&data, base_seed, replicas) {

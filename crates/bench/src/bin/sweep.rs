@@ -2,7 +2,8 @@
 //! range, with replicated confidence intervals.
 //!
 //! ```text
-//! cargo run --release -p ch-bench --bin sweep [base_seed] [--replicas N]
+//! cargo run --release -p ch-bench --bin sweep [base_seed] \
+//!     [--replicas N] [--jobs N]
 //! ```
 
 use ch_scenarios::experiments::{
@@ -11,14 +12,11 @@ use ch_scenarios::experiments::{
 };
 
 fn main() {
+    ch_bench::common::apply_jobs_env();
     let base_seed = ch_bench::common::seed_arg();
-    let replicas = {
-        let args: Vec<String> = std::env::args().collect();
-        args.windows(2)
-            .find(|w| w[0] == "--replicas")
-            .and_then(|w| w[1].parse().ok())
-            .unwrap_or(5)
-    };
+    let replicas = ch_bench::common::value_of("--replicas")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(5);
     let data = standard_city();
     println!("{}", sweep_lure_budget(&data, base_seed, replicas).render());
     println!("{}", sweep_radio_range(&data, base_seed, replicas).render());

@@ -1,5 +1,9 @@
 //! Shared plumbing for the figure/table regeneration binaries.
 
+use std::path::PathBuf;
+
+use ch_fleet::{fingerprint, FleetOptions};
+
 /// Parses the optional seed argument (first CLI arg, default 1).
 pub fn seed_arg() -> u64 {
     std::env::args()
@@ -8,24 +12,107 @@ pub fn seed_arg() -> u64 {
         .unwrap_or(1)
 }
 
+/// `true` if the bare flag `name` was passed.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The value following `name` (e.g. `--jobs 4`), if present.
+pub fn value_of(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
 /// `true` if `--json` was passed (machine-readable output).
 pub fn json_flag() -> bool {
-    std::env::args().any(|a| a == "--json")
+    flag("--json")
 }
 
 /// Parses an optional `--hours a,b,c` style restriction for the campaign
 /// binaries (default: the paper's 8..=19).
 pub fn hours_arg() -> Vec<usize> {
-    let args: Vec<String> = std::env::args().collect();
-    for window in args.windows(2) {
-        if window[0] == "--hours" {
-            return window[1]
-                .split(',')
-                .filter_map(|h| h.parse().ok())
-                .collect();
-        }
+    match value_of("--hours") {
+        Some(spec) => spec.split(',').filter_map(|h| h.parse().ok()).collect(),
+        None => (8..20).collect(),
     }
-    (8..20).collect()
+}
+
+/// Parses `--minutes N` — the per-test simulated length for campaign
+/// binaries (default: the paper's hour-long tests). Smoke runs shrink it.
+pub fn minutes_arg(default: u64) -> u64 {
+    value_of("--minutes")
+        .and_then(|m| m.parse().ok())
+        .filter(|&m| m > 0)
+        .unwrap_or(default)
+}
+
+/// Parses `--jobs N` — the fleet worker width. `None` falls through to
+/// the `CH_JOBS` environment variable, then `available_parallelism` (see
+/// `ch_fleet::effective_jobs`).
+pub fn jobs_arg() -> Option<usize> {
+    value_of("--jobs")
+        .and_then(|j| j.parse().ok())
+        .filter(|&j| j > 0)
+}
+
+/// Exports `--jobs N` as `CH_JOBS` so binaries built on the implicit pool
+/// (`scoped_parallel_map` inside `replicate`) honour the flag too.
+pub fn apply_jobs_env() {
+    if let Some(jobs) = jobs_arg() {
+        std::env::set_var("CH_JOBS", jobs.to_string());
+    }
+}
+
+/// Parses `--manifest PATH` with a per-campaign default under `results/`.
+/// `--fresh` deletes the manifest first, forcing a from-scratch run.
+pub fn manifest_arg(default: &str) -> PathBuf {
+    let path = value_of("--manifest")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(default));
+    if flag("--fresh") {
+        let _ = std::fs::remove_file(&path);
+    }
+    path
+}
+
+/// Parses `--bench PATH` (the fleet timing artifact; default
+/// `results/BENCH_fleet.json`). `--no-bench` disables emission.
+pub fn bench_arg() -> Option<PathBuf> {
+    if flag("--no-bench") {
+        return None;
+    }
+    Some(
+        value_of("--bench")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results/BENCH_fleet.json")),
+    )
+}
+
+/// Assembles the fleet options a campaign binary runs under: worker
+/// width from `--jobs`, a resumable manifest (default under `results/`,
+/// `--fresh` discards it), bench telemetry, and a fingerprint over
+/// `config_parts` so a manifest written under different settings is
+/// never wrongly reused.
+pub fn fleet_options(
+    campaign: &str,
+    default_manifest: &str,
+    config_parts: &[String],
+) -> FleetOptions {
+    let parts: Vec<&str> = config_parts.iter().map(String::as_str).collect();
+    let mut opts = FleetOptions::in_memory(campaign, fingerprint(&parts)).with_jobs(jobs_arg());
+    opts.manifest = Some(manifest_arg(default_manifest));
+    opts.bench = bench_arg();
+    opts
+}
+
+/// The fingerprint parts of a Fig. 5/6-style campaign configuration.
+pub fn campaign_config(seed: u64, hours: &[usize], minutes: u64) -> Vec<String> {
+    let hour_list: Vec<String> = hours.iter().map(ToString::to_string).collect();
+    vec![
+        format!("seed={seed}"),
+        format!("minutes={minutes}"),
+        format!("hours={}", hour_list.join(",")),
+    ]
 }
 
 #[cfg(test)]
@@ -37,5 +124,19 @@ mod tests {
         assert_eq!(hours.first(), Some(&8));
         assert_eq!(hours.last(), Some(&19));
         assert_eq!(hours.len(), 12);
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        assert_eq!(super::minutes_arg(60), 60);
+        assert_eq!(super::jobs_arg(), None);
+        assert_eq!(
+            super::manifest_arg("results/fleet_x.jsonl"),
+            std::path::PathBuf::from("results/fleet_x.jsonl")
+        );
+        assert_eq!(
+            super::bench_arg(),
+            Some(std::path::PathBuf::from("results/BENCH_fleet.json"))
+        );
     }
 }

@@ -1,0 +1,308 @@
+//! The campaign orchestrator: pool + manifest + telemetry + panic walls.
+//!
+//! [`run_campaign`] executes a list of [`JobSpec`]s through the worker
+//! pool with three guarantees:
+//!
+//! 1. **determinism** — outcomes are aggregated in *input order*, so a
+//!    `--jobs 8` run is bit-identical to a `--jobs 1` run;
+//! 2. **resumability** — with a manifest configured, finished jobs stream
+//!    to disk as they complete and are skipped (status
+//!    [`JobStatus::Cached`]) when the campaign re-runs;
+//! 3. **isolation** — a panicking job becomes a structured
+//!    [`JobStatus::Failed`] entry instead of tearing down the campaign.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use ch_sim::det_hash_set;
+
+use crate::job::JobSpec;
+use crate::manifest::{Manifest, ManifestCodec};
+use crate::pool::{effective_jobs, scoped_parallel_map_with};
+use crate::telemetry::{record_bench, BenchRun, Stopwatch};
+
+/// How a campaign runs: worker width, manifest, telemetry sinks.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Campaign name — manifest header and bench entry key.
+    pub campaign: String,
+    /// Configuration fingerprint (see [`crate::job::fingerprint`]); a
+    /// manifest written under a different fingerprint is discarded.
+    pub fingerprint: u64,
+    /// Worker threads; `None` defers to `CH_JOBS` then
+    /// `available_parallelism` (see [`effective_jobs`]).
+    pub jobs: Option<usize>,
+    /// JSONL manifest path; `None` disables resume entirely.
+    pub manifest: Option<PathBuf>,
+    /// `BENCH_fleet.json` path; `None` disables timing emission.
+    pub bench: Option<PathBuf>,
+}
+
+impl FleetOptions {
+    /// Options with no on-disk artifacts: no manifest, no bench file.
+    pub fn in_memory(campaign: &str, fingerprint: u64) -> FleetOptions {
+        FleetOptions {
+            campaign: campaign.to_string(),
+            fingerprint,
+            jobs: None,
+            manifest: None,
+            bench: None,
+        }
+    }
+
+    /// Sets the worker width (`None` keeps the default resolution).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: Option<usize>) -> FleetOptions {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enables manifest-based resume at `path`.
+    #[must_use]
+    pub fn with_manifest(mut self, path: impl Into<PathBuf>) -> FleetOptions {
+        self.manifest = Some(path.into());
+        self
+    }
+
+    /// Enables bench telemetry at `path`.
+    #[must_use]
+    pub fn with_bench(mut self, path: impl Into<PathBuf>) -> FleetOptions {
+        self.bench = Some(path.into());
+        self
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus<R> {
+    /// Executed this run.
+    Done(R),
+    /// Skipped: the manifest already recorded this key.
+    Cached(R),
+    /// The job panicked; the campaign carried on.
+    Failed(String),
+}
+
+/// One job's outcome, in campaign (input) order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome<R> {
+    /// The job's stable key.
+    pub key: String,
+    /// How it ended.
+    pub status: JobStatus<R>,
+    /// Wall-clock milliseconds (recorded run time for cached jobs).
+    pub ms: f64,
+}
+
+impl<R> JobOutcome<R> {
+    /// The result, if the job completed (fresh or cached).
+    pub fn result(&self) -> Option<&R> {
+        match &self.status {
+            JobStatus::Done(r) | JobStatus::Cached(r) => Some(r),
+            JobStatus::Failed(_) => None,
+        }
+    }
+}
+
+/// Campaign-level execution counters and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Campaign name.
+    pub campaign: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock, in milliseconds.
+    pub total_ms: f64,
+    /// Jobs in the campaign.
+    pub total: usize,
+    /// Jobs executed this run.
+    pub executed: usize,
+    /// Jobs skipped via the manifest.
+    pub cached: usize,
+    /// Jobs that panicked.
+    pub failed: usize,
+}
+
+impl FleetStats {
+    /// One status line for a bin's stderr.
+    pub fn render_line(&self) -> String {
+        format!(
+            "fleet: campaign `{}`: {} job(s) ({} executed, {} cached, {} failed) \
+             on {} thread(s) in {:.0} ms",
+            self.campaign,
+            self.total,
+            self.executed,
+            self.cached,
+            self.failed,
+            self.threads,
+            self.total_ms,
+        )
+    }
+}
+
+/// Everything a campaign run produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport<R> {
+    /// Per-job outcomes, in input order.
+    pub outcomes: Vec<JobOutcome<R>>,
+    /// Execution counters and timing.
+    pub stats: FleetStats,
+}
+
+impl<R> CampaignReport<R> {
+    /// `(key, result)` pairs in input order; `None` marks a failed job.
+    pub fn results(&self) -> impl Iterator<Item = (&str, Option<&R>)> {
+        self.outcomes.iter().map(|o| (o.key.as_str(), o.result()))
+    }
+}
+
+/// Runs a campaign: every job through the pool, outcomes in input order.
+///
+/// # Errors
+///
+/// Fails on duplicate job keys (resume would be ambiguous) and on
+/// manifest/bench I/O errors. Job *panics* are not errors — they surface
+/// as [`JobStatus::Failed`] outcomes.
+pub fn run_campaign<J, R>(
+    jobs: &[J],
+    opts: &FleetOptions,
+    run: impl Fn(&J) -> R + Sync,
+) -> Result<CampaignReport<R>, String>
+where
+    J: JobSpec + Sync,
+    R: ManifestCodec + Send,
+{
+    let campaign_timer = Stopwatch::start();
+    let keys: Vec<String> = jobs.iter().map(JobSpec::key).collect();
+    {
+        let mut seen = det_hash_set();
+        for key in &keys {
+            if !seen.insert(key.as_str()) {
+                return Err(format!(
+                    "campaign `{}`: duplicate job key `{key}`",
+                    opts.campaign
+                ));
+            }
+        }
+    }
+
+    let manifest = match &opts.manifest {
+        Some(path) => Some(Manifest::open(path, &opts.campaign, opts.fingerprint)?),
+        None => None,
+    };
+
+    // Partition into manifest hits and pending work.
+    let mut slots: Vec<Option<JobOutcome<R>>> = Vec::with_capacity(jobs.len());
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let cached = manifest
+            .as_ref()
+            .and_then(|m| m.cached(key))
+            .and_then(|hit| Some((R::from_json(&hit.result)?, hit.ms)));
+        match cached {
+            Some((result, ms)) => slots.push(Some(JobOutcome {
+                key: key.clone(),
+                status: JobStatus::Cached(result),
+                ms,
+            })),
+            None => {
+                slots.push(None);
+                pending.push(i);
+            }
+        }
+    }
+
+    let threads = effective_jobs(opts.jobs);
+    let write_error: Mutex<Option<String>> = Mutex::new(None);
+    let stash_error = |result: Result<(), String>| {
+        if let Err(e) = result {
+            let mut slot = write_error
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot.get_or_insert(e);
+        }
+    };
+    let fresh: Vec<JobOutcome<R>> = scoped_parallel_map_with(&pending, threads, |&i| {
+        let key = keys[i].clone();
+        let job_timer = Stopwatch::start();
+        match catch_unwind(AssertUnwindSafe(|| run(&jobs[i]))) {
+            Ok(result) => {
+                let ms = job_timer.elapsed_ms();
+                if let Some(m) = &manifest {
+                    stash_error(m.record_done(&key, &result.to_json(), ms));
+                }
+                JobOutcome {
+                    key,
+                    status: JobStatus::Done(result),
+                    ms,
+                }
+            }
+            Err(payload) => {
+                let ms = job_timer.elapsed_ms();
+                let message = panic_message(payload.as_ref());
+                if let Some(m) = &manifest {
+                    stash_error(m.record_failed(&key, &message, ms));
+                }
+                JobOutcome {
+                    key,
+                    status: JobStatus::Failed(message),
+                    ms,
+                }
+            }
+        }
+    });
+    for (&slot, outcome) in pending.iter().zip(fresh) {
+        slots[slot] = Some(outcome);
+    }
+    let outcomes: Vec<JobOutcome<R>> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every campaign slot filled"))
+        .collect();
+
+    if let Some(error) = write_error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(error);
+    }
+
+    let count =
+        |want: fn(&JobStatus<R>) -> bool| outcomes.iter().filter(|o| want(&o.status)).count();
+    let stats = FleetStats {
+        campaign: opts.campaign.clone(),
+        threads,
+        total_ms: campaign_timer.elapsed_ms(),
+        total: outcomes.len(),
+        executed: count(|s| matches!(s, JobStatus::Done(_))),
+        cached: count(|s| matches!(s, JobStatus::Cached(_))),
+        failed: count(|s| matches!(s, JobStatus::Failed(_))),
+    };
+
+    if let Some(bench_path) = &opts.bench {
+        record_bench(
+            bench_path,
+            &BenchRun {
+                campaign: stats.campaign.clone(),
+                jobs: stats.threads,
+                total_ms: stats.total_ms,
+                executed: stats.executed,
+                cached: stats.cached,
+                failed: stats.failed,
+                job_ms: outcomes.iter().map(|o| (o.key.clone(), o.ms)).collect(),
+            },
+        )?;
+    }
+
+    Ok(CampaignReport { outcomes, stats })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}

@@ -1,0 +1,300 @@
+//! The resumable run manifest: results stream to a JSONL artifact.
+//!
+//! The first line is a header binding the file to one `(campaign,
+//! fingerprint)` pair; every further line records one finished job. On
+//! open, a manifest whose header matches yields its completed jobs as a
+//! cache — the engine skips those keys entirely — while a mismatched or
+//! corrupt manifest is discarded and rewritten, never wrongly reused.
+//! A torn final line (the run was killed mid-write) is skipped on load,
+//! so that job simply re-runs.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ch_sim::{det_hash_map, DetHashMap};
+
+use crate::json::Json;
+
+/// Manifest file-format version.
+const VERSION: u64 = 1;
+
+/// A result type that can round-trip through the manifest.
+///
+/// Decoded values must equal the originals exactly — resume correctness
+/// depends on a cached result being indistinguishable from a recomputed
+/// one. Prefer integer counts over derived floats where possible; when
+/// floats are unavoidable, [`Json`]'s shortest-round-trip rendering keeps
+/// them bit-exact.
+pub trait ManifestCodec: Sized {
+    /// Encodes the result as a JSON value.
+    fn to_json(&self) -> Json;
+    /// Decodes a result; `None` marks the record stale (the job re-runs).
+    fn from_json(json: &Json) -> Option<Self>;
+}
+
+// Full-range u64s do not fit a JSON number (an f64 is exact only up to
+// 2^53), so the integer codecs fall back to a decimal string above that.
+impl ManifestCodec for u64 {
+    fn to_json(&self) -> Json {
+        if *self <= (1 << 53) {
+            Json::from_u64(*self)
+        } else {
+            Json::str(self.to_string())
+        }
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_u64()
+            .or_else(|| json.as_str().and_then(|s| s.parse().ok()))
+    }
+}
+
+impl ManifestCodec for usize {
+    fn to_json(&self) -> Json {
+        (*self as u64).to_json()
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        usize::try_from(u64::from_json(json)?).ok()
+    }
+}
+
+impl ManifestCodec for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_f64()
+    }
+}
+
+impl ManifestCodec for String {
+    fn to_json(&self) -> Json {
+        Json::str(self)
+    }
+    fn from_json(json: &Json) -> Option<Self> {
+        json.as_str().map(str::to_string)
+    }
+}
+
+/// One completed job as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedJob {
+    /// The recorded result.
+    pub result: Json,
+    /// Wall-clock the job took when it originally ran, in milliseconds.
+    pub ms: f64,
+}
+
+/// An append-only JSONL manifest for one campaign run.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    cached: DetHashMap<String, CachedJob>,
+    file: Mutex<fs::File>,
+}
+
+impl Manifest {
+    /// Opens (or creates) the manifest at `path` for the given campaign.
+    ///
+    /// An existing file with a matching header has its completed jobs
+    /// loaded for resume; anything else is truncated and re-headed.
+    pub fn open(path: &Path, campaign: &str, fingerprint: u64) -> Result<Manifest, String> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        let existing = fs::read_to_string(path).unwrap_or_default();
+        let mut lines = existing.lines();
+        let header_matches = lines.next().is_some_and(|line| {
+            Json::parse(line).is_ok_and(|header| {
+                header.get("campaign").and_then(Json::as_str) == Some(campaign)
+                    // Through the u64 codec, not `as_u64`: fingerprints are
+                    // full-range hashes, far beyond f64's exact integers.
+                    && header.get("fingerprint").and_then(u64::from_json) == Some(fingerprint)
+                    && header.get("version").and_then(Json::as_u64) == Some(VERSION)
+            })
+        });
+
+        let mut cached = det_hash_map();
+        if header_matches {
+            for line in lines {
+                let Ok(entry) = Json::parse(line) else {
+                    continue; // torn or corrupt line: that job re-runs
+                };
+                let (Some(key), Some(status)) = (
+                    entry.get("key").and_then(Json::as_str),
+                    entry.get("status").and_then(Json::as_str),
+                ) else {
+                    continue;
+                };
+                if status != "done" {
+                    continue; // failed jobs re-run on resume
+                }
+                let Some(result) = entry.get("result") else {
+                    continue;
+                };
+                let ms = entry.get("ms").and_then(Json::as_f64).unwrap_or(0.0);
+                cached.insert(
+                    key.to_string(),
+                    CachedJob {
+                        result: result.clone(),
+                        ms,
+                    },
+                );
+            }
+        }
+
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        if !header_matches {
+            file.set_len(0)
+                .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+            let header = Json::Obj(vec![
+                ("campaign".into(), Json::str(campaign)),
+                ("fingerprint".into(), fingerprint.to_json()),
+                ("version".into(), Json::from_u64(VERSION)),
+            ]);
+            writeln!(file, "{}", header.render())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+
+        Ok(Manifest {
+            path: path.to_path_buf(),
+            cached,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The manifest's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The completed job recorded for `key`, if any.
+    pub fn cached(&self, key: &str) -> Option<&CachedJob> {
+        self.cached.get(key)
+    }
+
+    /// How many completed jobs the manifest already held on open.
+    pub fn cached_len(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Appends a completed job. Called from worker threads; line writes
+    /// are serialized through an internal lock.
+    pub fn record_done(&self, key: &str, result: &Json, ms: f64) -> Result<(), String> {
+        self.append(Json::Obj(vec![
+            ("key".into(), Json::str(key)),
+            ("status".into(), Json::str("done")),
+            ("ms".into(), Json::Num(ms)),
+            ("result".into(), result.clone()),
+        ]))
+    }
+
+    /// Appends a failed job (recorded for post-mortems; re-runs on resume).
+    pub fn record_failed(&self, key: &str, error: &str, ms: f64) -> Result<(), String> {
+        self.append(Json::Obj(vec![
+            ("key".into(), Json::str(key)),
+            ("status".into(), Json::str("failed")),
+            ("ms".into(), Json::Num(ms)),
+            ("error".into(), Json::str(error)),
+        ]))
+    }
+
+    fn append(&self, entry: Json) -> Result<(), String> {
+        let line = entry.render();
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        writeln!(file, "{line}").map_err(|e| format!("cannot append {}: {e}", self.path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ch-fleet-manifest-{}-{tag}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn fresh_manifest_then_resume() {
+        let path = temp_path("fresh");
+        let _ = fs::remove_file(&path);
+
+        let manifest = Manifest::open(&path, "test", 42).unwrap();
+        assert_eq!(manifest.cached_len(), 0);
+        manifest.record_done("a", &Json::from_u64(1), 5.0).unwrap();
+        manifest.record_failed("b", "boom", 2.0).unwrap();
+        drop(manifest);
+
+        let resumed = Manifest::open(&path, "test", 42).unwrap();
+        assert_eq!(resumed.cached_len(), 1, "failed entries must re-run");
+        let hit = resumed.cached("a").unwrap();
+        assert_eq!(hit.result, Json::from_u64(1));
+        assert_eq!(hit.ms, 5.0);
+        assert!(resumed.cached("b").is_none());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_discards() {
+        let path = temp_path("fp");
+        let _ = fs::remove_file(&path);
+        {
+            let manifest = Manifest::open(&path, "test", 1).unwrap();
+            manifest.record_done("a", &Json::from_u64(1), 1.0).unwrap();
+        }
+        let other = Manifest::open(&path, "test", 2).unwrap();
+        assert_eq!(other.cached_len(), 0, "stale config must not be reused");
+        drop(other);
+        // And the file was re-headed: reopening under the new pair works.
+        let again = Manifest::open(&path, "test", 2).unwrap();
+        assert_eq!(again.cached_len(), 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn full_range_fingerprints_survive_the_header_round_trip() {
+        // Real fingerprints are FNV hashes well above 2^53; a lossy f64
+        // header encoding would silently invalidate every resume.
+        let path = temp_path("bigfp");
+        let _ = fs::remove_file(&path);
+        let fp = 0xDEAD_BEEF_CAFE_F00Du64;
+        {
+            let manifest = Manifest::open(&path, "test", fp).unwrap();
+            manifest.record_done("a", &Json::from_u64(1), 1.0).unwrap();
+        }
+        let resumed = Manifest::open(&path, "test", fp).unwrap();
+        assert_eq!(resumed.cached_len(), 1, "header fingerprint must match");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_line_is_skipped() {
+        let path = temp_path("torn");
+        let _ = fs::remove_file(&path);
+        {
+            let manifest = Manifest::open(&path, "test", 7).unwrap();
+            manifest.record_done("a", &Json::from_u64(1), 1.0).unwrap();
+            manifest.record_done("b", &Json::from_u64(2), 1.0).unwrap();
+        }
+        // Simulate a kill mid-write: chop the file inside the last line.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 9]).unwrap();
+
+        let resumed = Manifest::open(&path, "test", 7).unwrap();
+        assert!(resumed.cached("a").is_some());
+        assert!(resumed.cached("b").is_none(), "torn record must re-run");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,104 @@
+//! The worker pool: a scoped-thread parallel map with ordered results.
+//!
+//! Workers pull indices from a shared atomic cursor (a work queue with no
+//! allocation) and write each result into its *input-order* slot, so the
+//! output of a parallel run is identical to a serial run — completion
+//! order never leaks into results. This map started life inside
+//! `ch-scenarios::replicate` and moved here so the workspace has exactly
+//! one parallel-map implementation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves the worker count for a pool.
+///
+/// Precedence: the explicit `requested` value (a bin's `--jobs N` flag),
+/// then the `CH_JOBS` environment variable, then
+/// [`std::thread::available_parallelism`]. Zero and unparsable values are
+/// ignored. The worker count never affects results — only wall-clock.
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| std::env::var("CH_JOBS").ok().and_then(|v| v.parse().ok()))
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        })
+}
+
+/// A scoped-thread parallel map over a slice (ordered results), using
+/// [`effective_jobs`]`(None)` workers. Falls back to sequential execution
+/// for tiny inputs.
+pub fn scoped_parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    scoped_parallel_map_with(items, effective_jobs(None), f)
+}
+
+/// [`scoped_parallel_map`] with an explicit worker count.
+pub fn scoped_parallel_map_with<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                match results[i].lock() {
+                    Ok(mut slot) => *slot = Some(result),
+                    // A worker panicking while holding this per-slot lock is
+                    // impossible (the store is the only critical section),
+                    // but stay well-defined anyway.
+                    Err(poisoned) => *poisoned.into_inner() = Some(result),
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_width() {
+        let items: Vec<usize> = (0..64).collect();
+        let serial = scoped_parallel_map_with(&items, 1, |&x| x * 3);
+        for threads in [2, 4, 9, 64, 1000] {
+            let parallel = scoped_parallel_map_with(&items, threads, |&x| x * 3);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(scoped_parallel_map(&none, |&x| x).is_empty());
+        assert_eq!(scoped_parallel_map(&[5u8], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn default_width_resolves_positive() {
+        assert!(effective_jobs(None) >= 1);
+        assert_eq!(effective_jobs(Some(3)), 3);
+        assert!(effective_jobs(Some(0)) >= 1, "zero request falls through");
+    }
+}

@@ -1,0 +1,205 @@
+//! Wall-clock timing and the `BENCH_fleet.json` emitter.
+//!
+//! This is the **only** module in the determinism-critical crates that
+//! may read the wall clock. The allowance is scoped to exactly this file
+//! in `ch-lint.toml` (`[scoped-allow] nondeterminism = ...`) and pinned
+//! by `crates/analysis/tests/workspace_clean.rs` — timing code added
+//! anywhere else in `ch-fleet` fails the lint gate. Timing is telemetry
+//! only: no simulation result may depend on a [`Stopwatch`] reading.
+//!
+//! [`record_bench`] maintains two artifacts side by side:
+//!
+//! * `BENCH_fleet.jsonl` — an append-only log, one line per campaign run
+//!   (the source of truth, safe to append from any run);
+//! * `BENCH_fleet.json` — regenerated from the log on every call: the
+//!   latest run per `(campaign, jobs)` pair, so serial (`--jobs 1`) and
+//!   parallel (`--jobs N`) timings sit next to each other for speedup
+//!   comparisons.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// A started wall-clock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+/// One campaign run's timing record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Campaign name (`fig5`, `ablation`, …).
+    pub campaign: String,
+    /// Worker threads the run used.
+    pub jobs: usize,
+    /// End-to-end campaign wall-clock, in milliseconds.
+    pub total_ms: f64,
+    /// Jobs actually executed this run.
+    pub executed: usize,
+    /// Jobs skipped because the manifest already recorded them.
+    pub cached: usize,
+    /// Jobs that panicked.
+    pub failed: usize,
+    /// Per-job wall-clock `(key, ms)`, in campaign order. Cached jobs
+    /// report the time recorded when they originally ran.
+    pub job_ms: Vec<(String, f64)>,
+}
+
+impl BenchRun {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("campaign".into(), Json::str(&self.campaign)),
+            ("jobs".into(), Json::from_usize(self.jobs)),
+            ("total_ms".into(), Json::Num(self.total_ms)),
+            ("executed".into(), Json::from_usize(self.executed)),
+            ("cached".into(), Json::from_usize(self.cached)),
+            ("failed".into(), Json::from_usize(self.failed)),
+            (
+                "job_ms".into(),
+                Json::Obj(
+                    self.job_ms
+                        .iter()
+                        .map(|(key, ms)| (key.clone(), Json::Num(*ms)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Appends `run` to the sibling `.jsonl` log and regenerates `json_path`
+/// with the latest run per `(campaign, jobs)` pair.
+pub fn record_bench(json_path: &Path, run: &BenchRun) -> Result<(), String> {
+    if let Some(parent) = json_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    let log_path = json_path.with_extension("jsonl");
+    {
+        let mut log = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|e| format!("cannot open {}: {e}", log_path.display()))?;
+        writeln!(log, "{}", run.to_json().render())
+            .map_err(|e| format!("cannot append {}: {e}", log_path.display()))?;
+    }
+
+    // Latest entry per (campaign, jobs), in first-seen order.
+    let text = fs::read_to_string(&log_path)
+        .map_err(|e| format!("cannot read {}: {e}", log_path.display()))?;
+    let mut entries: Vec<(String, Json)> = Vec::new();
+    for line in text.lines() {
+        let Ok(entry) = Json::parse(line) else {
+            continue; // torn line from a killed run
+        };
+        let (Some(campaign), Some(jobs)) = (
+            entry.get("campaign").and_then(Json::as_str),
+            entry.get("jobs").and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        let slot_key = format!("{campaign}@jobs={jobs}");
+        match entries.iter_mut().find(|(k, _)| *k == slot_key) {
+            Some((_, slot)) => *slot = entry,
+            None => entries.push((slot_key, entry)),
+        }
+    }
+
+    let mut out = String::from("{\n  \"entries\": [");
+    for (i, (_, entry)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&entry.render());
+    }
+    out.push_str("\n  ]\n}\n");
+    fs::write(json_path, out).map_err(|e| format!("cannot write {}: {e}", json_path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_json(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ch-fleet-bench-{}-{tag}.json", std::process::id()))
+    }
+
+    fn run(campaign: &str, jobs: usize, total_ms: f64) -> BenchRun {
+        BenchRun {
+            campaign: campaign.into(),
+            jobs,
+            total_ms,
+            executed: 2,
+            cached: 0,
+            failed: 0,
+            job_ms: vec![("a".into(), 1.0), ("b".into(), 2.0)],
+        }
+    }
+
+    #[test]
+    fn bench_file_keeps_latest_per_campaign_and_width() {
+        let path = temp_json("merge");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(path.with_extension("jsonl"));
+
+        record_bench(&path, &run("fig5", 1, 100.0)).unwrap();
+        record_bench(&path, &run("fig5", 4, 30.0)).unwrap();
+        record_bench(&path, &run("fig5", 1, 90.0)).unwrap(); // supersedes
+        record_bench(&path, &run("ablation", 4, 50.0)).unwrap();
+
+        let text = fs::read_to_string(&path).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+        assert_eq!(entries.len(), 3, "{text}");
+        let fig5_serial = entries
+            .iter()
+            .find(|e| {
+                e.get("campaign").and_then(Json::as_str) == Some("fig5")
+                    && e.get("jobs").and_then(Json::as_u64) == Some(1)
+            })
+            .unwrap();
+        assert_eq!(
+            fig5_serial.get("total_ms").and_then(Json::as_f64),
+            Some(90.0),
+            "latest run wins"
+        );
+        assert!(
+            fig5_serial.get("job_ms").and_then(|m| m.get("a")).is_some(),
+            "per-job timings recorded"
+        );
+
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(path.with_extension("jsonl"));
+    }
+
+    #[test]
+    fn stopwatch_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ms();
+        let b = sw.elapsed_ms();
+        assert!(a >= 0.0 && b >= a);
+    }
+}

@@ -7,10 +7,12 @@
 //! functions.
 
 use ch_attack::CityHunterConfig;
+use ch_fleet::{FleetOptions, FleetStats};
 use ch_mobility::VenueKind;
 use ch_sim::{SimDuration, SimTime};
 use ch_wifi::Ssid;
 
+use crate::fleet::{attacker_seed, job_seed, run_jobs, slug, CampaignJob, JobRecord};
 use crate::metrics::SummaryRow;
 use crate::report::{pct, ratio_label, render_histogram, render_summary_table};
 use crate::runner::{run_experiment, AttackerKind, RunConfig};
@@ -502,61 +504,103 @@ impl CampaignOutcome {
     }
 }
 
-/// The Fig. 5/6 campaign: the full City-Hunter deployed in all four venues
-/// for twelve one-hour tests each (8am–8pm), database re-initialized per
-/// test as in §V-A. Heavy: 48 hour-long simulations.
-pub fn campaign_with(data: &CityData, seed: u64, hours: &[usize]) -> CampaignOutcome {
+/// The Fig. 5/6 job list: the full City-Hunter in all four venues, one
+/// job per venue-hour (database re-initialized per test as in §V-A).
+/// Keys look like `fig5/canteen/h12`; world and attacker seeds are both
+/// derived from `(seed, key)`, so the list order carries no entropy.
+pub fn campaign_jobs(seed: u64, hours: &[usize], duration: SimDuration) -> Vec<CampaignJob> {
+    let mut jobs = Vec::with_capacity(VenueKind::ALL.len() * hours.len());
+    for venue in VenueKind::ALL {
+        for &hour in hours {
+            let key = format!("fig5/{}/h{hour:02}", slug(venue.name()));
+            jobs.push(CampaignJob {
+                label: format!("{} {hour}:00", venue.name()),
+                config: RunConfig {
+                    venue,
+                    start_hour: hour,
+                    duration,
+                    attacker: AttackerKind::CityHunter(CityHunterConfig {
+                        seed: attacker_seed(seed, &key),
+                        ..CityHunterConfig::default()
+                    }),
+                    seed: job_seed(seed, &key),
+                    lure_budget: None,
+                    loss: None,
+                    population: None,
+                    arrival_multiplier: None,
+                },
+                key,
+            });
+        }
+    }
+    jobs
+}
+
+/// Reassembles the per-venue series from job records in
+/// [`campaign_jobs`]'s venue-major order.
+fn campaign_outcome(hours: &[usize], records: &[JobRecord]) -> CampaignOutcome {
     let venues = VenueKind::ALL
         .iter()
-        .map(|&venue| {
-            let hour_results = hours
+        .zip(records.chunks(hours.len().max(1)))
+        .map(|(&venue, chunk)| VenueSeries {
+            venue,
+            hours: hours
                 .iter()
-                .map(|&hour| {
-                    let config = RunConfig {
-                        venue,
-                        start_hour: hour,
-                        duration: SimDuration::from_hours(1),
-                        attacker: AttackerKind::CityHunter(CityHunterConfig {
-                            seed: seed ^ (hour as u64) << 8,
-                            ..CityHunterConfig::default()
-                        }),
-                        seed: seed ^ venue_salt(venue) ^ ((hour as u64) << 16),
-                        lure_budget: None,
-                        loss: None,
-                        population: None,
-                        arrival_multiplier: None,
-                    };
-                    let metrics = run_experiment(data, &config);
-                    HourResult {
-                        hour,
-                        row: metrics.summary(format!("{} {hour}:00", venue.name())),
-                        sources: metrics.source_breakdown(),
-                        lanes: metrics.lane_breakdown(),
-                    }
+                .zip(chunk)
+                .map(|(&hour, record)| HourResult {
+                    hour,
+                    row: record.row.clone(),
+                    sources: record.sources,
+                    lanes: record.lanes,
                 })
-                .collect();
-            VenueSeries {
-                venue,
-                hours: hour_results,
-            }
+                .collect(),
         })
         .collect();
     CampaignOutcome { venues }
+}
+
+/// The Fig. 5/6 campaign on the fleet engine: parallel across venue-hours,
+/// resumable when `opts` carries a manifest. `duration` is the per-test
+/// length (the paper's is one hour; smoke runs shrink it).
+///
+/// # Errors
+///
+/// Fails if the engine cannot run (duplicate keys, manifest I/O) or any
+/// job failed — a campaign figure with holes in it is not a figure.
+pub fn campaign_fleet(
+    data: &CityData,
+    seed: u64,
+    hours: &[usize],
+    duration: SimDuration,
+    opts: &FleetOptions,
+) -> Result<(CampaignOutcome, FleetStats), String> {
+    let jobs = campaign_jobs(seed, hours, duration);
+    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    Ok((campaign_outcome(hours, &records), stats))
+}
+
+/// [`campaign_fleet`] with in-memory options and the paper's hour-long
+/// tests. Heavy: `4 × hours.len()` hour-long simulations.
+pub fn campaign_with(data: &CityData, seed: u64, hours: &[usize]) -> CampaignOutcome {
+    match campaign_fleet(
+        data,
+        seed,
+        hours,
+        SimDuration::from_hours(1),
+        &FleetOptions::in_memory("fig5", 0),
+    ) {
+        Ok((outcome, _)) => outcome,
+        // In-memory options cannot hit manifest I/O, and the job list is
+        // duplicate-free by construction: the only way here is a panic
+        // inside a simulation, which deserves to propagate as one.
+        Err(error) => ch_sim::invariant::violation(file!(), line!(), &error),
+    }
 }
 
 /// The full 8am–8pm campaign.
 pub fn campaign(seed: u64) -> CampaignOutcome {
     let hours: Vec<usize> = (8..20).collect();
     campaign_with(&standard_city(), seed, &hours)
-}
-
-fn venue_salt(venue: VenueKind) -> u64 {
-    match venue {
-        VenueKind::SubwayPassage => 0x1000_0000,
-        VenueKind::Canteen => 0x2000_0000,
-        VenueKind::ShoppingCenter => 0x3000_0000,
-        VenueKind::RailwayStation => 0x4000_0000,
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -604,10 +648,10 @@ impl AblationOutcome {
     }
 }
 
-/// The ablation matrix: each §IV/§V design choice disabled in isolation,
-/// plus the §V-B extensions enabled.
-pub fn ablation_with(data: &CityData, seed: u64) -> AblationOutcome {
-    let variants: Vec<(&str, CityHunterConfig)> = vec![
+/// The ablation variant list: each §IV/§V design choice disabled in
+/// isolation, plus the §V-B extensions enabled.
+fn ablation_variants() -> Vec<(&'static str, CityHunterConfig)> {
+    vec![
         ("full", CityHunterConfig::default()),
         (
             "fixed split (no adaptation)",
@@ -652,28 +696,64 @@ pub fn ablation_with(data: &CityData, seed: u64) -> AblationOutcome {
                 ..CityHunterConfig::default()
             },
         ),
-    ];
-    let rows = variants
-        .into_iter()
-        .map(|(label, config)| {
-            let canteen = run_experiment(
-                data,
-                &RunConfig::canteen_30min(AttackerKind::CityHunter(config.clone()), seed ^ 0xD1),
-            )
-            .summary(label);
-            let passage = run_experiment(
-                data,
-                &RunConfig::passage_30min(AttackerKind::CityHunter(config), seed ^ 0xD2),
-            )
-            .summary(label);
-            AblationRow {
+    ]
+}
+
+/// The ablation job list: every variant × the two reference venues, keys
+/// like `ablation/no-wigle-seed/canteen`.
+pub fn ablation_jobs(seed: u64) -> Vec<CampaignJob> {
+    let mut jobs = Vec::new();
+    for (label, config) in ablation_variants() {
+        for venue in ["canteen", "passage"] {
+            let key = format!("ablation/{}/{venue}", slug(label));
+            let attacker = AttackerKind::CityHunter(CityHunterConfig {
+                seed: attacker_seed(seed, &key),
+                ..config.clone()
+            });
+            let base = match venue {
+                "canteen" => RunConfig::canteen_30min(attacker, job_seed(seed, &key)),
+                _ => RunConfig::passage_30min(attacker, job_seed(seed, &key)),
+            };
+            jobs.push(CampaignJob {
                 label: label.to_owned(),
-                canteen,
-                passage,
-            }
+                config: base,
+                key,
+            });
+        }
+    }
+    jobs
+}
+
+/// The ablation matrix on the fleet engine.
+///
+/// # Errors
+///
+/// Fails if the engine cannot run or any variant's simulation failed.
+pub fn ablation_fleet(
+    data: &CityData,
+    seed: u64,
+    opts: &FleetOptions,
+) -> Result<(AblationOutcome, FleetStats), String> {
+    let jobs = ablation_jobs(seed);
+    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    let rows = ablation_variants()
+        .iter()
+        .zip(records.chunks(2))
+        .map(|((label, _), pair)| AblationRow {
+            label: (*label).to_owned(),
+            canteen: pair[0].row.clone(),
+            passage: pair[1].row.clone(),
         })
         .collect();
-    AblationOutcome { rows }
+    Ok((AblationOutcome { rows }, stats))
+}
+
+/// [`ablation_fleet`] with in-memory options.
+pub fn ablation_with(data: &CityData, seed: u64) -> AblationOutcome {
+    match ablation_fleet(data, seed, &FleetOptions::in_memory("ablation", 0)) {
+        Ok((outcome, _)) => outcome,
+        Err(error) => ch_sim::invariant::violation(file!(), line!(), &error),
+    }
 }
 
 /// [`ablation_with`] over a freshly built standard city.
@@ -950,10 +1030,50 @@ impl WarmStartOutcome {
     }
 }
 
-/// Runs the warm-start study over `slots` consecutive half-hours.
-pub fn warm_start_with(data: &CityData, seed: u64, slots: usize) -> WarmStartOutcome {
+/// The warm-start cold-control job list: one independent cold-started
+/// canteen run per slot, keys like `warm-start/cold/s1`.
+pub fn warm_start_jobs(seed: u64, slots: usize) -> Vec<CampaignJob> {
+    (0..slots)
+        .map(|slot| {
+            let key = format!("warm-start/cold/s{}", slot + 1);
+            CampaignJob {
+                label: format!("cold #{}", slot + 1),
+                config: RunConfig {
+                    start_hour: 11 + slot / 2, // consecutive lunchtime half-hours
+                    seed: job_seed(seed, &key),
+                    ..RunConfig::canteen_30min(
+                        AttackerKind::CityHunter(CityHunterConfig {
+                            seed: attacker_seed(seed, &key),
+                            ..CityHunterConfig::default()
+                        }),
+                        0,
+                    )
+                },
+                key,
+            }
+        })
+        .collect()
+}
+
+/// The warm-start study on the fleet engine: the per-slot cold controls
+/// are independent and run as fleet jobs; the warm attacker's chain is
+/// inherently sequential (its database carries across slots) and runs
+/// serially against the same per-slot configurations.
+///
+/// # Errors
+///
+/// Fails if the engine cannot run or any cold control failed.
+pub fn warm_start_fleet(
+    data: &CityData,
+    seed: u64,
+    slots: usize,
+    opts: &FleetOptions,
+) -> Result<(WarmStartOutcome, FleetStats), String> {
     use crate::runner::run_experiment_with_attacker;
     use ch_attack::{Attacker, CityHunter};
+
+    let jobs = warm_start_jobs(seed, slots);
+    let (cold, stats) = run_jobs(data, &jobs, opts)?;
 
     let site = data.site_for(ch_mobility::VenueKind::Canteen);
     let bssid = ch_wifi::MacAddr::from_index([0x0a, 0xbc, 0xde], 1);
@@ -963,35 +1083,33 @@ pub fn warm_start_with(data: &CityData, seed: u64, slots: usize) -> WarmStartOut
         &data.heat,
         site,
         CityHunterConfig {
-            seed,
+            seed: attacker_seed(seed, "warm-start/warm"),
             ..CityHunterConfig::default()
         },
     );
-
-    let mut results = Vec::new();
-    for slot in 0..slots {
-        let config = RunConfig {
-            start_hour: 11 + slot / 2, // consecutive lunchtime half-hours
-            seed: seed ^ ((slot as u64 + 1) << 20),
-            ..RunConfig::canteen_30min(
-                AttackerKind::CityHunter(CityHunterConfig {
-                    seed: seed ^ (slot as u64),
-                    ..CityHunterConfig::default()
-                }),
-                0,
+    let results = jobs
+        .iter()
+        .zip(&cold)
+        .enumerate()
+        .map(|(slot, (job, cold_record))| {
+            let warm_metrics = run_experiment_with_attacker(data, &job.config, &mut warm);
+            (
+                format!("#{}", slot + 1),
+                cold_record.row.h_b(),
+                warm_metrics.summary("warm").h_b(),
+                warm.database_len(),
             )
-        };
-        let cold = run_experiment(data, &config).summary("cold");
-        let warm_metrics = run_experiment_with_attacker(data, &config, &mut warm);
-        let warm_row = warm_metrics.summary("warm");
-        results.push((
-            format!("#{}", slot + 1),
-            cold.h_b(),
-            warm_row.h_b(),
-            warm.database_len(),
-        ));
+        })
+        .collect();
+    Ok((WarmStartOutcome { slots: results }, stats))
+}
+
+/// [`warm_start_fleet`] with in-memory options.
+pub fn warm_start_with(data: &CityData, seed: u64, slots: usize) -> WarmStartOutcome {
+    match warm_start_fleet(data, seed, slots, &FleetOptions::in_memory("warm-start", 0)) {
+        Ok((outcome, _)) => outcome,
+        Err(error) => ch_sim::invariant::violation(file!(), line!(), &error),
     }
-    WarmStartOutcome { slots: results }
 }
 
 /// [`warm_start_with`] over a freshly built standard city, 4 slots.

@@ -1,0 +1,211 @@
+//! Campaign-job plumbing between the experiment drivers and `ch-fleet`.
+//!
+//! The figure drivers in [`crate::experiments`] describe their work as a
+//! flat list of [`CampaignJob`]s — one independent simulation each, with
+//! a stable key and a seed derived from `(campaign seed, key)` — and hand
+//! it to [`run_jobs`], which executes them on the fleet engine: in
+//! parallel, panic-isolated, resumable from a JSONL manifest, and with
+//! results returned in input order regardless of completion order.
+
+use ch_fleet::{
+    derive_seed, run_campaign, FleetOptions, FleetStats, JobSpec, JobStatus, Json, ManifestCodec,
+};
+
+use crate::metrics::{ExperimentMetrics, SummaryRow};
+use crate::runner::{run_experiment, RunConfig};
+use crate::world::CityData;
+
+/// One simulation in a campaign: a stable, human-readable key plus the
+/// full run configuration (whose seeds were derived from the key — see
+/// [`job_seed`]).
+#[derive(Debug, Clone)]
+pub struct CampaignJob {
+    /// Manifest key, e.g. `fig5/canteen/h12`.
+    pub key: String,
+    /// Label stamped on the resulting summary row.
+    pub label: String,
+    /// The fully resolved run configuration.
+    pub config: RunConfig,
+}
+
+impl JobSpec for CampaignJob {
+    fn key(&self) -> String {
+        self.key.clone()
+    }
+}
+
+/// The per-run seed for the job at `key`: derived from the campaign seed
+/// and the key alone, so it depends on neither list position nor
+/// execution order.
+pub fn job_seed(campaign_seed: u64, key: &str) -> u64 {
+    derive_seed(campaign_seed, key)
+}
+
+/// The attacker-instance seed for the job at `key` (kept distinct from
+/// [`job_seed`] so the attacker's RNG stream never aliases the world's).
+pub fn attacker_seed(campaign_seed: u64, key: &str) -> u64 {
+    derive_seed(campaign_seed, &format!("{key}#attacker"))
+}
+
+/// Lowercases a label into a key segment: spaces become `-`, anything
+/// non-alphanumeric is dropped.
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for ch in label.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.extend(ch.to_lowercase());
+        } else if (ch == ' ' || ch == '-' || ch == '_') && !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
+/// What the manifest records per job: the paper's summary row plus the
+/// Fig. 6 breakdowns. Every field is an integer count, so the JSONL
+/// round-trip is exact by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The Fig. 5 stacked-bar numbers.
+    pub row: SummaryRow,
+    /// Broadcast-hit SSID sources `(wigle, direct, carrier)`.
+    pub sources: (usize, usize, usize),
+    /// Broadcast-hit buffer lanes `(popularity, freshness)`.
+    pub lanes: (usize, usize),
+}
+
+impl JobRecord {
+    /// Captures the record from one finished run.
+    pub fn capture(metrics: &ExperimentMetrics, label: impl Into<String>) -> JobRecord {
+        JobRecord {
+            row: metrics.summary(label),
+            sources: metrics.source_breakdown(),
+            lanes: metrics.lane_breakdown(),
+        }
+    }
+}
+
+impl ManifestCodec for JobRecord {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::str(self.row.label.clone())),
+            ("total".into(), Json::from_usize(self.row.total_clients)),
+            ("direct".into(), Json::from_usize(self.row.direct_clients)),
+            (
+                "broadcast".into(),
+                Json::from_usize(self.row.broadcast_clients),
+            ),
+            (
+                "direct_conn".into(),
+                Json::from_usize(self.row.direct_connected),
+            ),
+            (
+                "broadcast_conn".into(),
+                Json::from_usize(self.row.broadcast_connected),
+            ),
+            ("src_wigle".into(), Json::from_usize(self.sources.0)),
+            ("src_direct".into(), Json::from_usize(self.sources.1)),
+            ("src_carrier".into(), Json::from_usize(self.sources.2)),
+            ("lane_pop".into(), Json::from_usize(self.lanes.0)),
+            ("lane_fresh".into(), Json::from_usize(self.lanes.1)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        let field = |key: &str| json.get(key).and_then(Json::as_usize);
+        Some(JobRecord {
+            row: SummaryRow {
+                label: json.get("label")?.as_str()?.to_string(),
+                total_clients: field("total")?,
+                direct_clients: field("direct")?,
+                broadcast_clients: field("broadcast")?,
+                direct_connected: field("direct_conn")?,
+                broadcast_connected: field("broadcast_conn")?,
+            },
+            sources: (
+                field("src_wigle")?,
+                field("src_direct")?,
+                field("src_carrier")?,
+            ),
+            lanes: (field("lane_pop")?, field("lane_fresh")?),
+        })
+    }
+}
+
+/// Runs `jobs` on the fleet engine and returns one [`JobRecord`] per job,
+/// in input order.
+///
+/// A job that panics is reported by the engine as a structured failure;
+/// this wrapper turns any failure into an `Err` naming every failed key,
+/// because a campaign figure with holes in it is not a figure.
+pub fn run_jobs(
+    data: &CityData,
+    jobs: &[CampaignJob],
+    opts: &FleetOptions,
+) -> Result<(Vec<JobRecord>, FleetStats), String> {
+    let report = run_campaign(jobs, opts, |job: &CampaignJob| {
+        JobRecord::capture(&run_experiment(data, &job.config), job.label.clone())
+    })?;
+    let mut records = Vec::with_capacity(report.outcomes.len());
+    let mut failures = Vec::new();
+    for outcome in &report.outcomes {
+        match &outcome.status {
+            JobStatus::Done(record) | JobStatus::Cached(record) => records.push(record.clone()),
+            JobStatus::Failed(message) => failures.push(format!("{}: {message}", outcome.key)),
+        }
+    }
+    if failures.is_empty() {
+        Ok((records, report.stats))
+    } else {
+        Err(format!(
+            "{} campaign job(s) failed:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slug_flattens_labels() {
+        assert_eq!(slug("Subway Passage"), "subway-passage");
+        assert_eq!(
+            slug("fixed split (no adaptation)"),
+            "fixed-split-no-adaptation"
+        );
+        assert_eq!(slug("+ deauth extension"), "deauth-extension");
+        assert_eq!(slug("full"), "full");
+    }
+
+    #[test]
+    fn job_and_attacker_seeds_differ_and_are_stable() {
+        let a = job_seed(7, "fig5/canteen/h12");
+        assert_eq!(a, job_seed(7, "fig5/canteen/h12"));
+        assert_ne!(a, job_seed(8, "fig5/canteen/h12"));
+        assert_ne!(a, job_seed(7, "fig5/canteen/h13"));
+        assert_ne!(a, attacker_seed(7, "fig5/canteen/h12"));
+    }
+
+    #[test]
+    fn job_record_round_trips_through_the_manifest_codec() {
+        let record = JobRecord {
+            row: SummaryRow {
+                label: "canteen 12:00".into(),
+                total_clients: 321,
+                direct_clients: 21,
+                broadcast_clients: 300,
+                direct_connected: 9,
+                broadcast_connected: 55,
+            },
+            sources: (40, 14, 1),
+            lanes: (48, 7),
+        };
+        let json = record.to_json();
+        let reparsed = Json::parse(&json.render()).unwrap();
+        assert_eq!(JobRecord::from_json(&reparsed), Some(record));
+        assert_eq!(JobRecord::from_json(&Json::Null), None);
+    }
+}

@@ -14,7 +14,9 @@
 //!   (WiGLE vs direct probe) and buffer (PB vs FB), time series;
 //! * [`report`] — text tables and series formatted like the paper's;
 //! * [`experiments`] — one driver per table and figure (Table I–IV,
-//!   Fig. 1–2, 4–6) plus the ablation matrix.
+//!   Fig. 1–2, 4–6) plus the ablation matrix;
+//! * [`fleet`] — the campaign-job model bridging the drivers onto the
+//!   `ch-fleet` execution engine (parallel, panic-isolated, resumable).
 //!
 //! ```no_run
 //! use ch_scenarios::experiments;
@@ -24,12 +26,14 @@
 //! ```
 
 pub mod experiments;
+pub mod fleet;
 pub mod metrics;
 pub mod replicate;
 pub mod report;
 pub mod runner;
 pub mod world;
 
+pub use fleet::{CampaignJob, JobRecord};
 pub use metrics::{ClientClass, ExperimentMetrics, SummaryRow};
 pub use replicate::{replicate, Replication};
 pub use runner::{run_experiment, AttackerKind, RunConfig};

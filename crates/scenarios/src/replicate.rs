@@ -2,9 +2,12 @@
 //!
 //! The paper reports one field run per condition; the simulator can
 //! quantify run-to-run variation instead. [`replicate`] executes the same
-//! deployment across `n` seeds (in parallel) and summarizes `h`, `h_b` and
-//! the client volume with mean ± CI via [`ch_sim::Summary`].
+//! deployment across `n` seeds — in parallel on the `ch-fleet` worker
+//! pool ([`scoped_parallel_map`]; the `CH_JOBS` environment variable caps
+//! the worker count) — and summarizes `h`, `h_b` and the client volume
+//! with mean ± CI via [`ch_sim::Summary`].
 
+use ch_fleet::scoped_parallel_map;
 use ch_sim::stats::Summary;
 #[cfg(test)]
 use ch_sim::SimDuration;
@@ -70,10 +73,22 @@ pub fn replicate(
     let clients: Vec<f64> = rows.iter().map(|r| r.total_clients as f64).collect();
     Replication {
         label,
-        h: Summary::of(&h).expect("non-empty"),
-        h_b: Summary::of(&h_b).expect("non-empty"),
-        clients: Summary::of(&clients).expect("non-empty"),
+        h: summarize(&h),
+        h_b: summarize(&h_b),
+        clients: summarize(&clients),
         rows,
+    }
+}
+
+/// [`Summary::of`] under the function-level invariant that the series is
+/// non-empty: `replicate` rejects an empty seed list on entry and the
+/// parallel map yields exactly one row per seed, so an empty series here
+/// means that chain broke — report it as the invariant violation it is
+/// rather than a bare unwrap.
+fn summarize(values: &[f64]) -> Summary {
+    match Summary::of(values) {
+        Some(summary) => summary,
+        None => ch_sim::invariant::violation(file!(), line!(), "empty replication series"),
     }
 }
 
@@ -106,47 +121,6 @@ pub fn replicate_attackers(
                 ..venue_config.clone()
             };
             replicate(data, &base, label, seeds)
-        })
-        .collect()
-}
-
-/// A scoped-thread parallel map over a slice (ordered results). Falls back
-/// to sequential execution for tiny inputs.
-fn scoped_parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    if items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len());
-    let results: Vec<std::sync::Mutex<Option<R>>> =
-        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(&items[i]);
-                match results[i].lock() {
-                    Ok(mut slot) => *slot = Some(result),
-                    // A worker panicking while holding this per-slot lock is
-                    // impossible (the store is the only critical section),
-                    // but stay well-defined anyway.
-                    Err(poisoned) => *poisoned.into_inner() = Some(result),
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every slot filled")
         })
         .collect()
 }

@@ -1,0 +1,82 @@
+//! Campaign-level acceptance for the fleet rewiring: the real Fig. 5
+//! pipeline must render bit-identically at any worker count, and a
+//! truncated manifest must resume to the same figure.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ch_fleet::{fingerprint, FleetOptions};
+use ch_scenarios::experiments::{campaign_fleet, standard_city};
+use ch_scenarios::world::CityData;
+use ch_sim::SimDuration;
+
+/// A deliberately tiny campaign: 4 venues × 2 hours × 3 simulated
+/// minutes each, so the whole test stays fast.
+const HOURS: &[usize] = &[12, 18];
+const SEED: u64 = 5;
+
+fn duration() -> SimDuration {
+    SimDuration::from_mins(3)
+}
+
+fn city() -> CityData {
+    standard_city()
+}
+
+fn temp_manifest(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ch-scenarios-fleet-{}-{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn fig5_renders_bit_identically_at_any_worker_count() {
+    let data = city();
+    let opts = FleetOptions::in_memory("fig5-test", 0);
+    let (serial, serial_stats) = campaign_fleet(
+        &data,
+        SEED,
+        HOURS,
+        duration(),
+        &opts.clone().with_jobs(Some(1)),
+    )
+    .unwrap();
+    assert_eq!(serial_stats.threads, 1);
+    let (parallel, parallel_stats) =
+        campaign_fleet(&data, SEED, HOURS, duration(), &opts.with_jobs(Some(4))).unwrap();
+    assert_eq!(parallel_stats.threads, 4);
+    assert_eq!(parallel.render_fig5(), serial.render_fig5());
+    assert_eq!(parallel.render_fig6(), serial.render_fig6());
+    assert_eq!(parallel.to_csv(), serial.to_csv());
+}
+
+#[test]
+fn fig5_resumes_from_a_truncated_manifest_to_the_same_figure() {
+    let data = city();
+    let path = temp_manifest("resume");
+    let _ = fs::remove_file(&path);
+    let opts = FleetOptions::in_memory("fig5-test", fingerprint(&["resume-test"]))
+        .with_jobs(Some(2))
+        .with_manifest(&path);
+
+    let (fresh, fresh_stats) = campaign_fleet(&data, SEED, HOURS, duration(), &opts).unwrap();
+    assert_eq!(fresh_stats.executed, 8);
+    assert_eq!(fresh_stats.cached, 0);
+
+    // Kill the campaign three records before the finish line.
+    let text = fs::read_to_string(&path).unwrap();
+    let kept: Vec<&str> = text.lines().collect();
+    fs::write(&path, format!("{}\n", kept[..kept.len() - 3].join("\n"))).unwrap();
+
+    let (resumed, resumed_stats) = campaign_fleet(&data, SEED, HOURS, duration(), &opts).unwrap();
+    assert_eq!(
+        (resumed_stats.executed, resumed_stats.cached),
+        (3, 5),
+        "only the dropped jobs may re-run"
+    );
+    assert_eq!(resumed.render_fig5(), fresh.render_fig5());
+    assert_eq!(resumed.render_fig6(), fresh.render_fig6());
+
+    let _ = fs::remove_file(&path);
+}
