@@ -37,4 +37,26 @@ grep -q '0 executed, 8 cached, 0 failed' "$smoke_dir/run2.log"
 cmp "$smoke_dir/run1.txt" "$smoke_dir/run2.txt"
 test -s "$smoke_dir/BENCH_fleet.json"
 
+echo "==> registry smoke (experiment --list, torn-manifest resume)"
+# The unified driver must list every artifact, and a table-class campaign
+# must survive a torn manifest: run table1 fresh, chop the final manifest
+# line mid-record (a killed run's torn write), re-run — the engine must
+# redo exactly the torn job, reuse the intact one, and print identical
+# bytes.
+cargo run -q --release -p ch-bench --bin experiment -- --list \
+  > "$smoke_dir/list.txt"
+for id in table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 fig6; do
+  grep -q "^  $id " "$smoke_dir/list.txt"
+done
+t1_args=(table1 1 --manifest "$smoke_dir/fleet_table1.jsonl" --no-bench)
+cargo run -q --release -p ch-bench --bin experiment -- "${t1_args[@]}" \
+  > "$smoke_dir/t1_run1.txt" 2> "$smoke_dir/t1_run1.log"
+grep -q '2 executed, 0 cached, 0 failed' "$smoke_dir/t1_run1.log"
+manifest="$smoke_dir/fleet_table1.jsonl"
+truncate -s $(( $(stat -c%s "$manifest") - 20 )) "$manifest"
+cargo run -q --release -p ch-bench --bin experiment -- "${t1_args[@]}" \
+  > "$smoke_dir/t1_run2.txt" 2> "$smoke_dir/t1_run2.log"
+grep -q '1 executed, 1 cached, 0 failed' "$smoke_dir/t1_run2.log"
+cmp "$smoke_dir/t1_run1.txt" "$smoke_dir/t1_run2.txt"
+
 echo "ci.sh: all gates passed"

@@ -37,6 +37,7 @@ pub mod ext;
 pub mod karma;
 pub mod mana;
 pub mod prelim;
+pub mod spec;
 
 pub use api::{Attacker, Lure, LureLane, LureSource};
 pub use cityhunter::{CityHunter, CityHunterConfig};
@@ -45,3 +46,4 @@ pub use db::{DbEntry, SsidDatabase};
 pub use karma::KarmaAttacker;
 pub use mana::ManaAttacker;
 pub use prelim::PrelimCityHunter;
+pub use spec::AttackerSpec;

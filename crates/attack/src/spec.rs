@@ -1,0 +1,109 @@
+//! Declarative attacker specification — the spec layer of the experiment
+//! stack.
+//!
+//! Every place that deploys an attacker (the `ch-scenarios` runner, the
+//! ablation matrix, sweeps, replication, and the `ch-defense` detection
+//! evaluation) used to construct `KarmaAttacker`/`ManaAttacker`/… by
+//! hand. [`AttackerSpec`] centralizes that: a spec is plain data naming
+//! which generation to deploy (and, for the full City-Hunter, its
+//! configuration), and [`AttackerSpec::build`] is the single constructor
+//! the whole workspace shares.
+
+use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
+use ch_wifi::MacAddr;
+
+use crate::{
+    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker, PrelimCityHunter,
+};
+
+/// Which attacker generation to deploy, as declarative data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackerSpec {
+    /// KARMA baseline (answers direct probes only; `h_b = 0`).
+    Karma,
+    /// MANA baseline (harvests direct probes, replays to broadcast).
+    Mana,
+    /// §III preliminary City-Hunter (WiGLE seed + untried tracking).
+    Prelim,
+    /// §IV full City-Hunter with the given configuration.
+    CityHunter(CityHunterConfig),
+}
+
+impl AttackerSpec {
+    /// The BSSID every experiment deploys its rogue AP under.
+    pub fn default_bssid() -> MacAddr {
+        MacAddr::from_index([0x0a, 0xbc, 0xde], 1)
+    }
+
+    /// The generation's display name (matches the built
+    /// [`Attacker::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackerSpec::Karma => "KARMA",
+            AttackerSpec::Mana => "MANA",
+            AttackerSpec::Prelim => "City-Hunter (preliminary)",
+            AttackerSpec::CityHunter(_) => "City-Hunter",
+        }
+    }
+
+    /// Instantiates the attacker at a deployment site. `wigle`/`heat` are
+    /// the offline data products (ignored by the baselines that predate
+    /// them).
+    pub fn build(
+        &self,
+        bssid: MacAddr,
+        wigle: &WigleSnapshot,
+        heat: &HeatMap,
+        site: GeoPoint,
+    ) -> Box<dyn Attacker> {
+        match self {
+            AttackerSpec::Karma => Box::new(KarmaAttacker::new(bssid)),
+            AttackerSpec::Mana => Box::new(ManaAttacker::new(bssid)),
+            AttackerSpec::Prelim => Box::new(PrelimCityHunter::new(bssid, wigle, heat, site)),
+            AttackerSpec::CityHunter(config) => {
+                Box::new(CityHunter::new(bssid, wigle, heat, site, config.clone()))
+            }
+        }
+    }
+
+    /// [`build`](AttackerSpec::build) under [`default_bssid`]
+    /// (AttackerSpec::default_bssid) — what every experiment driver uses.
+    pub fn build_default(
+        &self,
+        wigle: &WigleSnapshot,
+        heat: &HeatMap,
+        site: GeoPoint,
+    ) -> Box<dyn Attacker> {
+        self.build(Self::default_bssid(), wigle, heat, site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_geo::{CityModel, PhotoCollection};
+    use ch_sim::SimRng;
+
+    #[test]
+    fn spec_builds_every_generation_with_matching_names() {
+        let mut rng = SimRng::seed_from(5);
+        let city = CityModel::synthesize(&mut rng);
+        let wigle = WigleSnapshot::synthesize(&city, &mut rng);
+        let photos = PhotoCollection::synthesize(&city, 200, &mut rng);
+        let heat = HeatMap::from_photos(&city, &photos, 50.0);
+        let site = GeoPoint {
+            east_m: 100.0,
+            north_m: 100.0,
+        };
+        for spec in [
+            AttackerSpec::Karma,
+            AttackerSpec::Mana,
+            AttackerSpec::Prelim,
+            AttackerSpec::CityHunter(CityHunterConfig::default()),
+        ] {
+            let attacker = spec.build_default(&wigle, &heat, site);
+            assert_eq!(attacker.name(), spec.name());
+            assert_eq!(attacker.bssid(), AttackerSpec::default_bssid());
+        }
+    }
+}

@@ -1,24 +1,7 @@
-//! Ablation matrix: each City-Hunter design choice disabled in isolation,
-//! plus the §V-B extensions enabled. Runs on the fleet engine:
+//! Ablation matrix: each City-Hunter design choice disabled in isolation, plus the §V-B extensions enabled.
 //!
-//! ```text
-//! cargo run --release -p ch-bench --bin ablation -- [seed] \
-//!     [--jobs N] [--manifest PATH] [--fresh] [--bench PATH | --no-bench]
-//! ```
-
-use ch_bench::common;
-use ch_scenarios::experiments::{ablation_fleet, standard_city};
+//! Thin shim over the registry driver: `experiment ablation` is equivalent.
 
 fn main() -> Result<(), String> {
-    let seed = common::seed_arg();
-    let opts = common::fleet_options(
-        "ablation",
-        "results/fleet_ablation.jsonl",
-        &[format!("seed={seed}")],
-    );
-    let data = standard_city();
-    let (outcome, stats) = ablation_fleet(&data, seed, &opts)?;
-    eprintln!("{}", stats.render_line());
-    println!("{}", outcome.render());
-    Ok(())
+    ch_bench::driver::main_for("ablation")
 }

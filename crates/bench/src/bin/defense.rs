@@ -1,76 +1,7 @@
-//! Countermeasure evaluation: how many frames each attacker generation
-//! gets away with before the standard client-side detector bank fires.
+//! Countermeasure evaluation: how many frames each attacker generation gets away with before the standard client-side detector bank fires.
 //!
-//! Quantifies the paper's closing claim that existing evil-twin detection
-//! still works against City-Hunter.
+//! Thin shim over the registry driver: `experiment defense` is equivalent.
 
-use ch_attack::{
-    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker, PrelimCityHunter,
-};
-use ch_defense::detectors::DetectorBank;
-use ch_defense::eval::evaluate_attacker;
-use ch_scenarios::experiments::standard_city;
-use ch_wifi::mgmt::ProbeRequest;
-use ch_wifi::{MacAddr, Ssid};
-
-fn main() {
-    let data = standard_city();
-    let site = data.site_for(ch_mobility::VenueKind::Canteen);
-    let bssid = MacAddr::from_index([0x0a, 0xbc, 0xde], 1);
-    let corp = Ssid::new("Corp-WPA2").expect("short ssid");
-
-    println!(
-        "Detector bank: co-location(8) + silent-ap(20) + \
-         downgrade([Corp-WPA2]) + deauth-flood(5/60s)\n"
-    );
-    println!(
-        "{:<28} {:>10} {:>10} {:>8}",
-        "attacker", "frames", "rounds", "alarms"
-    );
-
-    let mut contenders: Vec<Box<dyn Attacker>> = vec![
-        Box::new(KarmaAttacker::new(bssid)),
-        Box::new({
-            let mut mana = ManaAttacker::new(bssid);
-            // Pre-harvested database from earlier victims.
-            for i in 0..30u32 {
-                let probe = ProbeRequest::direct(
-                    MacAddr::from_index([2, 0, 0], i + 100),
-                    Ssid::new_lossy(format!("Disclosed-{i}")),
-                );
-                mana.respond_to_probe(ch_sim::SimTime::ZERO, &probe, 40);
-            }
-            mana
-        }),
-        Box::new(PrelimCityHunter::new(bssid, &data.wigle, &data.heat, site)),
-        Box::new(CityHunter::new(
-            bssid,
-            &data.wigle,
-            &data.heat,
-            site,
-            CityHunterConfig::default(),
-        )),
-    ];
-
-    for attacker in &mut contenders {
-        let mut bank = DetectorBank::client_standard([corp.clone()]);
-        let outcome = evaluate_attacker(attacker.as_mut(), &mut bank, 10, Some(corp.clone()));
-        println!(
-            "{:<28} {:>10} {:>10} {:>8}",
-            outcome.attacker,
-            outcome
-                .frames_to_detection
-                .map(|f| f.to_string())
-                .unwrap_or_else(|| "never".into()),
-            outcome
-                .rounds_to_detection
-                .map(|r| (r + 1).to_string())
-                .unwrap_or_else(|| "-".into()),
-            outcome.total_alarms,
-        );
-    }
-    println!(
-        "\nreading: the richer the lure database, the faster the co-location \
-         heuristic fires — City-Hunter is the *least* stealthy generation."
-    );
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("defense")
 }

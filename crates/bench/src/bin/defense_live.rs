@@ -1,80 +1,7 @@
-//! Live countermeasure evaluation: a detector bank listens to an *actual*
-//! City-Hunter canteen deployment (via the runner's frame observer) and we
-//! measure how long the attack survives and how many victims it claims
-//! before the first alarm.
+//! Live countermeasure evaluation: a detector bank listens to an actual City-Hunter canteen deployment and we measure how long the attack survives.
+//!
+//! Thin shim over the registry driver: `experiment defense_live` is equivalent.
 
-use ch_defense::detectors::DetectorBank;
-use ch_defense::monitor::NetworkMonitor;
-use ch_scenarios::experiments::standard_city;
-use ch_scenarios::runner::{run_experiment_observed, FrameObserver, RunConfig};
-use ch_scenarios::AttackerKind;
-use ch_sim::{SimDuration, SimTime};
-use ch_wifi::mgmt::MgmtFrame;
-use ch_wifi::Ssid;
-
-struct BankObserver {
-    bank: DetectorBank,
-    frames: u64,
-}
-
-impl FrameObserver for BankObserver {
-    fn enabled(&self) -> bool {
-        true
-    }
-
-    fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
-        self.frames += 1;
-        self.bank.observe(at, frame);
-    }
-}
-
-fn main() {
-    let seed = ch_bench::common::seed_arg();
-    let data = standard_city();
-    let config = RunConfig::canteen_30min(AttackerKind::CityHunter(Default::default()), seed);
-    let mut observer = BankObserver {
-        bank: DetectorBank::client_standard([Ssid::new("Corp-WPA2").unwrap()]),
-        frames: 0,
-    };
-    let metrics = run_experiment_observed(&data, &config, &mut observer);
-
-    let first_alarm = observer.bank.first_alarm_at();
-    let victims_total =
-        metrics.summary("x").broadcast_connected + metrics.summary("x").direct_connected;
-    let victims_before = first_alarm
-        .map(|t| {
-            metrics
-                .clients()
-                .filter(|(_, rec)| rec.hit.as_ref().is_some_and(|h| h.at <= t))
-                .count()
-        })
-        .unwrap_or(victims_total);
-
-    println!("live detection against a 30-minute City-Hunter canteen run:");
-    println!("  frames on air:            {}", observer.frames);
-    println!("  total victims:            {victims_total}");
-    match first_alarm {
-        Some(t) => {
-            println!("  first alarm at:           {t} (simulation clock)");
-            println!("  victims before detection: {victims_before}");
-            println!(
-                "  exposure window:          {}",
-                SimDuration::from_micros(t.as_micros())
-            );
-        }
-        None => println!("  never detected (unexpected)"),
-    }
-    println!(
-        "  total alarms:             {}",
-        observer.bank.alarm_count()
-    );
-
-    // Operator fusion: name the rogue.
-    let mut monitor = NetworkMonitor::new();
-    for (_, alarms) in observer.bank.report() {
-        monitor.ingest_all(alarms);
-    }
-    for (bssid, at) in monitor.rogues() {
-        println!("  rogue verdict:            {bssid} (flagged at {at})");
-    }
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("defense_live")
 }

@@ -1,0 +1,18 @@
+//! The unified experiment driver: run any registry artifact by id.
+//!
+//! ```text
+//! cargo run --release -p ch-bench --bin experiment -- --list
+//! cargo run --release -p ch-bench --bin experiment -- table1 [seed] [--json]
+//! cargo run --release -p ch-bench --bin experiment -- fig5 [seed] \
+//!     [--hours 8,12,18] [--minutes N] [--jobs N] \
+//!     [--manifest PATH] [--fresh] [--bench PATH | --no-bench] [--csv]
+//! ```
+//!
+//! Every experiment gains the same fleet controls: `--jobs` (or the
+//! `CH_JOBS` environment variable) caps the workers, `--manifest` makes
+//! the run resumable, `--bench` emits `BENCH_fleet.json` telemetry.
+//! Parallel runs are bit-identical to `--jobs 1`.
+
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_experiment()
+}

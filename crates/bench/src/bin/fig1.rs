@@ -1,6 +1,7 @@
 //! Regenerates Fig. 1: MANA's database growth vs its real-time hit rate.
+//!
+//! Thin shim over the registry driver: `experiment fig1` is equivalent.
 
-fn main() {
-    let outcome = ch_scenarios::experiments::fig1(ch_bench::common::seed_arg());
-    println!("{}", outcome.render());
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("fig1")
 }

@@ -1,6 +1,7 @@
 //! Regenerates Fig. 2: per-client SSID-depth distributions.
+//!
+//! Thin shim over the registry driver: `experiment fig2` is equivalent.
 
-fn main() {
-    let outcome = ch_scenarios::experiments::fig2(ch_bench::common::seed_arg());
-    println!("{}", outcome.render());
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("fig2")
 }

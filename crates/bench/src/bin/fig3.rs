@@ -1,6 +1,7 @@
-//! Renders Fig. 3 (the City-Hunter logic-flow diagram) with the live
-//! parameters of this implementation.
+//! Renders Fig. 3 (the City-Hunter logic-flow diagram) with the live parameters of this implementation.
+//!
+//! Thin shim over the registry driver: `experiment fig3` is equivalent.
 
-fn main() {
-    println!("{}", ch_scenarios::experiments::fig3());
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("fig3")
 }

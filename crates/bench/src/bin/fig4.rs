@@ -1,5 +1,7 @@
 //! Regenerates Fig. 4: the photo-density heat map for two districts.
+//!
+//! Thin shim over the registry driver: `experiment fig4` is equivalent.
 
-fn main() {
-    println!("{}", ch_scenarios::experiments::fig4().render());
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("fig4")
 }

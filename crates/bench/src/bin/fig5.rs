@@ -1,37 +1,7 @@
-//! Regenerates Fig. 5: the 4-venue × 12-hour City-Hunter campaign, run
-//! on the fleet engine.
+//! Regenerates Fig. 5: the 4-venue × 12-hour City-Hunter campaign, run on the fleet engine.
 //!
-//! ```text
-//! cargo run --release -p ch-bench --bin fig5 -- [seed] \
-//!     [--hours 8,12,18] [--minutes N] [--jobs N] \
-//!     [--manifest PATH] [--fresh] [--bench PATH | --no-bench] [--csv]
-//! ```
-//!
-//! Parallel runs are bit-identical to `--jobs 1`; a killed run resumes
-//! from the manifest (default `results/fleet_fig5.jsonl`, shared with
-//! `fig6` — the two figures are views of the same campaign).
-
-use ch_bench::common;
-use ch_scenarios::experiments::{campaign_fleet, standard_city};
-use ch_sim::SimDuration;
+//! Thin shim over the registry driver: `experiment fig5` is equivalent.
 
 fn main() -> Result<(), String> {
-    let seed = common::seed_arg();
-    let hours = common::hours_arg();
-    let minutes = common::minutes_arg(60);
-    let opts = common::fleet_options(
-        "fig5",
-        "results/fleet_fig5.jsonl",
-        &common::campaign_config(seed, &hours, minutes),
-    );
-    let data = standard_city();
-    let (outcome, stats) =
-        campaign_fleet(&data, seed, &hours, SimDuration::from_mins(minutes), &opts)?;
-    eprintln!("{}", stats.render_line());
-    if common::json_flag() || common::flag("--csv") {
-        println!("{}", outcome.to_csv());
-    } else {
-        println!("{}", outcome.render_fig5());
-    }
-    Ok(())
+    ch_bench::driver::main_for("fig5")
 }

@@ -1,30 +1,7 @@
-//! Regenerates Fig. 6: hit-SSID breakdowns by source and buffer.
+//! Regenerates Fig. 6: hit-SSID breakdowns by source and buffer (same campaign and manifest as fig5).
 //!
-//! Same campaign (and same manifest) as `fig5` — running either binary
-//! leaves the jobs cached for the other, so regenerating both figures
-//! costs one campaign. Flags as for `fig5`.
-
-use ch_bench::common;
-use ch_scenarios::experiments::{campaign_fleet, standard_city};
-use ch_sim::SimDuration;
+//! Thin shim over the registry driver: `experiment fig6` is equivalent.
 
 fn main() -> Result<(), String> {
-    let seed = common::seed_arg();
-    let hours = common::hours_arg();
-    let minutes = common::minutes_arg(60);
-    let opts = common::fleet_options(
-        "fig5",
-        "results/fleet_fig5.jsonl",
-        &common::campaign_config(seed, &hours, minutes),
-    );
-    let data = standard_city();
-    let (outcome, stats) =
-        campaign_fleet(&data, seed, &hours, SimDuration::from_mins(minutes), &opts)?;
-    eprintln!("{}", stats.render_line());
-    if common::json_flag() || common::flag("--csv") {
-        println!("{}", outcome.to_csv());
-    } else {
-        println!("{}", outcome.render_fig6());
-    }
-    Ok(())
+    ch_bench::driver::main_for("fig6")
 }

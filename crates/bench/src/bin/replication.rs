@@ -1,23 +1,7 @@
-//! Multi-seed replication study: the Tables I/II comparison with
-//! confidence intervals instead of single field runs.
+//! Multi-seed replication study: the Tables I/II comparison with confidence intervals instead of single field runs.
 //!
-//! ```text
-//! cargo run --release -p ch-bench --bin replication [base_seed] \
-//!     [--replicas N] [--jobs N]
-//! ```
+//! Thin shim over the registry driver: `experiment replication` is equivalent.
 
-use ch_scenarios::experiments::standard_city;
-use ch_scenarios::replicate::standard_study;
-
-fn main() {
-    ch_bench::common::apply_jobs_env();
-    let base_seed = ch_bench::common::seed_arg();
-    let replicas = ch_bench::common::value_of("--replicas")
-        .and_then(|r| r.parse().ok())
-        .unwrap_or(8);
-    let data = standard_city();
-    println!("replication study: {replicas} seeds per condition\n");
-    for replication in standard_study(&data, base_seed, replicas) {
-        println!("{}", replication.render_line());
-    }
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("replication")
 }

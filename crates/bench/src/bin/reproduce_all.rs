@@ -5,63 +5,9 @@
 //! cargo run --release -p ch-bench --bin reproduce_all [seed] [--jobs N] > report.txt
 //! ```
 //!
-//! Builds the city once and reuses it; the campaign and ablation sections
-//! run in parallel on the fleet engine (`--jobs` caps the workers), so
-//! the whole paper reproduces in about a minute of wall-clock time.
-
-use ch_fleet::FleetOptions;
-use ch_scenarios::experiments as exp;
-use ch_sim::SimDuration;
+//! Iterates the experiment registry, building the city once; the campaign
+//! and ablation sections run in parallel on the fleet engine.
 
 fn main() -> Result<(), String> {
-    ch_bench::common::apply_jobs_env();
-    let seed = ch_bench::common::seed_arg();
-    let jobs = ch_bench::common::jobs_arg();
-    let hours: Vec<usize> = (8..20).collect();
-    eprintln!("building the standard city...");
-    let data = exp::standard_city();
-
-    let mut sections: Vec<(&str, String)> = Vec::new();
-    eprintln!("Table I...");
-    sections.push(("Table I", exp::table1_with(&data, seed).render()));
-    eprintln!("Fig. 1...");
-    sections.push(("Fig. 1", exp::fig1_with(&data, seed).render()));
-    eprintln!("Table II...");
-    sections.push(("Table II", exp::table2_with(&data, seed).render()));
-    eprintln!("Table III...");
-    sections.push(("Table III", exp::table3_with(&data, seed).render()));
-    eprintln!("Fig. 2...");
-    sections.push(("Fig. 2", exp::fig2_with(&data, seed).render()));
-    eprintln!("Table IV...");
-    sections.push(("Table IV", exp::table4_with(&data).render()));
-    eprintln!("Fig. 4...");
-    sections.push(("Fig. 4", exp::fig4_with(&data).render()));
-    eprintln!("Fig. 5 + Fig. 6 campaign (48 hour-long runs)...");
-    let (campaign, stats) = exp::campaign_fleet(
-        &data,
-        seed,
-        &hours,
-        SimDuration::from_hours(1),
-        &FleetOptions::in_memory("fig5", 0).with_jobs(jobs),
-    )?;
-    eprintln!("{}", stats.render_line());
-    sections.push(("Fig. 5", campaign.render_fig5()));
-    sections.push(("Fig. 6", campaign.render_fig6()));
-    eprintln!("ablation...");
-    let (ablation, stats) = exp::ablation_fleet(
-        &data,
-        seed,
-        &FleetOptions::in_memory("ablation", 0).with_jobs(jobs),
-    )?;
-    eprintln!("{}", stats.render_line());
-    sections.push(("Ablation", ablation.render()));
-
-    println!("# City-Hunter reproduction report (seed {seed})\n");
-    for (title, body) in sections {
-        println!("================================================================");
-        println!("== {title}");
-        println!("================================================================\n");
-        println!("{body}");
-    }
-    Ok(())
+    ch_bench::driver::main_reproduce_all()
 }

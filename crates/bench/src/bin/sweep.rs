@@ -1,35 +1,7 @@
-//! Sensitivity sweeps: the §III-A lure-budget cap and the attacker's radio
-//! range, with replicated confidence intervals.
+//! Sensitivity sweeps: lure budget, radio range, MAC randomization, crowd density and scan interval, with replicated confidence intervals.
 //!
-//! ```text
-//! cargo run --release -p ch-bench --bin sweep [base_seed] \
-//!     [--replicas N] [--jobs N]
-//! ```
+//! Thin shim over the registry driver: `experiment sweep` is equivalent.
 
-use ch_scenarios::experiments::{
-    standard_city, sweep_crowd_density, sweep_lure_budget, sweep_mac_randomization,
-    sweep_radio_range, sweep_scan_interval,
-};
-
-fn main() {
-    ch_bench::common::apply_jobs_env();
-    let base_seed = ch_bench::common::seed_arg();
-    let replicas = ch_bench::common::value_of("--replicas")
-        .and_then(|r| r.parse().ok())
-        .unwrap_or(5);
-    let data = standard_city();
-    println!("{}", sweep_lure_budget(&data, base_seed, replicas).render());
-    println!("{}", sweep_radio_range(&data, base_seed, replicas).render());
-    println!(
-        "{}",
-        sweep_mac_randomization(&data, base_seed, replicas).render()
-    );
-    println!(
-        "{}",
-        sweep_crowd_density(&data, base_seed, replicas).render()
-    );
-    println!(
-        "{}",
-        sweep_scan_interval(&data, base_seed, replicas).render()
-    );
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("sweep")
 }

@@ -1,11 +1,7 @@
 //! Regenerates Table II of the paper.
+//!
+//! Thin shim over the registry driver: `experiment table2` is equivalent.
 
-fn main() {
-    let outcome = ch_scenarios::experiments::table2(ch_bench::common::seed_arg());
-    if ch_bench::common::json_flag() {
-        let rows = vec![outcome.mana.clone(), outcome.prelim.clone()];
-        println!("{}", ch_scenarios::report::summary_rows_to_json(&rows));
-    } else {
-        println!("{}", outcome.render());
-    }
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("table2")
 }

@@ -1,11 +1,7 @@
 //! Regenerates Table III of the paper.
+//!
+//! Thin shim over the registry driver: `experiment table3` is equivalent.
 
-fn main() {
-    let outcome = ch_scenarios::experiments::table3(ch_bench::common::seed_arg());
-    if ch_bench::common::json_flag() {
-        let rows = vec![outcome.prelim.clone()];
-        println!("{}", ch_scenarios::report::summary_rows_to_json(&rows));
-    } else {
-        println!("{}", outcome.render());
-    }
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("table3")
 }

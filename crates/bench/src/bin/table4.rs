@@ -1,5 +1,7 @@
 //! Regenerates Table IV: top-5 SSIDs by AP count vs by heat value.
+//!
+//! Thin shim over the registry driver: `experiment table4` is equivalent.
 
-fn main() {
-    println!("{}", ch_scenarios::experiments::table4().render());
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("table4")
 }

@@ -1,30 +1,7 @@
-//! Warm-start study: what re-initializing the database per test (§V-A)
-//! leaves on the table. The cold controls run as fleet jobs; the warm
-//! attacker's chain is inherently serial.
+//! Warm-start study: what re-initializing the database per test (§V-A) leaves on the table.
 //!
-//! ```text
-//! cargo run --release -p ch-bench --bin warm_start -- [seed] \
-//!     [--slots N] [--jobs N] [--manifest PATH] [--fresh] \
-//!     [--bench PATH | --no-bench]
-//! ```
-
-use ch_bench::common;
-use ch_scenarios::experiments::{standard_city, warm_start_fleet};
+//! Thin shim over the registry driver: `experiment warm_start` is equivalent.
 
 fn main() -> Result<(), String> {
-    let seed = common::seed_arg();
-    let slots = common::value_of("--slots")
-        .and_then(|s| s.parse().ok())
-        .filter(|&s| s > 0)
-        .unwrap_or(4);
-    let opts = common::fleet_options(
-        "warm-start",
-        "results/fleet_warm_start.jsonl",
-        &[format!("seed={seed}"), format!("slots={slots}")],
-    );
-    let data = standard_city();
-    let (outcome, stats) = warm_start_fleet(&data, seed, slots, &opts)?;
-    eprintln!("{}", stats.render_line());
-    println!("{}", outcome.render());
-    Ok(())
+    ch_bench::driver::main_for("warm_start")
 }

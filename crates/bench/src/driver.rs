@@ -1,0 +1,607 @@
+//! The unified experiment driver: one CLI over the `ch-scenarios`
+//! registry.
+//!
+//! Every `ch-bench` binary is a one-line shim into this module:
+//! the per-artifact bins call [`main_for`] with their registry id,
+//! `experiment` is [`main_experiment`] (any id, `--list`, `--json`), and
+//! `reproduce_all` is [`main_reproduce_all`]. All of them share one flag
+//! grammar ([`Cli`]), one [`FleetOptions`] assembly (worker width,
+//! resumable manifest, bench telemetry) and one output contract: fleet
+//! stats on stderr, the artifact bytes on stdout.
+//!
+//! The two countermeasure studies ([`registry`] entries marked
+//! `external`) execute here rather than in `ch-scenarios` because they
+//! need the `ch-defense` detector stack; they run as ordinary fleet
+//! campaigns whose job records are the rendered report lines.
+
+use std::path::PathBuf;
+
+use ch_attack::AttackerSpec;
+use ch_defense::detectors::DetectorBank;
+use ch_defense::eval::{evaluate_spec, EvalSpecOptions};
+use ch_defense::monitor::NetworkMonitor;
+use ch_fleet::{fingerprint, run_campaign, FleetOptions, JobSpec, JobStatus};
+use ch_scenarios::experiments as exp;
+use ch_scenarios::registry::{self, Artifact, ExperimentSpec, RunParams, REGISTRY};
+use ch_scenarios::runner::{run_experiment_observed, FrameObserver, RunConfig};
+use ch_scenarios::{AttackerKind, CityData};
+use ch_sim::{SimDuration, SimTime};
+use ch_wifi::mgmt::MgmtFrame;
+use ch_wifi::Ssid;
+
+/// Flags that take a value.
+const VALUE_FLAGS: &[&str] = &[
+    "--hours",
+    "--minutes",
+    "--jobs",
+    "--manifest",
+    "--bench",
+    "--replicas",
+    "--slots",
+    "--id",
+];
+
+/// Bare flags.
+const BARE_FLAGS: &[&str] = &["--fresh", "--no-bench", "--json", "--csv", "--list"];
+
+/// The parsed command line, shared by every binary.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// Non-flag arguments, in order (experiment id and/or seed).
+    pub positionals: Vec<String>,
+    flags: Vec<String>,
+    values: Vec<(String, String)>,
+}
+
+impl Cli {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown `--flag` or a value flag without its value.
+    pub fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut cli = Cli::default();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if VALUE_FLAGS.contains(&arg.as_str()) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag `{arg}` needs a value"))?;
+                cli.values.push((arg.clone(), value.clone()));
+            } else if BARE_FLAGS.contains(&arg.as_str()) {
+                cli.flags.push(arg.clone());
+            } else if arg.starts_with("--") {
+                return Err(format!("unknown flag `{arg}` (see `experiment --list`)"));
+            } else {
+                cli.positionals.push(arg.clone());
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Parses the process arguments.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cli::parse`].
+    pub fn from_env() -> Result<Cli, String> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Cli::parse(&args)
+    }
+
+    /// `true` if the bare flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of a value flag, if present.
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(flag, _)| flag == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// A parsed positive number flag (`--jobs 4`); unparsable or zero
+    /// values fall back to the default, as the legacy binaries did.
+    fn positive(&self, name: &str) -> Option<usize> {
+        self.value_of(name)
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v > 0)
+    }
+
+    /// The seed: first positional after the id offset, default 1.
+    fn seed_at(&self, index: usize) -> u64 {
+        self.positionals
+            .get(index)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1)
+    }
+}
+
+/// Builds the [`RunParams`] for one run from the shared flag grammar.
+fn run_params(cli: &Cli, seed: u64) -> RunParams {
+    let mut params = RunParams::new(seed);
+    if let Some(spec) = cli.value_of("--hours") {
+        params.hours = spec.split(',').filter_map(|h| h.parse().ok()).collect();
+    }
+    if let Some(minutes) = cli.positive("--minutes") {
+        params.minutes = minutes as u64;
+    }
+    params.replicas = cli.positive("--replicas");
+    if let Some(slots) = cli.positive("--slots") {
+        params.slots = slots;
+    }
+    params.machine = cli.flag("--json") || cli.flag("--csv");
+    params
+}
+
+/// Assembles the fleet options for one experiment: worker width from
+/// `--jobs` (then `CH_JOBS`, then `available_parallelism`), the spec's
+/// default manifest/bench policy with CLI overrides, and a fingerprint
+/// over everything that changes job identity.
+fn fleet_options(spec: &ExperimentSpec, params: &RunParams, cli: &Cli) -> FleetOptions {
+    let parts = spec.fingerprint_parts(params);
+    let part_refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    let campaign = spec.campaign.unwrap_or(spec.id);
+    let mut opts = FleetOptions::in_memory(campaign, fingerprint(&part_refs))
+        .with_jobs(cli.positive("--jobs"));
+    let manifest = cli
+        .value_of("--manifest")
+        .map(PathBuf::from)
+        .or_else(|| spec.default_manifest.map(PathBuf::from));
+    if let Some(path) = manifest {
+        if cli.flag("--fresh") {
+            let _ = std::fs::remove_file(&path);
+        }
+        opts.manifest = Some(path);
+    }
+    if !cli.flag("--no-bench") {
+        match cli.value_of("--bench") {
+            Some(path) => opts.bench = Some(PathBuf::from(path)),
+            None if spec.default_bench => {
+                opts.bench = Some(PathBuf::from("results/BENCH_fleet.json"));
+            }
+            None => {}
+        }
+    }
+    opts
+}
+
+/// Runs one registry entry end to end: fleet stats to stderr, the
+/// artifact bytes to stdout.
+fn run_spec(spec: &'static ExperimentSpec, cli: &Cli, seed: u64) -> Result<(), String> {
+    let params = run_params(cli, seed);
+    let opts = fleet_options(spec, &params, cli);
+    let data = exp::standard_city();
+    let artifact = if spec.external {
+        run_external(spec, &data, &params, &opts)?
+    } else {
+        spec.run(&data, &params, &opts)?
+    };
+    if let Some(stats) = &artifact.stats {
+        eprintln!("{}", stats.render_line());
+    }
+    print!("{}", artifact.text);
+    Ok(())
+}
+
+/// Entry point for the legacy per-artifact shims (`table1`, `fig5`, …):
+/// optional seed positional plus the shared flags.
+///
+/// # Errors
+///
+/// Propagates flag-grammar and campaign errors.
+pub fn main_for(id: &str) -> Result<(), String> {
+    let cli = Cli::from_env()?;
+    let spec = registry::find(id).ok_or_else(|| format!("unknown experiment `{id}`"))?;
+    let seed = cli.seed_at(0);
+    run_spec(spec, &cli, seed)
+}
+
+/// Entry point for the unified `experiment` binary:
+/// `experiment <id> [seed] [flags]`, `experiment --id <id> [seed]`, or
+/// `experiment --list`.
+///
+/// # Errors
+///
+/// Fails on a missing/unknown id and propagates campaign errors.
+pub fn main_experiment() -> Result<(), String> {
+    let cli = Cli::from_env()?;
+    if cli.flag("--list") {
+        print!("{}", list_text());
+        return Ok(());
+    }
+    let (id, seed) = match cli.value_of("--id") {
+        Some(id) => (id.to_string(), cli.seed_at(0)),
+        None => {
+            let id = cli.positionals.first().cloned().ok_or_else(|| {
+                "usage: experiment <id> [seed] [flags] — `experiment --list` shows the ids"
+                    .to_string()
+            })?;
+            (id, cli.seed_at(1))
+        }
+    };
+    let spec =
+        registry::find(&id).ok_or_else(|| format!("unknown experiment `{id}`; try --list"))?;
+    run_spec(spec, &cli, seed)
+}
+
+/// The `--list` table: one line per registry entry.
+pub fn list_text() -> String {
+    let mut out = String::from("experiments (run as: experiment <id> [seed] [flags]):\n\n");
+    for spec in REGISTRY {
+        out.push_str(&format!(
+            "  {:<13} {:<7} {:<7} {}\n",
+            spec.id,
+            spec.output.label(),
+            spec.paper_ref,
+            spec.summary
+        ));
+    }
+    out.push_str(
+        "\nflags: --jobs N --manifest PATH --fresh --bench PATH --no-bench\n       \
+         --hours a,b,c --minutes N --replicas N --slots N --json / --csv\n",
+    );
+    out
+}
+
+/// Entry point for `reproduce_all`: every `in_reproduce_all` registry
+/// entry into one consolidated report, building the city once and
+/// rendering Fig. 5 and Fig. 6 from a single campaign.
+///
+/// # Errors
+///
+/// Propagates flag-grammar and campaign errors.
+pub fn main_reproduce_all() -> Result<(), String> {
+    let cli = Cli::from_env()?;
+    let seed = cli.seed_at(0);
+    let jobs = cli.positive("--jobs");
+    let params = run_params(&cli, seed);
+    eprintln!("building the standard city...");
+    let data = exp::standard_city();
+
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    for spec in REGISTRY.iter().filter(|s| s.in_reproduce_all) {
+        if spec.shares_campaign_with.is_some() {
+            continue; // Fig. 6 rides along with Fig. 5's campaign below.
+        }
+        if spec.id == "fig5" {
+            eprintln!("Fig. 5 + Fig. 6 campaign (48 hour-long runs)...");
+            let opts = FleetOptions::in_memory("fig5", 0).with_jobs(jobs);
+            let (campaign, stats) = exp::campaign_fleet(
+                &data,
+                seed,
+                &params.hours,
+                SimDuration::from_mins(params.minutes),
+                &opts,
+            )?;
+            eprintln!("{}", stats.render_line());
+            sections.push(("Fig. 5", format!("{}\n", campaign.render_fig5())));
+            sections.push(("Fig. 6", format!("{}\n", campaign.render_fig6())));
+            continue;
+        }
+        if spec.id == "ablation" {
+            eprintln!("ablation...");
+        } else {
+            eprintln!("{}...", spec.title);
+        }
+        let campaign = spec.campaign.unwrap_or(spec.id);
+        let opts = FleetOptions::in_memory(campaign, 0).with_jobs(jobs);
+        let artifact = spec.run(&data, &params, &opts)?;
+        if spec.id == "ablation" {
+            if let Some(stats) = &artifact.stats {
+                eprintln!("{}", stats.render_line());
+            }
+        }
+        sections.push((spec.title, artifact.text));
+    }
+
+    println!("# City-Hunter reproduction report (seed {seed})\n");
+    for (title, body) in sections {
+        println!("================================================================");
+        println!("== {title}");
+        println!("================================================================\n");
+        print!("{body}");
+    }
+    Ok(())
+}
+
+/// One attacker-generation job of the `defense` study.
+struct DefenseJob {
+    slug: &'static str,
+    spec: AttackerSpec,
+    /// Direct probes pre-harvested before the evaluation (MANA's head
+    /// start from earlier victims).
+    preharvest: usize,
+}
+
+impl JobSpec for DefenseJob {
+    fn key(&self) -> String {
+        format!("defense/{}", self.slug)
+    }
+}
+
+/// Runs the registry's external (detector-stack) entries as fleet
+/// campaigns whose records are the rendered report lines.
+fn run_external(
+    spec: &'static ExperimentSpec,
+    data: &CityData,
+    params: &RunParams,
+    opts: &FleetOptions,
+) -> Result<Artifact, String> {
+    match spec.id {
+        "defense" => run_defense(data, opts),
+        "defense_live" => run_defense_live(data, params.seed, opts),
+        other => Err(format!("experiment `{other}` is not an external study")),
+    }
+}
+
+/// The `defense` study: frames-to-detection per attacker generation,
+/// one fleet job per [`AttackerSpec`].
+fn run_defense(data: &CityData, opts: &FleetOptions) -> Result<Artifact, String> {
+    let site = data.site_for(ch_mobility::VenueKind::Canteen);
+    let corp = Ssid::new("Corp-WPA2").expect("short ssid");
+    let jobs = [
+        DefenseJob {
+            slug: "karma",
+            spec: AttackerSpec::Karma,
+            preharvest: 0,
+        },
+        DefenseJob {
+            slug: "mana",
+            spec: AttackerSpec::Mana,
+            preharvest: 30,
+        },
+        DefenseJob {
+            slug: "prelim",
+            spec: AttackerSpec::Prelim,
+            preharvest: 0,
+        },
+        DefenseJob {
+            slug: "city-hunter",
+            spec: AttackerSpec::CityHunter(Default::default()),
+            preharvest: 0,
+        },
+    ];
+    let report = run_campaign(&jobs, opts, |job: &DefenseJob| {
+        let mut bank = DetectorBank::client_standard([corp.clone()]);
+        let outcome = evaluate_spec(
+            &job.spec,
+            &data.wigle,
+            &data.heat,
+            site,
+            &mut bank,
+            &EvalSpecOptions {
+                preharvest_direct: job.preharvest,
+                rounds: 10,
+                direct_ssid: Some(corp.clone()),
+            },
+        );
+        format!(
+            "{:<28} {:>10} {:>10} {:>8}",
+            outcome.attacker,
+            outcome
+                .frames_to_detection
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "never".into()),
+            outcome
+                .rounds_to_detection
+                .map(|r| (r + 1).to_string())
+                .unwrap_or_else(|| "-".into()),
+            outcome.total_alarms,
+        )
+    })?;
+
+    let mut text = String::from(
+        "Detector bank: co-location(8) + silent-ap(20) + \
+         downgrade([Corp-WPA2]) + deauth-flood(5/60s)\n\n",
+    );
+    text.push_str(&format!(
+        "{:<28} {:>10} {:>10} {:>8}\n",
+        "attacker", "frames", "rounds", "alarms"
+    ));
+    for outcome in &report.outcomes {
+        match &outcome.status {
+            JobStatus::Done(row) | JobStatus::Cached(row) => {
+                text.push_str(row);
+                text.push('\n');
+            }
+            JobStatus::Failed(error) => {
+                return Err(format!("defense job `{}` failed: {error}", outcome.key));
+            }
+        }
+    }
+    text.push_str(
+        "\nreading: the richer the lure database, the faster the co-location \
+         heuristic fires — City-Hunter is the *least* stealthy generation.\n",
+    );
+    Ok(Artifact {
+        id: "defense",
+        text,
+        stats: Some(report.stats),
+    })
+}
+
+/// One live-deployment job of the `defense_live` study.
+struct LiveJob {
+    seed: u64,
+}
+
+impl JobSpec for LiveJob {
+    fn key(&self) -> String {
+        format!("defense-live/canteen/s{}", self.seed)
+    }
+}
+
+/// The `defense_live` study: a detector bank listening to an actual
+/// City-Hunter canteen run through the runner's frame observer. The
+/// whole rendered report is the job record, so a manifest caches it.
+fn run_defense_live(data: &CityData, seed: u64, opts: &FleetOptions) -> Result<Artifact, String> {
+    struct BankObserver {
+        bank: DetectorBank,
+        frames: u64,
+    }
+
+    impl FrameObserver for BankObserver {
+        fn enabled(&self) -> bool {
+            true
+        }
+
+        fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+            self.frames += 1;
+            self.bank.observe(at, frame);
+        }
+    }
+
+    let jobs = [LiveJob { seed }];
+    let report = run_campaign(&jobs, opts, |job: &LiveJob| {
+        let config =
+            RunConfig::canteen_30min(AttackerKind::CityHunter(Default::default()), job.seed);
+        let mut observer = BankObserver {
+            bank: DetectorBank::client_standard([Ssid::new("Corp-WPA2").expect("short ssid")]),
+            frames: 0,
+        };
+        let metrics = run_experiment_observed(data, &config, &mut observer);
+
+        let first_alarm = observer.bank.first_alarm_at();
+        let victims_total =
+            metrics.summary("x").broadcast_connected + metrics.summary("x").direct_connected;
+        let victims_before = first_alarm
+            .map(|t| {
+                metrics
+                    .clients()
+                    .filter(|(_, rec)| rec.hit.as_ref().is_some_and(|h| h.at <= t))
+                    .count()
+            })
+            .unwrap_or(victims_total);
+
+        let mut text =
+            String::from("live detection against a 30-minute City-Hunter canteen run:\n");
+        text.push_str(&format!(
+            "  frames on air:            {}\n",
+            observer.frames
+        ));
+        text.push_str(&format!("  total victims:            {victims_total}\n"));
+        match first_alarm {
+            Some(t) => {
+                text.push_str(&format!(
+                    "  first alarm at:           {t} (simulation clock)\n"
+                ));
+                text.push_str(&format!("  victims before detection: {victims_before}\n"));
+                text.push_str(&format!(
+                    "  exposure window:          {}\n",
+                    SimDuration::from_micros(t.as_micros())
+                ));
+            }
+            None => text.push_str("  never detected (unexpected)\n"),
+        }
+        text.push_str(&format!(
+            "  total alarms:             {}\n",
+            observer.bank.alarm_count()
+        ));
+
+        // Operator fusion: name the rogue.
+        let mut monitor = NetworkMonitor::new();
+        for (_, alarms) in observer.bank.report() {
+            monitor.ingest_all(alarms);
+        }
+        for (bssid, at) in monitor.rogues() {
+            text.push_str(&format!(
+                "  rogue verdict:            {bssid} (flagged at {at})\n"
+            ));
+        }
+        text
+    })?;
+
+    let text = match &report.outcomes[0].status {
+        JobStatus::Done(body) | JobStatus::Cached(body) => body.clone(),
+        JobStatus::Failed(error) => {
+            return Err(format!("defense_live job failed: {error}"));
+        }
+    };
+    Ok(Artifact {
+        id: "defense_live",
+        text,
+        stats: Some(report.stats),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        Cli::parse(&owned).expect("valid args")
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let cli = cli(&[]);
+        assert_eq!(cli.seed_at(0), 1);
+        let params = run_params(&cli, cli.seed_at(0));
+        assert_eq!(params.hours, (8..20).collect::<Vec<_>>());
+        assert_eq!(params.minutes, 60);
+        assert_eq!(params.slots, 4);
+        assert_eq!(params.replicas, None);
+        assert!(!params.machine);
+    }
+
+    #[test]
+    fn flags_and_positionals_parse() {
+        let cli = cli(&["7", "--jobs", "4", "--fresh", "--hours", "12,18"]);
+        assert_eq!(cli.seed_at(0), 7);
+        assert_eq!(cli.positive("--jobs"), Some(4));
+        assert!(cli.flag("--fresh"));
+        let params = run_params(&cli, 7);
+        assert_eq!(params.hours, vec![12, 18]);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = Cli::parse(&["--frobnicate".to_string()]).unwrap_err();
+        assert!(err.contains("--frobnicate"));
+        let err = Cli::parse(&["--jobs".to_string()]).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn list_covers_every_registry_entry() {
+        let listing = list_text();
+        for spec in REGISTRY {
+            assert!(
+                listing.contains(spec.id),
+                "`--list` must mention `{}`",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_options_respect_spec_defaults() {
+        let fig5 = registry::find("fig5").unwrap();
+        let params = RunParams::new(1);
+        let opts = fleet_options(fig5, &params, &cli(&[]));
+        assert_eq!(
+            opts.manifest,
+            Some(PathBuf::from("results/fleet_fig5.jsonl"))
+        );
+        assert_eq!(opts.bench, Some(PathBuf::from("results/BENCH_fleet.json")));
+
+        let table1 = registry::find("table1").unwrap();
+        let opts = fleet_options(table1, &params, &cli(&[]));
+        assert_eq!(opts.manifest, None);
+        assert_eq!(opts.bench, None);
+        assert_eq!(opts.campaign, "table1");
+
+        // CLI overrides win, `--no-bench` beats the spec default.
+        let opts = fleet_options(
+            fig5,
+            &params,
+            &cli(&["--manifest", "m.jsonl", "--no-bench"]),
+        );
+        assert_eq!(opts.manifest, Some(PathBuf::from("m.jsonl")));
+        assert_eq!(opts.bench, None);
+    }
+}

@@ -1,3 +1,7 @@
 //! Figure/table regeneration harness for the City-Hunter reproduction.
+//!
+//! All regeneration logic lives in [`driver`], a thin CLI over the
+//! `ch-scenarios` experiment registry; every binary in `src/bin/` is a
+//! one-line shim into it.
 
-pub mod common;
+pub mod driver;

@@ -6,7 +6,8 @@
 //! the number of attacker frames on air before the first alarm — a direct,
 //! comparable "stealth budget" per attacker.
 
-use ch_attack::{Attacker, Lure};
+use ch_attack::{Attacker, AttackerSpec, Lure};
+use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
 use ch_sim::{SimDuration, SimTime};
 use ch_wifi::mgmt::{Beacon, MgmtFrame, ProbeRequest, ProbeResponse};
 use ch_wifi::{Channel, MacAddr, Ssid};
@@ -32,6 +33,46 @@ impl DetectionOutcome {
     pub fn detected(&self) -> bool {
         self.frames_to_detection.is_some()
     }
+}
+
+/// Options for [`evaluate_spec`].
+#[derive(Debug, Clone)]
+pub struct EvalSpecOptions {
+    /// Direct probes fed to the attacker before the evaluation begins —
+    /// models a database pre-harvested from earlier victims (the MANA
+    /// head start). Zero for a cold attacker.
+    pub preharvest_direct: usize,
+    /// Scan rounds to evaluate.
+    pub rounds: usize,
+    /// Direct-probe SSID the client also sends each round, if any.
+    pub direct_ssid: Option<Ssid>,
+}
+
+/// Builds the attacker that [`AttackerSpec`] describes and runs it
+/// through [`evaluate_attacker`] — the declarative entry point the
+/// registry-driven countermeasure study uses.
+pub fn evaluate_spec(
+    spec: &AttackerSpec,
+    wigle: &WigleSnapshot,
+    heat: &HeatMap,
+    site: GeoPoint,
+    bank: &mut DetectorBank,
+    opts: &EvalSpecOptions,
+) -> DetectionOutcome {
+    let mut attacker = spec.build_default(wigle, heat, site);
+    for i in 0..opts.preharvest_direct {
+        let probe = ProbeRequest::direct(
+            MacAddr::from_index([2, 0, 0], i as u32 + 100),
+            Ssid::new_lossy(format!("Disclosed-{i}")),
+        );
+        attacker.respond_to_probe(SimTime::ZERO, &probe, 40);
+    }
+    evaluate_attacker(
+        attacker.as_mut(),
+        bank,
+        opts.rounds,
+        opts.direct_ssid.clone(),
+    )
 }
 
 /// Runs `rounds` scan rounds of a single client against `attacker`,
@@ -201,6 +242,44 @@ mod tests {
             && alarms
                 .iter()
                 .any(|a| matches!(a.kind, AlarmKind::CoLocation { .. }))));
+    }
+
+    #[test]
+    fn evaluate_spec_matches_hand_built_attacker() {
+        let mut rng = SimRng::seed_from(0xDEF);
+        let city = CityModel::synthesize(&mut rng);
+        let wigle = WigleSnapshot::synthesize(&city, &mut rng);
+        let photos = PhotoCollection::synthesize(&city, 10_000, &mut rng);
+        let heat = HeatMap::from_photos(&city, &photos, 100.0);
+        let site = city.pois()[0].location;
+
+        // Spec path.
+        let mut bank = DetectorBank::client_standard([]);
+        let spec_outcome = evaluate_spec(
+            &ch_attack::AttackerSpec::Mana,
+            &wigle,
+            &heat,
+            site,
+            &mut bank,
+            &EvalSpecOptions {
+                preharvest_direct: 10,
+                rounds: 5,
+                direct_ssid: None,
+            },
+        );
+
+        // Hand-built path, preharvesting the same probes.
+        let mut attacker = ManaAttacker::new(ch_attack::AttackerSpec::default_bssid());
+        for i in 0..10u32 {
+            let probe = ProbeRequest::direct(
+                MacAddr::from_index([2, 0, 0], i + 100),
+                Ssid::new_lossy(format!("Disclosed-{i}")),
+            );
+            attacker.respond_to_probe(SimTime::ZERO, &probe, 40);
+        }
+        let mut bank2 = DetectorBank::client_standard([]);
+        let manual = evaluate_attacker(&mut attacker, &mut bank2, 5, None);
+        assert_eq!(spec_outcome, manual);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! The warm-start (database carry-over) study — beyond the paper.
+
+use ch_attack::CityHunterConfig;
+use ch_fleet::{FleetOptions, FleetStats};
+
+use crate::experiments::{expect_fleet, standard_city};
+use crate::fleet::{attacker_seed, job_seed, run_jobs, CampaignJob};
+use crate::runner::{AttackerKind, RunConfig};
+use crate::world::CityData;
+
+/// Warm-start study (beyond the paper): §V-A re-initializes the database
+/// before every test; what does *not* doing that buy? One attacker
+/// instance hunts the canteen for several consecutive half-hours, its
+/// database, weights and buffer split carrying over, against a cold-
+/// started control each slot.
+#[derive(Debug, Clone)]
+pub struct WarmStartOutcome {
+    /// Per-slot `(label, cold h_b, warm h_b, warm database size)`.
+    pub slots: Vec<(String, f64, f64, usize)>,
+}
+
+/// The warm-start cold-control job list: one independent cold-started
+/// canteen run per slot, keys like `warm-start/cold/s1`.
+pub fn warm_start_jobs(seed: u64, slots: usize) -> Vec<CampaignJob> {
+    (0..slots)
+        .map(|slot| {
+            let key = format!("warm-start/cold/s{}", slot + 1);
+            let config = RunConfig {
+                start_hour: 11 + slot / 2, // consecutive lunchtime half-hours
+                seed: job_seed(seed, &key),
+                ..RunConfig::canteen_30min(
+                    AttackerKind::CityHunter(CityHunterConfig {
+                        seed: attacker_seed(seed, &key),
+                        ..CityHunterConfig::default()
+                    }),
+                    0,
+                )
+            };
+            CampaignJob::new(key, format!("cold #{}", slot + 1), config)
+        })
+        .collect()
+}
+
+/// The warm-start study on the fleet engine: the per-slot cold controls
+/// are independent and run as fleet jobs; the warm attacker's chain is
+/// inherently sequential (its database carries across slots) and runs
+/// serially against the same per-slot configurations.
+///
+/// # Errors
+///
+/// Fails if the engine cannot run or any cold control failed.
+pub fn warm_start_fleet(
+    data: &CityData,
+    seed: u64,
+    slots: usize,
+    opts: &FleetOptions,
+) -> Result<(WarmStartOutcome, FleetStats), String> {
+    use crate::runner::run_experiment_with_attacker;
+    use ch_attack::{Attacker, CityHunter};
+
+    let jobs = warm_start_jobs(seed, slots);
+    let (cold, stats) = run_jobs(data, &jobs, opts)?;
+
+    let site = data.site_for(ch_mobility::VenueKind::Canteen);
+    let bssid = ch_attack::AttackerSpec::default_bssid();
+    let mut warm = CityHunter::new(
+        bssid,
+        &data.wigle,
+        &data.heat,
+        site,
+        CityHunterConfig {
+            seed: attacker_seed(seed, "warm-start/warm"),
+            ..CityHunterConfig::default()
+        },
+    );
+    let results = jobs
+        .iter()
+        .zip(&cold)
+        .enumerate()
+        .map(|(slot, (job, cold_record))| {
+            let warm_metrics = run_experiment_with_attacker(data, &job.config, &mut warm);
+            (
+                format!("#{}", slot + 1),
+                cold_record.row.h_b(),
+                warm_metrics.summary("warm").h_b(),
+                warm.database_len(),
+            )
+        })
+        .collect();
+    Ok((WarmStartOutcome { slots: results }, stats))
+}
+
+/// [`warm_start_fleet`] with in-memory options.
+pub fn warm_start_with(data: &CityData, seed: u64, slots: usize) -> WarmStartOutcome {
+    expect_fleet(warm_start_fleet(
+        data,
+        seed,
+        slots,
+        &FleetOptions::in_memory("warm-start", 0),
+    ))
+}
+
+/// [`warm_start_with`] over a freshly built standard city, 4 slots.
+pub fn warm_start(seed: u64) -> WarmStartOutcome {
+    warm_start_with(&standard_city(), seed, 4)
+}

@@ -10,6 +10,7 @@
 use ch_fleet::{
     derive_seed, run_campaign, FleetOptions, FleetStats, JobSpec, JobStatus, Json, ManifestCodec,
 };
+use ch_sim::SimDuration;
 
 use crate::metrics::{ExperimentMetrics, SummaryRow};
 use crate::runner::{run_experiment, RunConfig};
@@ -26,6 +27,30 @@ pub struct CampaignJob {
     pub label: String,
     /// The fully resolved run configuration.
     pub config: RunConfig,
+    /// `true` if the job must also capture the [`RichRecord`] series
+    /// (database growth, offered-SSID depths) that the figure-class
+    /// artifacts render. Summary-only campaigns leave this off and keep
+    /// their manifests small.
+    pub rich: bool,
+}
+
+impl CampaignJob {
+    /// A summary-only campaign job (the common case).
+    pub fn new(key: impl Into<String>, label: impl Into<String>, config: RunConfig) -> CampaignJob {
+        CampaignJob {
+            key: key.into(),
+            label: label.into(),
+            config,
+            rich: false,
+        }
+    }
+
+    /// Turns on [`RichRecord`] capture for this job.
+    #[must_use]
+    pub fn with_rich(mut self) -> CampaignJob {
+        self.rich = true;
+        self
+    }
 }
 
 impl JobSpec for CampaignJob {
@@ -61,6 +86,129 @@ pub fn slug(label: &str) -> String {
     out.trim_end_matches('-').to_string()
 }
 
+/// The per-run series behind the figure-class artifacts: everything a
+/// renderer needs beyond the summary counts. Captured only for jobs with
+/// [`CampaignJob::rich`] set, and stored in the manifest as an optional
+/// `rich` object — summary-only manifests (and those written before this
+/// field existed) parse unchanged.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RichRecord {
+    /// `(minute, attacker database size)` — Fig. 1(a), first curve.
+    pub db_series: Vec<(u64, usize)>,
+    /// `(minute, cumulative broadcast clients connected)` — Fig. 1(a).
+    pub connected: Vec<(u64, usize)>,
+    /// `(2-minute window, hits, clients)` — Fig. 1(b), real-time h_b^r.
+    pub realtime_hb: Vec<(u64, usize, usize)>,
+    /// SSIDs offered to each *connected* broadcast client, ascending.
+    pub offered_connected: Vec<usize>,
+    /// SSIDs offered to *all* broadcast clients, ascending (zeros kept).
+    pub offered_all: Vec<usize>,
+}
+
+impl RichRecord {
+    /// Captures the series from one finished run of length `duration`.
+    pub fn capture(metrics: &ExperimentMetrics, duration: SimDuration) -> RichRecord {
+        RichRecord {
+            db_series: metrics
+                .db_series()
+                .iter()
+                .map(|(t, s)| (t.as_secs() / 60, *s))
+                .collect(),
+            connected: metrics
+                .cumulative_broadcast_hits(duration, SimDuration::from_mins(1))
+                .into_iter()
+                .map(|(t, c)| (t.as_secs() / 60, c))
+                .collect(),
+            realtime_hb: metrics.realtime_hb(duration, SimDuration::from_mins(2)),
+            offered_connected: metrics.offered_counts(true),
+            offered_all: metrics.offered_counts(false),
+        }
+    }
+
+    /// Mean of [`offered_connected`](RichRecord::offered_connected) — the
+    /// paper's "average of 130 SSIDs per connected client" observation.
+    pub fn mean_offered_connected(&self) -> f64 {
+        if self.offered_connected.is_empty() {
+            return 0.0;
+        }
+        self.offered_connected.iter().sum::<usize>() as f64 / self.offered_connected.len() as f64
+    }
+
+    fn to_json(&self) -> Json {
+        let pairs = |series: &[(u64, usize)]| {
+            Json::Arr(
+                series
+                    .iter()
+                    .map(|&(a, b)| Json::Arr(vec![Json::from_u64(a), Json::from_usize(b)]))
+                    .collect(),
+            )
+        };
+        let counts =
+            |series: &[usize]| Json::Arr(series.iter().map(|&c| Json::from_usize(c)).collect());
+        Json::Obj(vec![
+            ("db".into(), pairs(&self.db_series)),
+            ("conn".into(), pairs(&self.connected)),
+            (
+                "hbr".into(),
+                Json::Arr(
+                    self.realtime_hb
+                        .iter()
+                        .map(|&(w, hit, seen)| {
+                            Json::Arr(vec![
+                                Json::from_u64(w),
+                                Json::from_usize(hit),
+                                Json::from_usize(seen),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("off_conn".into(), counts(&self.offered_connected)),
+            ("off_all".into(), counts(&self.offered_all)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<RichRecord> {
+        let pairs = |key: &str| -> Option<Vec<(u64, usize)>> {
+            json.get(key)?
+                .as_arr()?
+                .iter()
+                .map(|item| {
+                    let pair = item.as_arr()?;
+                    Some((pair.first()?.as_u64()?, pair.get(1)?.as_usize()?))
+                })
+                .collect()
+        };
+        let counts = |key: &str| -> Option<Vec<usize>> {
+            json.get(key)?
+                .as_arr()?
+                .iter()
+                .map(Json::as_usize)
+                .collect()
+        };
+        let realtime_hb = json
+            .get("hbr")?
+            .as_arr()?
+            .iter()
+            .map(|item| {
+                let triple = item.as_arr()?;
+                Some((
+                    triple.first()?.as_u64()?,
+                    triple.get(1)?.as_usize()?,
+                    triple.get(2)?.as_usize()?,
+                ))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(RichRecord {
+            db_series: pairs("db")?,
+            connected: pairs("conn")?,
+            realtime_hb,
+            offered_connected: counts("off_conn")?,
+            offered_all: counts("off_all")?,
+        })
+    }
+}
+
 /// What the manifest records per job: the paper's summary row plus the
 /// Fig. 6 breakdowns. Every field is an integer count, so the JSONL
 /// round-trip is exact by construction.
@@ -72,6 +220,8 @@ pub struct JobRecord {
     pub sources: (usize, usize, usize),
     /// Broadcast-hit buffer lanes `(popularity, freshness)`.
     pub lanes: (usize, usize),
+    /// The figure-class series, present only for rich jobs.
+    pub extra: Option<RichRecord>,
 }
 
 impl JobRecord {
@@ -81,13 +231,38 @@ impl JobRecord {
             row: metrics.summary(label),
             sources: metrics.source_breakdown(),
             lanes: metrics.lane_breakdown(),
+            extra: None,
         }
+    }
+
+    /// [`capture`](JobRecord::capture) plus the [`RichRecord`] series.
+    pub fn capture_rich(
+        metrics: &ExperimentMetrics,
+        label: impl Into<String>,
+        duration: SimDuration,
+    ) -> JobRecord {
+        JobRecord {
+            extra: Some(RichRecord::capture(metrics, duration)),
+            ..JobRecord::capture(metrics, label)
+        }
+    }
+
+    /// The rich series, or an error naming the key that lacks them — the
+    /// escape hatch for a manifest written by a summary-only run being
+    /// resumed by a figure-class artifact.
+    pub fn rich(&self, key: &str) -> Result<&RichRecord, String> {
+        self.extra.as_ref().ok_or_else(|| {
+            format!(
+                "manifest record `{key}` has no rich series (written by a \
+                 summary-only run?); re-run with --fresh"
+            )
+        })
     }
 }
 
 impl ManifestCodec for JobRecord {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("label".into(), Json::str(self.row.label.clone())),
             ("total".into(), Json::from_usize(self.row.total_clients)),
             ("direct".into(), Json::from_usize(self.row.direct_clients)),
@@ -108,11 +283,21 @@ impl ManifestCodec for JobRecord {
             ("src_carrier".into(), Json::from_usize(self.sources.2)),
             ("lane_pop".into(), Json::from_usize(self.lanes.0)),
             ("lane_fresh".into(), Json::from_usize(self.lanes.1)),
-        ])
+        ];
+        if let Some(rich) = &self.extra {
+            fields.push(("rich".into(), rich.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     fn from_json(json: &Json) -> Option<Self> {
         let field = |key: &str| json.get(key).and_then(Json::as_usize);
+        // A present-but-malformed `rich` object invalidates the record
+        // (the job re-runs); an absent one is a summary-only record.
+        let extra = match json.get("rich") {
+            Some(rich) => Some(RichRecord::from_json(rich)?),
+            None => None,
+        };
         Some(JobRecord {
             row: SummaryRow {
                 label: json.get("label")?.as_str()?.to_string(),
@@ -128,6 +313,7 @@ impl ManifestCodec for JobRecord {
                 field("src_carrier")?,
             ),
             lanes: (field("lane_pop")?, field("lane_fresh")?),
+            extra,
         })
     }
 }
@@ -144,13 +330,27 @@ pub fn run_jobs(
     opts: &FleetOptions,
 ) -> Result<(Vec<JobRecord>, FleetStats), String> {
     let report = run_campaign(jobs, opts, |job: &CampaignJob| {
-        JobRecord::capture(&run_experiment(data, &job.config), job.label.clone())
+        let metrics = run_experiment(data, &job.config);
+        if job.rich {
+            JobRecord::capture_rich(&metrics, job.label.clone(), job.config.duration)
+        } else {
+            JobRecord::capture(&metrics, job.label.clone())
+        }
     })?;
     let mut records = Vec::with_capacity(report.outcomes.len());
     let mut failures = Vec::new();
-    for outcome in &report.outcomes {
+    for (job, outcome) in jobs.iter().zip(&report.outcomes) {
         match &outcome.status {
-            JobStatus::Done(record) | JobStatus::Cached(record) => records.push(record.clone()),
+            JobStatus::Done(record) | JobStatus::Cached(record) => {
+                if job.rich && record.extra.is_none() {
+                    failures.push(format!(
+                        "{}: cached record has no rich series; re-run with --fresh",
+                        outcome.key
+                    ));
+                } else {
+                    records.push(record.clone());
+                }
+            }
             JobStatus::Failed(message) => failures.push(format!("{}: {message}", outcome.key)),
         }
     }
@@ -202,10 +402,45 @@ mod tests {
             },
             sources: (40, 14, 1),
             lanes: (48, 7),
+            extra: None,
         };
         let json = record.to_json();
+        assert!(
+            !json.render().contains("rich"),
+            "summary-only records must keep the pre-rich manifest format"
+        );
         let reparsed = Json::parse(&json.render()).unwrap();
         assert_eq!(JobRecord::from_json(&reparsed), Some(record));
         assert_eq!(JobRecord::from_json(&Json::Null), None);
+    }
+
+    #[test]
+    fn rich_record_round_trips_through_the_manifest_codec() {
+        let record = JobRecord {
+            row: SummaryRow {
+                label: "fig1".into(),
+                total_clients: 10,
+                direct_clients: 2,
+                broadcast_clients: 8,
+                direct_connected: 1,
+                broadcast_connected: 3,
+            },
+            sources: (3, 0, 0),
+            lanes: (2, 1),
+            extra: Some(RichRecord {
+                db_series: vec![(0, 5), (1, 9)],
+                connected: vec![(0, 0), (1, 2)],
+                realtime_hb: vec![(0, 1, 4), (1, 2, 6)],
+                offered_connected: vec![40, 80],
+                offered_all: vec![0, 40, 40, 80],
+            }),
+        };
+        let reparsed = Json::parse(&record.to_json().render()).unwrap();
+        assert_eq!(JobRecord::from_json(&reparsed), Some(record.clone()));
+
+        // A corrupt rich object invalidates the whole record (re-run).
+        let tampered = record.to_json().render().replace("\"db\"", "\"xx\"");
+        let bad = Json::parse(&tampered).unwrap();
+        assert_eq!(JobRecord::from_json(&bad), None);
     }
 }

@@ -14,27 +14,36 @@
 //!   (WiGLE vs direct probe) and buffer (PB vs FB), time series;
 //! * [`report`] — text tables and series formatted like the paper's;
 //! * [`experiments`] — one driver per table and figure (Table I–IV,
-//!   Fig. 1–2, 4–6) plus the ablation matrix;
+//!   Fig. 1–6) plus the beyond-paper studies, split by artifact family;
+//! * [`registry`] — the declarative spec layer: every artifact as an
+//!   [`registry::ExperimentSpec`] in one canonical table, runnable by id;
 //! * [`fleet`] — the campaign-job model bridging the drivers onto the
 //!   `ch-fleet` execution engine (parallel, panic-isolated, resumable).
 //!
 //! ```no_run
-//! use ch_scenarios::experiments;
+//! use ch_fleet::FleetOptions;
+//! use ch_scenarios::registry::{self, RunParams};
 //!
-//! let outcome = experiments::table1(1);
-//! println!("{}", outcome.render());
+//! let data = ch_scenarios::experiments::standard_city();
+//! let spec = registry::find("table1").unwrap();
+//! let params = RunParams::new(1);
+//! let opts = FleetOptions::in_memory("table1", 0);
+//! let artifact = spec.run(&data, &params, &opts).unwrap();
+//! print!("{}", artifact.text);
 //! ```
 
 pub mod experiments;
 pub mod fleet;
 pub mod metrics;
+pub mod registry;
 pub mod replicate;
 pub mod report;
 pub mod runner;
 pub mod world;
 
-pub use fleet::{CampaignJob, JobRecord};
+pub use fleet::{CampaignJob, JobRecord, RichRecord};
 pub use metrics::{ClientClass, ExperimentMetrics, SummaryRow};
+pub use registry::{Artifact, ExperimentSpec, OutputKind, RunParams, REGISTRY};
 pub use replicate::{replicate, Replication};
 pub use runner::{run_experiment, AttackerKind, RunConfig};
 pub use world::{CityData, World};

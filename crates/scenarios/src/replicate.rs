@@ -31,23 +31,6 @@ pub struct Replication {
     pub clients: Summary,
 }
 
-impl Replication {
-    /// Renders one paper-style line with confidence intervals.
-    pub fn render_line(&self) -> String {
-        format!(
-            "{:<30} h = {:5.1}% ± {:4.1}%   h_b = {:5.1}% ± {:4.1}%   clients = {:6.0} ± {:4.0}   (n={})",
-            self.label,
-            100.0 * self.h.mean(),
-            100.0 * 1.96 * self.h.std_err(),
-            100.0 * self.h_b.mean(),
-            100.0 * 1.96 * self.h_b.std_err(),
-            self.clients.mean(),
-            1.96 * self.clients.std_err(),
-            self.rows.len(),
-        )
-    }
-}
-
 /// Runs `base` across `seeds.len()` seeds in parallel and summarizes.
 ///
 /// # Panics
@@ -85,7 +68,7 @@ pub fn replicate(
 /// parallel map yields exactly one row per seed, so an empty series here
 /// means that chain broke — report it as the invariant violation it is
 /// rather than a bare unwrap.
-fn summarize(values: &[f64]) -> Summary {
+pub(crate) fn summarize(values: &[f64]) -> Summary {
     match Summary::of(values) {
         Some(summary) => summary,
         None => ch_sim::invariant::violation(file!(), line!(), "empty replication series"),
@@ -97,14 +80,9 @@ pub fn seed_range(base_seed: u64, n: usize) -> Vec<u64> {
     (0..n as u64).map(|i| base_seed + i).collect()
 }
 
-/// Replicates every attacker generation under one venue condition — the
-/// statistical version of the Tables I/II comparison.
-pub fn replicate_attackers(
-    data: &CityData,
-    venue_config: &RunConfig,
-    seeds: &[u64],
-) -> Vec<Replication> {
-    let contenders: Vec<(&str, AttackerKind)> = vec![
+/// The attacker generations a comparison study pits against each other.
+fn contenders() -> Vec<(&'static str, AttackerKind)> {
+    vec![
         ("KARMA", AttackerKind::Karma),
         ("MANA", AttackerKind::Mana),
         ("City-Hunter (prelim)", AttackerKind::Prelim),
@@ -112,8 +90,17 @@ pub fn replicate_attackers(
             "City-Hunter (full)",
             AttackerKind::CityHunter(Default::default()),
         ),
-    ];
-    contenders
+    ]
+}
+
+/// Replicates every attacker generation under one venue condition — the
+/// statistical version of the Tables I/II comparison.
+pub fn replicate_attackers(
+    data: &CityData,
+    venue_config: &RunConfig,
+    seeds: &[u64],
+) -> Vec<Replication> {
+    contenders()
         .into_iter()
         .map(|(label, attacker)| {
             let base = RunConfig {
@@ -125,12 +112,10 @@ pub fn replicate_attackers(
         .collect()
 }
 
-/// A ready-made replication study: the canonical canteen and passage
-/// conditions at the given replication factor.
-pub fn standard_study(data: &CityData, base_seed: u64, replicas: usize) -> Vec<Replication> {
-    let seeds = seed_range(base_seed, replicas);
-    let mut out = Vec::new();
-    for (venue_label, config) in [
+/// The standard study's venue conditions (attacker field is a
+/// placeholder; every contender overwrites it).
+fn study_conditions() -> Vec<(&'static str, RunConfig)> {
+    vec![
         (
             "canteen 12:00",
             RunConfig::canteen_30min(AttackerKind::Karma, 0),
@@ -139,13 +124,92 @@ pub fn standard_study(data: &CityData, base_seed: u64, replicas: usize) -> Vec<R
             "passage 08:00",
             RunConfig::passage_30min(AttackerKind::Karma, 0),
         ),
-    ] {
-        for mut replication in replicate_attackers(data, &config, &seeds) {
-            replication.label = format!("{} @ {}", replication.label, venue_label);
-            out.push(replication);
+    ]
+}
+
+/// The standard study's job list: every venue condition × attacker
+/// generation × replica seed, keys like `replication/canteen-1200/mana/s3`.
+/// Replica `i` runs on world seed `base_seed + i` — exactly the seeds
+/// [`replicate`] uses — so the fleet-backed study summarizes identically.
+///
+/// # Panics
+///
+/// Panics if `replicas` is zero.
+pub fn standard_study_jobs(base_seed: u64, replicas: usize) -> Vec<crate::fleet::CampaignJob> {
+    use crate::fleet::{slug, CampaignJob};
+
+    assert!(replicas > 0, "replication needs at least one seed");
+    let seeds = seed_range(base_seed, replicas);
+    let mut jobs = Vec::new();
+    for (venue_label, config) in study_conditions() {
+        for (label, attacker) in contenders() {
+            for (i, &seed) in seeds.iter().enumerate() {
+                jobs.push(CampaignJob::new(
+                    format!(
+                        "replication/{}/{}/s{}",
+                        slug(venue_label),
+                        slug(label),
+                        i + 1
+                    ),
+                    format!("{label} @ {venue_label}"),
+                    RunConfig {
+                        attacker: attacker.clone(),
+                        seed,
+                        ..config.clone()
+                    },
+                ));
+            }
         }
     }
-    out
+    jobs
+}
+
+/// [`standard_study`] on the fleet engine: one resumable campaign over
+/// every condition × contender × seed.
+///
+/// # Errors
+///
+/// Fails if the engine cannot run or any replica's simulation failed.
+pub fn standard_study_fleet(
+    data: &CityData,
+    base_seed: u64,
+    replicas: usize,
+    opts: &ch_fleet::FleetOptions,
+) -> Result<(Vec<Replication>, ch_fleet::FleetStats), String> {
+    let jobs = standard_study_jobs(base_seed, replicas);
+    let (records, stats) = crate::fleet::run_jobs(data, &jobs, opts)?;
+    let replications = jobs
+        .chunks(replicas)
+        .zip(records.chunks(replicas))
+        .map(|(job_chunk, record_chunk)| {
+            let rows: Vec<SummaryRow> = record_chunk.iter().map(|r| r.row.clone()).collect();
+            let h: Vec<f64> = rows.iter().map(SummaryRow::h).collect();
+            let h_b: Vec<f64> = rows.iter().map(SummaryRow::h_b).collect();
+            let clients: Vec<f64> = rows.iter().map(|r| r.total_clients as f64).collect();
+            Replication {
+                label: job_chunk[0].label.clone(),
+                h: summarize(&h),
+                h_b: summarize(&h_b),
+                clients: summarize(&clients),
+                rows,
+            }
+        })
+        .collect();
+    Ok((replications, stats))
+}
+
+/// A ready-made replication study: the canonical canteen and passage
+/// conditions at the given replication factor.
+pub fn standard_study(data: &CityData, base_seed: u64, replicas: usize) -> Vec<Replication> {
+    match standard_study_fleet(
+        data,
+        base_seed,
+        replicas,
+        &ch_fleet::FleetOptions::in_memory("replication", 0),
+    ) {
+        Ok((replications, _)) => replications,
+        Err(error) => ch_sim::invariant::violation(file!(), line!(), &error),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,313 @@
+//! The per-artifact `render()` bodies: every DESIGN §4 table and figure
+//! (plus the beyond-paper studies) renders here and nowhere else, so the
+//! paper's exact text format has a single home.
+//!
+//! Each body is byte-for-byte the text the pre-registry drivers printed;
+//! the golden tests in `tests/golden.rs` pin that against the committed
+//! `results/*.txt`.
+
+use crate::experiments::{
+    AblationOutcome, CampaignOutcome, Fig1Outcome, Fig2Outcome, Fig4Outcome, SweepOutcome,
+    Table1Outcome, Table2Outcome, Table3Outcome, Table4Outcome, WarmStartOutcome,
+};
+use crate::replicate::Replication;
+use crate::report::{pct, ratio_label, render_histogram, render_summary_table};
+
+impl Table1Outcome {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        format!(
+            "TABLE I: Comparing the results of KARMA and MANA (canteen, 30 min)\n{}",
+            render_summary_table(&[self.karma.clone(), self.mana.clone()])
+        )
+    }
+}
+
+impl Table2Outcome {
+    /// Renders the table plus the two §III-C observations.
+    pub fn render(&self) -> String {
+        format!(
+            "TABLE II: MANA vs City-Hunter with the two §III improvements (canteen, 30 min)\n{}\n\
+             broadcast hits from WiGLE: {}\n\
+             mean SSIDs sent per connected broadcast client: {:.0}\n",
+            render_summary_table(&[self.mana.clone(), self.prelim.clone()]),
+            pct(self.wigle_share),
+            self.mean_offered_connected,
+        )
+    }
+}
+
+impl Table3Outcome {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        format!(
+            "TABLE III: Preliminary City-Hunter in the subway passage (30 min)\n{}",
+            render_summary_table(std::slice::from_ref(&self.prelim))
+        )
+    }
+}
+
+impl Table4Outcome {
+    /// Renders the two rankings side by side.
+    pub fn render(&self) -> String {
+        let mut out = String::from("TABLE IV: Top 5 SSIDs selected using different criteria\n");
+        out.push_str(&format!(
+            "| {:<4} | {:<28} | {:<28} |\n",
+            "Rank", "Top 5 by AP count", "Top 5 by heat value"
+        ));
+        out.push_str(&format!("|{}|\n", "-".repeat(70)));
+        for i in 0..5 {
+            let left = self
+                .by_ap_count
+                .get(i)
+                .map(|(s, n)| format!("{s} ({n})"))
+                .unwrap_or_default();
+            let right = self
+                .by_heat
+                .get(i)
+                .map(|(s, h)| format!("{s} ({h:.0})"))
+                .unwrap_or_default();
+            out.push_str(&format!("| {:<4} | {left:<28} | {right:<28} |\n", i + 1));
+        }
+        out
+    }
+}
+
+impl Fig1Outcome {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Fig. 1(a): MANA SSID-database size and broadcast clients connected\n");
+        out.push_str(&format!(
+            "{:>8} {:>10} {:>12}\n",
+            "minute", "db size", "connected"
+        ));
+        for ((m, db), (_, conn)) in self.db_size.iter().zip(&self.connected) {
+            out.push_str(&format!("{m:>8} {db:>10} {conn:>12}\n"));
+        }
+        out.push_str("\nFig. 1(b): real-time broadcast hit rate h_b^r (2-minute windows)\n");
+        out.push_str(&format!(
+            "{:>8} {:>8} {:>8} {:>8}\n",
+            "window", "hit", "seen", "h_b^r"
+        ));
+        for (w, hit, seen) in &self.realtime_hb {
+            let rate = if *seen == 0 {
+                0.0
+            } else {
+                *hit as f64 / *seen as f64
+            };
+            out.push_str(&format!("{w:>8} {hit:>8} {seen:>8} {:>8}\n", pct(rate)));
+        }
+        out
+    }
+}
+
+impl Fig2Outcome {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fig. 2(a): SSIDs sent to each connected client (canteen) — n={}, mean={:.0}\n",
+            self.canteen_offered_connected.len(),
+            self.canteen_mean(),
+        ));
+        out.push_str(&render_histogram(&self.canteen_offered_connected, 40));
+        out.push_str(&format!(
+            "\nFig. 2(b): SSIDs tested per broadcast client (passage) — n={}\n",
+            self.passage_offered_all.len()
+        ));
+        out.push_str(&render_histogram(&self.passage_offered_all, 40));
+        out
+    }
+}
+
+impl Fig4Outcome {
+    /// Renders both panels.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Fig. 4: photo-density heat map by district\n");
+        for (name, panel) in &self.panels {
+            out.push_str(&format!("\n--- {name} ---\n{panel}"));
+        }
+        out
+    }
+}
+
+impl CampaignOutcome {
+    /// Renders the Fig. 5 panels (client stacks + h/h_b per hour).
+    pub fn render_fig5(&self) -> String {
+        let mut out =
+            String::from("Fig. 5: City-Hunter performance per venue and hour (8am-8pm)\n");
+        for series in &self.venues {
+            out.push_str(&format!(
+                "\n--- {} (avg h={}, avg h_b={}) ---\n",
+                series.venue.name(),
+                pct(series.average_h()),
+                pct(series.average_hb()),
+            ));
+            out.push_str(&format!(
+                "{:>5} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+                "hour", "total", "bc-conn", "bc-not", "dir-conn", "dir-not", "h", "h_b"
+            ));
+            for h in &series.hours {
+                out.push_str(&format!(
+                    "{:>5} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+                    format!("{}:00", h.hour),
+                    h.row.total_clients,
+                    h.row.broadcast_connected,
+                    h.row.broadcast_clients - h.row.broadcast_connected,
+                    h.row.direct_connected,
+                    h.row.direct_clients - h.row.direct_connected,
+                    pct(h.row.h()),
+                    pct(h.row.h_b()),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the Fig. 6 breakdowns (source and buffer stacks + ratios).
+    pub fn render_fig6(&self) -> String {
+        let mut out = String::from("Fig. 6: breakdown of SSIDs that hit broadcast clients\n");
+        for series in &self.venues {
+            out.push_str(&format!("\n--- {} ---\n", series.venue.name()));
+            out.push_str(&format!(
+                "{:>5} {:>7} {:>7} {:>9} | {:>7} {:>7} {:>9}\n",
+                "hour", "wigle", "direct", "ratio", "pop", "fresh", "ratio"
+            ));
+            for h in &series.hours {
+                let (wigle, direct, carrier) = h.sources;
+                let (pop, fresh) = h.lanes;
+                let _ = carrier;
+                out.push_str(&format!(
+                    "{:>5} {:>7} {:>7} {:>9} | {:>7} {:>7} {:>9}\n",
+                    format!("{}:00", h.hour),
+                    wigle,
+                    direct,
+                    ratio_label(direct, wigle),
+                    pop,
+                    fresh,
+                    ratio_label(fresh, pop),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Exports the campaign as CSV for external plotting: one row per
+    /// venue-hour with the Fig. 5 stacks, rates, and the Fig. 6
+    /// breakdowns.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "venue,hour,total_clients,broadcast_connected,broadcast_not,\
+             direct_connected,direct_not,h,h_b,src_wigle,src_direct,\
+             src_carrier,lane_popularity,lane_freshness\n",
+        );
+        for series in &self.venues {
+            for h in &series.hours {
+                let (wigle, direct, carrier) = h.sources;
+                let (pop, fresh) = h.lanes;
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{:.4},{:.4},{},{},{},{},{}\n",
+                    series.venue.name().replace(' ', "_"),
+                    h.hour,
+                    h.row.total_clients,
+                    h.row.broadcast_connected,
+                    h.row.broadcast_clients - h.row.broadcast_connected,
+                    h.row.direct_connected,
+                    h.row.direct_clients - h.row.direct_connected,
+                    h.row.h(),
+                    h.row.h_b(),
+                    wigle,
+                    direct,
+                    carrier,
+                    pop,
+                    fresh,
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl AblationOutcome {
+    /// Renders the matrix.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Ablation: City-Hunter design choices (30-min runs)\n");
+        out.push_str(&format!(
+            "| {:<26} | {:>14} | {:>14} | {:>14} | {:>14} |\n",
+            "variant", "canteen h", "canteen h_b", "passage h", "passage h_b"
+        ));
+        out.push_str(&format!("|{}|\n", "-".repeat(96)));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "| {:<26} | {:>14} | {:>14} | {:>14} | {:>14} |\n",
+                row.label,
+                pct(row.canteen.h()),
+                pct(row.canteen.h_b()),
+                pct(row.passage.h()),
+                pct(row.passage.h_b()),
+            ));
+        }
+        out
+    }
+}
+
+impl SweepOutcome {
+    /// Renders the sweep as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!("Sweep: {}\n", self.label);
+        out.push_str(&format!(
+            "{:>10} {:>9} {:>9} {:>10}\n",
+            "x", "h_b", "±95%", "clients"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>10} {:>9} {:>9} {:>10.0}\n",
+                p.x,
+                pct(p.h_b.mean()),
+                pct(1.96 * p.h_b.std_err()),
+                p.clients.mean(),
+            ));
+        }
+        out
+    }
+}
+
+impl WarmStartOutcome {
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Warm-start study: database re-initialized per test (paper, 'cold')\n\
+             vs carried across tests ('warm'); canteen, consecutive 30-min slots\n\n",
+        );
+        out.push_str(&format!(
+            "{:>8} {:>10} {:>10} {:>10}\n",
+            "slot", "cold h_b", "warm h_b", "warm db"
+        ));
+        for (label, cold, warm, db) in &self.slots {
+            out.push_str(&format!(
+                "{label:>8} {:>10} {:>10} {db:>10}\n",
+                pct(*cold),
+                pct(*warm),
+            ));
+        }
+        out
+    }
+}
+
+impl Replication {
+    /// Renders one paper-style line with confidence intervals.
+    pub fn render_line(&self) -> String {
+        format!(
+            "{:<30} h = {:5.1}% ± {:4.1}%   h_b = {:5.1}% ± {:4.1}%   clients = {:6.0} ± {:4.0}   (n={})",
+            self.label,
+            100.0 * self.h.mean(),
+            100.0 * 1.96 * self.h.std_err(),
+            100.0 * self.h_b.mean(),
+            100.0 * 1.96 * self.h_b.std_err(),
+            self.clients.mean(),
+            1.96 * self.clients.std_err(),
+            self.rows.len(),
+        )
+    }
+}

@@ -1,4 +1,10 @@
 //! Text rendering for tables and figure series, in the paper's format.
+//!
+//! The shared primitives (summary tables, histograms, percentages) live
+//! here; the per-artifact `render()` bodies — one per DESIGN §4 table and
+//! figure — live in [`artifacts`].
+
+pub mod artifacts;
 
 use std::fmt::Write as _;
 
@@ -171,6 +177,12 @@ pub fn ratio_label(minor: usize, major: usize) -> String {
     }
 }
 
+/// Offsets hour-indexed timestamps for rendering (the campaign day starts
+/// at 8am).
+pub fn hour_label(start: ch_sim::SimTime) -> String {
+    format!("{:02}:00", 8 + start.as_secs() / 3600)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +262,11 @@ mod tests {
         let s = render_series(("minute", "db"), &[(1, 10), (2, 20)]);
         assert_eq!(s.lines().count(), 3);
         assert!(s.contains("minute"));
+    }
+
+    #[test]
+    fn hour_label_formats() {
+        assert_eq!(hour_label(ch_sim::SimTime::ZERO), "08:00");
+        assert_eq!(hour_label(ch_sim::SimTime::from_hours(4)), "12:00");
     }
 }

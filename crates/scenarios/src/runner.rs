@@ -14,9 +14,7 @@
 //!    the hit is recorded with full provenance.
 
 use ch_attack::ext::DeauthScheduler;
-use ch_attack::{
-    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker, PrelimCityHunter,
-};
+use ch_attack::Attacker;
 use ch_mobility::arrival::GroupArrivalProcess;
 use ch_mobility::path::{visits_for_group, Visit};
 use ch_mobility::VenueKind;
@@ -35,42 +33,13 @@ use ch_wifi::{Channel, MacAddr};
 use crate::metrics::ExperimentMetrics;
 use crate::world::{CityData, World};
 
-/// Which attacker to deploy.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AttackerKind {
-    /// KARMA baseline.
-    Karma,
-    /// MANA baseline.
-    Mana,
-    /// §III preliminary City-Hunter.
-    Prelim,
-    /// §IV full City-Hunter with the given configuration.
-    CityHunter(CityHunterConfig),
-}
-
-impl AttackerKind {
-    /// Instantiates the attacker for a deployment site.
-    fn build(&self, data: &CityData, world: &World) -> Box<dyn Attacker> {
-        let bssid = MacAddr::from_index([0x0a, 0xbc, 0xde], 1);
-        match self {
-            AttackerKind::Karma => Box::new(KarmaAttacker::new(bssid)),
-            AttackerKind::Mana => Box::new(ManaAttacker::new(bssid)),
-            AttackerKind::Prelim => Box::new(PrelimCityHunter::new(
-                bssid,
-                &data.wigle,
-                &data.heat,
-                world.site,
-            )),
-            AttackerKind::CityHunter(config) => Box::new(CityHunter::new(
-                bssid,
-                &data.wigle,
-                &data.heat,
-                world.site,
-                config.clone(),
-            )),
-        }
-    }
-}
+/// Which attacker to deploy: the declarative [`ch_attack::AttackerSpec`].
+///
+/// Historically this enum lived here; it is now the workspace-wide spec
+/// layer in `ch-attack`, shared with the ablation/sweep/replication
+/// studies and the `ch-defense` detection evaluation. The `AttackerKind`
+/// name stays as an alias so existing call sites keep reading naturally.
+pub use ch_attack::AttackerSpec as AttackerKind;
 
 /// Configuration of one experiment run.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,7 +192,9 @@ pub fn run_experiment_observed(
     observer: &mut dyn FrameObserver,
 ) -> ExperimentMetrics {
     let world = assemble_world(data, config);
-    let mut attacker = config.attacker.build(data, &world);
+    let mut attacker = config
+        .attacker
+        .build_default(&data.wigle, &data.heat, world.site);
     run_with(data, config, &world, attacker.as_mut(), observer)
 }
 
@@ -454,6 +425,7 @@ fn join_handshake(
 mod tests {
     use super::*;
     use crate::metrics::ClientClass;
+    use ch_attack::CityHunterConfig;
 
     fn short_run(attacker: AttackerKind, seed: u64) -> ExperimentMetrics {
         let data = CityData::standard(99);
