@@ -59,4 +59,17 @@ cargo run -q --release -p ch-bench --bin experiment -- "${t1_args[@]}" \
 grep -q '1 executed, 1 cached, 0 failed' "$smoke_dir/t1_run2.log"
 cmp "$smoke_dir/t1_run1.txt" "$smoke_dir/t1_run2.txt"
 
+echo "==> perfbench smoke (quick mode, run twice, byte-identical JSON)"
+# The hot-path perf gate: alloc medians must be zero (perfbench asserts
+# this itself) and the JSON must be bit-identical across two runs — the
+# determinism property that lets results/BENCH_hotpath.json live in git.
+perf_dir="target/ci-perfbench"
+rm -rf "$perf_dir"
+mkdir -p "$perf_dir"
+cargo run -q --release -p ch-bench --bin perfbench -- --quick \
+  --out "$perf_dir/run1.json" > /dev/null
+cargo run -q --release -p ch-bench --bin perfbench -- --quick \
+  --out "$perf_dir/run2.json" > /dev/null
+cmp "$perf_dir/run1.json" "$perf_dir/run2.json"
+
 echo "ci.sh: all gates passed"

@@ -11,6 +11,9 @@
 //! | `missing-decode` | R4: every public type in `ch-wifi::frame`/`::ie`     |
 //! |                  | with an `encode*` method has a `decode*`/`parse*`    |
 //! |                  | counterpart                                          |
+//! | `ssid-clone`     | R5: no `.clone()` on an SSID-named value in the      |
+//! |                  | library code of `ch-attack`/`ch-arc` — the hot path  |
+//! |                  | works on interned `SsidId`s                          |
 //!
 //! Any rule is suppressed at a site by a trailing (or directly preceding)
 //! `// ch-lint: allow(<rule>)` comment.
@@ -35,12 +38,16 @@ pub const PANIC_FREE_CRATES: &[&str] = &["ch-wifi", "ch-arc", "ch-attack"];
 /// Crates exempt from R2 (benchmarks legitimately read wall clocks).
 pub const WALL_CLOCK_CRATES: &[&str] = &["ch-bench"];
 
+/// Crates whose probe hot paths must stay on interned ids (R5).
+pub const SSID_HOT_PATH_CRATES: &[&str] = &["ch-attack", "ch-arc"];
+
 /// All rule identifiers, for config validation and `--list-rules`.
 pub const ALL_RULES: &[&str] = &[
     "default-hasher",
     "nondeterminism",
     "panic-path",
     "missing-decode",
+    "ssid-clone",
 ];
 
 /// Runs every applicable rule over one lexed file.
@@ -50,6 +57,7 @@ pub fn check_file(ctx: &FileContext, file: &LexedFile) -> Vec<Finding> {
     rule_nondeterminism(ctx, file, &mut findings);
     rule_panic_path(ctx, file, &mut findings);
     rule_missing_decode(ctx, file, &mut findings);
+    rule_ssid_clone(ctx, file, &mut findings);
     findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
     findings
 }
@@ -359,6 +367,50 @@ fn inherent_impl_methods(toks: &[Token]) -> Vec<(&str, Vec<(&str, u32)>)> {
         i = body_close;
     }
     out
+}
+
+// --- R5: ssid-clone -------------------------------------------------------
+
+fn rule_ssid_clone(ctx: &FileContext, file: &LexedFile, findings: &mut Vec<Finding>) {
+    if !SSID_HOT_PATH_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        // The receiver must be a *named* SSID value: `<ssid-ish ident> . clone (`.
+        // `db.resolve(id).clone()` deliberately does not match — the token
+        // before `.clone(` there is `)`, and resolving an id is the
+        // sanctioned way to materialize an `Ssid` at the edge.
+        if tok.ident() != Some("clone")
+            || i < 2
+            || !toks[i - 1].is_punct('.')
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let Some(receiver) = toks[i - 2].ident() else {
+            continue;
+        };
+        if !receiver.to_ascii_lowercase().contains("ssid") {
+            continue;
+        }
+        if !in_production(ctx, file, i) {
+            continue;
+        }
+        push_unless_allowed(
+            findings,
+            file,
+            ctx,
+            "ssid-clone",
+            tok.line,
+            format!(
+                "`{receiver}.clone()` in the library code of `{}`; the probe \
+                 hot path compares interned `SsidId`s — intern the SSID (or \
+                 justify the refcount bump with an allow comment)",
+                ctx.crate_name
+            ),
+        );
+    }
 }
 
 /// From `toks[open]` (which must be `open_c`), returns the index just past

@@ -137,6 +137,47 @@ fn r4_scoped_to_wire_format_modules() {
 }
 
 #[test]
+fn r5_ssid_clone_fixture() {
+    let src = include_str!("fixtures/ssid_clone.rs");
+    let got = run(
+        "ch-attack",
+        "crates/attack/src/fixture.rs",
+        FileKind::Library,
+        src,
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("ssid-clone".to_string(), 5),  // probe_ssid.clone()
+            ("ssid-clone".to_string(), 14), // probe.ssid.clone()
+        ],
+        "line 18 is allow-suppressed; resolve(..).clone() and non-SSID \
+         clones must not fire; the #[cfg(test)] mod is exempt"
+    );
+}
+
+#[test]
+fn r5_scoped_to_hot_path_crates_and_library_code() {
+    let src = include_str!("fixtures/ssid_clone.rs");
+    // Same shape, non-hot-path crate: out of scope.
+    let got = run(
+        "ch-scenarios",
+        "crates/scenarios/src/x.rs",
+        FileKind::Library,
+        src,
+    );
+    assert!(got.is_empty(), "{got:?}");
+    // Test targets of an in-scope crate: out of scope.
+    let got = run(
+        "ch-attack",
+        "crates/attack/tests/x.rs",
+        FileKind::TestTarget,
+        src,
+    );
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
 fn allow_comment_suppresses_only_its_rule() {
     let src =
         "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap() // ch-lint: allow(nondeterminism)\n}\n";

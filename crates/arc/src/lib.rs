@@ -34,11 +34,13 @@ pub mod arc;
 pub mod lfu;
 pub mod lru;
 mod ordered;
+pub mod seen;
 pub mod traits;
 pub mod twoq;
 
 pub use arc::ArcCache;
 pub use lfu::LfuCache;
 pub use lru::LruCache;
+pub use seen::EpochSet;
 pub use traits::Cache;
 pub use twoq::TwoQCache;

@@ -1,0 +1,153 @@
+//! [`EpochSet`]: an O(1) seen-set over small dense indices.
+//!
+//! The lure buffers dedup SSIDs while assembling a response burst. With
+//! interned `SsidId`s the candidates are small dense integers, so
+//! membership can be an epoch-stamped array instead of a hash set or the
+//! old O(budget²) `Vec::contains` scan: `stamps[i] == epoch` means "index
+//! `i` was inserted this round", and clearing the set for the next probe is
+//! a single epoch bump — no memset, no allocation, no rehash.
+
+/// An epoch-stamped membership set for indices `0..n`.
+///
+/// `insert`/`contains` are O(1); [`EpochSet::begin`] resets the set in O(1)
+/// by advancing the epoch. The stamp table grows lazily to the largest
+/// index ever inserted and is then reused forever, so steady-state use is
+/// allocation-free.
+///
+/// ```
+/// use ch_arc::EpochSet;
+///
+/// let mut seen = EpochSet::new();
+/// assert!(seen.insert(3));
+/// assert!(!seen.insert(3)); // duplicate
+/// assert!(seen.contains(3));
+/// seen.begin(); // O(1) clear
+/// assert!(!seen.contains(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EpochSet {
+    stamps: Vec<u32>,
+    // Always >= 1; stamp 0 means "never inserted".
+    epoch: u32,
+}
+
+impl Default for EpochSet {
+    fn default() -> Self {
+        EpochSet::new()
+    }
+}
+
+impl EpochSet {
+    /// An empty set. The stamp table grows on first use.
+    pub fn new() -> Self {
+        EpochSet {
+            stamps: Vec::new(),
+            epoch: 1,
+        }
+    }
+
+    /// A set pre-sized for indices `0..capacity`, so even the first round
+    /// is allocation-free.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EpochSet {
+            stamps: vec![0; capacity],
+            epoch: 1,
+        }
+    }
+
+    /// Starts a fresh round, forgetting all members in O(1).
+    pub fn begin(&mut self) {
+        // Stamp 0 marks "never inserted"; on the (astronomically rare) u32
+        // wrap, fall back to an explicit wipe so stale stamps can't alias.
+        match self.epoch.checked_add(1) {
+            Some(next) => self.epoch = next,
+            None => {
+                self.stamps.fill(0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    /// Inserts `index`, returning `true` if it was not yet a member this
+    /// round. Grows the stamp table if `index` is beyond it.
+    pub fn insert(&mut self, index: usize) -> bool {
+        if index >= self.stamps.len() {
+            self.stamps.resize(index + 1, 0);
+        }
+        if self.stamps[index] == self.epoch {
+            return false;
+        }
+        self.stamps[index] = self.epoch;
+        true
+    }
+
+    /// `true` if `index` was inserted since the last [`EpochSet::begin`].
+    pub fn contains(&self, index: usize) -> bool {
+        self.stamps.get(index).copied() == Some(self.epoch)
+    }
+
+    /// Capacity of the stamp table (largest index ever inserted, plus one).
+    pub fn capacity(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_and_duplicates() {
+        let mut s = EpochSet::new();
+        assert!(s.insert(0));
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(0));
+        assert!(s.contains(7));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn begin_clears_in_o1() {
+        let mut s = EpochSet::with_capacity(16);
+        for i in 0..16 {
+            assert!(s.insert(i));
+        }
+        s.begin();
+        for i in 0..16 {
+            assert!(!s.contains(i));
+            assert!(s.insert(i));
+        }
+    }
+
+    #[test]
+    fn fresh_set_is_empty() {
+        let s = EpochSet::with_capacity(4);
+        assert!(!s.contains(0));
+        assert!(!s.contains(3));
+        assert_eq!(s.capacity(), 4);
+    }
+
+    #[test]
+    fn grows_to_largest_index() {
+        let mut s = EpochSet::new();
+        assert!(s.insert(100));
+        assert!(s.capacity() >= 101);
+        assert!(s.contains(100));
+        assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn epoch_wrap_wipes_stamps() {
+        let mut s = EpochSet::with_capacity(2);
+        s.epoch = u32::MAX;
+        s.insert(0);
+        assert!(s.contains(0));
+        s.begin(); // wraps: wipe + epoch 1
+        assert!(!s.contains(0));
+        assert!(!s.contains(1));
+        assert!(s.insert(0));
+        assert!(s.contains(0));
+    }
+}

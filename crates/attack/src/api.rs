@@ -52,10 +52,12 @@ impl Lure {
 
 /// An SSID-luring evil-twin attacker.
 ///
-/// The scenario runner calls [`Attacker::respond_to_probe`] for every probe
-/// it receives, puts the returned lures on the air (subject to the §III-A
-/// scan budget), and reports successful associations back through
-/// [`Attacker::on_hit`].
+/// The scenario runner calls [`Attacker::respond_to_probe_into`] for every
+/// probe it receives (reusing one lure buffer across the whole run), puts
+/// the returned lures on the air (subject to the §III-A scan budget), and
+/// reports successful associations back through [`Attacker::on_hit`].
+/// [`Attacker::respond_to_probe`] is the allocating convenience form for
+/// tests and one-off callers.
 ///
 /// ```
 /// use ch_attack::{Attacker, KarmaAttacker};
@@ -79,10 +81,29 @@ pub trait Attacker {
     /// The BSSID the attacker transmits under.
     fn bssid(&self) -> MacAddr;
 
-    /// Chooses up to `budget` lures for this probe. For direct probes the
-    /// canonical move is a single mimicking reply; for broadcast probes the
-    /// policy is what distinguishes the attackers.
-    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure>;
+    /// Chooses up to `budget` lures for this probe, into a caller-owned
+    /// vector (cleared first). For direct probes the canonical move is a
+    /// single mimicking reply; for broadcast probes the policy is what
+    /// distinguishes the attackers.
+    ///
+    /// Implementations keep this path allocation-free at steady state: with
+    /// a warm `out` and warm internal scratch, answering a probe must not
+    /// touch the heap (the perfbench gate measures exactly this call).
+    fn respond_to_probe_into(
+        &mut self,
+        now: SimTime,
+        probe: &ProbeRequest,
+        budget: usize,
+        out: &mut Vec<Lure>,
+    );
+
+    /// Allocating convenience wrapper around
+    /// [`respond_to_probe_into`](Attacker::respond_to_probe_into).
+    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure> {
+        let mut out = Vec::new();
+        self.respond_to_probe_into(now, probe, budget, &mut out);
+        out
+    }
 
     /// A client associated after receiving `lure` — update hit statistics,
     /// weights, freshness, adaptive sizes.
@@ -103,12 +124,23 @@ pub trait Attacker {
 /// requested SSID (all four attackers do this identically, §IV "for the
 /// direct probes, City-Hunter utilizes the same approach as in KARMA").
 pub fn direct_reply(probe: &ProbeRequest) -> Vec<Lure> {
+    let mut out = Vec::with_capacity(1);
+    direct_reply_into(probe, &mut out);
+    out
+}
+
+/// [`direct_reply`] into a caller-owned vector (cleared first). The SSID
+/// handoff is an `Arc` refcount bump, so a warm `out` makes this
+/// allocation-free.
+pub fn direct_reply_into(probe: &ProbeRequest, out: &mut Vec<Lure>) {
     debug_assert!(!probe.is_broadcast());
-    vec![Lure::new(
+    out.clear();
+    out.push(Lure::new(
+        // ch-lint: allow(ssid-clone) — Arc clone at the boundary, no heap.
         probe.ssid.clone(),
         LureSource::DirectProbe,
         LureLane::DirectReply,
-    )]
+    ));
 }
 
 #[cfg(test)]

@@ -13,8 +13,9 @@
 //! small (`p += 1, f -= 1`); a hit by an FB-ghost pick grows the FB — the
 //! ARC feedback loop (`ch-arc`) transplanted onto SSID selection.
 
+use ch_arc::EpochSet;
 use ch_sim::{ch_invariant, SimRng};
-use ch_wifi::Ssid;
+use ch_wifi::SsidId;
 
 use crate::api::LureLane;
 
@@ -28,6 +29,27 @@ pub const GHOST_PICKS: usize = 2;
 /// Minimum size of either buffer — adaptation never starves a side
 /// completely.
 pub const MIN_BUFFER: usize = 4;
+
+/// Reusable scratch state for [`AdaptiveBuffers::select_into`].
+///
+/// Owns the intermediate picked list, the O(1) seen-set, the FB ghost pool
+/// and the RNG sample buffer. All four grow once to their steady-state
+/// capacity and are then reused, so a warm scratch makes selection
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SelectScratch {
+    picked: Vec<(SsidId, LureLane)>,
+    seen: EpochSet,
+    ghost_pool: Vec<SsidId>,
+    sample: Vec<usize>,
+}
+
+impl SelectScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        SelectScratch::default()
+    }
+}
 
 /// The adaptive size state and selection logic.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,44 +121,79 @@ impl AdaptiveBuffers {
 
     /// Selects up to `budget` SSIDs for one client.
     ///
+    /// Allocating convenience wrapper around
+    /// [`select_into`](AdaptiveBuffers::select_into) for tests and one-off
+    /// callers; the runner's hot path reuses a [`SelectScratch`].
+    pub fn select(
+        &self,
+        by_weight: &[SsidId],
+        by_freshness: &[SsidId],
+        budget: usize,
+        rng: &mut SimRng,
+    ) -> Vec<(SsidId, LureLane)> {
+        let mut scratch = SelectScratch::new();
+        let mut out = Vec::new();
+        self.select_into(by_weight, by_freshness, budget, rng, &mut scratch, &mut out);
+        out
+    }
+
+    /// Selects up to `budget` SSIDs for one client, into a caller-owned
+    /// output vector.
+    ///
     /// `by_weight` and `by_freshness` must already be filtered to SSIDs
-    /// not yet sent to this client, best first. Returns `(ssid, lane)`
+    /// not yet sent to this client, best first. `out` receives `(id, lane)`
     /// pairs, deduplicated, in send order (popular first). When one list
     /// runs short the other fills the gap, so the budget is met whenever
     /// enough candidates exist.
-    pub fn select(
+    ///
+    /// Dedup runs through the scratch's [`EpochSet`] — O(1) per candidate
+    /// on interned ids, where the old string-keyed path scanned the picked
+    /// list (O(budget²) per probe). With a warm `scratch`/`out` this makes
+    /// no allocation at all; the RNG draw sequence and the selected
+    /// `(ssid, lane)` ordering are bit-identical to the old path.
+    pub fn select_into(
         &self,
-        by_weight: &[Ssid],
-        by_freshness: &[Ssid],
+        by_weight: &[SsidId],
+        by_freshness: &[SsidId],
         budget: usize,
         rng: &mut SimRng,
-    ) -> Vec<(Ssid, LureLane)> {
+        scratch: &mut SelectScratch,
+        out: &mut Vec<(SsidId, LureLane)>,
+    ) {
         self.check_invariants();
+        out.clear();
         let budget = budget.min(self.total);
         // Scale the split if the runner hands us a smaller budget.
         let p_quota = (self.p * budget).div_ceil(self.total).min(budget);
         let f_quota = budget - p_quota;
 
-        let mut picked: Vec<(Ssid, LureLane)> = Vec::with_capacity(budget);
-        let contains =
-            |picked: &Vec<(Ssid, LureLane)>, s: &Ssid| picked.iter().any(|(q, _)| q == s);
+        let SelectScratch {
+            picked,
+            seen,
+            ghost_pool,
+            sample,
+        } = scratch;
+        picked.clear();
+        seen.begin();
 
         // --- Popularity side (picked first: an SSID that is both popular
         // and fresh is credited to the PB, so the FB lane measures the
         // *distinctive* freshness contribution, as in Fig. 6).
         let pb_core = p_quota.saturating_sub(GHOST_PICKS.min(p_quota));
-        for ssid in by_weight.iter().take(pb_core) {
-            if !contains(&picked, ssid) {
-                picked.push((ssid.clone(), LureLane::Popularity));
+        for &id in by_weight.iter().take(pb_core) {
+            if seen.insert(id.index()) {
+                picked.push((id, LureLane::Popularity));
             }
         }
         // PB ghost: two random picks from the next GHOST_LEN by weight.
         if p_quota > 0 {
-            let ghost_pool: Vec<&Ssid> = by_weight.iter().skip(pb_core).take(GHOST_LEN).collect();
-            for i in rng.sample_indices(ghost_pool.len(), GHOST_PICKS.min(p_quota)) {
-                let ssid = ghost_pool[i];
-                if !contains(&picked, ssid) {
-                    picked.push((ssid.clone(), LureLane::PopularityGhost));
+            let pool = &by_weight[pb_core.min(by_weight.len())..];
+            let pool_len = pool.len().min(GHOST_LEN);
+            rng.sample_indices_into(pool_len, GHOST_PICKS.min(p_quota), sample);
+            for &i in sample.iter() {
+                let id = pool[i];
+                if seen.insert(id.index()) {
+                    picked.push((id, LureLane::PopularityGhost));
                 }
             }
         }
@@ -144,57 +201,77 @@ impl AdaptiveBuffers {
         // --- Freshness side ------------------------------------------------
         let fb_core = f_quota.saturating_sub(GHOST_PICKS.min(f_quota));
         let mut fb_taken = 0usize;
-        let mut fresh_iter = by_freshness.iter();
-        for ssid in fresh_iter.by_ref() {
+        let mut cursor = 0usize;
+        // Quota check *after* the take, mirroring the original iterator
+        // loop: reaching the FB quota consumes (and drops) one extra fresh
+        // candidate, so the ghost pool below starts one element later.
+        while cursor < by_freshness.len() {
+            let id = by_freshness[cursor];
+            cursor += 1;
             if fb_taken >= fb_core {
                 break;
             }
-            if !contains(&picked, ssid) {
-                picked.push((ssid.clone(), LureLane::Freshness));
+            if seen.insert(id.index()) {
+                picked.push((id, LureLane::Freshness));
                 fb_taken += 1;
             }
         }
         // FB ghost: two random picks from the next GHOST_LEN fresh SSIDs.
         if f_quota > 0 {
-            let ghost_pool: Vec<&Ssid> = fresh_iter
-                .filter(|s| !contains(&picked, s))
-                .take(GHOST_LEN)
-                .collect();
-            for i in rng.sample_indices(ghost_pool.len(), GHOST_PICKS.min(f_quota)) {
-                let ssid = ghost_pool[i];
-                if !contains(&picked, ssid) && picked.len() < budget {
-                    picked.push((ssid.clone(), LureLane::FreshnessGhost));
+            ghost_pool.clear();
+            for &id in &by_freshness[cursor..] {
+                if ghost_pool.len() >= GHOST_LEN {
+                    break;
+                }
+                if !seen.contains(id.index()) {
+                    ghost_pool.push(id);
+                }
+            }
+            rng.sample_indices_into(ghost_pool.len(), GHOST_PICKS.min(f_quota), sample);
+            for &i in sample.iter() {
+                let id = ghost_pool[i];
+                // Budget check before the insert: a ghost rejected for
+                // budget must stay eligible for the backfill lane below.
+                if !seen.contains(id.index()) && picked.len() < budget {
+                    seen.insert(id.index());
+                    picked.push((id, LureLane::FreshnessGhost));
                 }
             }
         }
 
         // --- Backfill: deeper weight-ranked SSIDs until the budget is met.
-        for ssid in by_weight {
+        for &id in by_weight {
             if picked.len() >= budget {
                 break;
             }
-            if !contains(&picked, ssid) {
-                picked.push((ssid.clone(), LureLane::Popularity));
+            if seen.insert(id.index()) {
+                picked.push((id, LureLane::Popularity));
             }
         }
         // Send order: popularity first (highest expected yield), then
-        // freshness, then ghosts — clients may disappear mid-burst.
-        picked.sort_by_key(|(_, lane)| match lane {
-            LureLane::Popularity => 0,
-            LureLane::Freshness => 1,
-            LureLane::PopularityGhost => 2,
-            LureLane::FreshnessGhost => 3,
-            _ => 4,
-        });
+        // freshness, then ghosts — clients may disappear mid-burst. Four
+        // stable emission passes replace the old sort_by_key: same order,
+        // but no sort-buffer allocation.
+        for lane in [
+            LureLane::Popularity,
+            LureLane::Freshness,
+            LureLane::PopularityGhost,
+            LureLane::FreshnessGhost,
+        ] {
+            for &(id, l) in picked.iter() {
+                if l == lane {
+                    out.push((id, l));
+                }
+            }
+        }
         // The lane quotas are constructed to sum to at most `budget`; the
         // truncate below is a release-mode safety net, so check first.
         ch_invariant!(
-            picked.len() <= budget,
+            out.len() <= budget,
             "selected {} SSIDs against a budget of {budget}",
-            picked.len()
+            out.len()
         );
-        picked.truncate(budget);
-        picked
+        out.truncate(budget);
     }
 
     /// Feeds back a hit: ghost-lane hits move the split one step toward
@@ -221,11 +298,15 @@ impl AdaptiveBuffers {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ch_wifi::{Ssid, SsidInterner};
     use proptest::prelude::*;
 
-    fn ssids(prefix: &str, n: usize) -> Vec<Ssid> {
+    /// Interns `prefix{000..n}` and returns the ids; a shared interner
+    /// makes overlapping prefixes produce overlapping ids, like the
+    /// database does.
+    fn ssids(interner: &mut SsidInterner, prefix: &str, n: usize) -> Vec<SsidId> {
         (0..n)
-            .map(|i| Ssid::new_lossy(format!("{prefix}{i:03}")))
+            .map(|i| interner.intern(&Ssid::new_lossy(format!("{prefix}{i:03}"))))
             .collect()
     }
 
@@ -240,22 +321,24 @@ mod tests {
     #[test]
     fn selection_fills_budget_and_dedups() {
         let b = AdaptiveBuffers::paper_default();
-        let weight = ssids("w", 100);
-        let fresh = ssids("w", 10); // freshness entries overlap weight list
+        let mut interner = SsidInterner::new();
+        let weight = ssids(&mut interner, "w", 100);
+        let fresh = ssids(&mut interner, "w", 10); // freshness overlaps weight list
         let mut rng = SimRng::seed_from(1);
         let picked = b.select(&weight, &fresh, 40, &mut rng);
         assert_eq!(picked.len(), 40);
-        let mut names: Vec<&str> = picked.iter().map(|(s, _)| s.as_str()).collect();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), 40, "duplicates in selection");
+        let mut ids: Vec<SsidId> = picked.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 40, "duplicates in selection");
     }
 
     #[test]
     fn lanes_present_when_both_lists_rich() {
         let b = AdaptiveBuffers::paper_default();
-        let weight = ssids("w", 200);
-        let fresh = ssids("f", 50);
+        let mut interner = SsidInterner::new();
+        let weight = ssids(&mut interner, "w", 200);
+        let fresh = ssids(&mut interner, "f", 50);
         let mut rng = SimRng::seed_from(2);
         let picked = b.select(&weight, &fresh, 40, &mut rng);
         let count = |lane: LureLane| picked.iter().filter(|(_, l)| *l == lane).count();
@@ -269,7 +352,8 @@ mod tests {
     #[test]
     fn empty_freshness_falls_back_to_popularity() {
         let b = AdaptiveBuffers::paper_default();
-        let weight = ssids("w", 100);
+        let mut interner = SsidInterner::new();
+        let weight = ssids(&mut interner, "w", 100);
         let mut rng = SimRng::seed_from(3);
         let picked = b.select(&weight, &[], 40, &mut rng);
         assert_eq!(picked.len(), 40);
@@ -281,10 +365,31 @@ mod tests {
     #[test]
     fn short_candidate_lists_shrink_selection() {
         let b = AdaptiveBuffers::paper_default();
-        let weight = ssids("w", 7);
+        let mut interner = SsidInterner::new();
+        let weight = ssids(&mut interner, "w", 7);
         let mut rng = SimRng::seed_from(4);
         let picked = b.select(&weight, &[], 40, &mut rng);
         assert_eq!(picked.len(), 7, "no invention of SSIDs");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // One warm scratch across many different calls must give exactly
+        // the allocating wrapper's answer each time.
+        let b = AdaptiveBuffers::paper_default();
+        let mut interner = SsidInterner::new();
+        let weight = ssids(&mut interner, "w", 120);
+        let fresh = ssids(&mut interner, "f", 30);
+        let mut scratch = SelectScratch::new();
+        let mut out = Vec::new();
+        for (budget, seed) in [(40usize, 1u64), (7, 2), (1, 3), (40, 4), (13, 5)] {
+            let mut rng_a = SimRng::seed_from(seed);
+            let mut rng_b = rng_a.clone();
+            b.select_into(&weight, &fresh, budget, &mut rng_a, &mut scratch, &mut out);
+            assert_eq!(out, b.select(&weight, &fresh, budget, &mut rng_b));
+            // Identical RNG consumption on both paths.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        }
     }
 
     #[test]
@@ -344,7 +449,8 @@ mod tests {
         let mut b = AdaptiveBuffers::paper_default();
         b.p = b.total - 1;
         b.f = 1; // below MIN_BUFFER
-        let weight = ssids("w", 50);
+        let mut interner = SsidInterner::new();
+        let weight = ssids(&mut interner, "w", 50);
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut rng = SimRng::seed_from(9);
             b.select(&weight, &[], 40, &mut rng);
@@ -356,11 +462,12 @@ mod tests {
 
     #[test]
     fn selection_stays_within_budget_for_all_small_budgets() {
-        // Exercises the `picked.len() <= budget` invariant across the full
+        // Exercises the `out.len() <= budget` invariant across the full
         // quota-splitting range, including budgets below GHOST_PICKS.
         let b = AdaptiveBuffers::paper_default();
-        let weight = ssids("w", 120);
-        let fresh = ssids("f", 60);
+        let mut interner = SsidInterner::new();
+        let weight = ssids(&mut interner, "w", 120);
+        let fresh = ssids(&mut interner, "f", 60);
         for budget in 1..=40 {
             let mut rng = SimRng::seed_from(budget as u64);
             let picked = b.select(&weight, &fresh, budget, &mut rng);
@@ -379,18 +486,19 @@ mod tests {
             seed in 0u64..1_000,
         ) {
             let b = AdaptiveBuffers::paper_default();
-            let weight = ssids("w", n_weight);
-            let fresh: Vec<Ssid> = ssids("w", n_fresh); // subset naming → overlaps
+            let mut interner = SsidInterner::new();
+            let weight = ssids(&mut interner, "w", n_weight);
+            let fresh = ssids(&mut interner, "w", n_fresh); // subset naming → overlaps
             let mut rng = SimRng::seed_from(seed);
             let picked = b.select(&weight, &fresh, budget, &mut rng);
             prop_assert!(picked.len() <= budget);
-            let mut names: Vec<&str> = picked.iter().map(|(s, _)| s.as_str()).collect();
-            names.sort_unstable();
-            let before = names.len();
-            names.dedup();
-            prop_assert_eq!(names.len(), before, "duplicates");
-            for (s, _) in &picked {
-                prop_assert!(weight.contains(s) || fresh.contains(s));
+            let mut ids: Vec<SsidId> = picked.iter().map(|&(id, _)| id).collect();
+            ids.sort_unstable();
+            let before = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "duplicates");
+            for &(id, _) in &picked {
+                prop_assert!(weight.contains(&id) || fresh.contains(&id));
             }
         }
 

@@ -1,19 +1,31 @@
 //! The full City-Hunter attacker (§IV).
 
+use ch_arc::EpochSet;
 use ch_geo::netdb::carrier_ssids;
 use ch_geo::weights::{rank_weights, RankWeighting};
 use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
 use ch_sim::{SimRng, SimTime};
 use ch_wifi::mgmt::ProbeRequest;
-use ch_wifi::MacAddr;
+use ch_wifi::{MacAddr, SsidId};
 
-#[cfg(test)]
 use crate::api::LureLane;
-use crate::api::{direct_reply, Attacker, Lure, LureSource};
-use crate::buffers::AdaptiveBuffers;
+use crate::api::{direct_reply_into, Attacker, Lure, LureSource};
+use crate::buffers::{AdaptiveBuffers, SelectScratch};
 use crate::clienttrack::ClientTracker;
 use crate::db::SsidDatabase;
 use crate::prelim::{WIGLE_NEARBY, WIGLE_TOP_BY_HEAT};
+
+/// Reusable per-attacker scratch: candidate lists, dedup set, and the
+/// buffer-selection scratch. Warmed up over the first few probes, then the
+/// broadcast path never allocates again.
+#[derive(Debug, Clone, Default)]
+struct HunterScratch {
+    seen: EpochSet,
+    by_weight: Vec<SsidId>,
+    by_freshness: Vec<SsidId>,
+    select: SelectScratch,
+    picked: Vec<(SsidId, LureLane)>,
+}
 
 /// Feature switches for City-Hunter — every §IV/§V design decision is a
 /// flag so the ablation bench can turn it off in isolation.
@@ -60,6 +72,7 @@ pub struct CityHunter {
     buffers: AdaptiveBuffers,
     tracker: ClientTracker,
     rng: SimRng,
+    scratch: HunterScratch,
 }
 
 impl CityHunter {
@@ -108,6 +121,7 @@ impl CityHunter {
             buffers,
             tracker: ClientTracker::new(),
             rng,
+            scratch: HunterScratch::default(),
         }
     }
 
@@ -142,53 +156,71 @@ impl Attacker for CityHunter {
         self.bssid
     }
 
-    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure> {
+    fn respond_to_probe_into(
+        &mut self,
+        now: SimTime,
+        probe: &ProbeRequest,
+        budget: usize,
+        out: &mut Vec<Lure>,
+    ) {
         if !probe.is_broadcast() {
             // Step 2 (online updating): harvest, then reply KARMA-style.
-            self.db.observe_direct_probe(probe.ssid.clone(), now);
-            return direct_reply(probe);
+            self.db.observe_direct_probe(&probe.ssid, now);
+            direct_reply_into(probe, out);
+            return;
         }
+        out.clear();
 
         // Step 3: build candidate lists, filtered to this client's untried
-        // SSIDs when tracking is on.
+        // SSIDs when tracking is on. Everything below runs on interned ids
+        // and warm scratch — no heap traffic at steady state.
         let client = probe.source;
-        let ranked = self.db.ranked().to_vec();
-        let by_weight: Vec<_> = if self.config.untried_tracking {
-            self.tracker
-                .select_untried(client, ranked.iter(), ranked.len())
+        let (ranked, fresh) = self.db.ranked_and_fresh();
+        let by_weight: &[SsidId] = if self.config.untried_tracking {
+            self.tracker.select_untried_into(
+                client,
+                ranked,
+                ranked.len(),
+                &mut self.scratch.seen,
+                &mut self.scratch.by_weight,
+            );
+            &self.scratch.by_weight
         } else {
             ranked
         };
-        let by_freshness: Vec<_> = if self.config.use_freshness {
-            let fresh = self.db.by_freshness();
+        let by_freshness: &[SsidId] = if self.config.use_freshness {
             if self.config.untried_tracking {
-                self.tracker
-                    .select_untried(client, fresh.iter(), fresh.len())
+                self.tracker.select_untried_into(
+                    client,
+                    fresh,
+                    fresh.len(),
+                    &mut self.scratch.seen,
+                    &mut self.scratch.by_freshness,
+                );
+                &self.scratch.by_freshness
             } else {
                 fresh
             }
         } else {
-            Vec::new()
+            &[]
         };
 
         // Step 4: select and send.
-        let picked = self
-            .buffers
-            .select(&by_weight, &by_freshness, budget, &mut self.rng);
-        picked
-            .into_iter()
-            .map(|(ssid, lane)| {
-                if self.config.untried_tracking {
-                    self.tracker.mark_sent(client, ssid.clone());
-                }
-                let source = self
-                    .db
-                    .entry(&ssid)
-                    .map(|e| e.source)
-                    .unwrap_or(LureSource::Wigle);
-                Lure::new(ssid, source, lane)
-            })
-            .collect()
+        self.buffers.select_into(
+            by_weight,
+            by_freshness,
+            budget,
+            &mut self.rng,
+            &mut self.scratch.select,
+            &mut self.scratch.picked,
+        );
+        for &(id, lane) in &self.scratch.picked {
+            if self.config.untried_tracking {
+                self.tracker.mark_sent(client, id);
+            }
+            let source = self.db.source_of(id).unwrap_or(LureSource::Wigle);
+            out.push(Lure::new(self.db.resolve(id).clone(), source, lane));
+        }
     }
 
     fn on_hit(&mut self, now: SimTime, _client: MacAddr, lure: &Lure) {

@@ -4,15 +4,20 @@
 //! tried to connect but failed in the past, and maintains an un-tried SSID
 //! list for each of them." We store the complement — the set already
 //! *sent* per MAC — which is equivalent and much smaller.
+//!
+//! SSIDs are tracked as interned [`SsidId`]s: membership tests hash a u32
+//! instead of a string, and the untried filter dedups through an
+//! [`EpochSet`] in O(1) per candidate rather than scanning the picked list.
 
+use ch_arc::EpochSet;
 use ch_sim::{DetHashMap, DetHashSet};
 
-use ch_wifi::{MacAddr, Ssid};
+use ch_wifi::{MacAddr, SsidId};
 
 /// Tracks which SSIDs have been sent to which client.
 #[derive(Debug, Clone, Default)]
 pub struct ClientTracker {
-    sent: DetHashMap<MacAddr, DetHashSet<Ssid>>,
+    sent: DetHashMap<MacAddr, DetHashSet<SsidId>>,
 }
 
 impl ClientTracker {
@@ -32,35 +37,55 @@ impl ClientTracker {
     }
 
     /// `true` if `ssid` was already sent to `client`.
-    pub fn was_sent(&self, client: MacAddr, ssid: &Ssid) -> bool {
-        self.sent.get(&client).is_some_and(|set| set.contains(ssid))
+    pub fn was_sent(&self, client: MacAddr, ssid: SsidId) -> bool {
+        self.sent
+            .get(&client)
+            .is_some_and(|set| set.contains(&ssid))
     }
 
     /// Records that `ssid` has been sent to `client`.
-    pub fn mark_sent(&mut self, client: MacAddr, ssid: Ssid) {
+    pub fn mark_sent(&mut self, client: MacAddr, ssid: SsidId) {
         self.sent.entry(client).or_default().insert(ssid);
     }
 
     /// Filters `candidates` down to those not yet sent to `client`,
-    /// preserving order, stopping after `limit`.
-    pub fn select_untried<'a>(
+    /// preserving order and collapsing duplicates, stopping after `limit`.
+    pub fn select_untried(
         &self,
         client: MacAddr,
-        candidates: impl IntoIterator<Item = &'a Ssid>,
+        candidates: &[SsidId],
         limit: usize,
-    ) -> Vec<Ssid> {
+    ) -> Vec<SsidId> {
+        let mut seen = EpochSet::new();
+        let mut out = Vec::new();
+        self.select_untried_into(client, candidates, limit, &mut seen, &mut out);
+        out
+    }
+
+    /// [`select_untried`](ClientTracker::select_untried) into caller-owned
+    /// scratch: `out` receives the picks, `seen` is the dedup set. Both are
+    /// cleared first and reused across calls, so the steady-state filter
+    /// never allocates.
+    pub fn select_untried_into(
+        &self,
+        client: MacAddr,
+        candidates: &[SsidId],
+        limit: usize,
+        seen: &mut EpochSet,
+        out: &mut Vec<SsidId>,
+    ) {
+        out.clear();
+        seen.begin();
         let sent = self.sent.get(&client);
-        let mut picked = Vec::with_capacity(limit);
-        for ssid in candidates {
-            if picked.len() >= limit {
+        for &ssid in candidates {
+            if out.len() >= limit {
                 break;
             }
-            let already = sent.is_some_and(|set| set.contains(ssid));
-            if !already && !picked.contains(ssid) {
-                picked.push(ssid.clone());
+            let already = sent.is_some_and(|set| set.contains(&ssid));
+            if !already && seen.insert(ssid.index()) {
+                out.push(ssid);
             }
         }
-        picked
     }
 
     /// Forgets everything (database re-initialization between tests).
@@ -72,6 +97,7 @@ impl ClientTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ch_wifi::{Ssid, SsidInterner};
     use proptest::prelude::*;
     use std::collections::HashSet;
 
@@ -79,48 +105,78 @@ mod tests {
         MacAddr::new([2, 0, 0, 0, 0, i])
     }
 
-    fn ssid(s: &str) -> Ssid {
-        Ssid::new(s).unwrap()
+    fn intern(interner: &mut SsidInterner, s: &str) -> SsidId {
+        interner.intern(&Ssid::new(s).unwrap())
     }
 
     #[test]
     fn untried_selection_skips_sent() {
+        let mut interner = SsidInterner::new();
+        let (a, b, c) = (
+            intern(&mut interner, "A"),
+            intern(&mut interner, "B"),
+            intern(&mut interner, "C"),
+        );
         let mut t = ClientTracker::new();
-        t.mark_sent(mac(1), ssid("A"));
-        let pool = [ssid("A"), ssid("B"), ssid("C")];
-        let picked = t.select_untried(mac(1), pool.iter(), 10);
-        assert_eq!(picked, vec![ssid("B"), ssid("C")]);
+        t.mark_sent(mac(1), a);
+        let pool = [a, b, c];
+        let picked = t.select_untried(mac(1), &pool, 10);
+        assert_eq!(picked, vec![b, c]);
         // A different client still gets "A".
-        let picked2 = t.select_untried(mac(2), pool.iter(), 10);
+        let picked2 = t.select_untried(mac(2), &pool, 10);
         assert_eq!(picked2.len(), 3);
     }
 
     #[test]
     fn limit_respected() {
+        let mut interner = SsidInterner::new();
         let t = ClientTracker::new();
-        let pool: Vec<Ssid> = (0..100).map(|i| ssid(&format!("S{i}"))).collect();
-        let picked = t.select_untried(mac(1), pool.iter(), 40);
+        let pool: Vec<SsidId> = (0..100)
+            .map(|i| intern(&mut interner, &format!("S{i}")))
+            .collect();
+        let picked = t.select_untried(mac(1), &pool, 40);
         assert_eq!(picked.len(), 40);
     }
 
     #[test]
     fn duplicates_in_candidates_collapsed() {
+        let mut interner = SsidInterner::new();
+        let (a, b) = (intern(&mut interner, "A"), intern(&mut interner, "B"));
         let t = ClientTracker::new();
-        let pool = [ssid("A"), ssid("A"), ssid("B")];
-        let picked = t.select_untried(mac(1), pool.iter(), 10);
-        assert_eq!(picked, vec![ssid("A"), ssid("B")]);
+        let pool = [a, a, b];
+        let picked = t.select_untried(mac(1), &pool, 10);
+        assert_eq!(picked, vec![a, b]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_allocating_path() {
+        let mut interner = SsidInterner::new();
+        let pool: Vec<SsidId> = (0..30)
+            .map(|i| intern(&mut interner, &format!("S{i}")))
+            .collect();
+        let mut t = ClientTracker::new();
+        t.mark_sent(mac(1), pool[0]);
+        t.mark_sent(mac(1), pool[5]);
+        let mut seen = EpochSet::new();
+        let mut out = Vec::new();
+        for limit in [0, 3, 10, 40] {
+            t.select_untried_into(mac(1), &pool, limit, &mut seen, &mut out);
+            assert_eq!(out, t.select_untried(mac(1), &pool, limit));
+        }
     }
 
     #[test]
     fn counts_and_clear() {
+        let mut interner = SsidInterner::new();
+        let (a, b) = (intern(&mut interner, "A"), intern(&mut interner, "B"));
         let mut t = ClientTracker::new();
-        t.mark_sent(mac(1), ssid("A"));
-        t.mark_sent(mac(1), ssid("B"));
-        t.mark_sent(mac(2), ssid("A"));
+        t.mark_sent(mac(1), a);
+        t.mark_sent(mac(1), b);
+        t.mark_sent(mac(2), a);
         assert_eq!(t.client_count(), 2);
         assert_eq!(t.sent_count(mac(1)), 2);
-        assert!(t.was_sent(mac(1), &ssid("A")));
-        assert!(!t.was_sent(mac(2), &ssid("B")));
+        assert!(t.was_sent(mac(1), a));
+        assert!(!t.was_sent(mac(2), b));
         t.clear();
         assert_eq!(t.client_count(), 0);
         assert_eq!(t.sent_count(mac(1)), 0);
@@ -134,15 +190,16 @@ mod tests {
             names in proptest::collection::vec("[a-z]{1,6}", 1..50),
             rounds in 1usize..6,
         ) {
-            let pool: Vec<Ssid> = names.iter().map(|n| ssid(n)).collect();
+            let mut interner = SsidInterner::new();
+            let pool: Vec<SsidId> = names.iter().map(|n| intern(&mut interner, n)).collect();
             let mut t = ClientTracker::new();
             let client = mac(7);
             let mut seen = HashSet::new();
             for _ in 0..rounds {
-                let picked = t.select_untried(client, pool.iter(), 10);
-                for s in &picked {
-                    prop_assert!(seen.insert(s.clone()), "resent {s}");
-                    t.mark_sent(client, s.clone());
+                let picked = t.select_untried(client, &pool, 10);
+                for &s in &picked {
+                    prop_assert!(seen.insert(s), "resent {s}");
+                    t.mark_sent(client, s);
                 }
             }
         }

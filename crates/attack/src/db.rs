@@ -3,11 +3,18 @@
 //! Every SSID the attacker knows, with a weight (initially rank-order from
 //! the heat-ranked WiGLE seed, then bumped by online events), hit
 //! statistics, and the freshness timestamp the FB runs on.
+//!
+//! The database owns a [`SsidInterner`] and keys everything by [`SsidId`]:
+//! the ranking caches are `Vec<SsidId>` rebuilt in place (no per-call
+//! clones — the old API returned `Vec<Ssid>` by clone on every freshness
+//! query), and the buffers downstream dedup ids instead of comparing
+//! strings. [`Ssid`] remains the validated boundary type: it enters via the
+//! seed/observe calls and leaves via [`SsidDatabase::resolve`].
 
 use ch_sim::DetHashMap;
 
 use ch_sim::SimTime;
-use ch_wifi::Ssid;
+use ch_wifi::{Ssid, SsidId, SsidInterner};
 
 use crate::api::LureSource;
 
@@ -42,10 +49,15 @@ pub struct DbEntry {
 /// The attacker's SSID database.
 #[derive(Debug, Clone, Default)]
 pub struct SsidDatabase {
-    entries: DetHashMap<Ssid, DbEntry>,
-    /// Cached weight-descending order; rebuilt lazily.
-    ranked: Vec<Ssid>,
-    dirty: bool,
+    interner: SsidInterner,
+    entries: DetHashMap<SsidId, DbEntry>,
+    /// Cached weight-descending order; rebuilt lazily, in place.
+    ranked: Vec<SsidId>,
+    ranked_dirty: bool,
+    /// Cached freshness order (most recent hit first); rebuilt lazily.
+    fresh: Vec<SsidId>,
+    fresh_dirty: bool,
+    fresh_scratch: Vec<(SimTime, SsidId)>,
 }
 
 impl SsidDatabase {
@@ -64,22 +76,51 @@ impl SsidDatabase {
         self.entries.is_empty()
     }
 
+    /// The interner backing this database. Ids returned by any method here
+    /// resolve against it.
+    pub fn interner(&self) -> &SsidInterner {
+        &self.interner
+    }
+
+    /// The id of `ssid`, if it is known.
+    pub fn id_of(&self, ssid: &Ssid) -> Option<SsidId> {
+        self.interner
+            .get(ssid)
+            .filter(|id| self.entries.contains_key(id))
+    }
+
+    /// Resolves a database id back to its SSID.
+    pub fn resolve(&self, id: SsidId) -> &Ssid {
+        self.interner.resolve(id)
+    }
+
     /// The record for `ssid`.
     pub fn entry(&self, ssid: &Ssid) -> Option<&DbEntry> {
-        self.entries.get(ssid)
+        self.interner.get(ssid).and_then(|id| self.entries.get(&id))
+    }
+
+    /// The record for an interned id.
+    pub fn entry_by_id(&self, id: SsidId) -> Option<&DbEntry> {
+        self.entries.get(&id)
+    }
+
+    /// The provenance of an interned id (hot-path lookup; never allocates).
+    pub fn source_of(&self, id: SsidId) -> Option<LureSource> {
+        self.entries.get(&id).map(|e| e.source)
     }
 
     /// `true` if `ssid` is known.
     pub fn contains(&self, ssid: &Ssid) -> bool {
-        self.entries.contains_key(ssid)
+        self.id_of(ssid).is_some()
     }
 
     /// Seeds an SSID from the WiGLE ranking with an explicit rank weight.
     /// Existing entries keep the larger weight.
-    pub fn seed_from_wigle(&mut self, ssid: Ssid, weight: f64, now: SimTime) {
-        self.dirty = true;
+    pub fn seed_from_wigle(&mut self, ssid: Ssid, weight: f64, now: SimTime) -> SsidId {
+        self.ranked_dirty = true;
+        let id = self.interner.intern(&ssid);
         self.entries
-            .entry(ssid)
+            .entry(id)
             .and_modify(|e| e.weight = e.weight.max(weight))
             .or_insert(DbEntry {
                 weight,
@@ -88,26 +129,30 @@ impl SsidDatabase {
                 last_hit: None,
                 added_at: now,
             });
+        id
     }
 
     /// Preloads a carrier SSID (§V-B) at a given weight.
-    pub fn seed_carrier(&mut self, ssid: Ssid, weight: f64, now: SimTime) {
-        self.dirty = true;
-        self.entries.entry(ssid).or_insert(DbEntry {
+    pub fn seed_carrier(&mut self, ssid: Ssid, weight: f64, now: SimTime) -> SsidId {
+        self.ranked_dirty = true;
+        let id = self.interner.intern(&ssid);
+        self.entries.entry(id).or_insert(DbEntry {
             weight,
             source: LureSource::Carrier,
             hits: 0,
             last_hit: None,
             added_at: now,
         });
+        id
     }
 
     /// Records an SSID disclosed by a direct probe: new SSIDs join at
     /// [`DIRECT_PROBE_WEIGHT`]; repeats earn [`DIRECT_REPEAT_BONUS`].
-    pub fn observe_direct_probe(&mut self, ssid: Ssid, now: SimTime) {
-        self.dirty = true;
+    pub fn observe_direct_probe(&mut self, ssid: &Ssid, now: SimTime) -> SsidId {
+        self.ranked_dirty = true;
+        let id = self.interner.intern(ssid);
         self.entries
-            .entry(ssid)
+            .entry(id)
             .and_modify(|e| e.weight += DIRECT_REPEAT_BONUS)
             .or_insert(DbEntry {
                 weight: DIRECT_PROBE_WEIGHT,
@@ -116,49 +161,92 @@ impl SsidDatabase {
                 last_hit: None,
                 added_at: now,
             });
+        id
     }
 
     /// Records a broadcast hit with `ssid`: weight bonus + freshness stamp.
     pub fn record_hit(&mut self, ssid: &Ssid, now: SimTime) {
-        if let Some(e) = self.entries.get_mut(ssid) {
-            e.weight += HIT_WEIGHT_BONUS;
-            e.hits += 1;
-            e.last_hit = Some(now);
-            self.dirty = true;
+        if let Some(id) = self.id_of(ssid) {
+            self.record_hit_id(id, now);
         }
     }
 
-    /// SSIDs in weight-descending order (stable name tie-break). The order
-    /// is cached between mutations.
-    pub fn ranked(&mut self) -> &[Ssid] {
-        if self.dirty {
-            let mut order: Vec<Ssid> = self.entries.keys().cloned().collect();
-            order.sort_by(|a, b| {
-                let wa = self.entries[a].weight;
-                let wb = self.entries[b].weight;
-                wb.total_cmp(&wa).then_with(|| a.cmp(b))
+    /// [`record_hit`](SsidDatabase::record_hit) by interned id.
+    pub fn record_hit_id(&mut self, id: SsidId, now: SimTime) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.weight += HIT_WEIGHT_BONUS;
+            e.hits += 1;
+            e.last_hit = Some(now);
+            self.ranked_dirty = true;
+            self.fresh_dirty = true;
+        }
+    }
+
+    /// SSID ids in weight-descending order (stable name tie-break). The
+    /// order is cached between mutations and rebuilt in place — no
+    /// allocation once the cache has reached the database size.
+    pub fn ranked(&mut self) -> &[SsidId] {
+        if self.ranked_dirty {
+            let mut order = std::mem::take(&mut self.ranked);
+            order.clear();
+            order.extend(self.entries.keys().copied());
+            let entries = &self.entries;
+            let interner = &self.interner;
+            // Unstable sort (in place, allocation-free); the (weight, name)
+            // key is a total order over distinct names, so the result
+            // matches the old stable sort byte for byte.
+            order.sort_unstable_by(|a, b| {
+                let wa = entries[a].weight;
+                let wb = entries[b].weight;
+                wb.total_cmp(&wa)
+                    .then_with(|| interner.resolve(*a).cmp(interner.resolve(*b)))
             });
             self.ranked = order;
-            self.dirty = false;
+            self.ranked_dirty = false;
         }
         &self.ranked
     }
 
-    /// SSIDs with at least one hit, most recent hit first — the freshness
-    /// ranking behind the FB.
-    pub fn by_freshness(&self) -> Vec<Ssid> {
-        let mut hit: Vec<(&Ssid, SimTime)> = self
-            .entries
-            .iter()
-            .filter_map(|(s, e)| e.last_hit.map(|t| (s, t)))
-            .collect();
-        hit.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
-        hit.into_iter().map(|(s, _)| s.clone()).collect()
+    /// SSID ids with at least one hit, most recent hit first — the
+    /// freshness ranking behind the FB. Cached between hits (the old API
+    /// cloned every SSID into a fresh `Vec<String>`-style list per call).
+    pub fn by_freshness(&mut self) -> &[SsidId] {
+        if self.fresh_dirty {
+            let mut scratch = std::mem::take(&mut self.fresh_scratch);
+            scratch.clear();
+            scratch.extend(
+                self.entries
+                    .iter()
+                    .filter_map(|(id, e)| e.last_hit.map(|t| (t, *id))),
+            );
+            let interner = &self.interner;
+            scratch.sort_unstable_by(|a, b| {
+                b.0.cmp(&a.0)
+                    .then_with(|| interner.resolve(a.1).cmp(interner.resolve(b.1)))
+            });
+            self.fresh.clear();
+            self.fresh.extend(scratch.iter().map(|&(_, id)| id));
+            self.fresh_scratch = scratch;
+            self.fresh_dirty = false;
+        }
+        &self.fresh
+    }
+
+    /// Both ranking caches at once, refreshed — the hot path needs the
+    /// weight order and the freshness order simultaneously, and the borrow
+    /// checker will not allow two sequential `&mut self` accessor calls to
+    /// both stay live.
+    pub fn ranked_and_fresh(&mut self) -> (&[SsidId], &[SsidId]) {
+        let _ = self.ranked();
+        let _ = self.by_freshness();
+        (&self.ranked, &self.fresh)
     }
 
     /// Iterates over all records.
     pub fn iter(&self) -> impl Iterator<Item = (&Ssid, &DbEntry)> {
-        self.entries.iter()
+        self.entries
+            .iter()
+            .map(|(id, e)| (self.interner.resolve(*id), e))
     }
 }
 
@@ -173,18 +261,20 @@ mod tests {
     #[test]
     fn wigle_seed_keeps_max_weight() {
         let mut db = SsidDatabase::new();
-        db.seed_from_wigle(ssid("A"), 200.0, SimTime::ZERO);
-        db.seed_from_wigle(ssid("A"), 50.0, SimTime::ZERO);
+        let id = db.seed_from_wigle(ssid("A"), 200.0, SimTime::ZERO);
+        assert_eq!(db.seed_from_wigle(ssid("A"), 50.0, SimTime::ZERO), id);
         assert_eq!(db.entry(&ssid("A")).unwrap().weight, 200.0);
         assert_eq!(db.len(), 1);
+        assert_eq!(db.id_of(&ssid("A")), Some(id));
+        assert_eq!(db.resolve(id), &ssid("A"));
     }
 
     #[test]
     fn direct_probe_repeats_accumulate() {
         let mut db = SsidDatabase::new();
-        db.observe_direct_probe(ssid("X"), SimTime::ZERO);
+        db.observe_direct_probe(&ssid("X"), SimTime::ZERO);
         let w0 = db.entry(&ssid("X")).unwrap().weight;
-        db.observe_direct_probe(ssid("X"), SimTime::from_secs(1));
+        db.observe_direct_probe(&ssid("X"), SimTime::from_secs(1));
         assert_eq!(
             db.entry(&ssid("X")).unwrap().weight,
             w0 + DIRECT_REPEAT_BONUS
@@ -215,7 +305,8 @@ mod tests {
         db.seed_from_wigle(ssid("Low"), 1.0, SimTime::ZERO);
         db.seed_from_wigle(ssid("B-High"), 9.0, SimTime::ZERO);
         db.seed_from_wigle(ssid("A-High"), 9.0, SimTime::ZERO);
-        let ranked: Vec<&str> = db.ranked().iter().map(|s| s.as_str()).collect();
+        let order = db.ranked().to_vec();
+        let ranked: Vec<&str> = order.iter().map(|&id| db.resolve(id).as_str()).collect();
         assert_eq!(ranked, ["A-High", "B-High", "Low"]);
     }
 
@@ -224,9 +315,11 @@ mod tests {
         let mut db = SsidDatabase::new();
         db.seed_from_wigle(ssid("A"), 5.0, SimTime::ZERO);
         db.seed_from_wigle(ssid("B"), 4.0, SimTime::ZERO);
-        assert_eq!(db.ranked()[0].as_str(), "A");
+        let head = db.ranked()[0];
+        assert_eq!(db.resolve(head).as_str(), "A");
         db.record_hit(&ssid("B"), SimTime::from_secs(1)); // B now 29
-        assert_eq!(db.ranked()[0].as_str(), "B");
+        let head = db.ranked()[0];
+        assert_eq!(db.resolve(head).as_str(), "B");
     }
 
     #[test]
@@ -237,12 +330,35 @@ mod tests {
             db.record_hit(&ssid(name), SimTime::from_secs(t));
         }
         db.seed_from_wigle(ssid("NeverHit"), 99.0, SimTime::ZERO);
-        let fresh: Vec<String> = db
-            .by_freshness()
-            .iter()
-            .map(|s| s.as_str().to_owned())
-            .collect();
+        let order = db.by_freshness().to_vec();
+        let fresh: Vec<&str> = order.iter().map(|&id| db.resolve(id).as_str()).collect();
         assert_eq!(fresh, ["B", "C", "A"]);
+    }
+
+    #[test]
+    fn freshness_cache_invalidated_by_hits() {
+        let mut db = SsidDatabase::new();
+        db.seed_from_wigle(ssid("A"), 1.0, SimTime::ZERO);
+        db.seed_from_wigle(ssid("B"), 1.0, SimTime::ZERO);
+        db.record_hit(&ssid("A"), SimTime::from_secs(1));
+        assert_eq!(db.by_freshness().len(), 1);
+        db.record_hit(&ssid("B"), SimTime::from_secs(2));
+        let order = db.by_freshness().to_vec();
+        let fresh: Vec<&str> = order.iter().map(|&id| db.resolve(id).as_str()).collect();
+        assert_eq!(fresh, ["B", "A"]);
+    }
+
+    #[test]
+    fn stale_interned_id_is_not_an_entry() {
+        // An id can exist in the interner without a database record only if
+        // callers misuse the type; id_of must still answer from `entries`.
+        let mut db = SsidDatabase::new();
+        let id = db.seed_from_wigle(ssid("A"), 1.0, SimTime::ZERO);
+        assert_eq!(
+            db.entry_by_id(id).map(|e| e.source),
+            Some(LureSource::Wigle)
+        );
+        assert_eq!(db.source_of(id), Some(LureSource::Wigle));
     }
 
     #[test]

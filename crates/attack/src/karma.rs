@@ -4,7 +4,7 @@ use ch_sim::SimTime;
 use ch_wifi::mgmt::ProbeRequest;
 use ch_wifi::{MacAddr, Ssid};
 
-use crate::api::{direct_reply, Attacker, Lure};
+use crate::api::{direct_reply_into, Attacker, Lure};
 
 /// KARMA: mimic whatever SSID a *direct* probe asks for; stay silent on
 /// broadcast probes. Against a modern, broadcast-only population its
@@ -39,20 +39,23 @@ impl Attacker for KarmaAttacker {
         self.bssid
     }
 
-    fn respond_to_probe(
+    fn respond_to_probe_into(
         &mut self,
         _now: SimTime,
         probe: &ProbeRequest,
         _budget: usize,
-    ) -> Vec<Lure> {
+        out: &mut Vec<Lure>,
+    ) {
         if probe.is_broadcast() {
             // KARMA has nothing to say to a broadcast probe.
-            Vec::new()
+            out.clear();
         } else {
             if !self.ssids_mimicked.contains(&probe.ssid) {
+                // Arc refcount bump into the mimic log, off the hot path.
+                // ch-lint: allow(ssid-clone)
                 self.ssids_mimicked.push(probe.ssid.clone());
             }
-            direct_reply(probe)
+            direct_reply_into(probe, out);
         }
     }
 

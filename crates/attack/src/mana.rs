@@ -2,9 +2,9 @@
 
 use ch_sim::SimTime;
 use ch_wifi::mgmt::ProbeRequest;
-use ch_wifi::MacAddr;
+use ch_wifi::{MacAddr, SsidId};
 
-use crate::api::{direct_reply, Attacker, Lure, LureLane, LureSource};
+use crate::api::{direct_reply_into, Attacker, Lure, LureLane, LureSource};
 use crate::db::SsidDatabase;
 
 /// MANA: harvest SSIDs from direct probes into a database; on a broadcast
@@ -30,10 +30,11 @@ use crate::db::SsidDatabase;
 pub struct ManaAttacker {
     bssid: MacAddr,
     db: SsidDatabase,
-    /// Insertion-ordered SSID list — MANA replays in harvest order.
-    harvest_order: Vec<ch_wifi::Ssid>,
+    /// Insertion-ordered id list — MANA replays in harvest order. Ids
+    /// resolve against the database's interner.
+    harvest_order: Vec<SsidId>,
     /// Per-device disclosures, for non-loud mode.
-    per_device: ch_sim::DetHashMap<MacAddr, Vec<ch_wifi::Ssid>>,
+    per_device: ch_sim::DetHashMap<MacAddr, Vec<SsidId>>,
     loud: bool,
 }
 
@@ -78,40 +79,43 @@ impl Attacker for ManaAttacker {
         self.bssid
     }
 
-    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure> {
+    fn respond_to_probe_into(
+        &mut self,
+        now: SimTime,
+        probe: &ProbeRequest,
+        budget: usize,
+        out: &mut Vec<Lure>,
+    ) {
         if probe.is_broadcast() {
-            if self.loud {
+            out.clear();
+            let replay = if self.loud {
                 // Replay the database from the top; only the first
                 // `budget` can land (§III-A).
-                self.harvest_order
-                    .iter()
-                    .take(budget)
-                    .map(|ssid| {
-                        Lure::new(ssid.clone(), LureSource::DirectProbe, LureLane::Database)
-                    })
-                    .collect()
+                self.harvest_order.as_slice()
             } else {
                 // Non-loud: only this device's own disclosures.
                 self.per_device
                     .get(&probe.source)
-                    .into_iter()
-                    .flatten()
-                    .take(budget)
-                    .map(|ssid| {
-                        Lure::new(ssid.clone(), LureSource::DirectProbe, LureLane::Database)
-                    })
-                    .collect()
+                    .map_or(&[][..], Vec::as_slice)
+            };
+            for &id in replay.iter().take(budget) {
+                out.push(Lure::new(
+                    self.db.resolve(id).clone(),
+                    LureSource::DirectProbe,
+                    LureLane::Database,
+                ));
             }
         } else {
-            if !self.db.contains(&probe.ssid) {
-                self.harvest_order.push(probe.ssid.clone());
+            let known = self.db.contains(&probe.ssid);
+            let id = self.db.observe_direct_probe(&probe.ssid, now);
+            if !known {
+                self.harvest_order.push(id);
             }
             let disclosed = self.per_device.entry(probe.source).or_default();
-            if !disclosed.contains(&probe.ssid) {
-                disclosed.push(probe.ssid.clone());
+            if !disclosed.contains(&id) {
+                disclosed.push(id);
             }
-            self.db.observe_direct_probe(probe.ssid.clone(), now);
-            direct_reply(probe)
+            direct_reply_into(probe, out);
         }
     }
 

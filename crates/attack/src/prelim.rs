@@ -1,11 +1,12 @@
 //! The preliminary City-Hunter (§III): MANA + two fixes.
 
+use ch_arc::EpochSet;
 use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
 use ch_sim::SimTime;
 use ch_wifi::mgmt::ProbeRequest;
-use ch_wifi::{MacAddr, Ssid};
+use ch_wifi::{MacAddr, SsidId};
 
-use crate::api::{direct_reply, Attacker, Lure, LureLane, LureSource};
+use crate::api::{direct_reply_into, Attacker, Lure, LureLane, LureSource};
 use crate::clienttrack::ClientTracker;
 use crate::db::SsidDatabase;
 
@@ -28,8 +29,12 @@ pub struct PrelimCityHunter {
     bssid: MacAddr,
     db: SsidDatabase,
     /// Reply order: database insertion order, as §III describes it.
-    reply_order: Vec<Ssid>,
+    reply_order: Vec<SsidId>,
     tracker: ClientTracker,
+    /// Reused dedup scratch for the broadcast path.
+    seen: EpochSet,
+    /// Reused pick buffer for the broadcast path.
+    picked: Vec<SsidId>,
 }
 
 impl PrelimCityHunter {
@@ -43,10 +48,10 @@ impl PrelimCityHunter {
     pub fn new(bssid: MacAddr, wigle: &WigleSnapshot, _heat: &HeatMap, site: GeoPoint) -> Self {
         let mut db = SsidDatabase::new();
         let mut reply_order = Vec::new();
-        let push = |db: &mut SsidDatabase, order: &mut Vec<Ssid>, ssid: Ssid| {
+        let push = |db: &mut SsidDatabase, order: &mut Vec<SsidId>, ssid: ch_wifi::Ssid| {
             if !db.contains(&ssid) {
-                db.seed_from_wigle(ssid.clone(), 1.0, SimTime::ZERO);
-                order.push(ssid);
+                let id = db.seed_from_wigle(ssid, 1.0, SimTime::ZERO);
+                order.push(id);
             }
         };
         for ssid in wigle.nearest_open_ssids(site, WIGLE_NEARBY) {
@@ -60,6 +65,8 @@ impl PrelimCityHunter {
             db,
             reply_order,
             tracker: ClientTracker::new(),
+            seen: EpochSet::new(),
+            picked: Vec::new(),
         }
     }
 
@@ -73,8 +80,9 @@ impl PrelimCityHunter {
         &self.tracker
     }
 
-    /// The fixed reply order (diagnostics/tests).
-    pub fn reply_order(&self) -> &[Ssid] {
+    /// The fixed reply order as interned ids (diagnostics/tests); resolve
+    /// them through [`Self::database`]'s interner.
+    pub fn reply_order(&self) -> &[SsidId] {
         &self.reply_order
     }
 }
@@ -88,29 +96,38 @@ impl Attacker for PrelimCityHunter {
         self.bssid
     }
 
-    fn respond_to_probe(&mut self, now: SimTime, probe: &ProbeRequest, budget: usize) -> Vec<Lure> {
+    fn respond_to_probe_into(
+        &mut self,
+        now: SimTime,
+        probe: &ProbeRequest,
+        budget: usize,
+        out: &mut Vec<Lure>,
+    ) {
         if probe.is_broadcast() {
-            let picked = self
-                .tracker
-                .select_untried(probe.source, self.reply_order.iter(), budget);
-            picked
-                .into_iter()
-                .map(|ssid| {
-                    let source = self
-                        .db
-                        .entry(&ssid)
-                        .map(|e| e.source)
-                        .unwrap_or(LureSource::Wigle);
-                    self.tracker.mark_sent(probe.source, ssid.clone());
-                    Lure::new(ssid, source, LureLane::Database)
-                })
-                .collect()
-        } else {
-            if !self.db.contains(&probe.ssid) {
-                self.reply_order.push(probe.ssid.clone());
+            out.clear();
+            self.tracker.select_untried_into(
+                probe.source,
+                &self.reply_order,
+                budget,
+                &mut self.seen,
+                &mut self.picked,
+            );
+            for &id in &self.picked {
+                let source = self.db.source_of(id).unwrap_or(LureSource::Wigle);
+                self.tracker.mark_sent(probe.source, id);
+                out.push(Lure::new(
+                    self.db.resolve(id).clone(),
+                    source,
+                    LureLane::Database,
+                ));
             }
-            self.db.observe_direct_probe(probe.ssid.clone(), now);
-            direct_reply(probe)
+        } else {
+            let known = self.db.contains(&probe.ssid);
+            let id = self.db.observe_direct_probe(&probe.ssid, now);
+            if !known {
+                self.reply_order.push(id);
+            }
+            direct_reply_into(probe, out);
         }
     }
 
@@ -128,6 +145,7 @@ mod tests {
     use super::*;
     use ch_geo::{CityModel, PhotoCollection};
     use ch_sim::SimRng;
+    use ch_wifi::Ssid;
 
     fn mac(i: u8) -> MacAddr {
         MacAddr::new([2, 0, 0, 0, 0, i])
@@ -161,8 +179,8 @@ mod tests {
         assert_eq!(lures.len(), 40);
         assert!(lures.iter().all(|l| l.source == LureSource::Wigle));
         // §III has no weighting: the reply is the database head verbatim.
-        for (lure, expect) in lures.iter().zip(&order) {
-            assert_eq!(&lure.ssid, expect);
+        for (lure, &expect) in lures.iter().zip(&order) {
+            assert_eq!(&lure.ssid, ch.database().resolve(expect));
         }
     }
 
@@ -210,7 +228,8 @@ mod tests {
         );
         assert_eq!(ch.database_len(), before + 1);
         // Harvested SSIDs join the tail of the reply order.
-        assert_eq!(ch.reply_order().last(), Some(&secret));
+        let last = *ch.reply_order().last().unwrap();
+        assert_eq!(ch.database().resolve(last), &secret);
         // A static broadcast client eventually receives it.
         let probe = ProbeRequest::broadcast(mac(3));
         let mut offered = false;

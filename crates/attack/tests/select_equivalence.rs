@@ -1,0 +1,230 @@
+//! The scratch-buffer selection path must be *bit-identical* to the
+//! allocating algorithm it replaced.
+//!
+//! `reference_select` below is a line-for-line port of the pre-interning
+//! `AdaptiveBuffers::select` (clone-per-pick, `Vec`-per-call, linear-scan
+//! dedup, stable `sort_by_key` lane ordering), re-keyed from `Ssid` to
+//! `SsidId` — a bijection under one interner, so equality and order are
+//! preserved. Both paths draw from identically seeded [`SimRng`]s; the
+//! scratch path kept the draw sequence, so outputs must match exactly.
+
+use ch_attack::buffers::{AdaptiveBuffers, SelectScratch, GHOST_LEN, GHOST_PICKS, MIN_BUFFER};
+use ch_attack::LureLane;
+use ch_sim::SimRng;
+use ch_wifi::{Ssid, SsidId, SsidInterner};
+use proptest::prelude::*;
+
+/// The seed-revision selection algorithm, verbatim except for the id
+/// re-keying. Do not "improve" this: it is the oracle.
+fn reference_select(
+    buffers: &AdaptiveBuffers,
+    by_weight: &[SsidId],
+    by_freshness: &[SsidId],
+    budget: usize,
+    rng: &mut SimRng,
+) -> Vec<(SsidId, LureLane)> {
+    let (p, _f) = buffers.sizes();
+    let total = buffers.total();
+    let budget = budget.min(total);
+    let p_quota = (p * budget).div_ceil(total).min(budget);
+    let f_quota = budget - p_quota;
+
+    let mut picked: Vec<(SsidId, LureLane)> = Vec::with_capacity(budget);
+    let contains =
+        |picked: &Vec<(SsidId, LureLane)>, s: SsidId| picked.iter().any(|&(q, _)| q == s);
+
+    let pb_core = p_quota.saturating_sub(GHOST_PICKS.min(p_quota));
+    for &ssid in by_weight.iter().take(pb_core) {
+        if !contains(&picked, ssid) {
+            picked.push((ssid, LureLane::Popularity));
+        }
+    }
+    if p_quota > 0 {
+        let ghost_pool: Vec<SsidId> = by_weight
+            .iter()
+            .skip(pb_core)
+            .take(GHOST_LEN)
+            .copied()
+            .collect();
+        for i in rng.sample_indices(ghost_pool.len(), GHOST_PICKS.min(p_quota)) {
+            let ssid = ghost_pool[i];
+            if !contains(&picked, ssid) {
+                picked.push((ssid, LureLane::PopularityGhost));
+            }
+        }
+    }
+
+    let fb_core = f_quota.saturating_sub(GHOST_PICKS.min(f_quota));
+    let mut fb_taken = 0usize;
+    let mut fresh_iter = by_freshness.iter();
+    for &ssid in fresh_iter.by_ref() {
+        if fb_taken >= fb_core {
+            break;
+        }
+        if !contains(&picked, ssid) {
+            picked.push((ssid, LureLane::Freshness));
+            fb_taken += 1;
+        }
+    }
+    if f_quota > 0 {
+        let ghost_pool: Vec<SsidId> = fresh_iter
+            .filter(|&&s| !contains(&picked, s))
+            .take(GHOST_LEN)
+            .copied()
+            .collect();
+        for i in rng.sample_indices(ghost_pool.len(), GHOST_PICKS.min(f_quota)) {
+            let ssid = ghost_pool[i];
+            if !contains(&picked, ssid) && picked.len() < budget {
+                picked.push((ssid, LureLane::FreshnessGhost));
+            }
+        }
+    }
+
+    for &ssid in by_weight {
+        if picked.len() >= budget {
+            break;
+        }
+        if !contains(&picked, ssid) {
+            picked.push((ssid, LureLane::Popularity));
+        }
+    }
+    picked.sort_by_key(|(_, lane)| match lane {
+        LureLane::Popularity => 0,
+        LureLane::Freshness => 1,
+        LureLane::PopularityGhost => 2,
+        LureLane::FreshnessGhost => 3,
+        _ => 4,
+    });
+    picked.truncate(budget);
+    picked
+}
+
+/// Interns `w{i}` / `f{i}` name lists into id slices, with `overlap` of the
+/// freshness list aliased onto weight entries (both-popular-and-fresh SSIDs
+/// are the interesting dedup case).
+fn corpus(n_weight: usize, n_fresh: usize, overlap: usize) -> (Vec<SsidId>, Vec<SsidId>) {
+    let mut interner = SsidInterner::new();
+    let by_weight: Vec<SsidId> = (0..n_weight)
+        .map(|i| interner.intern(&Ssid::new_lossy(format!("w{i:04}"))))
+        .collect();
+    let by_fresh: Vec<SsidId> = (0..n_fresh)
+        .map(|i| {
+            if i < overlap && i < n_weight {
+                by_weight[i]
+            } else {
+                interner.intern(&Ssid::new_lossy(format!("f{i:04}")))
+            }
+        })
+        .collect();
+    (by_weight, by_fresh)
+}
+
+fn assert_paths_match(
+    buffers: &AdaptiveBuffers,
+    by_weight: &[SsidId],
+    by_fresh: &[SsidId],
+    budget: usize,
+    seed: u64,
+) {
+    let mut rng_ref = SimRng::seed_from(seed);
+    let expected = reference_select(buffers, by_weight, by_fresh, budget, &mut rng_ref);
+
+    let mut rng_new = SimRng::seed_from(seed);
+    let mut scratch = SelectScratch::new();
+    let mut out = Vec::new();
+    buffers.select_into(
+        by_weight,
+        by_fresh,
+        budget,
+        &mut rng_new,
+        &mut scratch,
+        &mut out,
+    );
+    assert_eq!(
+        out, expected,
+        "scratch path diverged from the seed algorithm"
+    );
+
+    // RNG state must also agree afterwards: the runner interleaves
+    // selections on one stream, so a skipped or extra draw would desync
+    // every later client even if this output matched.
+    assert_eq!(rng_new.next_u64(), rng_ref.next_u64());
+}
+
+#[test]
+fn deep_corpus_matches_reference() {
+    let buffers = AdaptiveBuffers::paper_default();
+    let (w, f) = corpus(300, 60, 10);
+    for seed in 0..32 {
+        assert_paths_match(&buffers, &w, &f, 40, seed);
+    }
+}
+
+#[test]
+fn shallow_and_empty_corpora_match_reference() {
+    let buffers = AdaptiveBuffers::paper_default();
+    for (nw, nf, ov) in [(0, 0, 0), (3, 0, 0), (0, 5, 0), (10, 10, 10), (45, 25, 5)] {
+        let (w, f) = corpus(nw, nf, ov);
+        for budget in [0, 1, 7, 40, 64] {
+            assert_paths_match(&buffers, &w, &f, budget, 99);
+        }
+    }
+}
+
+#[test]
+fn adapted_splits_match_reference() {
+    // Walk the split to both extremes and check at every step.
+    let (w, f) = corpus(120, 80, 20);
+    let mut buffers = AdaptiveBuffers::paper_default();
+    for _ in 0..40 {
+        buffers.adapt(LureLane::FreshnessGhost);
+        assert_paths_match(&buffers, &w, &f, 40, 7);
+    }
+    for _ in 0..80 {
+        buffers.adapt(LureLane::PopularityGhost);
+        assert_paths_match(&buffers, &w, &f, 40, 7);
+    }
+    assert!(buffers.sizes().1 >= MIN_BUFFER);
+}
+
+proptest! {
+    /// Randomized corpora, overlaps, budgets, splits and seeds: the scratch
+    /// path reproduces the seed algorithm everywhere, including with a
+    /// dirty (reused) scratch carried across cases.
+    #[test]
+    fn prop_select_into_matches_reference(
+        n_weight in 0usize..200,
+        n_fresh in 0usize..80,
+        overlap_frac in 0usize..100,
+        budget in 0usize..64,
+        p_shift in 0i32..69,
+        seed in 0u64..1_000,
+    ) {
+        let overlap = n_fresh * overlap_frac / 100;
+        let (w, f) = corpus(n_weight, n_fresh, overlap);
+        let mut buffers = AdaptiveBuffers::paper_default();
+        let shift = p_shift - 28; // [-28, +40]: spans MIN_BUFFER..=36 for p
+        for _ in 0..shift.unsigned_abs() {
+            buffers.adapt(if shift > 0 {
+                LureLane::PopularityGhost
+            } else {
+                LureLane::FreshnessGhost
+            });
+        }
+
+        let mut rng_ref = SimRng::seed_from(seed);
+        let expected = reference_select(&buffers, &w, &f, budget, &mut rng_ref);
+
+        // Dirty the scratch with an unrelated selection first — reuse must
+        // not leak state between calls.
+        let mut scratch = SelectScratch::new();
+        let mut out = Vec::new();
+        let (dw, df) = corpus(50, 20, 3);
+        let mut rng_dirty = SimRng::seed_from(seed ^ 0xDEAD);
+        buffers.select_into(&dw, &df, 40, &mut rng_dirty, &mut scratch, &mut out);
+
+        let mut rng_new = SimRng::seed_from(seed);
+        buffers.select_into(&w, &f, budget, &mut rng_new, &mut scratch, &mut out);
+        prop_assert_eq!(&out, &expected);
+    }
+}

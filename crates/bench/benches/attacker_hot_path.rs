@@ -84,16 +84,28 @@ fn bench_respond(c: &mut Criterion) {
 }
 
 fn bench_clienttrack(c: &mut Criterion) {
-    let pool: Vec<Ssid> = (0..500)
-        .map(|i| Ssid::new_lossy(format!("Pool-{i:03}")))
+    let mut interner = ch_wifi::SsidInterner::new();
+    let pool: Vec<ch_wifi::SsidId> = (0..500)
+        .map(|i| interner.intern(&Ssid::new_lossy(format!("Pool-{i:03}"))))
         .collect();
     let mut tracker = ClientTracker::new();
     let client = mac(7);
-    for s in pool.iter().take(200) {
-        tracker.mark_sent(client, s.clone());
+    for &id in pool.iter().take(200) {
+        tracker.mark_sent(client, id);
     }
     c.bench_function("attacker/select_untried_500pool_200sent", |b| {
-        b.iter(|| black_box(tracker.select_untried(client, pool.iter(), 40)))
+        b.iter(|| black_box(tracker.select_untried(client, &pool, 40)))
+    });
+
+    // The scratch-buffer form the runner actually uses: zero allocations
+    // once the scratch is warm.
+    let mut seen = ch_arc::EpochSet::new();
+    let mut out = Vec::new();
+    c.bench_function("attacker/select_untried_into_500pool_200sent", |b| {
+        b.iter(|| {
+            tracker.select_untried_into(client, &pool, 40, &mut seen, &mut out);
+            black_box(out.len())
+        })
     });
 }
 

@@ -14,7 +14,7 @@
 //!    the hit is recorded with full provenance.
 
 use ch_attack::ext::DeauthScheduler;
-use ch_attack::Attacker;
+use ch_attack::{Attacker, Lure};
 use ch_mobility::arrival::GroupArrivalProcess;
 use ch_mobility::path::{visits_for_group, Visit};
 use ch_mobility::VenueKind;
@@ -195,7 +195,7 @@ pub fn run_experiment_observed(
     let mut attacker = config
         .attacker
         .build_default(&data.wigle, &data.heat, world.site);
-    run_with(data, config, &world, attacker.as_mut(), observer)
+    run_with(data, config, world, attacker.as_mut(), observer)
 }
 
 /// Runs one experiment against a *caller-owned* attacker, so state (the
@@ -207,7 +207,7 @@ pub fn run_experiment_with_attacker(
     attacker: &mut dyn Attacker,
 ) -> ExperimentMetrics {
     let world = assemble_world(data, config);
-    run_with(data, config, &world, attacker, &mut ())
+    run_with(data, config, world, attacker, &mut ())
 }
 
 fn assemble_world(data: &CityData, config: &RunConfig) -> World {
@@ -228,10 +228,16 @@ fn assemble_world(data: &CityData, config: &RunConfig) -> World {
 fn run_with(
     data: &CityData,
     config: &RunConfig,
-    world: &World,
+    world: World,
     attacker: &mut dyn Attacker,
     observer: &mut dyn FrameObserver,
 ) -> ExperimentMetrics {
+    // Taking the world by value lets the population parameters move into
+    // the builder instead of being cloned a second time (the first clone
+    // is `World::assemble`'s).
+    let World {
+        venue, population, ..
+    } = world;
     let root = SimRng::seed_from(config.seed);
     let mut rng_pop = root.fork("population");
     let mut rng_paths = root.fork("paths");
@@ -239,15 +245,15 @@ fn run_with(
     let mut rng_medium = root.fork("medium");
 
     // --- Crowd and phones -------------------------------------------------
-    let process = GroupArrivalProcess::new(&world.venue, config.start_hour, config.duration);
+    let process = GroupArrivalProcess::new(&venue, config.start_hour, config.duration);
     let mut rng_arrivals = root.fork("arrival-stream");
     let groups = process.generate(&mut rng_arrivals);
-    let mut builder = PopulationBuilder::new(&data.wigle, &data.heat, world.population.clone());
+    let mut builder = PopulationBuilder::new(&data.wigle, &data.heat, population);
 
     let mut agents: Vec<Agent> = Vec::new();
     let mut events: EventQueue<usize> = EventQueue::new();
     for group in &groups {
-        let visits = visits_for_group(&world.venue, group, &mut rng_paths);
+        let visits = visits_for_group(&venue, group, &mut rng_paths);
         let phones = builder.phones_for_group(group.group_id, visits.len(), &mut rng_pop);
         for (visit, phone) in visits.into_iter().zip(phones) {
             let idx = agents.len();
@@ -262,7 +268,7 @@ fn run_with(
 
     // --- Radio ------------------------------------------------------------
     let loss = config.loss.clone().unwrap_or_else(LossModel::urban_100mw);
-    let attacker_pos = world.venue.attacker;
+    let attacker_pos = venue.attacker;
     let channel = Channel::default_attack_channel();
     let bssid = attacker.bssid();
     let mut deauth = DeauthScheduler::default_30s();
@@ -270,6 +276,11 @@ fn run_with(
     let mut metrics = ExperimentMetrics::new();
     let end = SimTime::ZERO + config.duration;
     let mut next_sample = SimTime::ZERO;
+
+    // Hot-loop scratch, reused across every probe of the run: once warm,
+    // answering a probe and encoding its frames touches no allocator.
+    let mut lures: Vec<Lure> = Vec::new();
+    let mut frame_buf: Vec<u8> = Vec::new();
 
     while let Some((now, idx)) = events.pop_until(end) {
         while next_sample <= now {
@@ -298,8 +309,8 @@ fn run_with(
                 // The spoofed frame must itself survive the channel.
                 if rng_medium.chance(loss.delivery_prob(distance)) {
                     let deauth_frame = MgmtFrame::Deauthentication(frame);
-                    let bytes = codec::encode(&deauth_frame);
-                    let parsed = codec::parse(&bytes).expect("own frame reparses");
+                    codec::encode_into(&deauth_frame, &mut frame_buf);
+                    let parsed = codec::parse(&frame_buf).expect("own frame reparses");
                     debug_assert!(matches!(parsed, MgmtFrame::Deauthentication(_)));
                     if observer.enabled() {
                         observer.observe(now, &deauth_frame);
@@ -329,7 +340,7 @@ fn run_with(
             let budget = config
                 .lure_budget
                 .unwrap_or_else(timing::responses_per_scan);
-            let lures = attacker.respond_to_probe(now, &probe, budget);
+            attacker.respond_to_probe_into(now, &probe, budget, &mut lures);
             if lures.is_empty() {
                 continue;
             }
@@ -356,7 +367,14 @@ fn run_with(
                     observer.observe(elapsed, &MgmtFrame::ProbeResponse(response.clone()));
                 }
                 if agent.phone.evaluate_offer(&response) == JoinDecision::Join {
-                    if join_handshake(&mut agent.phone, bssid, &response, elapsed, observer) {
+                    if join_handshake(
+                        &mut agent.phone,
+                        bssid,
+                        &response,
+                        elapsed,
+                        &mut frame_buf,
+                        observer,
+                    ) {
                         attacker.on_hit(elapsed, client_mac, lure);
                         metrics.record_hit(elapsed, client_mac, lure);
                     }
@@ -385,6 +403,7 @@ fn join_handshake(
     bssid: MacAddr,
     offer: &ProbeResponse,
     at: SimTime,
+    frame_buf: &mut Vec<u8>,
     observer: &mut dyn FrameObserver,
 ) -> bool {
     let legs = [
@@ -408,8 +427,8 @@ fn join_handshake(
         }),
     ];
     for frame in &legs {
-        let bytes = codec::encode(frame);
-        match codec::parse(&bytes) {
+        codec::encode_into(frame, frame_buf);
+        match codec::parse(frame_buf) {
             Ok(parsed) if &parsed == frame => {}
             _ => return false,
         }

@@ -36,6 +36,7 @@
 //! assert!((0.5..2.0).contains(&dwell));
 //! ```
 
+pub mod alloc;
 pub mod collections;
 pub mod invariant;
 pub mod medium;

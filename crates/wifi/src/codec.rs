@@ -7,8 +7,9 @@
 //! tests, so frame-construction bugs would surface as handshake failures —
 //! the same place they would surface against real hardware.
 
+use crate::channel::Channel;
 use crate::frame::{FrameControl, MgmtHeader, MgmtSubtype};
-use crate::ie::{IeError, InformationElement};
+use crate::ie::{element_id, IeError, InformationElement, DEFAULT_RATES};
 use crate::mac::MacAddr;
 use crate::mgmt::{
     AssocRequest, AssocResponse, Authentication, Beacon, CapabilityInfo, Deauthentication,
@@ -79,15 +80,22 @@ impl From<IeError> for CodecError {
 
 const HEADER_LEN: usize = 24;
 
-/// Little-endian writer helpers over `Vec<u8>` (the `bytes::BufMut` subset
-/// the codec used before the workspace went dependency-free).
+/// Little-endian writer helpers (the `bytes::BufMut` subset the codec used
+/// before the workspace went dependency-free). Implemented by `Vec<u8>` for
+/// real encoding and by [`LenSink`] for allocation-free length computation —
+/// both run the same `encode_frame`, so lengths can never drift from bytes.
 trait ByteSink {
+    fn put_u8(&mut self, value: u8);
     fn put_u16_le(&mut self, value: u16);
     fn put_u64_le(&mut self, value: u64);
     fn put_slice(&mut self, src: &[u8]);
 }
 
 impl ByteSink for Vec<u8> {
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+
     fn put_u16_le(&mut self, value: u16) {
         self.extend_from_slice(&value.to_le_bytes());
     }
@@ -98,6 +106,27 @@ impl ByteSink for Vec<u8> {
 
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
+    }
+}
+
+/// Counts bytes instead of storing them (backs [`encoded_len`]).
+struct LenSink(usize);
+
+impl ByteSink for LenSink {
+    fn put_u8(&mut self, _value: u8) {
+        self.0 += 1;
+    }
+
+    fn put_u16_le(&mut self, _value: u16) {
+        self.0 += 2;
+    }
+
+    fn put_u64_le(&mut self, _value: u64) {
+        self.0 += 8;
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0 += src.len();
     }
 }
 
@@ -144,6 +173,31 @@ impl ByteSource for &[u8] {
 /// ```
 pub fn encode(frame: &MgmtFrame) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
+    encode_into(frame, &mut out);
+    out
+}
+
+/// [`encode`] into a caller-owned buffer (cleared first).
+///
+/// The hot loops reuse one frame buffer per runner step: once the buffer has
+/// grown to the largest frame it ever carries, encoding stops touching the
+/// heap entirely — every write lands in already-reserved capacity.
+///
+/// ```
+/// use ch_wifi::{codec, mgmt::{MgmtFrame, ProbeRequest}, MacAddr};
+/// let frame = MgmtFrame::ProbeRequest(ProbeRequest::broadcast(
+///     MacAddr::new([2, 0, 0, 0, 0, 7]),
+/// ));
+/// let mut buf = Vec::new();
+/// codec::encode_into(&frame, &mut buf);
+/// assert_eq!(buf, codec::encode(&frame));
+/// ```
+pub fn encode_into(frame: &MgmtFrame, out: &mut Vec<u8>) {
+    out.clear();
+    encode_frame(frame, out);
+}
+
+fn encode_frame<S: ByteSink>(frame: &MgmtFrame, out: &mut S) {
     let fc = FrameControl::mgmt(frame.subtype());
     out.put_u16_le(fc.to_word());
     out.put_u16_le(0); // duration
@@ -152,31 +206,64 @@ pub fn encode(frame: &MgmtFrame) -> Vec<u8> {
     out.put_slice(&header.addr2.octets());
     out.put_slice(&header.addr3.octets());
     out.put_u16_le(header.sequence << 4);
-    encode_body(frame, &mut out);
-    out
+    encode_body(frame, out);
 }
 
-fn encode_body(frame: &MgmtFrame, out: &mut Vec<u8>) {
+/// `| id | len | ssid bytes |` — [`InformationElement::Ssid`] on the wire.
+fn put_ssid_ie<S: ByteSink>(out: &mut S, ssid: &Ssid) {
+    out.put_u8(element_id::SSID);
+    out.put_u8(ssid.len() as u8);
+    out.put_slice(ssid.as_bytes());
+}
+
+/// The canonical [`DEFAULT_RATES`] supported-rates element.
+fn put_rates_ie<S: ByteSink>(out: &mut S) {
+    out.put_u8(element_id::SUPPORTED_RATES);
+    out.put_u8(DEFAULT_RATES.len() as u8);
+    out.put_slice(&DEFAULT_RATES);
+}
+
+/// DS parameter set: the current channel.
+fn put_ds_ie<S: ByteSink>(out: &mut S, channel: Channel) {
+    out.put_u8(element_id::DS_PARAMETER);
+    out.put_u8(1);
+    out.put_u8(channel.number());
+}
+
+/// Compact RSN element, CCMP+PSK (matches `ProbeResponse::elements`).
+fn put_rsn_ie<S: ByteSink>(out: &mut S) {
+    out.put_u8(element_id::RSN);
+    out.put_u8(3);
+    out.put_u16_le(1); // version
+    out.put_u8(0b11); // ccmp | psk << 1
+}
+
+fn encode_body<S: ByteSink>(frame: &MgmtFrame, out: &mut S) {
     match frame {
         MgmtFrame::ProbeRequest(p) => {
-            InformationElement::Ssid(p.ssid.clone()).encode_into(out);
-            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec()).encode_into(out);
+            put_ssid_ie(out, &p.ssid);
+            put_rates_ie(out);
         }
         MgmtFrame::ProbeResponse(p) => {
             out.put_u64_le(0); // timestamp (filled by hardware in reality)
             out.put_u16_le(100); // beacon interval
             out.put_u16_le(p.capabilities.to_word());
-            for e in p.elements() {
-                e.encode_into(out);
+            // Byte-for-byte what `p.elements()` would encode, minus the
+            // per-frame element allocations.
+            put_ssid_ie(out, &p.ssid);
+            put_rates_ie(out);
+            put_ds_ie(out, p.channel);
+            if p.capabilities.privacy {
+                put_rsn_ie(out);
             }
         }
         MgmtFrame::Beacon(b) => {
             out.put_u64_le(0);
             out.put_u16_le(b.interval_tu);
             out.put_u16_le(b.capabilities.to_word());
-            InformationElement::Ssid(b.ssid.clone()).encode_into(out);
-            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec()).encode_into(out);
-            InformationElement::DsParameter(b.channel).encode_into(out);
+            put_ssid_ie(out, &b.ssid);
+            put_rates_ie(out);
+            put_ds_ie(out, b.channel);
         }
         MgmtFrame::Authentication(a) => {
             out.put_u16_le(0); // open system
@@ -186,8 +273,8 @@ fn encode_body(frame: &MgmtFrame, out: &mut Vec<u8>) {
         MgmtFrame::AssocRequest(a) => {
             out.put_u16_le(a.capabilities.to_word());
             out.put_u16_le(10); // listen interval
-            InformationElement::Ssid(a.ssid.clone()).encode_into(out);
-            InformationElement::SupportedRates(crate::ie::DEFAULT_RATES.to_vec()).encode_into(out);
+            put_ssid_ie(out, &a.ssid);
+            put_rates_ie(out);
         }
         MgmtFrame::AssocResponse(a) => {
             out.put_u16_le(CapabilityInfo::open_ap().to_word());
@@ -362,9 +449,11 @@ fn parse_body(
 /// The encoded length of a frame without allocating (used by airtime
 /// calculations in [`crate::timing`]).
 pub fn encoded_len(frame: &MgmtFrame) -> usize {
-    // Encoding is cheap (tens of bytes); reuse it rather than duplicating
-    // per-subtype length arithmetic that could drift from `encode`.
-    encode(frame).len()
+    // Run the real encoder against a counting sink: zero allocations, and
+    // the length can never drift from what `encode` produces.
+    let mut sink = LenSink(0);
+    encode_frame(frame, &mut sink);
+    sink.0
 }
 
 #[cfg(test)]
@@ -500,6 +589,43 @@ mod tests {
         for frame in sample_frames() {
             assert_eq!(encoded_len(&frame), encode(&frame).len());
         }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        // One buffer across all frame kinds: each encode_into must clear
+        // the previous frame and produce exactly what `encode` would.
+        let mut buf = Vec::new();
+        for frame in sample_frames() {
+            encode_into(&frame, &mut buf);
+            assert_eq!(buf, encode(&frame), "encode_into mismatch for {frame}");
+        }
+    }
+
+    #[test]
+    fn put_ie_helpers_match_element_encoding() {
+        // The direct IE writers must stay byte-identical to the
+        // InformationElement encoding they replaced on the hot path.
+        let ssid = Ssid::new("CSL").unwrap();
+        let ch = Channel::new(6).unwrap();
+        let mut direct = Vec::new();
+        put_ssid_ie(&mut direct, &ssid);
+        put_rates_ie(&mut direct);
+        put_ds_ie(&mut direct, ch);
+        put_rsn_ie(&mut direct);
+        let mut via_elements = Vec::new();
+        for e in [
+            InformationElement::Ssid(ssid.clone()),
+            InformationElement::SupportedRates(DEFAULT_RATES.to_vec()),
+            InformationElement::DsParameter(ch),
+            InformationElement::Rsn(crate::ie::RsnInfo {
+                ccmp: true,
+                psk: true,
+            }),
+        ] {
+            e.encode_into(&mut via_elements);
+        }
+        assert_eq!(direct, via_elements);
     }
 
     #[test]

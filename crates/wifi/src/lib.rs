@@ -61,4 +61,4 @@ pub use codec::CodecError;
 pub use frame::{FrameControl, MgmtHeader, MgmtSubtype};
 pub use mac::MacAddr;
 pub use mgmt::MgmtFrame;
-pub use ssid::{Ssid, SsidError};
+pub use ssid::{Ssid, SsidError, SsidId, SsidInterner};

@@ -1,8 +1,11 @@
-//! Service Set Identifiers.
+//! Service Set Identifiers: the validated boundary type ([`Ssid`]) and the
+//! interned hot-path representation ([`SsidId`] / [`SsidInterner`]).
 
+use ch_sim::DetHashMap;
 use std::borrow::Borrow;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
 
 /// Maximum SSID length in bytes, per IEEE 802.11.
 pub const MAX_SSID_LEN: usize = 32;
@@ -17,6 +20,12 @@ pub const MAX_SSID_LEN: usize = 32;
 /// The empty SSID (the *wildcard*) is what a broadcast probe request
 /// carries; [`Ssid::is_wildcard`] tests for it.
 ///
+/// The name is stored behind an `Arc<str>`, so `Ssid::clone` is a
+/// reference-count bump, not a heap copy — the per-probe hot path can hand
+/// SSIDs around by value without allocating. For the places that compare or
+/// dedup SSIDs in bulk (the attacker database and lure buffers), use
+/// [`SsidInterner`] and compare [`SsidId`]s instead.
+///
 /// ```
 /// use ch_wifi::Ssid;
 /// let ssid: Ssid = "7-Eleven Free WiFi".parse()?;
@@ -25,7 +34,7 @@ pub const MAX_SSID_LEN: usize = 32;
 /// # Ok::<(), ch_wifi::SsidError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Ssid(String);
+pub struct Ssid(Arc<str>);
 
 /// Error constructing an [`Ssid`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,8 +60,12 @@ impl std::error::Error for SsidError {}
 
 impl Ssid {
     /// The wildcard (zero-length) SSID carried by broadcast probe requests.
+    ///
+    /// The backing allocation is shared process-wide, so constructing
+    /// wildcards in the probe loop is allocation-free.
     pub fn wildcard() -> Self {
-        Ssid(String::new())
+        static WILDCARD: OnceLock<Arc<str>> = OnceLock::new();
+        Ssid(Arc::clone(WILDCARD.get_or_init(|| Arc::from(""))))
     }
 
     /// Creates an SSID, validating the length bound.
@@ -65,7 +78,7 @@ impl Ssid {
         if name.len() > MAX_SSID_LEN {
             return Err(SsidError::TooLong { len: name.len() });
         }
-        Ok(Ssid(name))
+        Ok(Ssid(Arc::from(name)))
     }
 
     /// Creates an SSID, truncating to the 32-byte bound on a UTF-8
@@ -75,7 +88,7 @@ impl Ssid {
         while name.len() > MAX_SSID_LEN {
             name.pop();
         }
-        Ssid(name)
+        Ssid(Arc::from(name))
     }
 
     /// The SSID as text.
@@ -142,6 +155,113 @@ impl Borrow<str> for Ssid {
     }
 }
 
+/// A dense handle for an interned [`Ssid`].
+///
+/// Ids are assigned by first-intern order in a [`SsidInterner`], starting at
+/// zero, so they double as indices into per-interner side tables (weights,
+/// seen-sets, scratch buffers). Two ids from the *same* interner compare
+/// equal iff their SSIDs do; ids from different interners are meaningless to
+/// compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SsidId(u32);
+
+impl SsidId {
+    /// The id as a dense index (for side tables sized by interner length).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw u32 value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SsidId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s#{}", self.0)
+    }
+}
+
+/// A deterministic SSID interner: maps each distinct [`Ssid`] to a dense
+/// [`SsidId`] assigned in first-intern order.
+///
+/// Built on [`DetHashMap`], so the id assignment depends only on the
+/// *sequence* of interned SSIDs — the same corpus interned in the same order
+/// yields the same ids on every run, every machine, and every worker count.
+/// That property is what lets the attacker database key its entries and
+/// caches by id while keeping golden artifacts byte-identical.
+///
+/// ```
+/// use ch_wifi::{Ssid, SsidInterner};
+/// let mut interner = SsidInterner::new();
+/// let a = interner.intern(&Ssid::new("CSL").unwrap());
+/// let b = interner.intern(&Ssid::new("PCCW1x").unwrap());
+/// assert_eq!(interner.intern(&Ssid::new("CSL").unwrap()), a);
+/// assert_ne!(a, b);
+/// assert_eq!(interner.resolve(a).as_str(), "CSL");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SsidInterner {
+    ids: DetHashMap<Ssid, SsidId>,
+    names: Vec<Ssid>,
+}
+
+impl SsidInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        SsidInterner::default()
+    }
+
+    /// Number of distinct SSIDs interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns `ssid`, returning its id. The first intern of a given SSID
+    /// clones it (a reference-count bump) and assigns the next dense id;
+    /// repeat interns are a single hash lookup.
+    pub fn intern(&mut self, ssid: &Ssid) -> SsidId {
+        if let Some(&id) = self.ids.get(ssid) {
+            return id;
+        }
+        let id = SsidId(self.names.len() as u32);
+        self.ids.insert(ssid.clone(), id);
+        self.names.push(ssid.clone());
+        id
+    }
+
+    /// The id of an already-interned SSID, if any. Never allocates.
+    pub fn get(&self, ssid: &Ssid) -> Option<SsidId> {
+        self.ids.get(ssid).copied()
+    }
+
+    /// Resolves an id back to its SSID, if the id came from this interner.
+    pub fn try_resolve(&self, id: SsidId) -> Option<&Ssid> {
+        self.names.get(id.index())
+    }
+
+    /// Resolves an id back to its SSID. Unknown ids (from another interner)
+    /// resolve to the wildcard SSID rather than panicking — `ch-wifi` is a
+    /// panic-free crate and a stale id is a caller bug, not a crash.
+    pub fn resolve(&self, id: SsidId) -> &Ssid {
+        static FALLBACK: OnceLock<Ssid> = OnceLock::new();
+        self.names
+            .get(id.index())
+            .unwrap_or_else(|| FALLBACK.get_or_init(Ssid::wildcard))
+    }
+
+    /// All interned SSIDs, in id order (`names[id.index()]`).
+    pub fn names(&self) -> &[Ssid] {
+        &self.names
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +314,41 @@ mod tests {
             let ssid: Ssid = name.parse().unwrap();
             assert_eq!(ssid.as_str(), name);
         }
+    }
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Ssid::new("7-Eleven Free WiFi").unwrap();
+        let b = a.clone();
+        assert!(std::sync::Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn interner_assigns_dense_first_seen_ids() {
+        let mut interner = SsidInterner::new();
+        let csl = Ssid::new("CSL").unwrap();
+        let pccw = Ssid::new("PCCW1x").unwrap();
+        let a = interner.intern(&csl);
+        let b = interner.intern(&pccw);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(interner.intern(&csl), a);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.get(&pccw), Some(b));
+        assert_eq!(interner.get(&Ssid::new("CMCC-WEB").unwrap()), None);
+        assert_eq!(interner.resolve(a), &csl);
+        assert_eq!(interner.names(), &[csl, pccw]);
+    }
+
+    #[test]
+    fn unknown_id_resolves_to_wildcard_not_panic() {
+        let mut a = SsidInterner::new();
+        let mut b = SsidInterner::new();
+        a.intern(&Ssid::new("CSL").unwrap());
+        let stale = a.intern(&Ssid::new("PCCW1x").unwrap());
+        b.intern(&Ssid::new("CSL").unwrap());
+        assert_eq!(b.try_resolve(stale), None);
+        assert!(b.resolve(stale).is_wildcard());
     }
 
     proptest! {

@@ -1,0 +1,77 @@
+//! Interned [`SsidId`]s must be a pure function of the intern *order*.
+//!
+//! Campaign artifacts (fleet shards, resumed runs, golden results) compare
+//! id-keyed state across processes, so the same corpus fed to a fresh
+//! interner must yield the same dense id assignment every time — in this
+//! process, in a re-run, and on any number of parallel workers.
+
+use std::thread;
+
+use ch_wifi::{Ssid, SsidId, SsidInterner};
+
+/// A corpus with repeats, unicode, the wildcard, and near-duplicates.
+fn corpus() -> Vec<Ssid> {
+    let mut names: Vec<Ssid> = (0..500)
+        .map(|i| Ssid::new_lossy(format!("Net-{:03}", i % 350)))
+        .collect();
+    names.push(Ssid::wildcard());
+    names.push(Ssid::new_lossy("#HKAirport Free WiFi"));
+    names.push(Ssid::new_lossy("caf\u{e9}-hotspot"));
+    names.push(Ssid::new_lossy("Net-000 "));
+    names
+}
+
+fn intern_all(names: &[Ssid]) -> (Vec<SsidId>, SsidInterner) {
+    let mut interner = SsidInterner::new();
+    let ids = names.iter().map(|s| interner.intern(s)).collect();
+    (ids, interner)
+}
+
+#[test]
+fn same_corpus_same_ids_across_runs() {
+    let names = corpus();
+    let (ids_a, interner_a) = intern_all(&names);
+    let (ids_b, interner_b) = intern_all(&names);
+    assert_eq!(ids_a, ids_b);
+    assert_eq!(interner_a.len(), interner_b.len());
+    // Ids are dense and first-occurrence ordered: resolving them walks the
+    // corpus's distinct names in order of first appearance.
+    assert_eq!(interner_a.names(), interner_b.names());
+    for (name, &id) in names.iter().zip(&ids_a) {
+        assert_eq!(interner_a.resolve(id), name);
+        assert_eq!(interner_a.get(name), Some(id));
+    }
+}
+
+#[test]
+fn same_corpus_same_ids_across_worker_counts() {
+    // Fleet-style: each worker builds its own interner from the same
+    // shared corpus. Whatever the parallelism, every worker must arrive at
+    // the identical id assignment.
+    let names = corpus();
+    let (baseline, _) = intern_all(&names);
+    for workers in [1usize, 2, 4, 8] {
+        let results: Vec<Vec<SsidId>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| intern_all(&names).0))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for ids in results {
+            assert_eq!(ids, baseline, "worker diverged at {workers} threads");
+        }
+    }
+}
+
+#[test]
+fn unknown_id_resolves_to_wildcard() {
+    // An id minted by a *bigger* interner is out of range for this one —
+    // the stale-id case the non-panicking `resolve` contract covers.
+    let mut small = SsidInterner::new();
+    small.intern(&Ssid::new_lossy("only"));
+    let (ids, _) = intern_all(&corpus());
+    let foreign = *ids.iter().max().unwrap();
+    assert!(foreign.index() >= small.len());
+    assert!(small.try_resolve(foreign).is_none());
+    assert!(small.resolve(foreign).is_wildcard());
+}
