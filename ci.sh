@@ -72,4 +72,21 @@ cargo run -q --release -p ch-bench --bin perfbench -- --quick \
   --out "$perf_dir/run2.json" > /dev/null
 cmp "$perf_dir/run1.json" "$perf_dir/run2.json"
 
+echo "==> chaos smoke (faults study, serial vs parallel, byte-identical)"
+# The fault-injection gate: every attacker under burst loss, corruption,
+# churn and scheduled crashes, with the injected transient panic
+# exercising the fleet retry policy. The faulted campaign must stay
+# bit-identical at any worker width.
+chaos_dir="target/ci-chaos-smoke"
+rm -rf "$chaos_dir"
+mkdir -p "$chaos_dir"
+cargo run -q --release -p ch-bench --bin experiment -- faults 1 --quick --jobs 1 \
+  > "$chaos_dir/serial.txt" 2> "$chaos_dir/serial.log"
+grep -q '15 executed, 0 cached, 0 failed, 3 retried' "$chaos_dir/serial.log"
+cargo run -q --release -p ch-bench --bin experiment -- faults 1 --quick --jobs 4 \
+  > "$chaos_dir/parallel.txt" 2> "$chaos_dir/parallel.log"
+grep -q '15 executed, 0 cached, 0 failed, 3 retried' "$chaos_dir/parallel.log"
+cmp "$chaos_dir/serial.txt" "$chaos_dir/parallel.txt"
+grep -q 'graceful degradation' "$chaos_dir/serial.txt"
+
 echo "ci.sh: all gates passed"

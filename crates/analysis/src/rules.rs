@@ -7,7 +7,8 @@
 //! | `nondeterminism` | R2: no `Instant::now` / `SystemTime::now` /          |
 //! |                  | `thread_rng` outside `ch-bench` and test code        |
 //! | `panic-path`     | R3: no `.unwrap()` / `.expect(…)` / `panic!` in the  |
-//! |                  | library code of `ch-wifi`, `ch-arc`, `ch-attack`     |
+//! |                  | library code of `ch-wifi`, `ch-arc`, `ch-attack`,    |
+//! |                  | `ch-fleet`                                           |
 //! | `missing-decode` | R4: every public type in `ch-wifi::frame`/`::ie`     |
 //! |                  | with an `encode*` method has a `decode*`/`parse*`    |
 //! |                  | counterpart                                          |
@@ -32,8 +33,11 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "ch-attack",
 ];
 
-/// Crates whose library code must not panic (R3).
-pub const PANIC_FREE_CRATES: &[&str] = &["ch-wifi", "ch-arc", "ch-attack"];
+/// Crates whose library code must not panic (R3). `ch-fleet` is in the
+/// list because the engine's whole job is absorbing *other* code's
+/// panics — it must not add its own; escalation goes through
+/// `ch_sim::invariant::violation`.
+pub const PANIC_FREE_CRATES: &[&str] = &["ch-wifi", "ch-arc", "ch-attack", "ch-fleet"];
 
 /// Crates exempt from R2 (benchmarks legitimately read wall clocks).
 pub const WALL_CLOCK_CRATES: &[&str] = &["ch-bench"];

@@ -102,6 +102,35 @@ fn r3_panic_path_fixture() {
 }
 
 #[test]
+fn r3_covers_fleet_library_code() {
+    // The engine absorbs other code's panics; its own library code is
+    // held to the same panic-free bar as the data-plane crates.
+    let src = include_str!("fixtures/panic_path.rs");
+    let got = run(
+        "ch-fleet",
+        "crates/fleet/src/fixture.rs",
+        FileKind::Library,
+        src,
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("panic-path".to_string(), 5),
+            ("panic-path".to_string(), 9),
+            ("panic-path".to_string(), 18),
+        ],
+        "ch-fleet library code is in R3 scope"
+    );
+    let test_target = run(
+        "ch-fleet",
+        "crates/fleet/tests/x.rs",
+        FileKind::TestTarget,
+        src,
+    );
+    assert!(test_target.is_empty(), "{test_target:?}");
+}
+
+#[test]
 fn r3_does_not_apply_to_non_panic_free_crates() {
     let src = include_str!("fixtures/panic_path.rs");
     let got = run("ch-sim", "crates/sim/src/x.rs", FileKind::Library, src);

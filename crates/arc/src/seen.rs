@@ -150,4 +150,54 @@ mod tests {
         assert!(s.insert(0));
         assert!(s.contains(0));
     }
+
+    #[test]
+    fn rounds_across_the_wrap_stay_isolated() {
+        // A long fault sweep reuses one scratch set for millions of
+        // rounds; membership must stay per-round through the wrap. Start
+        // a few epochs shy of u32::MAX and run enough rounds to cross it.
+        let mut s = EpochSet::with_capacity(8);
+        s.epoch = u32::MAX - 3;
+        for round in 0..8usize {
+            // Members of this round only: `round` and `round + 1`.
+            assert!(s.insert(round % 8));
+            assert!(s.insert((round + 1) % 8));
+            assert!(!s.insert(round % 8), "duplicate accepted in round {round}");
+            for i in 0..8 {
+                let expected = i == round % 8 || i == (round + 1) % 8;
+                assert_eq!(s.contains(i), expected, "round {round}, index {i}");
+            }
+            s.begin();
+        }
+    }
+
+    #[test]
+    fn stale_stamps_never_alias_after_wrap() {
+        // The dangerous case: a stamp written at some old epoch must not
+        // read as a member once the counter wraps back past that value.
+        let mut s = EpochSet::with_capacity(4);
+        s.insert(2); // stamped at epoch 1
+        s.epoch = u32::MAX;
+        assert!(!s.contains(2), "old stamp visible at u32::MAX");
+        s.begin(); // wrap: wipe + epoch 1 — the stamp-1 value is gone
+        assert!(!s.contains(2), "stale stamp aliased the post-wrap epoch");
+        assert!(s.insert(2));
+        s.begin();
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    fn capacity_survives_wrap_and_reuse() {
+        // The wipe path must not shrink or reallocate the stamp table —
+        // that would break the steady-state allocation-free property.
+        let mut s = EpochSet::with_capacity(16);
+        let before = s.capacity();
+        s.epoch = u32::MAX;
+        s.begin();
+        assert_eq!(s.capacity(), before);
+        for i in 0..16 {
+            assert!(s.insert(i));
+        }
+        assert_eq!(s.capacity(), before);
+    }
 }

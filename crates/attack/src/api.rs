@@ -1,6 +1,6 @@
 //! The attacker interface.
 
-use ch_sim::SimTime;
+use ch_sim::{CrashMode, SimTime};
 use ch_wifi::mgmt::ProbeRequest;
 use ch_wifi::{MacAddr, Ssid};
 
@@ -118,6 +118,17 @@ pub trait Attacker {
     fn deauth_enabled(&self) -> bool {
         false
     }
+
+    /// Persist a checkpoint a later warm restart can restore (called by
+    /// the runner on the fault plan's checkpoint schedule). Attackers
+    /// with nothing durable to save ignore it.
+    fn checkpoint(&mut self, _now: SimTime) {}
+
+    /// The attacker process crashed and came back at `now` (fault
+    /// injection). [`CrashMode::Warm`] restores the last checkpoint;
+    /// [`CrashMode::Cold`] rebuilds from the offline seed state. The
+    /// default is a no-op for attackers that keep no in-run state.
+    fn on_crash_restart(&mut self, _now: SimTime, _mode: CrashMode) {}
 }
 
 /// Shared helper: the canonical reply to a *direct* probe — mimic the

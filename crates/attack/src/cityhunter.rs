@@ -4,7 +4,7 @@ use ch_arc::EpochSet;
 use ch_geo::netdb::carrier_ssids;
 use ch_geo::weights::{rank_weights, RankWeighting};
 use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
-use ch_sim::{SimRng, SimTime};
+use ch_sim::{CrashMode, SimRng, SimTime};
 use ch_wifi::mgmt::ProbeRequest;
 use ch_wifi::{MacAddr, SsidId};
 
@@ -61,6 +61,18 @@ impl Default for CityHunterConfig {
     }
 }
 
+/// A restorable checkpoint of everything City-Hunter learns online: the
+/// weighted SSID database, the PB/FB buffers (ghost lists and adaptive
+/// split included), and the per-client untried tracker. Taken by
+/// [`Attacker::checkpoint`], applied by [`CityHunter::restore`] when a
+/// crashed attacker comes back warm.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    db: SsidDatabase,
+    buffers: AdaptiveBuffers,
+    tracker: ClientTracker,
+}
+
 /// The §IV City-Hunter: weighted WiGLE-seeded database, online updating,
 /// PB/FB selection with ghost-list exploration and ARC-style adaptive
 /// sizing, per-client untried tracking, and the optional §V-B extensions.
@@ -73,6 +85,11 @@ pub struct CityHunter {
     tracker: ClientTracker,
     rng: SimRng,
     scratch: HunterScratch,
+    /// Construction-time state — what a cold restart falls back to.
+    boot: Box<Snapshot>,
+    /// The most recent checkpoint, if any.
+    saved: Option<Box<Snapshot>>,
+    restarts: u32,
 }
 
 impl CityHunter {
@@ -114,6 +131,11 @@ impl CityHunter {
             AdaptiveBuffers::new(36, 4, 40, false)
         };
         let rng = SimRng::seed_from(config.seed);
+        let boot = Box::new(Snapshot {
+            db: db.clone(),
+            buffers: buffers.clone(),
+            tracker: ClientTracker::new(),
+        });
         CityHunter {
             bssid,
             config,
@@ -122,7 +144,33 @@ impl CityHunter {
             tracker: ClientTracker::new(),
             rng,
             scratch: HunterScratch::default(),
+            boot,
+            saved: None,
+            restarts: 0,
         }
+    }
+
+    /// Captures the current learned state as a restorable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            db: self.db.clone(),
+            buffers: self.buffers.clone(),
+            tracker: self.tracker.clone(),
+        }
+    }
+
+    /// Restores a previously taken [`Snapshot`], discarding everything
+    /// learned since it was captured. Selection scratch and the
+    /// exploration RNG are left alone — they carry no learned state.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        self.db = snap.db.clone();
+        self.buffers = snap.buffers.clone();
+        self.tracker = snap.tracker.clone();
+    }
+
+    /// How many crash/restart cycles this attacker has absorbed.
+    pub fn restarts(&self) -> u32 {
+        self.restarts
     }
 
     /// Read access to the database.
@@ -236,6 +284,26 @@ impl Attacker for CityHunter {
 
     fn deauth_enabled(&self) -> bool {
         self.config.deauth
+    }
+
+    fn checkpoint(&mut self, _now: SimTime) {
+        self.saved = Some(Box::new(self.snapshot()));
+    }
+
+    fn on_crash_restart(&mut self, _now: SimTime, mode: CrashMode) {
+        self.restarts += 1;
+        let snap = match mode {
+            CrashMode::Cold => self.boot.clone(),
+            // Warm with no checkpoint yet degrades to a cold start.
+            CrashMode::Warm => self.saved.clone().unwrap_or_else(|| self.boot.clone()),
+        };
+        self.restore(&snap);
+        // The restarted process reseeds its exploration RNG: derived
+        // from the configured seed and the restart ordinal, so reruns
+        // of the same fault schedule stay bit-identical.
+        self.rng = SimRng::seed_from(
+            self.config.seed ^ u64::from(self.restarts).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
     }
 }
 
@@ -424,6 +492,77 @@ mod tests {
         assert_eq!(lures.len(), 1);
         assert_eq!(lures[0].lane, LureLane::DirectReply);
         assert_eq!(ch.database_len(), before + 1);
+    }
+
+    #[test]
+    fn warm_restart_restores_the_checkpoint_cold_loses_everything() {
+        let mut ch = hunter(CityHunterConfig::default());
+        let boot_len = ch.database_len();
+        // Harvest a few direct probes, then checkpoint.
+        for i in 0..4u8 {
+            let ssid = Ssid::new(format!("Harvested{i}")).unwrap();
+            let _ = ch.respond_to_probe(
+                SimTime::from_secs(10),
+                &ProbeRequest::direct(mac(1), ssid),
+                40,
+            );
+        }
+        let _ = ch.respond_to_probe(SimTime::from_secs(11), &ProbeRequest::broadcast(mac(2)), 40);
+        let at_checkpoint = ch.database_len();
+        let tracked_at_checkpoint = ch.tracker().sent_count(mac(2));
+        assert!(at_checkpoint > boot_len);
+        ch.checkpoint(SimTime::from_secs(12));
+        // Learn more after the checkpoint...
+        let _ = ch.respond_to_probe(
+            SimTime::from_secs(20),
+            &ProbeRequest::direct(mac(1), Ssid::new("PostCheckpoint").unwrap()),
+            40,
+        );
+        assert_eq!(ch.database_len(), at_checkpoint + 1);
+        // ...a warm restart rolls back exactly to the checkpoint...
+        ch.on_crash_restart(SimTime::from_secs(30), CrashMode::Warm);
+        assert_eq!(ch.restarts(), 1);
+        assert_eq!(ch.database_len(), at_checkpoint);
+        assert_eq!(ch.tracker().sent_count(mac(2)), tracked_at_checkpoint);
+        // ...and a cold restart falls all the way back to the seed state.
+        ch.on_crash_restart(SimTime::from_secs(40), CrashMode::Cold);
+        assert_eq!(ch.restarts(), 2);
+        assert_eq!(ch.database_len(), boot_len);
+        assert_eq!(ch.tracker().sent_count(mac(2)), 0);
+    }
+
+    #[test]
+    fn warm_restart_without_checkpoint_degrades_to_cold() {
+        let mut ch = hunter(CityHunterConfig::default());
+        let boot_len = ch.database_len();
+        let _ = ch.respond_to_probe(
+            SimTime::from_secs(5),
+            &ProbeRequest::direct(mac(1), Ssid::new("Lost").unwrap()),
+            40,
+        );
+        ch.on_crash_restart(SimTime::from_secs(10), CrashMode::Warm);
+        assert_eq!(ch.database_len(), boot_len);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_selection_behaviour() {
+        // Two attackers with identical history: one crashes and restores
+        // a checkpoint of the other's state; both must then offer the
+        // same lures (the ghost-list and split state survive snapshots).
+        let probe = ProbeRequest::broadcast(mac(1));
+        let mut reference = hunter(CityHunterConfig::default());
+        let mut crashed = hunter(CityHunterConfig::default());
+        for t in 0..3u64 {
+            let _ = reference.respond_to_probe(SimTime::from_secs(t), &probe, 40);
+            let _ = crashed.respond_to_probe(SimTime::from_secs(t), &probe, 40);
+        }
+        let snap = reference.snapshot();
+        crashed.restore(&snap);
+        // Fresh clients (untouched RNG state differences only affect
+        // ghost exploration; compare full offers for a tracked client).
+        let a = reference.respond_to_probe(SimTime::from_secs(10), &probe, 40);
+        let b = crashed.respond_to_probe(SimTime::from_secs(10), &probe, 40);
+        assert_eq!(a, b);
     }
 
     #[test]

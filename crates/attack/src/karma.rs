@@ -1,6 +1,6 @@
 //! The KARMA attacker (Dai Zovi & Macaulay 2005).
 
-use ch_sim::SimTime;
+use ch_sim::{CrashMode, SimTime};
 use ch_wifi::mgmt::ProbeRequest;
 use ch_wifi::{MacAddr, Ssid};
 
@@ -64,6 +64,12 @@ impl Attacker for KarmaAttacker {
     fn database_len(&self) -> usize {
         // KARMA keeps no database; report the mimic log for the curve.
         self.ssids_mimicked.len()
+    }
+
+    fn on_crash_restart(&mut self, _now: SimTime, _mode: CrashMode) {
+        // KARMA is stateless as an attacker; only the diagnostic mimic
+        // log dies with the process.
+        self.ssids_mimicked.clear();
     }
 }
 

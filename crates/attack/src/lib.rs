@@ -40,7 +40,7 @@ pub mod prelim;
 pub mod spec;
 
 pub use api::{Attacker, Lure, LureLane, LureSource};
-pub use cityhunter::{CityHunter, CityHunterConfig};
+pub use cityhunter::{CityHunter, CityHunterConfig, Snapshot};
 pub use clienttrack::ClientTracker;
 pub use db::{DbEntry, SsidDatabase};
 pub use karma::KarmaAttacker;

@@ -1,6 +1,6 @@
 //! The MANA attacker (DEF CON 22), §II–§III flaws included.
 
-use ch_sim::SimTime;
+use ch_sim::{CrashMode, SimTime};
 use ch_wifi::mgmt::ProbeRequest;
 use ch_wifi::{MacAddr, SsidId};
 
@@ -125,6 +125,15 @@ impl Attacker for ManaAttacker {
 
     fn database_len(&self) -> usize {
         self.db.len()
+    }
+
+    fn on_crash_restart(&mut self, _now: SimTime, _mode: CrashMode) {
+        // hostapd-mana keeps its harvest in process memory only — there
+        // is no checkpoint to restore, so every restart is a cold start
+        // whatever recovery mode the fault plan asked for.
+        self.db = SsidDatabase::new();
+        self.harvest_order.clear();
+        self.per_device.clear();
     }
 }
 

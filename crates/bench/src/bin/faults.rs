@@ -1,0 +1,8 @@
+//! Fault-injection study: attacker generations under burst loss, frame
+//! corruption, client churn and scheduled crashes.
+//!
+//! Thin shim over the registry driver: `experiment faults` is equivalent.
+
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("faults")
+}

@@ -42,7 +42,14 @@ const VALUE_FLAGS: &[&str] = &[
 ];
 
 /// Bare flags.
-const BARE_FLAGS: &[&str] = &["--fresh", "--no-bench", "--json", "--csv", "--list"];
+const BARE_FLAGS: &[&str] = &[
+    "--fresh",
+    "--no-bench",
+    "--json",
+    "--csv",
+    "--list",
+    "--quick",
+];
 
 /// The parsed command line, shared by every binary.
 #[derive(Debug, Clone, Default)]
@@ -133,6 +140,7 @@ fn run_params(cli: &Cli, seed: u64) -> RunParams {
         params.slots = slots;
     }
     params.machine = cli.flag("--json") || cli.flag("--csv");
+    params.quick = cli.flag("--quick");
     params
 }
 
@@ -241,7 +249,7 @@ pub fn list_text() -> String {
     }
     out.push_str(
         "\nflags: --jobs N --manifest PATH --fresh --bench PATH --no-bench\n       \
-         --hours a,b,c --minutes N --replicas N --slots N --json / --csv\n",
+         --hours a,b,c --minutes N --replicas N --slots N --json / --csv --quick\n",
     );
     out
 }

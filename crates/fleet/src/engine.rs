@@ -13,6 +13,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ch_sim::det_hash_set;
@@ -73,6 +74,50 @@ impl FleetOptions {
     }
 }
 
+/// Panic-message prefix that marks a failure as *transient*: injected or
+/// environmental, worth re-running under a [`RetryPolicy`]. Anything else
+/// is treated as a permanent defect and fails immediately — retrying a
+/// deterministic panic would burn the whole attempt budget for nothing.
+pub const TRANSIENT_PREFIX: &str = "transient:";
+
+/// Whether a panic message opts into retry under a [`RetryPolicy`].
+pub fn is_transient(message: &str) -> bool {
+    message.starts_with(TRANSIENT_PREFIX)
+}
+
+/// Bounded, deterministic retry for jobs that panic with a
+/// [`TRANSIENT_PREFIX`] message.
+///
+/// Determinism is preserved because a retried job re-derives everything
+/// from its stable key (see [`crate::job::derive_seed`]); the attempt
+/// index is handed to the job closure purely so *injected* transients can
+/// decide to clear. A campaign that retries is bit-identical to one that
+/// never failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: usize,
+}
+
+impl RetryPolicy {
+    /// No retry: every panic is final (the [`run_campaign`] default).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1 }
+    }
+
+    /// Up to `n` retries after the first attempt (so `n + 1` attempts
+    /// total) for transient failures.
+    pub fn retries(n: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: n.saturating_add(1),
+        }
+    }
+
+    /// Total attempts allowed per job, first run included (always ≥ 1).
+    pub fn max_attempts(&self) -> usize {
+        self.max_attempts.max(1)
+    }
+}
+
 /// How one job ended.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobStatus<R> {
@@ -122,13 +167,21 @@ pub struct FleetStats {
     pub cached: usize,
     /// Jobs that panicked.
     pub failed: usize,
+    /// Transient-failure re-runs performed under the [`RetryPolicy`]
+    /// (attempts beyond each job's first; zero without a policy).
+    pub retried: usize,
 }
 
 impl FleetStats {
     /// One status line for a bin's stderr.
     pub fn render_line(&self) -> String {
+        let retried = if self.retried > 0 {
+            format!(", {} retried", self.retried)
+        } else {
+            String::new()
+        };
         format!(
-            "fleet: campaign `{}`: {} job(s) ({} executed, {} cached, {} failed) \
+            "fleet: campaign `{}`: {} job(s) ({} executed, {} cached, {} failed{retried}) \
              on {} thread(s) in {:.0} ms",
             self.campaign,
             self.total,
@@ -168,6 +221,29 @@ pub fn run_campaign<J, R>(
     jobs: &[J],
     opts: &FleetOptions,
     run: impl Fn(&J) -> R + Sync,
+) -> Result<CampaignReport<R>, String>
+where
+    J: JobSpec + Sync,
+    R: ManifestCodec + Send,
+{
+    run_campaign_with_retry(jobs, opts, RetryPolicy::none(), |job, _attempt| run(job))
+}
+
+/// [`run_campaign`] with a [`RetryPolicy`]: a job that panics with a
+/// [`TRANSIENT_PREFIX`] message is re-run (up to the policy's attempt
+/// budget) before it counts as [`JobStatus::Failed`]. The closure
+/// receives the zero-based attempt index so injected transients can
+/// clear on retry; real jobs should ignore it and stay key-derived.
+///
+/// # Errors
+///
+/// Same contract as [`run_campaign`]: duplicate keys and manifest/bench
+/// I/O fail the campaign; job panics do not.
+pub fn run_campaign_with_retry<J, R>(
+    jobs: &[J],
+    opts: &FleetOptions,
+    policy: RetryPolicy,
+    run: impl Fn(&J, usize) -> R + Sync,
 ) -> Result<CampaignReport<R>, String>
 where
     J: JobSpec + Sync,
@@ -223,12 +299,28 @@ where
             slot.get_or_insert(e);
         }
     };
+    let retried = AtomicUsize::new(0);
     let fresh: Vec<JobOutcome<R>> = scoped_parallel_map_with(&pending, threads, |&i| {
         let key = keys[i].clone();
         let job_timer = Stopwatch::start();
-        match catch_unwind(AssertUnwindSafe(|| run(&jobs[i]))) {
+        let mut attempt = 0;
+        let settled = loop {
+            match catch_unwind(AssertUnwindSafe(|| run(&jobs[i], attempt))) {
+                Ok(result) => break Ok(result),
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    if is_transient(&message) && attempt + 1 < policy.max_attempts() {
+                        attempt += 1;
+                        retried.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    break Err(message);
+                }
+            }
+        };
+        let ms = job_timer.elapsed_ms();
+        match settled {
             Ok(result) => {
-                let ms = job_timer.elapsed_ms();
                 if let Some(m) = &manifest {
                     stash_error(m.record_done(&key, &result.to_json(), ms));
                 }
@@ -238,9 +330,7 @@ where
                     ms,
                 }
             }
-            Err(payload) => {
-                let ms = job_timer.elapsed_ms();
-                let message = panic_message(payload.as_ref());
+            Err(message) => {
                 if let Some(m) = &manifest {
                     stash_error(m.record_failed(&key, &message, ms));
                 }
@@ -257,7 +347,11 @@ where
     }
     let outcomes: Vec<JobOutcome<R>> = slots
         .into_iter()
-        .map(|slot| slot.expect("every campaign slot filled"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                ch_sim::invariant::violation(file!(), line!(), "campaign slot left unfilled")
+            })
+        })
         .collect();
 
     if let Some(error) = write_error
@@ -277,6 +371,7 @@ where
         executed: count(|s| matches!(s, JobStatus::Done(_))),
         cached: count(|s| matches!(s, JobStatus::Cached(_))),
         failed: count(|s| matches!(s, JobStatus::Failed(_))),
+        retried: retried.load(Ordering::Relaxed),
     };
 
     if let Some(bench_path) = &opts.bench {

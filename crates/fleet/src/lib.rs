@@ -51,7 +51,10 @@ pub mod manifest;
 pub mod pool;
 pub mod telemetry;
 
-pub use engine::{run_campaign, CampaignReport, FleetOptions, FleetStats, JobOutcome, JobStatus};
+pub use engine::{
+    is_transient, run_campaign, run_campaign_with_retry, CampaignReport, FleetOptions, FleetStats,
+    JobOutcome, JobStatus, RetryPolicy, TRANSIENT_PREFIX,
+};
 pub use job::{derive_seed, fingerprint, JobSpec};
 pub use json::Json;
 pub use manifest::{Manifest, ManifestCodec};

@@ -116,51 +116,80 @@ impl Manifest {
             })
         });
 
+        // Classify every record line: intact ones are kept (and the
+        // `done` ones cached for resume); torn or bit-flipped ones are
+        // dropped so the affected job simply re-runs. A line is corrupt
+        // whether it fails to parse *or* parses to something that is not
+        // a job record — a flipped byte inside a string stays valid JSON.
         let mut cached = det_hash_map();
+        let mut kept: Vec<&str> = Vec::new();
+        let mut skipped = 0usize;
         if header_matches {
             for line in lines {
-                let Ok(entry) = Json::parse(line) else {
-                    continue; // torn or corrupt line: that job re-runs
-                };
-                let (Some(key), Some(status)) = (
-                    entry.get("key").and_then(Json::as_str),
-                    entry.get("status").and_then(Json::as_str),
-                ) else {
-                    continue;
-                };
-                if status != "done" {
-                    continue; // failed jobs re-run on resume
+                let record = Json::parse(line).ok().and_then(|entry| {
+                    let key = entry.get("key").and_then(Json::as_str)?.to_string();
+                    let status = entry.get("status").and_then(Json::as_str)?;
+                    match status {
+                        "done" => {
+                            let result = entry.get("result")?.clone();
+                            let ms = entry.get("ms").and_then(Json::as_f64).unwrap_or(0.0);
+                            Some(Some((key, CachedJob { result, ms })))
+                        }
+                        // Failed jobs re-run on resume, but their records
+                        // survive rewrites for post-mortems.
+                        "failed" => Some(None),
+                        _ => None,
+                    }
+                });
+                match record {
+                    Some(hit) => {
+                        kept.push(line);
+                        if let Some((key, job)) = hit {
+                            cached.insert(key, job);
+                        }
+                    }
+                    None => skipped += 1,
                 }
-                let Some(result) = entry.get("result") else {
-                    continue;
-                };
-                let ms = entry.get("ms").and_then(Json::as_f64).unwrap_or(0.0);
-                cached.insert(
-                    key.to_string(),
-                    CachedJob {
-                        result: result.clone(),
-                        ms,
-                    },
-                );
             }
         }
 
-        let mut file = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
-        if !header_matches {
-            file.set_len(0)
-                .map_err(|e| format!("cannot truncate {}: {e}", path.display()))?;
+        // A header mismatch or any corrupt line triggers a full rewrite —
+        // staged in a sibling tmp file and renamed into place, so a crash
+        // mid-rewrite leaves either the old manifest or the new one,
+        // never a half-written hybrid.
+        if !header_matches || skipped > 0 {
+            if skipped > 0 {
+                eprintln!(
+                    "fleet: manifest {}: skipped {skipped} corrupt line(s); \
+                     the affected job(s) will re-run",
+                    path.display()
+                );
+            }
             let header = Json::Obj(vec![
                 ("campaign".into(), Json::str(campaign)),
                 ("fingerprint".into(), fingerprint.to_json()),
                 ("version".into(), Json::from_u64(VERSION)),
             ]);
-            writeln!(file, "{}", header.render())
-                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            let mut staged = header.render();
+            staged.push('\n');
+            for line in &kept {
+                staged.push_str(line);
+                staged.push('\n');
+            }
+            let mut tmp_name = path.as_os_str().to_os_string();
+            tmp_name.push(".tmp");
+            let tmp = PathBuf::from(tmp_name);
+            fs::write(&tmp, staged).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+            fs::rename(&tmp, path).map_err(|e| {
+                format!("cannot rename {} -> {}: {e}", tmp.display(), path.display())
+            })?;
         }
+
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
 
         Ok(Manifest {
             path: path.to_path_buf(),
@@ -276,6 +305,84 @@ mod tests {
         }
         let resumed = Manifest::open(&path, "test", fp).unwrap();
         assert_eq!(resumed.cached_len(), 1, "header fingerprint must match");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_mid_file_line_is_skipped_and_repaired() {
+        let path = temp_path("midline");
+        let _ = fs::remove_file(&path);
+        {
+            let manifest = Manifest::open(&path, "test", 11).unwrap();
+            manifest.record_done("a", &Json::from_u64(1), 1.0).unwrap();
+            manifest.record_done("b", &Json::from_u64(2), 1.0).unwrap();
+            manifest.record_done("c", &Json::from_u64(3), 1.0).unwrap();
+        }
+        // Flip bytes inside the *middle* record (not the tail): a disk
+        // hiccup on a committed-style manifest, not a mid-write kill.
+        let mut bytes = fs::read(&path).unwrap();
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(
+                bytes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b == b'\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        let (b_start, b_end) = (line_starts[2], line_starts[3] - 1);
+        for byte in &mut bytes[b_start..b_end] {
+            *byte ^= 0b0101_0101;
+        }
+        fs::write(&path, &bytes).unwrap();
+
+        let resumed = Manifest::open(&path, "test", 11).unwrap();
+        assert!(
+            resumed.cached("a").is_some(),
+            "records before the bad line survive"
+        );
+        assert!(
+            resumed.cached("b").is_none(),
+            "the corrupted job must re-run"
+        );
+        assert!(
+            resumed.cached("c").is_some(),
+            "records after the bad line survive"
+        );
+        drop(resumed);
+
+        // The open repaired the file in place: a second open sees a clean
+        // manifest (header + the two intact records) and no tmp residue.
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3, "{text}");
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(
+            !PathBuf::from(tmp_name).exists(),
+            "tmp file must be renamed away"
+        );
+        let again = Manifest::open(&path, "test", 11).unwrap();
+        assert_eq!(again.cached_len(), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_bytes_inside_valid_json_still_invalidate_the_record() {
+        let path = temp_path("jsonflip");
+        let _ = fs::remove_file(&path);
+        {
+            let manifest = Manifest::open(&path, "test", 13).unwrap();
+            manifest.record_done("a", &Json::from_u64(1), 1.0).unwrap();
+        }
+        // Corrupt the status string: the line still parses as JSON but is
+        // no longer a recognisable job record.
+        let text = fs::read_to_string(&path).unwrap();
+        let mangled = text.replace("\"status\":\"done\"", "\"status\":\"dXne\"");
+        assert_ne!(text, mangled);
+        fs::write(&path, mangled).unwrap();
+
+        let resumed = Manifest::open(&path, "test", 13).unwrap();
+        assert_eq!(resumed.cached_len(), 0, "unknown status must not be cached");
         let _ = fs::remove_file(&path);
     }
 

@@ -69,7 +69,9 @@ pub fn scoped_parallel_map_with<T: Sync, R: Send>(
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .expect("every slot filled")
+                .unwrap_or_else(|| {
+                    ch_sim::invariant::violation(file!(), line!(), "pool slot left unfilled")
+                })
         })
         .collect()
 }

@@ -5,7 +5,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use ch_fleet::{derive_seed, run_campaign, FleetOptions, JobOutcome, JobSpec, JobStatus};
+use ch_fleet::{
+    derive_seed, run_campaign, run_campaign_with_retry, FleetOptions, JobOutcome, JobSpec,
+    JobStatus, RetryPolicy, TRANSIENT_PREFIX,
+};
 
 /// A synthetic job: derive the seed, burn a little deterministic CPU.
 struct HashJob {
@@ -195,6 +198,98 @@ fn failed_jobs_are_recorded_but_retried_on_resume() {
     assert_eq!(second.stats.failed, 0);
     assert_eq!(second.outcomes[1].result(), Some(&work(&jobs[1])));
     let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn transient_panics_retry_to_bit_identical_results() {
+    let jobs = jobs(8);
+    let clean = run_campaign(&jobs, &FleetOptions::in_memory("clean", 0), work).unwrap();
+
+    // Every odd job dies with an injected transient on its first attempt.
+    let flaky = |job: &HashJob, attempt: usize| {
+        assert!(
+            job.index.is_multiple_of(2) || attempt > 0,
+            "{TRANSIENT_PREFIX} injected fault in {}",
+            job.key()
+        );
+        work(job)
+    };
+    for threads in [1, 4] {
+        let retried = run_campaign_with_retry(
+            &jobs,
+            &FleetOptions::in_memory("flaky", 0).with_jobs(Some(threads)),
+            RetryPolicy::retries(2),
+            flaky,
+        )
+        .unwrap();
+        assert_eq!(retried.stats.failed, 0, "threads={threads}");
+        assert_eq!(retried.stats.executed, 8);
+        assert_eq!(retried.stats.retried, 4);
+        assert_eq!(values(&retried.outcomes), values(&clean.outcomes));
+        assert!(
+            retried.stats.render_line().contains("0 failed, 4 retried"),
+            "{}",
+            retried.stats.render_line()
+        );
+    }
+}
+
+#[test]
+fn permanent_panics_are_not_retried() {
+    let jobs = jobs(4);
+    let attempts = AtomicUsize::new(0);
+    let report = run_campaign_with_retry(
+        &jobs,
+        &FleetOptions::in_memory("perm", 0).with_jobs(Some(1)),
+        RetryPolicy::retries(3),
+        |job: &HashJob, _attempt| {
+            if job.index == 2 {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                panic!("deterministic defect in {}", job.key());
+            }
+            work(job)
+        },
+    )
+    .unwrap();
+    assert_eq!(report.stats.failed, 1);
+    assert_eq!(
+        report.stats.retried, 0,
+        "a permanent panic burns no retries"
+    );
+    assert_eq!(
+        attempts.load(Ordering::Relaxed),
+        1,
+        "the job ran exactly once"
+    );
+    assert!(
+        !report.stats.render_line().contains("retried"),
+        "{}",
+        report.stats.render_line()
+    );
+}
+
+#[test]
+fn transient_budget_is_bounded() {
+    // A job that never clears fails after exhausting its attempt budget.
+    let jobs = jobs(1);
+    let attempts = AtomicUsize::new(0);
+    let report = run_campaign_with_retry(
+        &jobs,
+        &FleetOptions::in_memory("exhaust", 0),
+        RetryPolicy::retries(2),
+        |_job: &HashJob, _attempt| -> u64 {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            panic!("{TRANSIENT_PREFIX} never clears");
+        },
+    )
+    .unwrap();
+    assert_eq!(attempts.load(Ordering::Relaxed), 3, "1 run + 2 retries");
+    assert_eq!(report.stats.failed, 1);
+    assert_eq!(report.stats.retried, 2);
+    match &report.outcomes[0].status {
+        JobStatus::Failed(message) => assert!(message.contains("never clears"), "{message}"),
+        other => panic!("expected Failed, got {other:?}"),
+    }
 }
 
 #[test]

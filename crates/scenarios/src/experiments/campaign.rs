@@ -85,6 +85,7 @@ pub fn campaign_jobs(seed: u64, hours: &[usize], duration: SimDuration) -> Vec<C
                     loss: None,
                     population: None,
                     arrival_multiplier: None,
+                    fault: None,
                 },
             ));
         }

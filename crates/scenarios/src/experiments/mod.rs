@@ -16,10 +16,12 @@
 //! * [`campaign`] — the Fig. 5/6 4-venue × 12-hour campaign;
 //! * [`ablation`] — the design-choice ablation matrix;
 //! * [`sweeps`] — one-dimensional sensitivity sweeps;
-//! * [`warm`] — the warm-start (database carry-over) study.
+//! * [`warm`] — the warm-start (database carry-over) study;
+//! * [`faults`] — the fault-injection / graceful-degradation study.
 
 pub mod ablation;
 pub mod campaign;
+pub mod faults;
 pub mod figures;
 pub mod sweeps;
 pub mod tables;
@@ -31,6 +33,10 @@ pub use ablation::{
 pub use campaign::{
     campaign, campaign_fleet, campaign_jobs, campaign_with, CampaignOutcome, HourResult,
     VenueSeries,
+};
+pub use faults::{
+    faults, faults_fleet, faults_jobs, faults_with, profile_fault, FaultJob, FaultsOutcome,
+    FaultsRecord, FAULT_ATTACKERS, FAULT_PROFILES,
 };
 pub use figures::{
     fig1, fig1_fleet, fig1_jobs, fig1_with, fig2, fig2_fleet, fig2_jobs, fig2_with, fig3, fig4,

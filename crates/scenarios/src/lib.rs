@@ -42,7 +42,7 @@ pub mod runner;
 pub mod world;
 
 pub use fleet::{CampaignJob, JobRecord, RichRecord};
-pub use metrics::{ClientClass, ExperimentMetrics, SummaryRow};
+pub use metrics::{ClientClass, ExperimentMetrics, RunnerStats, SummaryRow};
 pub use registry::{Artifact, ExperimentSpec, OutputKind, RunParams, REGISTRY};
 pub use replicate::{replicate, Replication};
 pub use runner::{run_experiment, AttackerKind, RunConfig};

@@ -79,6 +79,24 @@ impl SummaryRow {
     }
 }
 
+/// Degradation counters the runner keeps when fault injection is armed
+/// (`ch_sim::fault`): every frame the faults ate or mangled, every visit
+/// churned, every attacker restart absorbed. All zero on clean runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunnerStats {
+    /// Frames eaten by a Gilbert–Elliott loss burst (either direction).
+    pub frames_burst_dropped: u64,
+    /// Delivered frames whose bytes were mutated in flight.
+    pub frames_corrupted: u64,
+    /// Corrupted frames the receiver rejected (decode error or a decode
+    /// that no longer matched the sender's frame) and skipped.
+    pub frames_rejected: u64,
+    /// Visits truncated or delayed by client churn.
+    pub agents_churned: u64,
+    /// Attacker crash/restart cycles injected.
+    pub attacker_crashes: u64,
+}
+
 /// All data collected during one run.
 #[derive(Debug, Clone, Default)]
 pub struct ExperimentMetrics {
@@ -87,6 +105,9 @@ pub struct ExperimentMetrics {
     db_series: Vec<(SimTime, usize)>,
     /// Deauthentication frames emitted (§V-B accounting).
     pub deauth_frames: u64,
+    /// Fault-injection degradation counters (all zero when faults are
+    /// disabled).
+    pub stats: RunnerStats,
 }
 
 impl ExperimentMetrics {

@@ -60,6 +60,8 @@ pub struct RunParams {
     pub slots: usize,
     /// Machine-readable output (`--json` / `--csv`) where supported.
     pub machine: bool,
+    /// Shortened runs (`--quick`) where supported (the fault study).
+    pub quick: bool,
 }
 
 impl RunParams {
@@ -72,6 +74,7 @@ impl RunParams {
             replicas: None,
             slots: 4,
             machine: false,
+            quick: false,
         }
     }
 }
@@ -318,6 +321,20 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         external: false,
     },
     ExperimentSpec {
+        id: "faults",
+        title: "Faults",
+        paper_ref: "beyond",
+        output: OutputKind::Study,
+        summary: "attackers under burst loss, corruption, churn and crashes (15 jobs)",
+        campaign: Some("faults"),
+        default_manifest: None,
+        default_bench: false,
+        default_replicas: 0,
+        in_reproduce_all: false,
+        shares_campaign_with: None,
+        external: false,
+    },
+    ExperimentSpec {
         id: "defense",
         title: "Defense",
         paper_ref: "beyond",
@@ -378,6 +395,10 @@ impl ExperimentSpec {
             "replication" | "sweep" => vec![
                 format!("seed={}", params.seed),
                 format!("replicas={}", self.replicas(params)),
+            ],
+            "faults" => vec![
+                format!("seed={}", params.seed),
+                format!("quick={}", params.quick),
             ],
             "defense" => vec!["rounds=10".to_owned()],
             _ => vec![format!("seed={}", params.seed)],
@@ -477,6 +498,10 @@ impl ExperimentSpec {
                     text.push('\n');
                 }
                 (text, Some(stats))
+            }
+            "faults" => {
+                let (outcome, stats) = exp::faults_fleet(data, seed, params.quick, opts)?;
+                (line(outcome.render()), Some(stats))
             }
             "sweep" => {
                 let replicas = self.replicas(params);

@@ -232,6 +232,7 @@ mod tests {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         }
     }
 

@@ -21,6 +21,7 @@ use ch_mobility::VenueKind;
 use ch_phone::popgen::PopulationBuilder;
 use ch_phone::scanner::ScanPlan;
 use ch_phone::{JoinDecision, Phone};
+use ch_sim::fault::{FaultAction, FaultPlan, FaultSpec};
 use ch_sim::{EventQueue, LossModel, SimDuration, SimRng, SimTime};
 use ch_wifi::codec;
 use ch_wifi::mgmt::{
@@ -68,6 +69,11 @@ pub struct RunConfig {
     /// Scales the venue's group-arrival rate (default 1.0) — the crowd-
     /// density knob behind the density sweep.
     pub arrival_multiplier: Option<f64>,
+    /// Deterministic fault injection (`ch_sim::fault`): bursty channel
+    /// loss, frame corruption, client churn, scheduled attacker crashes.
+    /// `None` (and `Some(FaultSpec::disabled())`) injects nothing and
+    /// leaves every RNG stream and allocation of the run untouched.
+    pub fault: Option<FaultSpec>,
 }
 
 impl RunConfig {
@@ -83,6 +89,7 @@ impl RunConfig {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         }
     }
 
@@ -98,6 +105,7 @@ impl RunConfig {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         }
     }
 }
@@ -244,6 +252,17 @@ fn run_with(
     let mut rng_scans = root.fork("scans");
     let mut rng_medium = root.fork("medium");
 
+    // Fault injection: the plan owns forked RNG streams of its own, so a
+    // run without faults (or with the all-off spec) is draw-for-draw and
+    // allocation-for-allocation identical to one built before the fault
+    // layer existed.
+    let mut fault = config
+        .fault
+        .as_ref()
+        .filter(|spec| !spec.is_disabled())
+        .map(|spec| FaultPlan::new(spec.clone(), &root.fork("faults")));
+    let mut agents_churned: u64 = 0;
+
     // --- Crowd and phones -------------------------------------------------
     let process = GroupArrivalProcess::new(&venue, config.start_hour, config.duration);
     let mut rng_arrivals = root.fork("arrival-stream");
@@ -255,7 +274,15 @@ fn run_with(
     for group in &groups {
         let visits = visits_for_group(&venue, group, &mut rng_paths);
         let phones = builder.phones_for_group(group.group_id, visits.len(), &mut rng_pop);
-        for (visit, phone) in visits.into_iter().zip(phones) {
+        for (mut visit, phone) in visits.into_iter().zip(phones) {
+            if let Some(plan) = fault.as_mut() {
+                let (enter, exit) = plan.churn_visit(visit.enter_at, visit.exit_at);
+                if (enter, exit) != (visit.enter_at, visit.exit_at) {
+                    agents_churned += 1;
+                    visit.enter_at = enter;
+                    visit.exit_at = exit;
+                }
+            }
             let idx = agents.len();
             let plan =
                 ScanPlan::for_window(&phone.scan, visit.enter_at, visit.exit_at, &mut rng_scans);
@@ -274,6 +301,7 @@ fn run_with(
     let mut deauth = DeauthScheduler::default_30s();
 
     let mut metrics = ExperimentMetrics::new();
+    metrics.stats.agents_churned = agents_churned;
     let end = SimTime::ZERO + config.duration;
     let mut next_sample = SimTime::ZERO;
 
@@ -286,6 +314,20 @@ fn run_with(
         while next_sample <= now {
             metrics.sample_db(next_sample, attacker.database_len());
             next_sample += DB_SAMPLE_STEP;
+        }
+
+        // Scheduled attacker lifecycle faults: checkpoints feed the next
+        // warm restart; crashes kill and restart the attacker in place.
+        if let Some(plan) = fault.as_mut() {
+            while let Some(action) = plan.next_action(now) {
+                match action {
+                    FaultAction::Checkpoint => attacker.checkpoint(now),
+                    FaultAction::Crash(mode) => {
+                        attacker.on_crash_restart(now, mode);
+                        metrics.stats.attacker_crashes += 1;
+                    }
+                }
+            }
         }
 
         let agent = &mut agents[idx];
@@ -310,13 +352,31 @@ fn run_with(
                 if rng_medium.chance(loss.delivery_prob(distance)) {
                     let deauth_frame = MgmtFrame::Deauthentication(frame);
                     codec::encode_into(&deauth_frame, &mut frame_buf);
-                    let parsed = codec::parse(&frame_buf).expect("own frame reparses");
-                    debug_assert!(matches!(parsed, MgmtFrame::Deauthentication(_)));
-                    if observer.enabled() {
-                        observer.observe(now, &deauth_frame);
+                    let mut eaten_by_burst = false;
+                    if let Some(plan) = fault.as_mut() {
+                        if plan.channel_drops() {
+                            metrics.stats.frames_burst_dropped += 1;
+                            eaten_by_burst = true;
+                        } else if plan.corrupts() {
+                            metrics.stats.frames_corrupted += 1;
+                            plan.mutate(&mut frame_buf);
+                        }
                     }
-                    agent.phone.handle_deauth();
-                    metrics.deauth_frames += 1;
+                    if !eaten_by_burst {
+                        // The victim only honours bytes that decode to
+                        // the frame that was sent; a mangled deauth is
+                        // counted and ignored, never a panic.
+                        match codec::parse(&frame_buf) {
+                            Ok(parsed) if parsed == deauth_frame => {
+                                if observer.enabled() {
+                                    observer.observe(now, &deauth_frame);
+                                }
+                                agent.phone.handle_deauth();
+                                metrics.deauth_frames += 1;
+                            }
+                            _ => metrics.stats.frames_rejected += 1,
+                        }
+                    }
                 }
             }
             continue; // it will probe at its next scan
@@ -332,6 +392,30 @@ fn run_with(
             // Uplink: the probe must reach the attacker.
             if !rng_medium.chance(loss.delivery_prob(distance)) {
                 continue;
+            }
+            if let Some(plan) = fault.as_mut() {
+                if plan.channel_drops() {
+                    metrics.stats.frames_burst_dropped += 1;
+                    continue;
+                }
+                if plan.corrupts() {
+                    // The probe's bytes are mangled in flight. The
+                    // attacker decodes what arrived; unless the mutation
+                    // hit don't-care bytes, the frame is rejected and
+                    // skipped — the attacker never learns this client
+                    // probed at all.
+                    metrics.stats.frames_corrupted += 1;
+                    let frame = MgmtFrame::ProbeRequest(probe.clone());
+                    codec::encode_into(&frame, &mut frame_buf);
+                    plan.mutate(&mut frame_buf);
+                    match codec::parse(&frame_buf) {
+                        Ok(parsed) if parsed == frame => {}
+                        _ => {
+                            metrics.stats.frames_rejected += 1;
+                            continue;
+                        }
+                    }
+                }
             }
             metrics.observe_probe(now, client_mac, probe.is_broadcast());
             if observer.enabled() {
@@ -361,8 +445,32 @@ fn run_with(
                 if !rng_medium.chance(loss.delivery_prob(distance)) {
                     continue;
                 }
+                if let Some(plan) = fault.as_mut() {
+                    if plan.channel_drops() {
+                        metrics.stats.frames_burst_dropped += 1;
+                        continue;
+                    }
+                }
                 let response =
                     ProbeResponse::open_lure(bssid, client_mac, lure.ssid.clone(), channel);
+                if let Some(plan) = fault.as_mut() {
+                    if plan.corrupts() {
+                        // The lure arrives mangled; the phone rejects
+                        // anything that doesn't decode to the frame the
+                        // attacker sent and keeps listening.
+                        metrics.stats.frames_corrupted += 1;
+                        let frame = MgmtFrame::ProbeResponse(response.clone());
+                        codec::encode_into(&frame, &mut frame_buf);
+                        plan.mutate(&mut frame_buf);
+                        match codec::parse(&frame_buf) {
+                            Ok(parsed) if parsed == frame => {}
+                            _ => {
+                                metrics.stats.frames_rejected += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
                 if observer.enabled() {
                     observer.observe(elapsed, &MgmtFrame::ProbeResponse(response.clone()));
                 }
@@ -458,6 +566,7 @@ mod tests {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         };
         run_experiment(&data, &config)
     }
@@ -554,6 +663,7 @@ mod tests {
                 loss: None,
                 population: None,
                 arrival_multiplier: None,
+                fault: None,
             }
         };
         let m = run_experiment(&data, &config);
@@ -580,6 +690,7 @@ mod tests {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         };
         let short = RunConfig {
             loss: Some(ch_sim::LossModel::new(10.0, 15.0, 0.97)),
@@ -606,6 +717,7 @@ mod tests {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         };
         let doubled = RunConfig {
             arrival_multiplier: Some(2.0),
@@ -615,6 +727,127 @@ mod tests {
         let n2 = run_experiment(&data, &doubled).client_count() as f64;
         let ratio = n2 / n1;
         assert!((1.6..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    fn fault_run(fault: Option<FaultSpec>, seed: u64) -> ExperimentMetrics {
+        let data = CityData::standard(99);
+        let config = RunConfig {
+            duration: SimDuration::from_mins(10),
+            seed,
+            fault,
+            ..RunConfig::canteen_30min(AttackerKind::CityHunter(CityHunterConfig::default()), seed)
+        };
+        run_experiment(&data, &config)
+    }
+
+    #[test]
+    fn disabled_fault_spec_is_draw_neutral() {
+        // `None` and the all-off spec must produce byte-identical runs:
+        // the fault layer may not consume a single draw when disabled.
+        let clean = fault_run(None, 31);
+        let disabled = fault_run(Some(ch_sim::fault::FaultSpec::disabled()), 31);
+        assert_eq!(clean.summary("x"), disabled.summary("x"));
+        assert_eq!(clean.db_series(), disabled.db_series());
+        assert_eq!(clean.offered_counts(false), disabled.offered_counts(false));
+        assert_eq!(clean.stats, disabled.stats);
+        assert_eq!(clean.stats, crate::metrics::RunnerStats::default());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let spec = ch_sim::fault::FaultSpec {
+            burst_loss: Some(ch_sim::fault::BurstLossSpec {
+                p_enter_bad: 0.05,
+                p_exit_bad: 0.2,
+                loss_bad: 0.9,
+            }),
+            corruption: Some(ch_sim::fault::CorruptionSpec { rate: 0.2 }),
+            churn: Some(ch_sim::fault::ChurnSpec { rate: 0.3 }),
+            crash: Some(ch_sim::fault::CrashSpec {
+                times_secs: vec![240],
+                recovery: ch_sim::CrashMode::Warm,
+                checkpoint_secs: Some(120),
+            }),
+        };
+        let a = fault_run(Some(spec.clone()), 32);
+        let b = fault_run(Some(spec), 32);
+        assert_eq!(a.summary("x"), b.summary("x"));
+        assert_eq!(a.db_series(), b.db_series());
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.attacker_crashes == 1, "{:?}", a.stats);
+    }
+
+    #[test]
+    fn corruption_counts_skips_and_degrades() {
+        let spec = ch_sim::fault::FaultSpec {
+            corruption: Some(ch_sim::fault::CorruptionSpec { rate: 1.0 }),
+            ..ch_sim::fault::FaultSpec::disabled()
+        };
+        let clean = fault_run(None, 33);
+        let noisy = fault_run(Some(spec), 33);
+        assert!(noisy.stats.frames_corrupted > 0);
+        assert!(noisy.stats.frames_rejected > 0);
+        assert!(noisy.stats.frames_rejected <= noisy.stats.frames_corrupted);
+        // Every frame is corrupted; only mutations confined to don't-care
+        // bytes survive parse-and-compare, so both sides of the attack
+        // degrade — but never panic.
+        assert!(
+            noisy.client_count() < clean.client_count(),
+            "noisy {} vs clean {}",
+            noisy.client_count(),
+            clean.client_count()
+        );
+        let (n, c) = (noisy.summary("n"), clean.summary("c"));
+        assert!(
+            n.direct_connected + n.broadcast_connected < c.direct_connected + c.broadcast_connected,
+            "noisy {n:?} vs clean {c:?}"
+        );
+    }
+
+    #[test]
+    fn burst_loss_eats_frames() {
+        let spec = ch_sim::fault::FaultSpec {
+            burst_loss: Some(ch_sim::fault::BurstLossSpec {
+                p_enter_bad: 0.1,
+                p_exit_bad: 0.1,
+                loss_bad: 1.0,
+            }),
+            ..ch_sim::fault::FaultSpec::disabled()
+        };
+        let clean = fault_run(None, 34);
+        let bursty = fault_run(Some(spec), 34);
+        assert!(bursty.stats.frames_burst_dropped > 0);
+        assert!(
+            bursty.client_count() < clean.client_count(),
+            "bursty {} vs clean {}",
+            bursty.client_count(),
+            clean.client_count()
+        );
+    }
+
+    #[test]
+    fn churn_truncates_visits() {
+        let spec = ch_sim::fault::FaultSpec {
+            churn: Some(ch_sim::fault::ChurnSpec { rate: 0.5 }),
+            ..ch_sim::fault::FaultSpec::disabled()
+        };
+        let churned = fault_run(Some(spec), 35);
+        assert!(churned.stats.agents_churned > 10, "{:?}", churned.stats);
+    }
+
+    #[test]
+    fn crash_restarts_are_counted_and_survivable() {
+        let spec = ch_sim::fault::FaultSpec {
+            crash: Some(ch_sim::fault::CrashSpec {
+                times_secs: vec![150, 300, 450],
+                recovery: ch_sim::CrashMode::Cold,
+                checkpoint_secs: None,
+            }),
+            ..ch_sim::fault::FaultSpec::disabled()
+        };
+        let crashed = fault_run(Some(spec), 36);
+        assert_eq!(crashed.stats.attacker_crashes, 3);
+        assert!(crashed.client_count() > 0);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`space`] — 2-D positions in metres and simple geometry.
 //! * [`medium`] — a shared-channel airtime model with a distance-based
 //!   delivery gate, the abstraction standing in for the real radio.
+//! * [`fault`] — deterministic, seed-derived fault injection (bursty
+//!   Gilbert–Elliott loss, frame corruption, client churn, scheduled
+//!   attacker crashes) for the robustness studies.
 //!
 //! Everything is deterministic: the same seed produces bit-identical
 //! simulations, which is what lets the benchmark harness regenerate every
@@ -38,6 +41,7 @@
 
 pub mod alloc;
 pub mod collections;
+pub mod fault;
 pub mod invariant;
 pub mod medium;
 pub mod queue;
@@ -48,6 +52,7 @@ pub mod time;
 pub mod trace;
 
 pub use collections::{det_hash_map, det_hash_set, DetHashMap, DetHashSet, FxHasher};
+pub use fault::{CrashMode, FaultPlan, FaultSpec};
 pub use medium::{DeliveryOutcome, LossModel, RadioMedium};
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -13,6 +13,7 @@
 //! (FIFO airtime accounting) and applies a distance-based [`LossModel`] gate
 //! per frame.
 
+use crate::fault::GilbertElliott;
 use crate::space::Position;
 use crate::time::{SimDuration, SimTime};
 use crate::SimRng;
@@ -125,6 +126,10 @@ impl DeliveryOutcome {
 #[derive(Debug, Clone)]
 pub struct RadioMedium {
     loss: LossModel,
+    /// Optional Gilbert–Elliott burst-loss chain layered on top of the
+    /// distance model (fault injection); `None` adds no loss and no
+    /// RNG draws.
+    burst: Option<GilbertElliott>,
     busy_until: SimTime,
     frames_sent: u64,
     frames_delivered: u64,
@@ -135,10 +140,26 @@ impl RadioMedium {
     pub fn new(loss: LossModel) -> Self {
         RadioMedium {
             loss,
+            burst: None,
             busy_until: SimTime::ZERO,
             frames_sent: 0,
             frames_delivered: 0,
         }
+    }
+
+    /// Creates a medium whose distance model is multiplied by a bursty
+    /// Gilbert–Elliott channel: a frame is delivered only if it clears
+    /// both the distance draw and the burst chain.
+    pub fn with_burst_loss(loss: LossModel, burst: GilbertElliott) -> Self {
+        RadioMedium {
+            burst: Some(burst),
+            ..RadioMedium::new(loss)
+        }
+    }
+
+    /// The burst chain layered on the medium, if any.
+    pub fn burst(&self) -> Option<&GilbertElliott> {
+        self.burst.as_ref()
     }
 
     /// The loss model in force.
@@ -180,7 +201,15 @@ impl RadioMedium {
         let end = start + airtime;
         self.busy_until = end;
         self.frames_sent += 1;
-        if rng.chance(self.loss.delivery_prob(distance)) {
+        let clear = rng.chance(self.loss.delivery_prob(distance));
+        // The burst chain advances once per transmitted frame even when
+        // the distance draw already lost it — burst dwell is a property
+        // of the channel, not of individual outcomes.
+        let burst_drop = match &mut self.burst {
+            Some(chain) => chain.step(rng),
+            None => false,
+        };
+        if clear && !burst_drop {
             self.frames_delivered += 1;
             DeliveryOutcome::Delivered { at: end }
         } else {
@@ -223,12 +252,16 @@ impl RadioMedium {
         }
     }
 
-    /// Resets the channel to idle and zeroes the counters (used between
-    /// independent experiment runs sharing a medium value).
+    /// Resets the channel to idle, zeroes the counters, and returns any
+    /// burst chain to its Good state (used between independent
+    /// experiment runs sharing a medium value).
     pub fn reset(&mut self) {
         self.busy_until = SimTime::ZERO;
         self.frames_sent = 0;
         self.frames_delivered = 0;
+        if let Some(chain) = &mut self.burst {
+            chain.reset();
+        }
     }
 }
 
@@ -377,6 +410,76 @@ mod tests {
             }
         }
         assert!((380..620).contains(&delivered), "delivered={delivered}");
+    }
+
+    #[test]
+    fn burst_chain_loses_extra_frames() {
+        // Same seed, same geometry: the bursty medium can only deliver a
+        // subset of what the clean medium delivers.
+        let deliver_count = |medium: &mut RadioMedium| {
+            let mut r = rng();
+            let mut delivered = 0;
+            for _ in 0..2_000 {
+                if medium
+                    .transmit(
+                        SimTime::ZERO,
+                        Position::ORIGIN,
+                        Position::new(5.0, 0.0),
+                        SimDuration::from_micros(250),
+                        &mut r,
+                    )
+                    .is_delivered()
+                {
+                    delivered += 1;
+                }
+            }
+            delivered
+        };
+        let mut clean = RadioMedium::new(LossModel::ideal(50.0));
+        let mut bursty = RadioMedium::with_burst_loss(
+            LossModel::ideal(50.0),
+            GilbertElliott::new(0.1, 0.2, 0.0, 0.95),
+        );
+        let clean_delivered = deliver_count(&mut clean);
+        let bursty_delivered = deliver_count(&mut bursty);
+        assert_eq!(clean_delivered, 2_000);
+        assert!(
+            bursty_delivered < clean_delivered * 9 / 10,
+            "burst chain lost nothing: {bursty_delivered}/{clean_delivered}"
+        );
+    }
+
+    #[test]
+    fn reset_restores_burst_chain_to_good() {
+        use crate::fault::ChannelState;
+        // Force the chain into the Bad state, then check reset recovers
+        // it alongside the counters — the property long fault sweeps
+        // reusing one medium depend on.
+        let mut medium = RadioMedium::with_burst_loss(
+            LossModel::ideal(50.0),
+            GilbertElliott::new(1.0, 0.0, 0.0, 1.0), // enters Bad and stays
+        );
+        let mut r = rng();
+        let out = medium.transmit(
+            SimTime::ZERO,
+            Position::ORIGIN,
+            Position::new(1.0, 0.0),
+            SimDuration::from_micros(250),
+            &mut r,
+        );
+        assert_eq!(out, DeliveryOutcome::Lost);
+        assert_eq!(medium.burst().unwrap().state(), ChannelState::Bad);
+        medium.reset();
+        assert_eq!(medium.burst().unwrap().state(), ChannelState::Good);
+        assert_eq!(medium.busy_until(), SimTime::ZERO);
+        assert_eq!(medium.frames_sent(), 0);
+        assert_eq!(medium.frames_delivered(), 0);
+        // A reset medium behaves exactly like a fresh one.
+        let fresh = RadioMedium::with_burst_loss(
+            LossModel::ideal(50.0),
+            GilbertElliott::new(1.0, 0.0, 0.0, 1.0),
+        );
+        assert_eq!(medium.burst(), fresh.burst());
     }
 
     #[test]

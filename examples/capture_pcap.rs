@@ -34,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         loss: None,
         population: None,
         arrival_multiplier: None,
+        fault: None,
     };
 
     let path = "city-hunter-capture.pcap";

@@ -33,6 +33,7 @@ fn main() {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         };
         let metrics = run_experiment(&data, &config);
         rows.push(metrics.summary(label));

@@ -36,6 +36,7 @@ fn config(deauth: bool, seed: u64) -> RunConfig {
         loss: None,
         population: None,
         arrival_multiplier: None,
+        fault: None,
     }
 }
 

@@ -39,6 +39,7 @@ fn full_runs_are_reproducible_for_every_attacker() {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         };
         let a = run_experiment(&data, &config);
         let b = run_experiment(&data, &config);
@@ -82,6 +83,7 @@ fn venue_streams_are_independent() {
             loss: None,
             population: None,
             arrival_multiplier: None,
+            fault: None,
         };
         run_experiment(&data, &config).summary("x")
     };

@@ -19,6 +19,7 @@ fn run(data: &CityData, venue: VenueKind, attacker: AttackerKind, seed: u64) -> 
         loss: None,
         population: None,
         arrival_multiplier: None,
+        fault: None,
     };
     run_experiment(data, &config).summary("run")
 }
@@ -209,6 +210,7 @@ fn mac_randomizing_population_still_countable() {
         loss: None,
         population: None,
         arrival_multiplier: None,
+        fault: None,
     };
     let metrics = run_experiment(&data, &config);
     assert!(metrics.client_count() > 0);

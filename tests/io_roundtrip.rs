@@ -19,6 +19,7 @@ fn short_config(seed: u64) -> RunConfig {
         loss: None,
         population: None,
         arrival_multiplier: None,
+        fault: None,
     }
 }
 

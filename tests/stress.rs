@@ -19,6 +19,7 @@ fn one_hour_quadruple_density_canteen() {
         loss: None,
         population: None,
         arrival_multiplier: Some(4.0),
+        fault: None,
     };
     let metrics = run_experiment(&data, &config);
     let row = metrics.summary("stress");
