@@ -11,8 +11,18 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> ch-lint"
+echo "==> ch-lint (text + JSON artifact + explain smoke)"
 cargo run -q -p ch-analysis --bin ch-lint
+# The machine-readable run doubles as the CI artifact. On a clean tree the
+# findings array must be empty — pin that, not just the exit code.
+lint_dir="target/ci-lint"
+mkdir -p "$lint_dir"
+cargo run -q -p ch-analysis --bin ch-lint -- --format json \
+  > "$lint_dir/findings.json"
+grep -q '"findings":\[\]' "$lint_dir/findings.json"
+# --explain must know every advertised rule.
+cargo run -q -p ch-analysis --bin ch-lint -- --explain hot-path-alloc \
+  | grep -q 'Escape:'
 
 echo "==> cargo test"
 # Invariant checks (ch_invariant!) are active in debug builds, which is

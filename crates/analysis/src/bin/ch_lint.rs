@@ -7,6 +7,9 @@
 //!   --root <dir>     workspace root (default: discovered from the cwd)
 //!   --allow <rule>   disable a rule for this run
 //!   --deny <rule>    re-enable a rule overridden in ch-lint.toml
+//!   --format <fmt>   `text` (default) or `json` (machine-readable, on
+//!                    stdout, stable field order — the CI artifact)
+//!   --explain <rule> print the rule's rationale and escape hatch, exit
 //!   --list-rules     print the rule ids and exit
 //! ```
 //!
@@ -17,8 +20,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ch_analysis::config::{Config, Level};
-use ch_analysis::rules::ALL_RULES;
-use ch_analysis::workspace::{analyze_workspace, find_workspace_root};
+use ch_analysis::rules::{ALL_RULES, RULE_EXPLANATIONS};
+use ch_analysis::workspace::{analyze_workspace, find_workspace_root, Report};
 
 fn main() -> ExitCode {
     match run() {
@@ -30,9 +33,16 @@ fn main() -> ExitCode {
     }
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn run() -> Result<ExitCode, String> {
     let mut root: Option<PathBuf> = None;
     let mut overrides: Vec<(String, Level)> = Vec::new();
+    let mut format = Format::Text;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +59,28 @@ fn run() -> Result<ExitCode, String> {
                 let rule = args.next().ok_or("--deny needs a rule id")?;
                 overrides.push((rule, Level::Deny));
             }
+            "--format" => {
+                format = match args
+                    .next()
+                    .ok_or("--format needs `text` or `json`")?
+                    .as_str()
+                {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text or json)")),
+                };
+            }
+            "--explain" => {
+                let rule = args.next().ok_or("--explain needs a rule id")?;
+                let Some((_, text)) = RULE_EXPLANATIONS.iter().find(|(r, _)| *r == rule) else {
+                    return Err(format!(
+                        "unknown rule `{rule}` (expected one of: {})",
+                        ALL_RULES.join(", ")
+                    ));
+                };
+                println!("{rule}\n{}\n{text}", "-".repeat(rule.len()));
+                return Ok(ExitCode::SUCCESS);
+            }
             "--list-rules" => {
                 for rule in ALL_RULES {
                     println!("{rule}");
@@ -58,7 +90,8 @@ fn run() -> Result<ExitCode, String> {
             "--help" | "-h" => {
                 println!(
                     "ch-lint: City-Hunter workspace lint gate\n\
-                     usage: ch-lint [--root DIR] [--allow RULE] [--deny RULE] [--list-rules]"
+                     usage: ch-lint [--root DIR] [--allow RULE] [--deny RULE] \
+                     [--format text|json] [--explain RULE] [--list-rules]"
                 );
                 return Ok(ExitCode::SUCCESS);
             }
@@ -85,18 +118,69 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let report = analyze_workspace(&root, &config)?;
-    for finding in &report.findings {
-        eprintln!("{finding}");
+    match format {
+        Format::Text => {
+            for finding in &report.findings {
+                eprintln!("{finding}");
+            }
+            eprintln!(
+                "ch-lint: {} finding(s) across {} file(s) in {} crate(s)",
+                report.findings.len(),
+                report.files_scanned,
+                report.crates_scanned
+            );
+        }
+        Format::Json => println!("{}", render_json(&report)),
     }
-    eprintln!(
-        "ch-lint: {} finding(s) across {} file(s) in {} crate(s)",
-        report.findings.len(),
-        report.files_scanned,
-        report.crates_scanned
-    );
     Ok(if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// Renders the report as a single JSON object with a stable field order:
+/// `findings` (each `{rule, path, line, message}` in report order), then
+/// `files_scanned`, then `crates_scanned`. Hand-rolled so the analyzer
+/// stays dependency-free; CI diffs this artifact, so the order is part of
+/// the contract.
+fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    out.push_str(&format!(
+        "],\"files_scanned\":{},\"crates_scanned\":{}}}",
+        report.files_scanned, report.crates_scanned
+    ));
+    out
+}
+
+/// Escapes a string per JSON (RFC 8259): quotes, backslashes and control
+/// characters; everything else passes through as UTF-8.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

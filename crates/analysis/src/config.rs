@@ -11,6 +11,14 @@
 //! [scoped-allow]
 //! # Suppress one rule for one file (or directory) only. Repeatable.
 //! nondeterminism = "crates/fleet/src/telemetry.rs"
+//!
+//! [hot-path]
+//! # Roots of the R6 hot-path-alloc reachability scan. Repeatable; the
+//! # scope is a file (that function only) or a directory (every function
+//! # of that name underneath — how one root covers all impls of a trait
+//! # method).
+//! root = "crates/wifi/src/codec.rs::encode_into"
+//! root = "crates/attack/src::respond_to_probe_into"
 //! ```
 //!
 //! `[rules]` sets a rule's level workspace-wide; `[scoped-allow]` keeps a
@@ -21,6 +29,14 @@
 //! Command-line `--allow <rule>` / `--deny <rule>` flags override the file.
 
 use crate::rules::ALL_RULES;
+
+/// One `[hot-path]` root: the function `name` defined at (or under) the
+/// workspace-relative `scope` path seeds the R6 reachability scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotPathRoot {
+    pub scope: String,
+    pub name: String,
+}
 
 /// What to do with a rule's findings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +54,8 @@ pub struct Config {
     /// `(rule, workspace-relative path)` pairs from `[scoped-allow]`: the
     /// rule stays denied everywhere except under that file or directory.
     scoped_allows: Vec<(&'static str, String)>,
+    /// `[hot-path]` roots seeding the R6 reachability scan.
+    hot_path_roots: Vec<HotPathRoot>,
 }
 
 impl Default for Config {
@@ -45,6 +63,7 @@ impl Default for Config {
         Config {
             levels: ALL_RULES.iter().map(|r| (*r, Level::Deny)).collect(),
             scoped_allows: Vec::new(),
+            hot_path_roots: Vec::new(),
         }
     }
 }
@@ -101,6 +120,35 @@ impl Config {
         &self.scoped_allows
     }
 
+    /// Adds an R6 root, validating the `<scope>::<fn-name>` shape.
+    pub fn add_hot_path_root(&mut self, value: &str) -> Result<(), String> {
+        let Some((scope, name)) = value.rsplit_once("::") else {
+            return Err(format!(
+                "hot-path root must be `<path>::<fn-name>`, got \"{value}\""
+            ));
+        };
+        if scope.is_empty() || scope.starts_with('/') || scope.contains("..") {
+            return Err(format!(
+                "hot-path scope must be workspace-relative, got \"{scope}\""
+            ));
+        }
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return Err(format!(
+                "hot-path function name must be an identifier, got \"{name}\""
+            ));
+        }
+        self.hot_path_roots.push(HotPathRoot {
+            scope: scope.to_string(),
+            name: name.to_string(),
+        });
+        Ok(())
+    }
+
+    /// The configured `[hot-path]` roots, in file order.
+    pub fn hot_path_roots(&self) -> &[HotPathRoot] {
+        &self.hot_path_roots
+    }
+
     /// `true` if a `[scoped-allow]` entry suppresses `rule` at `path`
     /// (`path` is workspace-relative, as reported in findings).
     pub fn is_path_allowed(&self, rule: &str, path: &str) -> bool {
@@ -119,6 +167,7 @@ impl Config {
         enum Section {
             Rules,
             ScopedAllow,
+            HotPath,
         }
         let mut section = Section::Rules;
         for (lineno, raw) in text.lines().enumerate() {
@@ -130,10 +179,11 @@ impl Config {
                 section = match &line[1..line.len() - 1] {
                     "rules" => Section::Rules,
                     "scoped-allow" => Section::ScopedAllow,
+                    "hot-path" => Section::HotPath,
                     other => {
                         return Err(format!(
                             "ch-lint.toml:{}: unknown section `[{other}]` \
-                             (expected [rules] or [scoped-allow])",
+                             (expected [rules], [scoped-allow] or [hot-path])",
                             lineno + 1
                         ))
                     }
@@ -166,6 +216,17 @@ impl Config {
                 }
                 Section::ScopedAllow => {
                     self.allow_scoped(key, value)
+                        .map_err(|e| format!("ch-lint.toml:{}: {e}", lineno + 1))?;
+                }
+                Section::HotPath => {
+                    if key != "root" {
+                        return Err(format!(
+                            "ch-lint.toml:{}: [hot-path] entries are \
+                             `root = \"<path>::<fn-name>\"`, got key `{key}`",
+                            lineno + 1
+                        ));
+                    }
+                    self.add_hot_path_root(value)
                         .map_err(|e| format!("ch-lint.toml:{}: {e}", lineno + 1))?;
                 }
             }
@@ -250,6 +311,47 @@ mod tests {
             .apply_toml("[scoped-allow]\nnondeterminism = \"a/../b\"\n")
             .unwrap_err();
         assert!(err.contains("workspace-relative"), "{err}");
+    }
+
+    #[test]
+    fn hot_path_roots_parse_and_validate() {
+        let mut cfg = Config::default();
+        cfg.apply_toml(
+            "[hot-path]\n\
+             root = \"crates/wifi/src/codec.rs::encode_into\"\n\
+             root = \"crates/attack/src::respond_to_probe_into\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.hot_path_roots(),
+            [
+                HotPathRoot {
+                    scope: "crates/wifi/src/codec.rs".to_string(),
+                    name: "encode_into".to_string(),
+                },
+                HotPathRoot {
+                    scope: "crates/attack/src".to_string(),
+                    name: "respond_to_probe_into".to_string(),
+                },
+            ]
+        );
+
+        let err = cfg
+            .apply_toml("[hot-path]\nroot = \"no-separator\"\n")
+            .unwrap_err();
+        assert!(err.contains("<path>::<fn-name>"), "{err}");
+        let err = cfg
+            .apply_toml("[hot-path]\nroot = \"/abs/path.rs::f\"\n")
+            .unwrap_err();
+        assert!(err.contains("workspace-relative"), "{err}");
+        let err = cfg
+            .apply_toml("[hot-path]\nroot = \"crates/x.rs::not an ident\"\n")
+            .unwrap_err();
+        assert!(err.contains("identifier"), "{err}");
+        let err = cfg
+            .apply_toml("[hot-path]\nwrong-key = \"crates/x.rs::f\"\n")
+            .unwrap_err();
+        assert!(err.contains("root"), "{err}");
     }
 
     #[test]

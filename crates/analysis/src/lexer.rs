@@ -26,6 +26,10 @@ pub enum TokenKind {
     Ident(String),
     /// Any single punctuation/operator character.
     Punct(char),
+    /// A numeric literal, verbatim (digits, suffix, hex letters — e.g.
+    /// `42`, `0xFA_017`, `1.5f64`). The seed-discipline rule needs to see
+    /// literal seeds; every other rule ignores these tokens.
+    Number(String),
 }
 
 impl Token {
@@ -33,7 +37,15 @@ impl Token {
     pub fn ident(&self) -> Option<&str> {
         match &self.kind {
             TokenKind::Ident(s) => Some(s),
-            TokenKind::Punct(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The literal text, if this token is a number.
+    pub fn number(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Number(s) => Some(s),
+            _ => None,
         }
     }
 
@@ -283,14 +295,21 @@ impl Lexer {
     }
 
     fn number(&mut self) {
-        // Numbers never participate in any rule: consume the usual suspects
-        // (digits, `_`, type suffixes, hex letters, one decimal point).
+        // Consume the usual suspects (digits, `_`, type suffixes, hex
+        // letters, one decimal point) as one literal token.
+        let line = self.line;
+        let start = self.pos;
         while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_' || c == '.') {
             if self.peek(0) == Some('.') && self.peek(1) == Some('.') {
                 break; // range operator, not a decimal point
             }
             self.bump();
         }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.tokens.push(Token {
+            kind: TokenKind::Number(text),
+            line,
+        });
     }
 }
 

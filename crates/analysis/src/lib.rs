@@ -18,21 +18,35 @@
 //! * **R4 `missing-decode`** — every public wire-format type in
 //!   `ch-wifi::frame`/`ch-wifi::ie` that can encode must also be able to
 //!   decode, so formats round-trip.
+//! * **R5 `ssid-clone`** — no `.clone()` of SSID-named values in the
+//!   probe hot path's crates; the hot path works on interned ids.
+//! * **R6 `hot-path-alloc`** — no allocating construct in any function
+//!   transitively reachable from the `[hot-path]` roots configured in
+//!   `ch-lint.toml`, computed over the [workspace call
+//!   graph](index::WorkspaceIndex) — cold branches the perf benchmark
+//!   never executes included.
+//! * **R7 `seed-discipline`** — `SimRng`/`FaultRng` seeds in the
+//!   determinism crates come from `derive_seed`, a parent `fork`, or a
+//!   config field, never an integer literal or a reused expression.
 //!
-//! Run it with `cargo run -p ch-analysis --bin ch-lint`. A finding is
-//! suppressed by a trailing or directly preceding
-//! `// ch-lint: allow(<rule>)` comment; rules can be globally downgraded
-//! in `ch-lint.toml` or with `--allow <rule>` on the command line.
+//! Run it with `cargo run -p ch-analysis --bin ch-lint` (`--format json`
+//! for the machine-readable CI artifact, `--explain <rule>` for a rule's
+//! rationale). A finding is suppressed by a trailing or directly
+//! preceding `// ch-lint: allow(<rule>)` comment; rules can be globally
+//! downgraded in `ch-lint.toml` or with `--allow <rule>` on the command
+//! line.
 //!
 //! The analyzer is dependency-free by design (the build must work in a
 //! hermetic environment): [`lexer`] is a small hand-rolled Rust lexer
-//! that understands exactly as much of the language as the token-pattern
-//! rules in [`rules`] require — comments, strings, lifetimes and
-//! `#[cfg(test)]` regions.
+//! that understands exactly as much of the language as the rules in
+//! [`rules`] require — comments, strings, lifetimes and `#[cfg(test)]`
+//! regions — and [`index`] derives the symbol table and approximate
+//! call graph from those tokens alone.
 //!
 //! [`ch_sim::DetHashMap`]: ../ch_sim/collections/type.DetHashMap.html
 
 pub mod config;
+pub mod index;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;
@@ -74,12 +88,54 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Lexes and checks one source file. The entry point the fixture tests
-/// drive directly; [`workspace::analyze_workspace`] wraps it with crate
-/// discovery.
+/// Lexes and checks one source file with the per-file rules (R1–R5, R7).
+/// The entry point the single-file fixture tests drive directly;
+/// [`analyze_files`] adds the workspace-level pass.
 pub fn analyze_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
     let lexed = lexer::lex(source);
     rules::check_file(ctx, &lexed)
+}
+
+/// The two-pass analyzer over a set of sources: pass 1 lexes every file
+/// and builds the [workspace symbol index](index::WorkspaceIndex); pass 2
+/// runs the per-file rules plus the index-aware rules (R6
+/// `hot-path-alloc`, whose roots come from `config`'s `[hot-path]`
+/// section). [`workspace::analyze_workspace`] wraps this with crate
+/// discovery; multi-file fixture tests drive it directly.
+pub fn analyze_files(files: &[(FileContext, String)], config: &config::Config) -> Vec<Finding> {
+    analyze_files_with_deps(files, &[], config)
+}
+
+/// [`analyze_files`] with a crate dependency list (`(crate, direct deps)`
+/// pairs): call-graph edges then respect the dependency direction, so a
+/// name collision with a crate nothing links against cannot fabricate
+/// hot-path reachability. An empty list keeps every edge.
+pub fn analyze_files_with_deps(
+    files: &[(FileContext, String)],
+    deps: &[(String, Vec<String>)],
+    config: &config::Config,
+) -> Vec<Finding> {
+    let lexed: Vec<(FileContext, lexer::LexedFile)> = files
+        .iter()
+        .map(|(ctx, source)| (ctx.clone(), lexer::lex(source)))
+        .collect();
+    let mut findings = Vec::new();
+    for (ctx, file) in &lexed {
+        findings.extend(rules::check_file(ctx, file));
+    }
+    let index = index::WorkspaceIndex::build_with_deps(&lexed, deps);
+    findings.extend(rules::check_workspace(
+        &lexed,
+        &index,
+        config.hot_path_roots(),
+    ));
+    findings.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    findings
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::config::Config;
-use crate::{analyze_source, FileContext, FileKind, Finding};
+use crate::{analyze_files_with_deps, FileContext, FileKind, Finding};
 
 /// Summary of one analysis run.
 #[derive(Debug, Default)]
@@ -33,6 +33,31 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
         dir = d.parent();
     }
     None
+}
+
+/// The keys of a crate's `[dependencies]` section (direct deps only —
+/// call-graph reachability is transitive through each crate's own edges).
+fn direct_dependencies(manifest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && !line.is_empty() && !line.starts_with('#') {
+            // `ch-sim.workspace = true` / `ch-sim = { path = … }`.
+            let key: String = line
+                .chars()
+                .take_while(|c| !matches!(c, '.' | '=' | ' ' | '\t'))
+                .collect();
+            if !key.is_empty() {
+                out.push(key);
+            }
+        }
+    }
+    out
 }
 
 /// The `name = "…"` of a crate's `[package]` section.
@@ -76,6 +101,10 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
 }
 
 /// Analyzes every workspace crate under `root`, honouring `config`.
+///
+/// Two passes: first every file is collected (so the symbol index spans
+/// the whole workspace), then [`analyze_files`] lexes, indexes and runs
+/// the rules. Config filtering (levels, `[scoped-allow]`) applies last.
 pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
@@ -87,12 +116,15 @@ pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String>
     crate_dirs.sort();
 
     let mut report = Report::default();
+    let mut files: Vec<(FileContext, String)> = Vec::new();
+    let mut deps: Vec<(String, Vec<String>)> = Vec::new();
     for crate_dir in crate_dirs {
         let manifest = fs::read_to_string(crate_dir.join("Cargo.toml"))
             .map_err(|e| format!("cannot read {}: {e}", crate_dir.display()))?;
         let Some(crate_name) = package_name(&manifest) else {
             continue; // not a package (e.g. a nested workspace stub)
         };
+        deps.push((crate_name.clone(), direct_dependencies(&manifest)));
         report.crates_scanned += 1;
         for (subdir, kind) in [
             ("src", FileKind::Library),
@@ -108,23 +140,22 @@ pub fn analyze_workspace(root: &Path, config: &Config) -> Result<Report, String>
                     .unwrap_or(&file)
                     .to_string_lossy()
                     .replace('\\', "/");
-                let ctx = FileContext {
-                    crate_name: crate_name.clone(),
-                    path: rel,
-                    kind,
-                };
                 report.files_scanned += 1;
-                report
-                    .findings
-                    .extend(analyze_source(&ctx, &source).into_iter().filter(|f| {
-                        config.is_denied(f.rule) && !config.is_path_allowed(f.rule, &f.path)
-                    }));
+                files.push((
+                    FileContext {
+                        crate_name: crate_name.clone(),
+                        path: rel,
+                        kind,
+                    },
+                    source,
+                ));
             }
         }
     }
-    report
-        .findings
-        .sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    report.findings = analyze_files_with_deps(&files, &deps, config)
+        .into_iter()
+        .filter(|f| config.is_denied(f.rule) && !config.is_path_allowed(f.rule, &f.path))
+        .collect();
     Ok(report)
 }
 

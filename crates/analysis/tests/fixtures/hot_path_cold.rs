@@ -1,0 +1,18 @@
+//! R6 fixture — the cold-branch helper, one file away from the root.
+
+pub fn cold_diagnostics(out: &mut Vec<u8>) {
+    let label = format!("len={}", out.len());
+    out.extend(label.bytes());
+    // ch-lint: allow(hot-path-alloc) — fixture-sanctioned scratch copy
+    let scratch = out.to_vec();
+    drop(scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocation_is_fine_in_tests() {
+        let mut out = vec![0u8];
+        super::cold_diagnostics(&mut out);
+    }
+}

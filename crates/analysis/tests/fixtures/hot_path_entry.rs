@@ -1,0 +1,20 @@
+//! R6 fixture — the configured hot-path root. The allocations live in a
+//! *different file*, behind a branch the perfbench workload never takes
+//! (`cold == false` in every benchmark run), so the runtime alloc-counter
+//! gate cannot see them; only the call-graph walk can.
+
+pub fn respond(out: &mut Vec<u8>, cold: bool) {
+    out.clear();
+    encode(out, cold);
+}
+
+fn encode(out: &mut Vec<u8>, cold: bool) {
+    out.push(1);
+    if cold {
+        cold_diagnostics(out);
+    }
+}
+
+pub fn not_reachable() -> String {
+    String::from("allocation outside the root's reach")
+}

@@ -19,6 +19,10 @@ pub fn roll_unblessed() -> u32 {
     rand::thread_rng().gen()
 }
 
+pub fn coin() -> bool {
+    rand::random()
+}
+
 // "Instant::now() in a string or comment is fine"
 pub const DOC: &str = "call Instant::now() never";
 

@@ -31,11 +31,35 @@ pub fn named_not_called() -> &'static str {
     "ok"
 }
 
+pub fn branch_not_taken(x: u8) -> u8 {
+    match x {
+        0 => 0,
+        _ => unreachable!("callers pass 0"),
+    }
+}
+
+pub fn not_yet() {
+    todo!()
+}
+
+pub fn never() {
+    unimplemented!()
+}
+
+pub fn blessed_sentinel(x: u8) -> u8 {
+    match x {
+        0 => 0,
+        // ch-lint: allow(panic-path) — upstream enum is non-exhaustive
+        _ => unreachable!(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn unwrap_is_fine_in_tests() {
         Some(1u8).unwrap();
         assert!(std::panic::catch_unwind(|| panic!("test-only")).is_err());
+        assert!(std::panic::catch_unwind(|| unreachable!()).is_err());
     }
 }

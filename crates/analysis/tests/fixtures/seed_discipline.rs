@@ -1,0 +1,47 @@
+//! R7 fixture — seed provenance in a determinism crate.
+
+pub struct Cfg {
+    pub seed: u64,
+}
+
+pub fn hard_coded() -> SimRng {
+    SimRng::seed_from(42)
+}
+
+pub fn from_config(cfg: &Cfg) -> SimRng {
+    SimRng::seed_from(cfg.seed)
+}
+
+pub fn derived(base: u64) -> SimRng {
+    SimRng::seed_from(derive_seed(base, 7))
+}
+
+pub fn forked(parent: &mut SimRng) -> SimRng {
+    parent.fork("worker")
+}
+
+pub fn reused(cfg: &Cfg) -> (SimRng, SimRng) {
+    let a = SimRng::seed_from(cfg.seed);
+    let b = SimRng::seed_from(cfg.seed);
+    (a, b)
+}
+
+pub fn distinct(cfg: &Cfg) -> (SimRng, FaultRng) {
+    let a = SimRng::seed_from(cfg.seed);
+    let b = FaultRng::seed_from(derive_seed(cfg.seed, 1));
+    (a, b)
+}
+
+pub fn blessed() -> SimRng {
+    SimRng::seed_from(99) // ch-lint: allow(seed-discipline) — golden-file pin
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literals_are_fine_in_tests() {
+        let a = SimRng::seed_from(7);
+        let b = SimRng::seed_from(7);
+        let _ = (a, b);
+    }
+}

@@ -1,8 +1,11 @@
-//! Fixture-driven tests for the four ch-lint rules: each fixture contains
+//! Fixture-driven tests for the ch-lint rules: each fixture contains
 //! known violations; the tests pin rule ids *and* line numbers, plus the
-//! `// ch-lint: allow(...)` suppression behaviour.
+//! `// ch-lint: allow(...)` suppression behaviour. The workspace-level
+//! rule (R6 `hot-path-alloc`) is driven through [`analyze_files`] with a
+//! config carrying `[hot-path]` roots.
 
-use ch_analysis::{analyze_source, FileContext, FileKind, Finding};
+use ch_analysis::config::Config;
+use ch_analysis::{analyze_files, analyze_source, FileContext, FileKind, Finding};
 
 fn run(crate_name: &str, path: &str, kind: FileKind, source: &str) -> Vec<(String, u32)> {
     let ctx = FileContext {
@@ -65,6 +68,7 @@ fn r2_nondeterminism_fixture() {
             ("nondeterminism".to_string(), 5),  // Instant::now()
             ("nondeterminism".to_string(), 9),  // SystemTime::now()
             ("nondeterminism".to_string(), 19), // thread_rng()
+            ("nondeterminism".to_string(), 23), // rand::random()
         ],
         "line 14 is allow-suppressed; strings, comments and the test mod \
          must not fire"
@@ -95,9 +99,12 @@ fn r3_panic_path_fixture() {
             ("panic-path".to_string(), 5),  // .unwrap()
             ("panic-path".to_string(), 9),  // .expect(…)
             ("panic-path".to_string(), 18), // panic!
+            ("panic-path".to_string(), 37), // unreachable!
+            ("panic-path".to_string(), 42), // todo!
+            ("panic-path".to_string(), 46), // unimplemented!
         ],
-        "line 14 is allow-suppressed; bare `unwrap`/`expect` identifiers and \
-         test code must not fire"
+        "lines 14 and 53 are allow-suppressed; bare `unwrap`/`expect` \
+         identifiers and test code must not fire"
     );
 }
 
@@ -118,6 +125,9 @@ fn r3_covers_fleet_library_code() {
             ("panic-path".to_string(), 5),
             ("panic-path".to_string(), 9),
             ("panic-path".to_string(), 18),
+            ("panic-path".to_string(), 37),
+            ("panic-path".to_string(), 42),
+            ("panic-path".to_string(), 46),
         ],
         "ch-fleet library code is in R3 scope"
     );
@@ -212,4 +222,151 @@ fn allow_comment_suppresses_only_its_rule() {
         "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap() // ch-lint: allow(nondeterminism)\n}\n";
     let got = run("ch-arc", "crates/arc/src/x.rs", FileKind::Library, src);
     assert_eq!(got, vec![("panic-path".to_string(), 2)]);
+}
+
+// --- R6: hot-path-alloc (workspace-level, via analyze_files) --------------
+
+fn hot_path_files() -> Vec<(FileContext, String)> {
+    let ctx = |path: &str| FileContext {
+        crate_name: "ch-attack".to_string(),
+        path: path.to_string(),
+        kind: FileKind::Library,
+    };
+    vec![
+        (
+            ctx("crates/attack/src/hot_entry.rs"),
+            include_str!("fixtures/hot_path_entry.rs").to_string(),
+        ),
+        (
+            ctx("crates/attack/src/hot_cold.rs"),
+            include_str!("fixtures/hot_path_cold.rs").to_string(),
+        ),
+    ]
+}
+
+fn hot_path_config(root: &str) -> Config {
+    let mut config = Config::default();
+    config.add_hot_path_root(root).expect("valid root");
+    config
+}
+
+/// The acceptance-criteria scenario: the allocation sits on a branch the
+/// perfbench workload never executes (`cold == true`), two call-graph hops
+/// and one file away from the root. The runtime alloc-counter gate is
+/// blind to it; the reachability walk is not.
+#[test]
+fn r6_catches_allocation_on_unexecuted_cold_branch() {
+    let files = hot_path_files();
+    let config = hot_path_config("crates/attack/src/hot_entry.rs::respond");
+    let got: Vec<(String, String, u32)> = analyze_files(&files, &config)
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.path, f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(
+            "hot-path-alloc".to_string(),
+            "crates/attack/src/hot_cold.rs".to_string(),
+            4, // format! in cold_diagnostics
+        )],
+        "line 7's .to_vec() is allow-suppressed; not_reachable's \
+         String::from and the #[cfg(test)] vec! must not fire"
+    );
+    let finding = &analyze_files(&files, &config)[0];
+    assert!(
+        finding.message.contains("hot-path root"),
+        "message names the root: {}",
+        finding.message
+    );
+}
+
+#[test]
+fn r6_directory_scope_and_unmatched_roots() {
+    let files = hot_path_files();
+    // A directory scope covers every file under it.
+    let config = hot_path_config("crates/attack/src::respond");
+    let got = analyze_files(&files, &config);
+    assert_eq!(got.len(), 1, "{got:?}");
+    // A root that matches nothing on either axis finds nothing.
+    for dud in [
+        "crates/attack/src/hot_entry.rs::no_such_fn",
+        "crates/wifi/src::respond",
+    ] {
+        let got = analyze_files(&files, &hot_path_config(dud));
+        assert!(got.is_empty(), "{dud}: {got:?}");
+    }
+    // No roots configured: R6 is inert.
+    assert!(analyze_files(&files, &Config::default()).is_empty());
+}
+
+// --- R7: seed-discipline ---------------------------------------------------
+
+#[test]
+fn r7_seed_discipline_fixture() {
+    let src = include_str!("fixtures/seed_discipline.rs");
+    let got = run(
+        "ch-sim",
+        "crates/sim/src/fixture.rs",
+        FileKind::Library,
+        src,
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("seed-discipline".to_string(), 8),  // SimRng::seed_from(42)
+            ("seed-discipline".to_string(), 25), // cfg.seed reused in `reused`
+        ],
+        "config fields, derive_seed and fork are legitimate; line 36 is \
+         allow-suppressed; the #[cfg(test)] mod is exempt"
+    );
+}
+
+#[test]
+fn r7_exempts_non_determinism_crates_and_test_targets() {
+    let src = include_str!("fixtures/seed_discipline.rs");
+    let bench = run("ch-bench", "crates/bench/src/x.rs", FileKind::Library, src);
+    assert!(bench.is_empty(), "{bench:?}");
+    let test_target = run("ch-sim", "crates/sim/tests/x.rs", FileKind::TestTarget, src);
+    assert!(test_target.is_empty(), "{test_target:?}");
+}
+
+// --- Lexer edge cases: constructs that must never produce findings --------
+
+#[test]
+fn raw_strings_mentioning_banned_tokens_do_not_fire() {
+    let src = "pub fn doc() -> &'static str {\n    \
+               r#\"call .unwrap() or panic!(\"x\") or Instant::now()\"#\n}\n";
+    let got = run("ch-arc", "crates/arc/src/x.rs", FileKind::Library, src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn byte_strings_mentioning_banned_tokens_do_not_fire() {
+    let src = "pub fn blob() -> &'static [u8] {\n    \
+               b\"thread_rng() .expect(panic!)\"\n}\n\
+               pub fn raw_blob() -> &'static [u8] {\n    \
+               br#\"SystemTime::now() \"quoted\" todo!()\"#\n}\n";
+    let got = run("ch-arc", "crates/arc/src/x.rs", FileKind::Library, src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn nested_modules_inside_cfg_test_stay_exempt() {
+    let src = "#[cfg(test)]\nmod outer {\n    mod inner {\n        \
+               pub fn f(v: Option<u8>) -> u8 {\n            \
+               v.unwrap()\n        }\n        \
+               pub fn t() -> u32 {\n            \
+               rand::thread_rng().gen()\n        }\n    }\n}\n";
+    let got = run("ch-arc", "crates/arc/src/x.rs", FileKind::Library, src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn doc_comments_mentioning_unwrap_do_not_fire() {
+    let src = "/// Call `.unwrap()` here and panic!(\"boom\") there.\n\
+               /** Or `.expect(\"x\")`, or unreachable!(). */\n\
+               //! Even thread_rng() and SimRng::seed_from(42).\n\
+               pub fn documented() {}\n";
+    let got = run("ch-arc", "crates/arc/src/x.rs", FileKind::Library, src);
+    assert!(got.is_empty(), "{got:?}");
 }

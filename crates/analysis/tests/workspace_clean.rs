@@ -82,3 +82,37 @@ fn the_wall_clock_allowance_stays_scoped_to_fleet_telemetry() {
     assert!(!config.is_path_allowed("nondeterminism", "crates/fleet/src/engine.rs"));
     assert!(!config.is_path_allowed("default-hasher", "crates/fleet/src/telemetry.rs"));
 }
+
+/// Every path `ch-lint.toml` names must exist on disk: a `[scoped-allow]`
+/// entry for a renamed file silently allows nothing, and a `[hot-path]`
+/// root whose scope moved silently guards nothing. Both failure modes
+/// look like a clean lint run.
+#[test]
+fn configured_paths_exist_on_disk() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root");
+    let config = repo_config(&root);
+
+    for (rule, path) in config.scoped_allows() {
+        assert!(
+            root.join(path).is_file(),
+            "[scoped-allow] entry `{rule} = \"{path}\"` names a file that \
+             does not exist — stale after a rename?"
+        );
+    }
+
+    assert!(
+        !config.hot_path_roots().is_empty(),
+        "ch-lint.toml lost its [hot-path] section — R6 guards nothing"
+    );
+    for hp in config.hot_path_roots() {
+        let scope = root.join(&hp.scope);
+        assert!(
+            scope.is_file() || scope.is_dir(),
+            "[hot-path] root `{}::{}` names a scope that does not exist — \
+             stale after a rename?",
+            hp.scope,
+            hp.name
+        );
+    }
+}

@@ -147,7 +147,7 @@ pub fn direct_reply_into(probe: &ProbeRequest, out: &mut Vec<Lure>) {
     debug_assert!(!probe.is_broadcast());
     out.clear();
     out.push(Lure::new(
-        // ch-lint: allow(ssid-clone) — Arc clone at the boundary, no heap.
+        // ch-lint: allow(ssid-clone, hot-path-alloc) — Arc clone, no heap.
         probe.ssid.clone(),
         LureSource::DirectProbe,
         LureLane::DirectReply,

@@ -267,6 +267,9 @@ impl Attacker for CityHunter {
                 self.tracker.mark_sent(client, id);
             }
             let source = self.db.source_of(id).unwrap_or(LureSource::Wigle);
+            // resolve() hands back an Arc; the clone is a refcount bump,
+            // the sanctioned lure handoff.
+            // ch-lint: allow(hot-path-alloc)
             out.push(Lure::new(self.db.resolve(id).clone(), source, lane));
         }
     }

@@ -52,7 +52,7 @@ impl Attacker for KarmaAttacker {
         } else {
             if !self.ssids_mimicked.contains(&probe.ssid) {
                 // Arc refcount bump into the mimic log, off the hot path.
-                // ch-lint: allow(ssid-clone)
+                // ch-lint: allow(ssid-clone, hot-path-alloc)
                 self.ssids_mimicked.push(probe.ssid.clone());
             }
             direct_reply_into(probe, out);

@@ -100,6 +100,7 @@ impl Attacker for ManaAttacker {
             };
             for &id in replay.iter().take(budget) {
                 out.push(Lure::new(
+                    // ch-lint: allow(hot-path-alloc) — Arc refcount bump.
                     self.db.resolve(id).clone(),
                     LureSource::DirectProbe,
                     LureLane::Database,

@@ -116,6 +116,7 @@ impl Attacker for PrelimCityHunter {
                 let source = self.db.source_of(id).unwrap_or(LureSource::Wigle);
                 self.tracker.mark_sent(probe.source, id);
                 out.push(Lure::new(
+                    // ch-lint: allow(hot-path-alloc) — Arc refcount bump.
                     self.db.resolve(id).clone(),
                     source,
                     LureLane::Database,

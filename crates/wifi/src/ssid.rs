@@ -231,8 +231,10 @@ impl SsidInterner {
             return id;
         }
         let id = SsidId(self.names.len() as u32);
-        self.ids.insert(ssid.clone(), id);
-        self.names.push(ssid.clone());
+        // Both clones are `Arc<str>` refcount bumps, and first-intern is
+        // the sanctioned once-per-SSID slow path (map/vec growth included).
+        self.ids.insert(ssid.clone(), id); // ch-lint: allow(hot-path-alloc)
+        self.names.push(ssid.clone()); // ch-lint: allow(hot-path-alloc)
         id
     }
 
