@@ -8,13 +8,13 @@
 //! |                  | `thread_rng` outside `ch-bench` and test code        |
 //! | `panic-path`     | R3: no `.unwrap()` / `.expect(…)` / `panic!` in the  |
 //! |                  | library code of `ch-wifi`, `ch-arc`, `ch-attack`,    |
-//! |                  | `ch-fleet`                                           |
+//! |                  | `ch-fleet`, `ch-detect`                              |
 //! | `missing-decode` | R4: every public type in `ch-wifi::frame`/`::ie`     |
 //! |                  | with an `encode*` method has a `decode*`/`parse*`    |
 //! |                  | counterpart                                          |
 //! | `ssid-clone`     | R5: no `.clone()` on an SSID-named value in the      |
-//! |                  | library code of `ch-attack`/`ch-arc` — the hot path  |
-//! |                  | works on interned `SsidId`s                          |
+//! |                  | library code of `ch-attack`/`ch-arc`/`ch-detect` —   |
+//! |                  | the hot path works on interned `SsidId`s             |
 //! | `hot-path-alloc` | R6: no allocating construct in any function          |
 //! |                  | reachable from the configured `[hot-path]` roots     |
 //! |                  | (call-graph rule; needs the workspace index)         |
@@ -39,19 +39,20 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "ch-scenarios",
     "ch-arc",
     "ch-attack",
+    "ch-detect",
 ];
 
 /// Crates whose library code must not panic (R3). `ch-fleet` is in the
 /// list because the engine's whole job is absorbing *other* code's
 /// panics — it must not add its own; escalation goes through
 /// `ch_sim::invariant::violation`.
-pub const PANIC_FREE_CRATES: &[&str] = &["ch-wifi", "ch-arc", "ch-attack", "ch-fleet"];
+pub const PANIC_FREE_CRATES: &[&str] = &["ch-wifi", "ch-arc", "ch-attack", "ch-fleet", "ch-detect"];
 
 /// Crates exempt from R2 (benchmarks legitimately read wall clocks).
 pub const WALL_CLOCK_CRATES: &[&str] = &["ch-bench"];
 
 /// Crates whose probe hot paths must stay on interned ids (R5).
-pub const SSID_HOT_PATH_CRATES: &[&str] = &["ch-attack", "ch-arc"];
+pub const SSID_HOT_PATH_CRATES: &[&str] = &["ch-attack", "ch-arc", "ch-detect"];
 
 /// All rule identifiers, for config validation and `--list-rules`.
 pub const ALL_RULES: &[&str] = &[
@@ -89,8 +90,9 @@ pub const RULE_EXPLANATIONS: &[(&str, &str)] = &[
     (
         "panic-path",
         "Why: .unwrap()/.expect()/panic!/unreachable!/todo!/unimplemented! in \
-         ch-wifi/ch-arc/ch-attack/ch-fleet library code can kill a mid-campaign \
-         process on malformed input the codec should have surfaced as a value.\n\
+         ch-wifi/ch-arc/ch-attack/ch-fleet/ch-detect library code can kill a \
+         mid-campaign process on malformed input the codec should have surfaced \
+         as a value.\n\
          Instead: return Result/Option; escalate real invariant violations \
          through ch_sim::invariant::violation.\n\
          Escape: // ch-lint: allow(panic-path) with a justification comment.",
@@ -106,8 +108,8 @@ pub const RULE_EXPLANATIONS: &[(&str, &str)] = &[
     ),
     (
         "ssid-clone",
-        "Why: cloning an SSID-named String value in ch-attack/ch-arc re-grows \
-         the very allocations the interned-SsidId hot path removed.\n\
+        "Why: cloning an SSID-named String value in ch-attack/ch-arc/ch-detect \
+         re-grows the very allocations the interned-SsidId hot path removed.\n\
          Instead: intern once, pass SsidId, resolve at the lure boundary \
          (db.resolve(id).clone() is an Arc refcount bump and does not match).\n\
          Escape: // ch-lint: allow(ssid-clone) for justified refcount bumps.",

@@ -141,6 +141,55 @@ fn r3_covers_fleet_library_code() {
 }
 
 #[test]
+fn detect_library_code_is_in_r3_r5_and_r7_scope() {
+    // The detector rides the same frame stream as the clients, so it is
+    // held to the data-plane bars: panic-free (R3), interned-SSID hot
+    // path (R5) and seed discipline (R7, via the determinism set).
+    let panic_src = include_str!("fixtures/panic_path.rs");
+    let got = run(
+        "ch-detect",
+        "crates/detect/src/fixture.rs",
+        FileKind::Library,
+        panic_src,
+    );
+    assert_eq!(
+        got.iter().filter(|(rule, _)| rule == "panic-path").count(),
+        6,
+        "ch-detect library code is in R3 scope: {got:?}"
+    );
+    let ssid_src = include_str!("fixtures/ssid_clone.rs");
+    let got = run(
+        "ch-detect",
+        "crates/detect/src/fixture.rs",
+        FileKind::Library,
+        ssid_src,
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("ssid-clone".to_string(), 5),
+            ("ssid-clone".to_string(), 14)
+        ],
+        "ch-detect library code is in R5 scope"
+    );
+    let seed_src = include_str!("fixtures/seed_discipline.rs");
+    let got = run(
+        "ch-detect",
+        "crates/detect/src/fixture.rs",
+        FileKind::Library,
+        seed_src,
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("seed-discipline".to_string(), 8),
+            ("seed-discipline".to_string(), 25),
+        ],
+        "ch-detect library code is in R7 scope"
+    );
+}
+
+#[test]
 fn r3_does_not_apply_to_non_panic_free_crates() {
     let src = include_str!("fixtures/panic_path.rs");
     let got = run("ch-sim", "crates/sim/src/x.rs", FileKind::Library, src);

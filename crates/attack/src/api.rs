@@ -1,7 +1,7 @@
 //! The attacker interface.
 
 use ch_sim::{CrashMode, SimTime};
-use ch_wifi::mgmt::ProbeRequest;
+use ch_wifi::mgmt::{Beacon, ProbeRequest};
 use ch_wifi::{MacAddr, Ssid};
 
 /// Where a lure SSID originally came from — the Fig. 6 "source" axis.
@@ -117,6 +117,14 @@ pub trait Attacker {
     /// rescan.
     fn deauth_enabled(&self) -> bool {
         false
+    }
+
+    /// Next beacon the attacker wants on the air, if any. The runner polls
+    /// this once per event-loop step; the default attacker beacons never
+    /// (staying beacon-silent is itself a detector signature — the
+    /// beacon-cloning evasion overrides this).
+    fn beacon(&mut self, _now: SimTime) -> Option<Beacon> {
+        None
     }
 
     /// Persist a checkpoint a later warm restart can restore (called by

@@ -24,6 +24,10 @@
 //!   and ARC-style adaptive sizing; optional §V-B extensions
 //!   (deauthentication forcing, carrier-SSID preload) via [`ext`].
 //!
+//! Any generation can additionally be wrapped in an [`EvasiveAttacker`]
+//! ([`evasion`]) — MAC/OUI rotation, beacon cloning, and response
+//! throttling against the `ch-detect` rogue-AP detector.
+//!
 //! The data plane is typed 802.11: attackers consume
 //! [`ch_wifi::mgmt::ProbeRequest`]s and emit [`Lure`]s which the runner
 //! turns into on-air probe responses.
@@ -33,6 +37,7 @@ pub mod buffers;
 pub mod cityhunter;
 pub mod clienttrack;
 pub mod db;
+pub mod evasion;
 pub mod ext;
 pub mod karma;
 pub mod mana;
@@ -43,6 +48,7 @@ pub use api::{Attacker, Lure, LureLane, LureSource};
 pub use cityhunter::{CityHunter, CityHunterConfig, Snapshot};
 pub use clienttrack::ClientTracker;
 pub use db::{DbEntry, SsidDatabase};
+pub use evasion::{EvasionSpec, EvasiveAttacker, RotationSpec, ThrottleSpec};
 pub use karma::KarmaAttacker;
 pub use mana::ManaAttacker;
 pub use prelim::PrelimCityHunter;

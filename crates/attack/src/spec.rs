@@ -13,7 +13,8 @@ use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
 use ch_wifi::MacAddr;
 
 use crate::{
-    Attacker, CityHunter, CityHunterConfig, KarmaAttacker, ManaAttacker, PrelimCityHunter,
+    Attacker, CityHunter, CityHunterConfig, EvasionSpec, EvasiveAttacker, KarmaAttacker,
+    ManaAttacker, PrelimCityHunter,
 };
 
 /// Which attacker generation to deploy, as declarative data.
@@ -27,6 +28,14 @@ pub enum AttackerSpec {
     Prelim,
     /// §IV full City-Hunter with the given configuration.
     CityHunter(CityHunterConfig),
+    /// Any generation wrapped with the [`EvasionSpec`] counter-detection
+    /// knobs (the arms-race experiment's attacker axis).
+    Evasive {
+        /// The wrapped generation.
+        base: Box<AttackerSpec>,
+        /// Which evasion knobs are on.
+        evasion: EvasionSpec,
+    },
 }
 
 impl AttackerSpec {
@@ -43,6 +52,20 @@ impl AttackerSpec {
             AttackerSpec::Mana => "MANA",
             AttackerSpec::Prelim => "City-Hunter (preliminary)",
             AttackerSpec::CityHunter(_) => "City-Hunter",
+            AttackerSpec::Evasive { base, .. } => base.name(),
+        }
+    }
+
+    /// Wraps this spec with evasion knobs (a no-op spec change when every
+    /// knob is off, so sweep axes can include "none" uniformly).
+    pub fn with_evasion(self, evasion: EvasionSpec) -> Self {
+        if evasion.is_none() {
+            self
+        } else {
+            AttackerSpec::Evasive {
+                base: Box::new(self),
+                evasion,
+            }
         }
     }
 
@@ -62,6 +85,17 @@ impl AttackerSpec {
             AttackerSpec::Prelim => Box::new(PrelimCityHunter::new(bssid, wigle, heat, site)),
             AttackerSpec::CityHunter(config) => {
                 Box::new(CityHunter::new(bssid, wigle, heat, site, config.clone()))
+            }
+            AttackerSpec::Evasive { base, evasion } => {
+                let inner = base.build(bssid, wigle, heat, site);
+                // Clone the legitimate AP nearest the deployment site — the
+                // same neighbourhood the detector observes.
+                let clone_target = if evasion.beacon_clone {
+                    wigle.nearest_open_ssids(site, 1).into_iter().next()
+                } else {
+                    None
+                };
+                Box::new(EvasiveAttacker::new(inner, evasion.clone(), clone_target))
             }
         }
     }
@@ -105,5 +139,39 @@ mod tests {
             assert_eq!(attacker.name(), spec.name());
             assert_eq!(attacker.bssid(), AttackerSpec::default_bssid());
         }
+    }
+
+    #[test]
+    fn evasive_spec_wraps_and_resolves_clone_target() {
+        let mut rng = SimRng::seed_from(5);
+        let city = CityModel::synthesize(&mut rng);
+        let wigle = WigleSnapshot::synthesize(&city, &mut rng);
+        let photos = PhotoCollection::synthesize(&city, 200, &mut rng);
+        let heat = HeatMap::from_photos(&city, &photos, 50.0);
+        let site = GeoPoint {
+            east_m: 100.0,
+            north_m: 100.0,
+        };
+
+        // `with_evasion(none)` stays un-wrapped, so sweep axes compose.
+        let plain = AttackerSpec::Karma.with_evasion(EvasionSpec::none());
+        assert_eq!(plain, AttackerSpec::Karma);
+
+        let spec = AttackerSpec::Mana.with_evasion(EvasionSpec::clone_beacons());
+        assert_eq!(spec.name(), "MANA");
+        let mut attacker = spec.build_default(&wigle, &heat, site);
+        assert_eq!(attacker.name(), "MANA");
+        // The clone target resolves to the legitimate AP nearest the site,
+        // so the wrapper beacons under a real neighbourhood SSID.
+        let expected = wigle.nearest_open_ssids(site, 1);
+        let beacon = attacker.beacon(ch_sim::SimTime::from_secs(10)).unwrap();
+        assert_eq!(Some(&beacon.ssid), expected.first());
+
+        // Rotation moves the wire BSSID off the spec default.
+        let rotating = AttackerSpec::Karma.with_evasion(EvasionSpec::rotate_every(
+            ch_sim::SimDuration::from_secs(60),
+        ));
+        let rotated = rotating.build_default(&wigle, &heat, site);
+        assert_ne!(rotated.bssid(), AttackerSpec::default_bssid());
     }
 }

@@ -1,0 +1,9 @@
+//! Detection arms race: attacker generations under evasion postures
+//! against the `ch-detect` rogue-AP monitor at three strictness levels.
+//!
+//! Thin shim over the registry driver: `experiment arms_race` is
+//! equivalent.
+
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("arms_race")
+}

@@ -126,6 +126,43 @@ pub fn record_bench(json_path: &Path, run: &BenchRun) -> Result<(), String> {
         }
     }
 
+    // Report-only speedup annotation: when a campaign has both a serial
+    // (`jobs=1`) slot and wider ones, each wider slot gains the serial
+    // reference and its wall-clock speedup. The append-only `.jsonl` log
+    // stays raw; only the regenerated summary carries derived fields.
+    let serial_ms: Vec<(String, f64)> = entries
+        .iter()
+        .filter(|(key, _)| key.ends_with("@jobs=1"))
+        .filter_map(|(key, entry)| {
+            let campaign = key.trim_end_matches("@jobs=1").to_string();
+            entry
+                .get("total_ms")
+                .and_then(Json::as_f64)
+                .map(|ms| (campaign, ms))
+        })
+        .collect();
+    for (key, entry) in &mut entries {
+        if key.ends_with("@jobs=1") {
+            continue;
+        }
+        let Some((campaign, _)) = key.rsplit_once("@jobs=") else {
+            continue;
+        };
+        let Some(&(_, serial)) = serial_ms.iter().find(|(c, _)| c == campaign) else {
+            continue;
+        };
+        let Some(total) = entry.get("total_ms").and_then(Json::as_f64) else {
+            continue;
+        };
+        if let Json::Obj(fields) = entry {
+            fields.retain(|(name, _)| name != "serial_total_ms" && name != "speedup_vs_serial");
+            fields.push(("serial_total_ms".into(), Json::Num(serial)));
+            if total > 0.0 {
+                fields.push(("speedup_vs_serial".into(), Json::Num(serial / total)));
+            }
+        }
+    }
+
     let mut out = String::from("{\n  \"entries\": [");
     for (i, (_, entry)) in entries.iter().enumerate() {
         if i > 0 {
@@ -190,6 +227,45 @@ mod tests {
             fig5_serial.get("job_ms").and_then(|m| m.get("a")).is_some(),
             "per-job timings recorded"
         );
+
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(path.with_extension("jsonl"));
+    }
+
+    #[test]
+    fn parallel_slots_report_speedup_vs_serial() {
+        let path = temp_json("speedup");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(path.with_extension("jsonl"));
+
+        record_bench(&path, &run("fig5", 1, 90.0)).unwrap();
+        record_bench(&path, &run("fig5", 4, 30.0)).unwrap();
+        record_bench(&path, &run("lonely", 4, 25.0)).unwrap(); // no serial slot
+
+        let doc = Json::parse(&fs::read_to_string(&path).unwrap()).unwrap();
+        let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+        let slot = |campaign: &str, jobs: u64| {
+            entries
+                .iter()
+                .find(|e| {
+                    e.get("campaign").and_then(Json::as_str) == Some(campaign)
+                        && e.get("jobs").and_then(Json::as_u64) == Some(jobs)
+                })
+                .unwrap()
+        };
+        let parallel = slot("fig5", 4);
+        assert_eq!(
+            parallel.get("serial_total_ms").and_then(Json::as_f64),
+            Some(90.0)
+        );
+        assert_eq!(
+            parallel.get("speedup_vs_serial").and_then(Json::as_f64),
+            Some(3.0)
+        );
+        // The serial slot itself and campaigns with no serial reference
+        // stay unannotated.
+        assert!(slot("fig5", 1).get("speedup_vs_serial").is_none());
+        assert!(slot("lonely", 4).get("speedup_vs_serial").is_none());
 
         let _ = fs::remove_file(&path);
         let _ = fs::remove_file(path.with_extension("jsonl"));

@@ -86,6 +86,7 @@ pub fn campaign_jobs(seed: u64, hours: &[usize], duration: SimDuration) -> Vec<C
                     population: None,
                     arrival_multiplier: None,
                     fault: None,
+                    detector: None,
                 },
             ));
         }

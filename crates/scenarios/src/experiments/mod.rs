@@ -18,8 +18,10 @@
 //! * [`sweeps`] — one-dimensional sensitivity sweeps;
 //! * [`warm`] — the warm-start (database carry-over) study;
 //! * [`faults`] — the fault-injection / graceful-degradation study.
+//! * [`arms_race`] — attacker evasion vs the `ch-detect` rogue-AP monitor.
 
 pub mod ablation;
+pub mod arms_race;
 pub mod campaign;
 pub mod faults;
 pub mod figures;
@@ -29,6 +31,10 @@ pub mod warm;
 
 pub use ablation::{
     ablation, ablation_fleet, ablation_jobs, ablation_with, AblationOutcome, AblationRow,
+};
+pub use arms_race::{
+    arms_race, arms_race_fleet, arms_race_jobs, arms_race_with, posture_evasion, ArmsRaceJob,
+    ArmsRaceOutcome, ArmsRaceRecord, ARMS_ATTACKERS, ARMS_EVASIONS, ARMS_STRICTNESS,
 };
 pub use campaign::{
     campaign, campaign_fleet, campaign_jobs, campaign_with, CampaignOutcome, HourResult,

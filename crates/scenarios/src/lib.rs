@@ -12,6 +12,9 @@
 //! * [`metrics`] — everything the paper reports: h, h_b, real-time h_b^r,
 //!   per-client SSIDs-offered counts, hit breakdowns by source
 //!   (WiGLE vs direct probe) and buffer (PB vs FB), time series;
+//! * [`detect`] — runner-side glue for the `ch-detect` rogue-AP monitor:
+//!   the frame tap, legitimate-AP beacon sources, and ground-truth
+//!   scoring behind the arms-race study;
 //! * [`report`] — text tables and series formatted like the paper's;
 //! * [`experiments`] — one driver per table and figure (Table I–IV,
 //!   Fig. 1–6) plus the beyond-paper studies, split by artifact family;
@@ -32,6 +35,7 @@
 //! print!("{}", artifact.text);
 //! ```
 
+pub mod detect;
 pub mod experiments;
 pub mod fleet;
 pub mod metrics;
@@ -41,6 +45,7 @@ pub mod report;
 pub mod runner;
 pub mod world;
 
+pub use detect::DetectionHarness;
 pub use fleet::{CampaignJob, JobRecord, RichRecord};
 pub use metrics::{ClientClass, ExperimentMetrics, RunnerStats, SummaryRow};
 pub use registry::{Artifact, ExperimentSpec, OutputKind, RunParams, REGISTRY};

@@ -108,6 +108,9 @@ pub struct ExperimentMetrics {
     /// Fault-injection degradation counters (all zero when faults are
     /// disabled).
     pub stats: RunnerStats,
+    /// End-of-run rogue-AP detection score (`None` unless the run had a
+    /// detector armed via `RunConfig::detector`).
+    pub detection: Option<ch_detect::DetectionReport>,
 }
 
 impl ExperimentMetrics {

@@ -335,6 +335,21 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         external: false,
     },
     ExperimentSpec {
+        id: "arms_race",
+        title: "Arms race",
+        paper_ref: "beyond",
+        output: OutputKind::Study,
+        summary:
+            "attacker evasion vs the ch-detect monitor (attacker x evasion x strictness, 36 jobs)",
+        campaign: Some("arms-race"),
+        default_manifest: None,
+        default_bench: false,
+        default_replicas: 0,
+        in_reproduce_all: false,
+        shares_campaign_with: None,
+        external: false,
+    },
+    ExperimentSpec {
         id: "defense",
         title: "Defense",
         paper_ref: "beyond",
@@ -396,7 +411,7 @@ impl ExperimentSpec {
                 format!("seed={}", params.seed),
                 format!("replicas={}", self.replicas(params)),
             ],
-            "faults" => vec![
+            "faults" | "arms_race" => vec![
                 format!("seed={}", params.seed),
                 format!("quick={}", params.quick),
             ],
@@ -501,6 +516,10 @@ impl ExperimentSpec {
             }
             "faults" => {
                 let (outcome, stats) = exp::faults_fleet(data, seed, params.quick, opts)?;
+                (line(outcome.render()), Some(stats))
+            }
+            "arms_race" => {
+                let (outcome, stats) = exp::arms_race_fleet(data, seed, params.quick, opts)?;
                 (line(outcome.render()), Some(stats))
             }
             "sweep" => {

@@ -233,6 +233,7 @@ mod tests {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         }
     }
 

@@ -31,6 +31,7 @@ use ch_wifi::mgmt::{
 use ch_wifi::timing;
 use ch_wifi::{Channel, MacAddr};
 
+use crate::detect::DetectionHarness;
 use crate::metrics::ExperimentMetrics;
 use crate::world::{CityData, World};
 
@@ -74,6 +75,12 @@ pub struct RunConfig {
     /// `None` (and `Some(FaultSpec::disabled())`) injects nothing and
     /// leaves every RNG stream and allocation of the run untouched.
     pub fault: Option<FaultSpec>,
+    /// Rogue-AP detection (`ch-detect`): a passive monitor tapping the
+    /// delivered frame stream, scored against ground truth at the end of
+    /// the run. The detector consumes no randomness, so `None` (and
+    /// `Some(DetectorSpec::disabled())`) leaves the run draw-for-draw
+    /// identical to a detector-free build.
+    pub detector: Option<ch_detect::DetectorSpec>,
 }
 
 impl RunConfig {
@@ -90,6 +97,7 @@ impl RunConfig {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         }
     }
 
@@ -106,6 +114,7 @@ impl RunConfig {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         }
     }
 }
@@ -244,7 +253,9 @@ fn run_with(
     // the builder instead of being cloned a second time (the first clone
     // is `World::assemble`'s).
     let World {
-        venue, population, ..
+        venue,
+        population,
+        site,
     } = world;
     let root = SimRng::seed_from(config.seed);
     let mut rng_pop = root.fork("population");
@@ -262,6 +273,16 @@ fn run_with(
         .filter(|spec| !spec.is_disabled())
         .map(|spec| FaultPlan::new(spec.clone(), &root.fork("faults")));
     let mut agents_churned: u64 = 0;
+
+    // Rogue-AP detection: a passive monitor tapping the frame stream. The
+    // harness consumes no randomness at all, so a run with the detector
+    // off (`None` or the disabled spec) is draw-for-draw identical to one
+    // built before the detection layer existed.
+    let mut detection = config
+        .detector
+        .as_ref()
+        .filter(|spec| !spec.is_disabled())
+        .map(|spec| DetectionHarness::new(spec.clone(), data, site));
 
     // --- Crowd and phones -------------------------------------------------
     let process = GroupArrivalProcess::new(&venue, config.start_hour, config.duration);
@@ -297,7 +318,6 @@ fn run_with(
     let loss = config.loss.clone().unwrap_or_else(LossModel::urban_100mw);
     let attacker_pos = venue.attacker;
     let channel = Channel::default_attack_channel();
-    let bssid = attacker.bssid();
     let mut deauth = DeauthScheduler::default_30s();
 
     let mut metrics = ExperimentMetrics::new();
@@ -328,6 +348,13 @@ fn run_with(
                     }
                 }
             }
+        }
+
+        // Beacon plane: legitimate neighbourhood APs (and a beacon-cloning
+        // attacker) beacon into the detector's tap. No-op without a
+        // detector — beacons exist only for the monitor's benefit.
+        if let Some(det) = detection.as_mut() {
+            det.tick(now, attacker);
         }
 
         let agent = &mut agents[idx];
@@ -370,6 +397,9 @@ fn run_with(
                             Ok(parsed) if parsed == deauth_frame => {
                                 if observer.enabled() {
                                     observer.observe(now, &deauth_frame);
+                                }
+                                if let Some(det) = detection.as_mut() {
+                                    det.observe(now, &deauth_frame);
                                 }
                                 agent.phone.handle_deauth();
                                 metrics.deauth_frames += 1;
@@ -418,8 +448,14 @@ fn run_with(
                 }
             }
             metrics.observe_probe(now, client_mac, probe.is_broadcast());
-            if observer.enabled() {
-                observer.observe(now, &MgmtFrame::ProbeRequest(probe.clone()));
+            if observer.enabled() || detection.is_some() {
+                let frame = MgmtFrame::ProbeRequest(probe.clone());
+                if observer.enabled() {
+                    observer.observe(now, &frame);
+                }
+                if let Some(det) = detection.as_mut() {
+                    det.observe(now, &frame);
+                }
             }
             let budget = config
                 .lure_budget
@@ -427,6 +463,12 @@ fn run_with(
             attacker.respond_to_probe_into(now, &probe, budget, &mut lures);
             if lures.is_empty() {
                 continue;
+            }
+            // Re-read the transmit BSSID per burst: MAC-rotation evasion
+            // moves it mid-run (a plain attacker returns a constant).
+            let bssid = attacker.bssid();
+            if let Some(det) = detection.as_mut() {
+                det.note_rogue(bssid);
             }
             if probe.is_broadcast() {
                 metrics.record_offers(client_mac, lures.len());
@@ -471,8 +513,14 @@ fn run_with(
                         }
                     }
                 }
-                if observer.enabled() {
-                    observer.observe(elapsed, &MgmtFrame::ProbeResponse(response.clone()));
+                if observer.enabled() || detection.is_some() {
+                    let frame = MgmtFrame::ProbeResponse(response.clone());
+                    if observer.enabled() {
+                        observer.observe(elapsed, &frame);
+                    }
+                    if let Some(det) = detection.as_mut() {
+                        det.observe(elapsed, &frame);
+                    }
                 }
                 if agent.phone.evaluate_offer(&response) == JoinDecision::Join {
                     if join_handshake(
@@ -498,6 +546,12 @@ fn run_with(
     while next_sample <= end {
         metrics.sample_db(next_sample, attacker.database_len());
         next_sample += DB_SAMPLE_STEP;
+    }
+    if let Some(det) = detection.as_mut() {
+        // Catch the beacon plane up to the end of the run, then score the
+        // verdict stream against ground truth.
+        det.tick(end, attacker);
+        metrics.detection = Some(det.report());
     }
     metrics
 }
@@ -567,6 +621,7 @@ mod tests {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         };
         run_experiment(&data, &config)
     }
@@ -664,6 +719,7 @@ mod tests {
                 population: None,
                 arrival_multiplier: None,
                 fault: None,
+                detector: None,
             }
         };
         let m = run_experiment(&data, &config);
@@ -691,6 +747,7 @@ mod tests {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         };
         let short = RunConfig {
             loss: Some(ch_sim::LossModel::new(10.0, 15.0, 0.97)),
@@ -718,6 +775,7 @@ mod tests {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         };
         let doubled = RunConfig {
             arrival_multiplier: Some(2.0),
@@ -848,6 +906,69 @@ mod tests {
         let crashed = fault_run(Some(spec), 36);
         assert_eq!(crashed.stats.attacker_crashes, 3);
         assert!(crashed.client_count() > 0);
+    }
+
+    fn detect_run(detector: Option<ch_detect::DetectorSpec>, seed: u64) -> ExperimentMetrics {
+        let data = CityData::standard(99);
+        let config = RunConfig {
+            duration: SimDuration::from_mins(10),
+            seed,
+            detector,
+            ..RunConfig::canteen_30min(AttackerKind::CityHunter(CityHunterConfig::default()), seed)
+        };
+        run_experiment(&data, &config)
+    }
+
+    #[test]
+    fn disabled_detector_spec_is_draw_neutral() {
+        // `None`, the disabled spec, and even an *armed* detector must
+        // leave the attack byte-identical: the monitor is a passive tap
+        // that consumes no randomness.
+        let clean = detect_run(None, 41);
+        let disabled = detect_run(Some(ch_detect::DetectorSpec::disabled()), 41);
+        let armed = detect_run(Some(ch_detect::DetectorSpec::standard()), 41);
+        assert_eq!(clean.summary("x"), disabled.summary("x"));
+        assert_eq!(clean.db_series(), disabled.db_series());
+        assert_eq!(clean.offered_counts(false), disabled.offered_counts(false));
+        assert!(clean.detection.is_none());
+        assert!(disabled.detection.is_none());
+        assert_eq!(clean.summary("x"), armed.summary("x"));
+        assert_eq!(clean.db_series(), armed.db_series());
+        assert!(armed.detection.is_some());
+    }
+
+    #[test]
+    fn detector_catches_the_unevasive_rogue() {
+        let m = detect_run(Some(ch_detect::DetectorSpec::standard()), 42);
+        let report = m.detection.unwrap();
+        assert!(report.frames_observed > 0);
+        assert_eq!(report.rogue_macs, 1, "{report:?}");
+        assert!(report.legit_aps > 0, "{report:?}");
+        assert!(report.detected(), "{report:?}");
+        assert_eq!(
+            report.flagged_legit, 0,
+            "standard strictness must not flag legitimate APs: {report:?}"
+        );
+        assert!(report.time_to_detect().is_some());
+        // Same seed, same verdict stream: the report is deterministic.
+        let twin = detect_run(Some(ch_detect::DetectorSpec::standard()), 42);
+        assert_eq!(twin.detection.unwrap(), report);
+    }
+
+    #[test]
+    fn mac_rotation_multiplies_rogue_ground_truth() {
+        let data = CityData::standard(99);
+        let spec = AttackerKind::CityHunter(CityHunterConfig::default()).with_evasion(
+            ch_attack::EvasionSpec::rotate_every(SimDuration::from_mins(2)),
+        );
+        let config = RunConfig {
+            duration: SimDuration::from_mins(10),
+            seed: 43,
+            detector: Some(ch_detect::DetectorSpec::standard()),
+            ..RunConfig::canteen_30min(spec, 43)
+        };
+        let report = run_experiment(&data, &config).detection.unwrap();
+        assert!(report.rogue_macs > 1, "{report:?}");
     }
 
     #[test]

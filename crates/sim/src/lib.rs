@@ -58,5 +58,5 @@ pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use space::{Position, Rect};
 pub use stats::Summary;
-pub use time::{SimDuration, SimTime};
+pub use time::{Cadence, SimDuration, SimTime};
 pub use trace::{NullTrace, TraceEvent, TraceSink, VecTrace};

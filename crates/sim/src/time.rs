@@ -309,6 +309,69 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// A fixed-period tick schedule over simulation time.
+///
+/// Event-driven consumers (the detection tap's legitimate-AP beacons, the
+/// beacon-clone evasion) only get control when the event loop pops
+/// something, so periodic work is modeled as *catch-up*: each time the
+/// loop advances, drain every tick whose scheduled instant has passed.
+/// The schedule is pure arithmetic — no randomness — so it composes with
+/// the determinism gates.
+///
+/// ```
+/// use ch_sim::{Cadence, SimDuration, SimTime};
+/// let mut beacons = Cadence::new(SimDuration::from_secs(5), SimTime::ZERO);
+/// let mut fired = Vec::new();
+/// while let Some(at) = beacons.pop_due(SimTime::from_secs(12)) {
+///     fired.push(at.as_secs());
+/// }
+/// assert_eq!(fired, vec![0, 5, 10]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cadence {
+    period: SimDuration,
+    next: SimTime,
+}
+
+impl Cadence {
+    /// A schedule ticking every `period`, first at `start`. A zero period
+    /// is clamped to one microsecond so the schedule always advances.
+    pub fn new(period: SimDuration, start: SimTime) -> Self {
+        let period = if period.is_zero() {
+            SimDuration::from_micros(1)
+        } else {
+            period
+        };
+        Cadence {
+            period,
+            next: start,
+        }
+    }
+
+    /// The next scheduled tick.
+    pub fn next_at(&self) -> SimTime {
+        self.next
+    }
+
+    /// The tick period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Pops the next tick at or before `now`, advancing the schedule;
+    /// `None` once the schedule is ahead of `now`. Call in a loop to
+    /// catch up after a jump.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.next <= now {
+            let due = self.next;
+            self.next = self.next.saturating_add(self.period);
+            Some(due)
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,5 +466,24 @@ mod tests {
     #[should_panic(expected = "floor_to with zero window")]
     fn floor_to_zero_window_panics() {
         let _ = SimTime::from_secs(1).floor_to(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cadence_catches_up_deterministically() {
+        let mut c = Cadence::new(SimDuration::from_secs(5), SimTime::from_secs(3));
+        assert_eq!(c.period(), SimDuration::from_secs(5));
+        // Nothing due before the first tick.
+        assert_eq!(c.pop_due(SimTime::from_secs(2)), None);
+        // A jump drains every elapsed tick, oldest first.
+        let mut fired = Vec::new();
+        while let Some(at) = c.pop_due(SimTime::from_secs(14)) {
+            fired.push(at.as_secs());
+        }
+        assert_eq!(fired, vec![3, 8, 13]);
+        assert_eq!(c.next_at(), SimTime::from_secs(18));
+        // A zero period is clamped, not an infinite loop.
+        let mut z = Cadence::new(SimDuration::ZERO, SimTime::ZERO);
+        assert!(z.pop_due(SimTime::ZERO).is_some());
+        assert!(z.next_at() > SimTime::ZERO);
     }
 }

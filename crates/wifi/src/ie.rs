@@ -30,6 +30,39 @@ pub mod element_id {
 /// units; high bit marks a basic rate). 1, 2, 5.5 and 11 Mb/s.
 pub const DEFAULT_RATES: [u8; 4] = [0x82, 0x84, 0x8b, 0x96];
 
+/// Fingerprint bit: an SSID element is present.
+pub const FP_SSID: u8 = 1 << 0;
+/// Fingerprint bit: a supported-rates element is present.
+pub const FP_RATES: u8 = 1 << 1;
+/// Fingerprint bit: a DS parameter element is present.
+pub const FP_DS: u8 = 1 << 2;
+/// Fingerprint bit: an RSN element is present.
+pub const FP_RSN: u8 = 1 << 3;
+/// Fingerprint bit: a vendor element is present.
+pub const FP_VENDOR: u8 = 1 << 4;
+/// Fingerprint bit: an uninterpreted element is present.
+pub const FP_UNKNOWN: u8 = 1 << 5;
+
+/// Compact IE-set fingerprint of an element list — which element classes
+/// are present, as a bitmask of the `FP_*` bits. Rogue-AP detectors use
+/// this as a cheap firmware fingerprint: karma-style responders emit
+/// exactly `FP_SSID | FP_RATES | FP_DS`, while stock APs add vendor
+/// elements and (when protected) RSN.
+pub fn fingerprint(elements: &[InformationElement]) -> u8 {
+    let mut mask = 0;
+    for element in elements {
+        mask |= match element {
+            InformationElement::Ssid(_) => FP_SSID,
+            InformationElement::SupportedRates(_) => FP_RATES,
+            InformationElement::DsParameter(_) => FP_DS,
+            InformationElement::Rsn(_) => FP_RSN,
+            InformationElement::Vendor { .. } => FP_VENDOR,
+            InformationElement::Unknown { .. } => FP_UNKNOWN,
+        };
+    }
+    mask
+}
+
 /// Simplified RSN (WPA2-Personal) parameters.
 ///
 /// Only the cipher/AKM identities matter to the simulation: a protected
@@ -363,6 +396,29 @@ mod tests {
             InformationElement::parse_all(&buf).unwrap_err(),
             IeError::ShortVendor
         );
+    }
+
+    #[test]
+    fn fingerprint_reflects_element_classes() {
+        assert_eq!(fingerprint(&[]), 0);
+        let minimal = vec![
+            InformationElement::Ssid(Ssid::new("X").unwrap()),
+            InformationElement::SupportedRates(DEFAULT_RATES.to_vec()),
+            InformationElement::DsParameter(Channel::new(6).unwrap()),
+        ];
+        assert_eq!(fingerprint(&minimal), FP_SSID | FP_RATES | FP_DS);
+        let rich = vec![
+            InformationElement::Rsn(RsnInfo::default()),
+            InformationElement::Vendor {
+                oui: [0, 0x50, 0xf2],
+                data: vec![],
+            },
+            InformationElement::Unknown {
+                id: 7,
+                data: vec![],
+            },
+        ];
+        assert_eq!(fingerprint(&rich), FP_RSN | FP_VENDOR | FP_UNKNOWN);
     }
 
     #[test]

@@ -183,6 +183,18 @@ impl ProbeResponse {
         }
         elements
     }
+
+    /// The IE-set fingerprint of this response (see
+    /// [`crate::ie::fingerprint`]), computed without materializing the
+    /// element list. An open response carries exactly the karma-style
+    /// minimal set `FP_SSID | FP_RATES | FP_DS`.
+    pub fn ie_fingerprint(&self) -> u8 {
+        let mut mask = crate::ie::FP_SSID | crate::ie::FP_RATES | crate::ie::FP_DS;
+        if self.capabilities.privacy {
+            mask |= crate::ie::FP_RSN;
+        }
+        mask
+    }
 }
 
 /// A beacon frame — functionally a broadcast probe response.
@@ -201,6 +213,9 @@ pub struct Beacon {
 }
 
 impl Beacon {
+    /// The standard beacon interval stock firmware uses, in time units.
+    pub const STANDARD_INTERVAL_TU: u16 = 100;
+
     /// A beacon for an open AP with the standard 100 TU interval.
     pub fn open(bssid: MacAddr, ssid: Ssid, channel: Channel) -> Self {
         Beacon {
@@ -208,8 +223,37 @@ impl Beacon {
             ssid,
             capabilities: CapabilityInfo::open_ap(),
             channel,
-            interval_tu: 100,
+            interval_tu: Beacon::STANDARD_INTERVAL_TU,
         }
+    }
+
+    /// The information elements this beacon carries on the wire (mirrors
+    /// [`ProbeResponse::elements`] — a beacon is functionally a broadcast
+    /// probe response).
+    pub fn elements(&self) -> Vec<InformationElement> {
+        let mut elements = vec![
+            InformationElement::Ssid(self.ssid.clone()),
+            InformationElement::SupportedRates(DEFAULT_RATES.to_vec()),
+            InformationElement::DsParameter(self.channel),
+        ];
+        if self.capabilities.privacy {
+            elements.push(InformationElement::Rsn(RsnInfo {
+                ccmp: true,
+                psk: true,
+            }));
+        }
+        elements
+    }
+
+    /// The IE-set fingerprint of this beacon (see
+    /// [`crate::ie::fingerprint`]), computed without materializing the
+    /// element list.
+    pub fn ie_fingerprint(&self) -> u8 {
+        let mut mask = crate::ie::FP_SSID | crate::ie::FP_RATES | crate::ie::FP_DS;
+        if self.capabilities.privacy {
+            mask |= crate::ie::FP_RSN;
+        }
+        mask
     }
 }
 
@@ -443,6 +487,34 @@ mod tests {
         );
         resp.capabilities = CapabilityInfo::protected_ap();
         assert!(InformationElement::has_rsn(&resp.elements()));
+    }
+
+    #[test]
+    fn ie_fingerprints_match_materialized_elements() {
+        let open = ProbeResponse::open_lure(
+            mac(9),
+            mac(1),
+            Ssid::new("Free Public WiFi").unwrap(),
+            Channel::default(),
+        );
+        assert_eq!(
+            open.ie_fingerprint(),
+            crate::ie::fingerprint(&open.elements())
+        );
+        let mut protected = open.clone();
+        protected.capabilities = CapabilityInfo::protected_ap();
+        assert_eq!(
+            protected.ie_fingerprint(),
+            crate::ie::fingerprint(&protected.elements())
+        );
+        assert_ne!(open.ie_fingerprint(), protected.ie_fingerprint());
+
+        let beacon = Beacon::open(mac(9), Ssid::new("CSL").unwrap(), Channel::default());
+        assert_eq!(beacon.interval_tu, Beacon::STANDARD_INTERVAL_TU);
+        assert_eq!(
+            beacon.ie_fingerprint(),
+            crate::ie::fingerprint(&beacon.elements())
+        );
     }
 
     #[test]

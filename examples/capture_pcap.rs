@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         population: None,
         arrival_multiplier: None,
         fault: None,
+        detector: None,
     };
 
     let path = "city-hunter-capture.pcap";

@@ -1,60 +1,29 @@
-//! The defender's view: a client-side evil-twin detector running against
+//! The defender's view: the `ch-detect` rogue-AP monitor running against
 //! City-Hunter's own frames.
 //!
 //! The paper's conclusion notes that existing evil-twin countermeasures
 //! "can still work as effective countermeasures for the City-Hunter". This
-//! example demonstrates the two cheapest client-side checks on the actual
-//! byte-level frames our attacker emits:
+//! example runs the workspace's real detection subsystem — the same
+//! signature/behavior [`Detector`] the `arms_race` experiment arms — on
+//! the actual byte-level frames our attacker emits. Two of its cheapest
+//! signals fire here:
 //!
-//! 1. **security downgrade** — a probe response advertising a remembered
-//!    *protected* SSID as open;
-//! 2. **implausible SSID co-location** — one BSSID answering with many
-//!    unrelated SSIDs within a second (the signature of KARMA-style
-//!    mimicry).
+//! 1. **signature tells** — the rogue BSSID's OUI is denylisted and the
+//!    lure advertises a remembered network as open;
+//! 2. **implausible SSID co-location** — one BSSID answering a broadcast
+//!    probe with many unrelated SSIDs within a second (the signature of
+//!    KARMA-style mimicry).
 //!
 //! ```text
 //! cargo run --release -p city-hunter --example defender_audit [seed]
 //! ```
 
-use std::collections::HashMap;
-
 use city_hunter::attack::{Attacker, CityHunter, CityHunterConfig};
+use city_hunter::detect::{Detector, DetectorSpec};
 use city_hunter::prelude::*;
 use city_hunter::wifi::codec;
 use city_hunter::wifi::mgmt::{MgmtFrame, ProbeRequest, ProbeResponse};
 use city_hunter::wifi::Channel;
-
-/// A minimal client-side rogue-AP detector.
-#[derive(Default)]
-struct TwinDetector {
-    /// SSIDs this client remembers as protected.
-    protected: Vec<Ssid>,
-    /// Distinct SSIDs seen per BSSID.
-    ssids_per_bssid: HashMap<MacAddr, Vec<Ssid>>,
-    alarms: Vec<String>,
-}
-
-impl TwinDetector {
-    fn observe(&mut self, response: &ProbeResponse) {
-        if self.protected.contains(&response.ssid) && !response.capabilities.privacy {
-            self.alarms.push(format!(
-                "security downgrade: {} advertised OPEN by {}",
-                response.ssid, response.bssid
-            ));
-        }
-        let seen = self.ssids_per_bssid.entry(response.bssid).or_default();
-        if !seen.contains(&response.ssid) {
-            seen.push(response.ssid.clone());
-        }
-        if seen.len() == 10 {
-            self.alarms.push(format!(
-                "implausible co-location: {} advertises {} distinct SSIDs",
-                response.bssid,
-                seen.len()
-            ));
-        }
-    }
-}
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -71,23 +40,20 @@ fn main() {
         CityHunterConfig::default(),
     );
 
-    // The auditing client remembers its employer's protected network and
-    // one protected chain.
-    let mut detector = TwinDetector {
-        protected: vec![
-            Ssid::new("Corp-00c3").expect("short ssid"),
-            Ssid::new("CSL").expect("short ssid"),
-        ],
-        ..TwinDetector::default()
-    };
+    // The auditing client runs the stock monitor at standard strictness —
+    // no tuning, no knowledge of the attacker beyond the built-in
+    // signature database.
+    let mut detector = Detector::new(DetectorSpec::standard());
 
     // The client scans twice; every lure crosses the real codec, exactly
-    // as it would cross the air.
+    // as it would cross the air, and the detector hears both sides.
     let client = MacAddr::from_index([0xac, 0x37, 0x43], 77);
     let mut frames_seen = 0usize;
     for round in 0..2u64 {
+        let now = SimTime::from_secs(round * 60);
         let probe = ProbeRequest::broadcast(client);
-        let lures = attacker.respond_to_probe(SimTime::from_secs(round * 60), &probe, 40);
+        detector.observe(now, &MgmtFrame::ProbeRequest(probe.clone()));
+        let lures = attacker.respond_to_probe(now, &probe, 40);
         for lure in &lures {
             let frame = MgmtFrame::ProbeResponse(ProbeResponse::open_lure(
                 attacker.bssid(),
@@ -97,23 +63,23 @@ fn main() {
             ));
             let bytes = codec::encode(&frame);
             let parsed = codec::parse(&bytes).expect("attacker frames are well-formed");
-            if let MgmtFrame::ProbeResponse(response) = parsed {
+            if let MgmtFrame::ProbeResponse(_) = &parsed {
                 frames_seen += 1;
-                detector.observe(&response);
             }
+            detector.observe(now, &parsed);
         }
     }
 
     println!("audited {frames_seen} probe responses from one BSSID\n");
-    if detector.alarms.is_empty() {
+    if detector.verdicts().is_empty() {
         println!("no alarms — detector defeated (unexpected!)");
     } else {
         println!("alarms raised:");
-        for alarm in &detector.alarms {
-            println!("  ! {alarm}");
+        for verdict in detector.verdicts() {
+            println!("  ! {verdict}");
         }
         println!(
-            "\nthe co-location heuristic flags City-Hunter after a single \
+            "\nthe ch-detect monitor flags City-Hunter within a single \
              scan round, confirming the paper's closing claim that \
              client-side evil-twin detection still applies."
         );

@@ -34,6 +34,7 @@ fn main() {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         };
         let metrics = run_experiment(&data, &config);
         rows.push(metrics.summary(label));

@@ -37,6 +37,7 @@ fn config(deauth: bool, seed: u64) -> RunConfig {
         population: None,
         arrival_multiplier: None,
         fault: None,
+        detector: None,
     }
 }
 

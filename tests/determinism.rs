@@ -40,6 +40,7 @@ fn full_runs_are_reproducible_for_every_attacker() {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         };
         let a = run_experiment(&data, &config);
         let b = run_experiment(&data, &config);
@@ -84,6 +85,7 @@ fn venue_streams_are_independent() {
             population: None,
             arrival_multiplier: None,
             fault: None,
+            detector: None,
         };
         run_experiment(&data, &config).summary("x")
     };

@@ -20,6 +20,7 @@ fn run(data: &CityData, venue: VenueKind, attacker: AttackerKind, seed: u64) -> 
         population: None,
         arrival_multiplier: None,
         fault: None,
+        detector: None,
     };
     run_experiment(data, &config).summary("run")
 }
@@ -211,6 +212,7 @@ fn mac_randomizing_population_still_countable() {
         population: None,
         arrival_multiplier: None,
         fault: None,
+        detector: None,
     };
     let metrics = run_experiment(&data, &config);
     assert!(metrics.client_count() > 0);

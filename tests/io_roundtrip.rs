@@ -20,6 +20,7 @@ fn short_config(seed: u64) -> RunConfig {
         population: None,
         arrival_multiplier: None,
         fault: None,
+        detector: None,
     }
 }
 

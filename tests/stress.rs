@@ -20,6 +20,7 @@ fn one_hour_quadruple_density_canteen() {
         population: None,
         arrival_multiplier: Some(4.0),
         fault: None,
+        detector: None,
     };
     let metrics = run_experiment(&data, &config);
     let row = metrics.summary("stress");
