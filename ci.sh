@@ -55,12 +55,28 @@ cargo run -q --release -p ch-bench --bin fig5 -- "${smoke_args[@]}" --jobs 2 \
 grep -q '0 executed, 8 cached, 0 failed' "$smoke_dir/run2.log"
 cmp "$smoke_dir/run1.txt" "$smoke_dir/run2.txt"
 test -s "$smoke_dir/BENCH_fleet.json"
-# Report-only: surface the wall-clock scaling the bench file derived
-# from the serial and parallel slots. Never gates — timing is telemetry.
-grep -q '"speedup_vs_serial"' "$smoke_dir/BENCH_fleet.json"
-speedup=$(grep -o '"speedup_vs_serial":[0-9.eE+-]*' "$smoke_dir/BENCH_fleet.json" \
-  | head -n 1 | cut -d: -f2)
-echo "scaling: fig5 --jobs 2 ran ${speedup}x vs serial (report-only)"
+# Scaling gate: with the build-once campaign context and worker-local
+# scratch, the parallel leg must never be slower than serial (hard
+# floor 1.0x; the ≥0.7×N target stays report-only). The engine clamps
+# spawned workers at the machine's parallelism, so on a single-core
+# host the --jobs 2 leg runs one worker and there is no scaling to
+# gate — assert the clamp itself instead.
+par_line=$(grep '"jobs":2' "$smoke_dir/BENCH_fleet.json")
+threads=$(echo "$par_line" | grep -o '"threads":[0-9]*' | cut -d: -f2)
+speedup=$(echo "$par_line" | grep -o '"speedup_vs_serial":[0-9.eE+-]*' \
+  | cut -d: -f2)
+test -n "$threads" && test -n "$speedup"
+test "$threads" -le "$(nproc)"
+if [ "$threads" -ge 2 ]; then
+  echo "scaling: fig5 --jobs 2 ran ${speedup}x vs serial ($threads workers; gate: >= 1.0)"
+  awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'
+  awk -v s="$speedup" -v n="$threads" 'BEGIN { exit !(s >= 0.7 * n) }' \
+    || echo "scaling: below the 0.7xN target (report-only)"
+else
+  echo "scaling: single-core host, --jobs 2 clamped to 1 worker (${speedup}x vs serial, report-only)"
+fi
+# Archive the fleet bench telemetry alongside the lint CI artifact.
+cp "$smoke_dir/BENCH_fleet.json" "$lint_dir/BENCH_fleet.json"
 
 echo "==> registry smoke (experiment --list, torn-manifest resume)"
 # The unified driver must list every artifact, and a table-class campaign

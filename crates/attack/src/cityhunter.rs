@@ -2,7 +2,6 @@
 
 use ch_arc::EpochSet;
 use ch_geo::netdb::carrier_ssids;
-use ch_geo::weights::{rank_weights, RankWeighting};
 use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
 use ch_sim::{CrashMode, SimRng, SimTime};
 use ch_wifi::mgmt::ProbeRequest;
@@ -13,7 +12,7 @@ use crate::api::{direct_reply_into, Attacker, Lure, LureSource};
 use crate::buffers::{AdaptiveBuffers, SelectScratch};
 use crate::clienttrack::ClientTracker;
 use crate::db::SsidDatabase;
-use crate::prelim::{WIGLE_NEARBY, WIGLE_TOP_BY_HEAT};
+use crate::plan::AttackSitePlan;
 
 /// Reusable per-attacker scratch: candidate lists, dedup set, and the
 /// buffer-selection scratch. Warmed up over the first few probes, then the
@@ -94,7 +93,8 @@ pub struct CityHunter {
 
 impl CityHunter {
     /// Builds the attacker with its database initialized per the config
-    /// (step 1 of Fig. 3).
+    /// (step 1 of Fig. 3). Runs the WiGLE scans itself; campaign code
+    /// precomputes them once and uses [`CityHunter::from_plan`].
     pub fn new(
         bssid: MacAddr,
         wigle: &WigleSnapshot,
@@ -102,17 +102,23 @@ impl CityHunter {
         site: GeoPoint,
         config: CityHunterConfig,
     ) -> Self {
+        Self::from_plan(bssid, &AttackSitePlan::build(wigle, heat, site), config)
+    }
+
+    /// [`CityHunter::new`] from a precomputed [`AttackSitePlan`]: seeds
+    /// the database from the plan's `(Ssid, weight)` lists in the exact
+    /// insertion order the scan-based constructor uses, so interned ids
+    /// and all downstream draws are bit-identical.
+    pub fn from_plan(bssid: MacAddr, plan: &AttackSitePlan, config: CityHunterConfig) -> Self {
         let mut db = SsidDatabase::new();
         if config.use_wigle {
-            let top = wigle.top_by_heat(heat, WIGLE_TOP_BY_HEAT);
-            let weights = rank_weights(top.len(), RankWeighting::Linear);
-            for ((ssid, _), w) in top.into_iter().zip(weights) {
-                db.seed_from_wigle(ssid, w, SimTime::ZERO);
+            for (ssid, w) in &plan.by_heat {
+                // ch-lint: allow(ssid-clone) — construction-time refcount bump.
+                db.seed_from_wigle(ssid.clone(), *w, SimTime::ZERO);
             }
-            let nearby = wigle.nearest_open_ssids(site, WIGLE_NEARBY);
-            let weights = rank_weights(nearby.len(), RankWeighting::Linear);
-            for (ssid, w) in nearby.into_iter().zip(weights) {
-                db.seed_from_wigle(ssid, w, SimTime::ZERO);
+            for (ssid, w) in &plan.nearby_open {
+                // ch-lint: allow(ssid-clone) — construction-time refcount bump.
+                db.seed_from_wigle(ssid.clone(), *w, SimTime::ZERO);
             }
         }
         if config.carrier_preload {
@@ -313,6 +319,7 @@ impl Attacker for CityHunter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prelim::WIGLE_TOP_BY_HEAT;
     use ch_geo::{CityModel, PhotoCollection};
     use ch_wifi::Ssid;
 

@@ -41,6 +41,7 @@ pub mod evasion;
 pub mod ext;
 pub mod karma;
 pub mod mana;
+pub mod plan;
 pub mod prelim;
 pub mod spec;
 
@@ -51,5 +52,6 @@ pub use db::{DbEntry, SsidDatabase};
 pub use evasion::{EvasionSpec, EvasiveAttacker, RotationSpec, ThrottleSpec};
 pub use karma::KarmaAttacker;
 pub use mana::ManaAttacker;
+pub use plan::AttackSitePlan;
 pub use prelim::PrelimCityHunter;
 pub use spec::AttackerSpec;

@@ -9,6 +9,7 @@ use ch_wifi::{MacAddr, SsidId};
 use crate::api::{direct_reply_into, Attacker, Lure, LureLane, LureSource};
 use crate::clienttrack::ClientTracker;
 use crate::db::SsidDatabase;
+use crate::plan::AttackSitePlan;
 
 /// How many heat-ranked city SSIDs seed the §IV database (the §III version
 /// selects the same number but by raw AP count — the heat map is a §IV-B
@@ -43,9 +44,16 @@ impl PrelimCityHunter {
     /// SSIDs by city-wide AP count (§III-B's two criteria).
     ///
     /// The heat map is accepted for interface parity with
-    /// [`crate::CityHunter`] but deliberately unused: heat ranking is the
-    /// §IV-B refinement this version predates.
-    pub fn new(bssid: MacAddr, wigle: &WigleSnapshot, _heat: &HeatMap, site: GeoPoint) -> Self {
+    /// [`crate::CityHunter`] but its ranking is deliberately ignored:
+    /// heat ranking is the §IV-B refinement this version predates.
+    pub fn new(bssid: MacAddr, wigle: &WigleSnapshot, heat: &HeatMap, site: GeoPoint) -> Self {
+        Self::from_plan(bssid, &AttackSitePlan::build(wigle, heat, site))
+    }
+
+    /// [`PrelimCityHunter::new`] from a precomputed [`AttackSitePlan`]:
+    /// same seed lists, same insertion order, so the interned reply
+    /// order is bit-identical to the scan-based constructor's.
+    pub fn from_plan(bssid: MacAddr, plan: &AttackSitePlan) -> Self {
         let mut db = SsidDatabase::new();
         let mut reply_order = Vec::new();
         let push = |db: &mut SsidDatabase, order: &mut Vec<SsidId>, ssid: ch_wifi::Ssid| {
@@ -54,11 +62,13 @@ impl PrelimCityHunter {
                 order.push(id);
             }
         };
-        for ssid in wigle.nearest_open_ssids(site, WIGLE_NEARBY) {
-            push(&mut db, &mut reply_order, ssid);
+        for (ssid, _w) in &plan.nearby_open {
+            // ch-lint: allow(ssid-clone) — construction-time refcount bump.
+            push(&mut db, &mut reply_order, ssid.clone());
         }
-        for (ssid, _count) in wigle.top_by_ap_count(WIGLE_TOP_BY_HEAT, true) {
-            push(&mut db, &mut reply_order, ssid);
+        for ssid in &plan.by_ap_count {
+            // ch-lint: allow(ssid-clone) — construction-time refcount bump.
+            push(&mut db, &mut reply_order, ssid.clone());
         }
         PrelimCityHunter {
             bssid,

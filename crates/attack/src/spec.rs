@@ -13,8 +13,8 @@ use ch_geo::{GeoPoint, HeatMap, WigleSnapshot};
 use ch_wifi::MacAddr;
 
 use crate::{
-    Attacker, CityHunter, CityHunterConfig, EvasionSpec, EvasiveAttacker, KarmaAttacker,
-    ManaAttacker, PrelimCityHunter,
+    AttackSitePlan, Attacker, CityHunter, CityHunterConfig, EvasionSpec, EvasiveAttacker,
+    KarmaAttacker, ManaAttacker, PrelimCityHunter,
 };
 
 /// Which attacker generation to deploy, as declarative data.
@@ -92,6 +92,33 @@ impl AttackerSpec {
                 // same neighbourhood the detector observes.
                 let clone_target = if evasion.beacon_clone {
                     wigle.nearest_open_ssids(site, 1).into_iter().next()
+                } else {
+                    None
+                };
+                Box::new(EvasiveAttacker::new(inner, evasion.clone(), clone_target))
+            }
+        }
+    }
+
+    /// [`build`](AttackerSpec::build) from a precomputed
+    /// [`AttackSitePlan`] — the campaign path: the WiGLE scans ran once
+    /// per venue at context-build time, and every job deploys from the
+    /// shared plan with bit-identical results.
+    pub fn build_from_plan(&self, bssid: MacAddr, plan: &AttackSitePlan) -> Box<dyn Attacker> {
+        match self {
+            AttackerSpec::Karma => Box::new(KarmaAttacker::new(bssid)),
+            AttackerSpec::Mana => Box::new(ManaAttacker::new(bssid)),
+            AttackerSpec::Prelim => Box::new(PrelimCityHunter::from_plan(bssid, plan)),
+            AttackerSpec::CityHunter(config) => {
+                Box::new(CityHunter::from_plan(bssid, plan, config.clone()))
+            }
+            AttackerSpec::Evasive { base, evasion } => {
+                let inner = base.build_from_plan(bssid, plan);
+                // Plan prefixes equal smaller scans, so the head of the
+                // nearby-open list is exactly `nearest_open_ssids(site, 1)`.
+                let clone_target = if evasion.beacon_clone {
+                    // ch-lint: allow(ssid-clone) — construction-time refcount bump.
+                    plan.nearby_open.first().map(|(ssid, _)| ssid.clone())
                 } else {
                     None
                 };

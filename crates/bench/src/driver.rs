@@ -24,7 +24,7 @@ use ch_fleet::{fingerprint, run_campaign, FleetOptions, JobSpec, JobStatus};
 use ch_scenarios::experiments as exp;
 use ch_scenarios::registry::{self, Artifact, ExperimentSpec, RunParams, REGISTRY};
 use ch_scenarios::runner::{run_experiment_observed, FrameObserver, RunConfig};
-use ch_scenarios::{AttackerKind, CityData};
+use ch_scenarios::{AttackerKind, CampaignCtx, CityData};
 use ch_sim::{SimDuration, SimTime};
 use ch_wifi::mgmt::MgmtFrame;
 use ch_wifi::Ssid;
@@ -45,6 +45,7 @@ const VALUE_FLAGS: &[&str] = &[
 const BARE_FLAGS: &[&str] = &[
     "--fresh",
     "--no-bench",
+    "--bench-full",
     "--json",
     "--csv",
     "--list",
@@ -153,7 +154,8 @@ fn fleet_options(spec: &ExperimentSpec, params: &RunParams, cli: &Cli) -> FleetO
     let part_refs: Vec<&str> = parts.iter().map(String::as_str).collect();
     let campaign = spec.campaign.unwrap_or(spec.id);
     let mut opts = FleetOptions::in_memory(campaign, fingerprint(&part_refs))
-        .with_jobs(cli.positive("--jobs"));
+        .with_jobs(cli.positive("--jobs"))
+        .with_bench_full(cli.flag("--bench-full"));
     let manifest = cli
         .value_of("--manifest")
         .map(PathBuf::from)
@@ -181,11 +183,13 @@ fn fleet_options(spec: &ExperimentSpec, params: &RunParams, cli: &Cli) -> FleetO
 fn run_spec(spec: &'static ExperimentSpec, cli: &Cli, seed: u64) -> Result<(), String> {
     let params = run_params(cli, seed);
     let opts = fleet_options(spec, &params, cli);
-    let data = exp::standard_city();
+    // Build the campaign context once: every per-venue WiGLE scan and the
+    // population pool are shared by all of this run's jobs.
+    let ctx = CampaignCtx::build(&exp::standard_city());
     let artifact = if spec.external {
-        run_external(spec, &data, &params, &opts)?
+        run_external(spec, ctx.data(), &params, &opts)?
     } else {
-        spec.run(&data, &params, &opts)?
+        spec.run(&ctx, &params, &opts)?
     };
     if let Some(stats) = &artifact.stats {
         eprintln!("{}", stats.render_line());
@@ -248,7 +252,7 @@ pub fn list_text() -> String {
         ));
     }
     out.push_str(
-        "\nflags: --jobs N --manifest PATH --fresh --bench PATH --no-bench\n       \
+        "\nflags: --jobs N --manifest PATH --fresh --bench PATH --no-bench --bench-full\n       \
          --hours a,b,c --minutes N --replicas N --slots N --json / --csv --quick\n",
     );
     out
@@ -267,7 +271,7 @@ pub fn main_reproduce_all() -> Result<(), String> {
     let jobs = cli.positive("--jobs");
     let params = run_params(&cli, seed);
     eprintln!("building the standard city...");
-    let data = exp::standard_city();
+    let ctx = CampaignCtx::build(&exp::standard_city());
 
     let mut sections: Vec<(&str, String)> = Vec::new();
     for spec in REGISTRY.iter().filter(|s| s.in_reproduce_all) {
@@ -278,7 +282,7 @@ pub fn main_reproduce_all() -> Result<(), String> {
             eprintln!("Fig. 5 + Fig. 6 campaign (48 hour-long runs)...");
             let opts = FleetOptions::in_memory("fig5", 0).with_jobs(jobs);
             let (campaign, stats) = exp::campaign_fleet(
-                &data,
+                &ctx,
                 seed,
                 &params.hours,
                 SimDuration::from_mins(params.minutes),
@@ -296,7 +300,7 @@ pub fn main_reproduce_all() -> Result<(), String> {
         }
         let campaign = spec.campaign.unwrap_or(spec.id);
         let opts = FleetOptions::in_memory(campaign, 0).with_jobs(jobs);
-        let artifact = spec.run(&data, &params, &opts)?;
+        let artifact = spec.run(&ctx, &params, &opts)?;
         if spec.id == "ablation" {
             if let Some(stats) = &artifact.stats {
                 eprintln!("{}", stats.render_line());

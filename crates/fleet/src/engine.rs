@@ -20,7 +20,7 @@ use ch_sim::det_hash_set;
 
 use crate::job::JobSpec;
 use crate::manifest::{Manifest, ManifestCodec};
-use crate::pool::{effective_jobs, scoped_parallel_map_with};
+use crate::pool::{effective_jobs, scoped_parallel_map_with_state, worker_cap};
 use crate::telemetry::{record_bench, BenchRun, Stopwatch};
 
 /// How a campaign runs: worker width, manifest, telemetry sinks.
@@ -38,6 +38,9 @@ pub struct FleetOptions {
     pub manifest: Option<PathBuf>,
     /// `BENCH_fleet.json` path; `None` disables timing emission.
     pub bench: Option<PathBuf>,
+    /// Emit the full per-job `job_ms` map in bench entries (the
+    /// `--bench-full` flag); compact percentile summaries are always on.
+    pub bench_full: bool,
 }
 
 impl FleetOptions {
@@ -49,6 +52,7 @@ impl FleetOptions {
             jobs: None,
             manifest: None,
             bench: None,
+            bench_full: false,
         }
     }
 
@@ -70,6 +74,13 @@ impl FleetOptions {
     #[must_use]
     pub fn with_bench(mut self, path: impl Into<PathBuf>) -> FleetOptions {
         self.bench = Some(path.into());
+        self
+    }
+
+    /// Toggles the full per-job `job_ms` dump in bench entries.
+    #[must_use]
+    pub fn with_bench_full(mut self, full: bool) -> FleetOptions {
+        self.bench_full = full;
         self
     }
 }
@@ -249,6 +260,62 @@ where
     J: JobSpec + Sync,
     R: ManifestCodec + Send,
 {
+    run_campaign_scoped_with_retry(
+        jobs,
+        opts,
+        policy,
+        || (),
+        |job, (), attempt| run(job, attempt),
+    )
+}
+
+/// [`run_campaign`] with **worker-local scratch**: every pool worker
+/// calls `init` once when it starts and hands the same `&mut S` to each
+/// job it executes, so per-job arenas (event queues, agent vectors,
+/// frame buffers) are allocated once per worker instead of once per job.
+///
+/// The scratch is an allocation cache, never a value channel: `run` must
+/// clear any state it reads before use, and results must not depend on
+/// which jobs previously used the scratch — that is what keeps a
+/// `--jobs 8` campaign bit-identical to `--jobs 1`.
+///
+/// # Errors
+///
+/// Same contract as [`run_campaign`].
+pub fn run_campaign_scoped<J, R, S>(
+    jobs: &[J],
+    opts: &FleetOptions,
+    init: impl Fn() -> S + Sync,
+    run: impl Fn(&J, &mut S) -> R + Sync,
+) -> Result<CampaignReport<R>, String>
+where
+    J: JobSpec + Sync,
+    R: ManifestCodec + Send,
+{
+    run_campaign_scoped_with_retry(jobs, opts, RetryPolicy::none(), init, |job, scratch, _| {
+        run(job, scratch)
+    })
+}
+
+/// [`run_campaign_scoped`] with a [`RetryPolicy`]. A job panic leaves the
+/// worker's scratch in an unknown state, so the engine **rebuilds it via
+/// `init()`** before any retry and before the worker moves on — a
+/// poisoned scratch can never leak into a later job's execution.
+///
+/// # Errors
+///
+/// Same contract as [`run_campaign`].
+pub fn run_campaign_scoped_with_retry<J, R, S>(
+    jobs: &[J],
+    opts: &FleetOptions,
+    policy: RetryPolicy,
+    init: impl Fn() -> S + Sync,
+    run: impl Fn(&J, &mut S, usize) -> R + Sync,
+) -> Result<CampaignReport<R>, String>
+where
+    J: JobSpec + Sync,
+    R: ManifestCodec + Send,
+{
     let campaign_timer = Stopwatch::start();
     let keys: Vec<String> = jobs.iter().map(JobSpec::key).collect();
     {
@@ -289,7 +356,13 @@ where
         }
     }
 
-    let threads = effective_jobs(opts.jobs);
+    let requested = effective_jobs(opts.jobs);
+    // Spawned width is capped at the machine's parallelism: the workers
+    // are CPU-bound, so running wider than the core count is pure
+    // scheduling overhead (the pre-context fig5 regression: `--jobs 8`
+    // on one core ran 0.88x serial). Results are width-independent by
+    // construction, so the clamp only ever changes wall-clock.
+    let threads = requested.min(worker_cap());
     let write_error: Mutex<Option<String>> = Mutex::new(None);
     let stash_error = |result: Result<(), String>| {
         if let Err(e) = result {
@@ -300,48 +373,53 @@ where
         }
     };
     let retried = AtomicUsize::new(0);
-    let fresh: Vec<JobOutcome<R>> = scoped_parallel_map_with(&pending, threads, |&i| {
-        let key = keys[i].clone();
-        let job_timer = Stopwatch::start();
-        let mut attempt = 0;
-        let settled = loop {
-            match catch_unwind(AssertUnwindSafe(|| run(&jobs[i], attempt))) {
-                Ok(result) => break Ok(result),
-                Err(payload) => {
-                    let message = panic_message(payload.as_ref());
-                    if is_transient(&message) && attempt + 1 < policy.max_attempts() {
-                        attempt += 1;
-                        retried.fetch_add(1, Ordering::Relaxed);
-                        continue;
+    let fresh: Vec<JobOutcome<R>> =
+        scoped_parallel_map_with_state(&pending, threads, &init, |&i, scratch| {
+            let key = keys[i].clone();
+            let job_timer = Stopwatch::start();
+            let mut attempt = 0;
+            let settled = loop {
+                match catch_unwind(AssertUnwindSafe(|| run(&jobs[i], scratch, attempt))) {
+                    Ok(result) => break Ok(result),
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        // The panic may have left the scratch half-mutated;
+                        // rebuild it before this worker touches another job
+                        // (or retries this one).
+                        *scratch = init();
+                        if is_transient(&message) && attempt + 1 < policy.max_attempts() {
+                            attempt += 1;
+                            retried.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        break Err(message);
                     }
-                    break Err(message);
+                }
+            };
+            let ms = job_timer.elapsed_ms();
+            match settled {
+                Ok(result) => {
+                    if let Some(m) = &manifest {
+                        stash_error(m.record_done(&key, &result.to_json(), ms));
+                    }
+                    JobOutcome {
+                        key,
+                        status: JobStatus::Done(result),
+                        ms,
+                    }
+                }
+                Err(message) => {
+                    if let Some(m) = &manifest {
+                        stash_error(m.record_failed(&key, &message, ms));
+                    }
+                    JobOutcome {
+                        key,
+                        status: JobStatus::Failed(message),
+                        ms,
+                    }
                 }
             }
-        };
-        let ms = job_timer.elapsed_ms();
-        match settled {
-            Ok(result) => {
-                if let Some(m) = &manifest {
-                    stash_error(m.record_done(&key, &result.to_json(), ms));
-                }
-                JobOutcome {
-                    key,
-                    status: JobStatus::Done(result),
-                    ms,
-                }
-            }
-            Err(message) => {
-                if let Some(m) = &manifest {
-                    stash_error(m.record_failed(&key, &message, ms));
-                }
-                JobOutcome {
-                    key,
-                    status: JobStatus::Failed(message),
-                    ms,
-                }
-            }
-        }
-    });
+        });
     for (&slot, outcome) in pending.iter().zip(fresh) {
         slots[slot] = Some(outcome);
     }
@@ -379,12 +457,14 @@ where
             bench_path,
             &BenchRun {
                 campaign: stats.campaign.clone(),
-                jobs: stats.threads,
+                jobs: requested,
+                threads: stats.threads,
                 total_ms: stats.total_ms,
                 executed: stats.executed,
                 cached: stats.cached,
                 failed: stats.failed,
                 job_ms: outcomes.iter().map(|o| (o.key.clone(), o.ms)).collect(),
+                full: opts.bench_full,
             },
         )?;
     }

@@ -52,11 +52,15 @@ pub mod pool;
 pub mod telemetry;
 
 pub use engine::{
-    is_transient, run_campaign, run_campaign_with_retry, CampaignReport, FleetOptions, FleetStats,
-    JobOutcome, JobStatus, RetryPolicy, TRANSIENT_PREFIX,
+    is_transient, run_campaign, run_campaign_scoped, run_campaign_scoped_with_retry,
+    run_campaign_with_retry, CampaignReport, FleetOptions, FleetStats, JobOutcome, JobStatus,
+    RetryPolicy, TRANSIENT_PREFIX,
 };
 pub use job::{derive_seed, fingerprint, JobSpec};
 pub use json::Json;
 pub use manifest::{Manifest, ManifestCodec};
-pub use pool::{effective_jobs, scoped_parallel_map, scoped_parallel_map_with};
+pub use pool::{
+    effective_jobs, scoped_parallel_map, scoped_parallel_map_with, scoped_parallel_map_with_state,
+    worker_cap,
+};
 pub use telemetry::{record_bench, BenchRun, Stopwatch};

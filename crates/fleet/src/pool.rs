@@ -27,6 +27,18 @@ pub fn effective_jobs(requested: Option<usize>) -> usize {
         })
 }
 
+/// The machine's usable worker ceiling:
+/// [`std::thread::available_parallelism`] (fallback 4, matching
+/// [`effective_jobs`]). CPU-bound workers gain nothing from running
+/// wider than this — oversubscription is pure scheduling overhead — so
+/// the campaign engine caps its spawned width here regardless of the
+/// requested `--jobs`.
+pub fn worker_cap() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
 /// A scoped-thread parallel map over a slice (ordered results), using
 /// [`effective_jobs`]`(None)` workers. Falls back to sequential execution
 /// for tiny inputs.
@@ -40,26 +52,50 @@ pub fn scoped_parallel_map_with<T: Sync, R: Send>(
     threads: usize,
     f: impl Fn(&T) -> R + Sync,
 ) -> Vec<R> {
+    scoped_parallel_map_with_state(items, threads, || (), |item, ()| f(item))
+}
+
+/// [`scoped_parallel_map_with`] plus **worker-local state**: every worker
+/// calls `init` exactly once when it starts and threads the resulting
+/// scratch value `&mut S` through each item it pulls, so allocations made
+/// for one job (buffers, arenas, queues) are reused by the next instead
+/// of being rebuilt per item.
+///
+/// Determinism contract: `f` must produce the same `R` for a given item
+/// regardless of which scratch it runs on — scratch is an *allocation*
+/// cache, never a *value* channel between jobs. The serial fallback uses
+/// a single scratch for every item, which is exactly the reuse pattern a
+/// one-worker parallel run would see, so results stay width-independent.
+pub fn scoped_parallel_map_with_state<T: Sync, R: Send, S>(
+    items: &[T],
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&T, &mut S) -> R + Sync,
+) -> Vec<R> {
     let threads = threads.clamp(1, items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        let mut scratch = init();
+        return items.iter().map(|item| f(item, &mut scratch)).collect();
     }
     let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(&items[i]);
-                match results[i].lock() {
-                    Ok(mut slot) => *slot = Some(result),
-                    // A worker panicking while holding this per-slot lock is
-                    // impossible (the store is the only critical section),
-                    // but stay well-defined anyway.
-                    Err(poisoned) => *poisoned.into_inner() = Some(result),
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let result = f(&items[i], &mut scratch);
+                    match results[i].lock() {
+                        Ok(mut slot) => *slot = Some(result),
+                        // A worker panicking while holding this per-slot lock
+                        // is impossible (the store is the only critical
+                        // section), but stay well-defined anyway.
+                        Err(poisoned) => *poisoned.into_inner() = Some(result),
+                    }
                 }
             });
         }
@@ -95,6 +131,48 @@ mod tests {
         let none: Vec<u8> = Vec::new();
         assert!(scoped_parallel_map(&none, |&x| x).is_empty());
         assert_eq!(scoped_parallel_map(&[5u8], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn worker_local_state_is_reused_not_shared_between_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..40).collect();
+        let inits = AtomicUsize::new(0);
+        // Scratch is a Vec that each item must find cleared-by-discipline:
+        // the result only depends on the item when the worker clears the
+        // scratch before use, which is the contract the engine enforces.
+        let results = scoped_parallel_map_with_state(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |&x, scratch| {
+                scratch.clear();
+                scratch.extend(0..x % 5);
+                x * 10 + scratch.len()
+            },
+        );
+        let expected: Vec<usize> = items.iter().map(|&x| x * 10 + x % 5).collect();
+        assert_eq!(results, expected);
+        // One init per worker, not per item.
+        let calls = inits.load(Ordering::Relaxed);
+        assert!(calls <= 4, "init ran {calls} times for 4 workers");
+    }
+
+    #[test]
+    fn serial_path_reuses_one_scratch() {
+        let items = [3usize, 4, 5];
+        // Without a clear, the scratch accumulates — proving the serial
+        // fallback genuinely reuses a single scratch across items (the
+        // same reuse a one-worker pool performs).
+        let results =
+            scoped_parallel_map_with_state(&items, 1, Vec::<usize>::new, |&x, scratch| {
+                scratch.push(x);
+                scratch.len()
+            });
+        assert_eq!(results, vec![1, 2, 3]);
     }
 
     #[test]

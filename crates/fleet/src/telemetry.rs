@@ -50,8 +50,13 @@ impl Stopwatch {
 pub struct BenchRun {
     /// Campaign name (`fig5`, `ablation`, …).
     pub campaign: String,
-    /// Worker threads the run used.
+    /// Requested worker width (`--jobs N`): the slot key, so serial and
+    /// parallel legs of the same campaign sit side by side.
     pub jobs: usize,
+    /// Worker threads actually spawned — [`jobs`](Self::jobs) capped at
+    /// the machine's parallelism (`worker_cap`). On a single-core host a
+    /// `--jobs 8` leg records `threads: 1`.
+    pub threads: usize,
     /// End-to-end campaign wall-clock, in milliseconds.
     pub total_ms: f64,
     /// Jobs actually executed this run.
@@ -61,20 +66,42 @@ pub struct BenchRun {
     /// Jobs that panicked.
     pub failed: usize,
     /// Per-job wall-clock `(key, ms)`, in campaign order. Cached jobs
-    /// report the time recorded when they originally ran.
+    /// report the time recorded when they originally ran. Summarised to
+    /// `job_ms_p50`/`p95`/`max` in the emitted entry; the full per-key
+    /// map is dumped only when [`full`](Self::full) is set.
     pub job_ms: Vec<(String, f64)>,
+    /// Emit the unbounded per-job map alongside the percentile summary
+    /// (the `--bench-full` flag).
+    pub full: bool,
 }
 
 impl BenchRun {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("campaign".into(), Json::str(&self.campaign)),
             ("jobs".into(), Json::from_usize(self.jobs)),
+            ("threads".into(), Json::from_usize(self.threads)),
             ("total_ms".into(), Json::Num(self.total_ms)),
             ("executed".into(), Json::from_usize(self.executed)),
             ("cached".into(), Json::from_usize(self.cached)),
             ("failed".into(), Json::from_usize(self.failed)),
-            (
+        ];
+        if !self.job_ms.is_empty() {
+            let mut sorted: Vec<f64> = self.job_ms.iter().map(|(_, ms)| *ms).collect();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // Nearest-rank percentiles: index ceil(q·n) - 1 on the sorted
+            // sample, so p50/p95 are actual observed job times.
+            let rank = |q: f64| {
+                let n = sorted.len();
+                let idx = (q * n as f64).ceil() as usize;
+                sorted[idx.clamp(1, n) - 1]
+            };
+            fields.push(("job_ms_p50".into(), Json::Num(rank(0.50))));
+            fields.push(("job_ms_p95".into(), Json::Num(rank(0.95))));
+            fields.push(("job_ms_max".into(), Json::Num(sorted[sorted.len() - 1])));
+        }
+        if self.full {
+            fields.push((
                 "job_ms".into(),
                 Json::Obj(
                     self.job_ms
@@ -82,8 +109,9 @@ impl BenchRun {
                         .map(|(key, ms)| (key.clone(), Json::Num(*ms)))
                         .collect(),
                 ),
-            ),
-        ])
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -188,11 +216,13 @@ mod tests {
         BenchRun {
             campaign: campaign.into(),
             jobs,
+            threads: jobs,
             total_ms,
             executed: 2,
             cached: 0,
             failed: 0,
             job_ms: vec![("a".into(), 1.0), ("b".into(), 2.0)],
+            full: false,
         }
     }
 
@@ -223,10 +253,45 @@ mod tests {
             Some(90.0),
             "latest run wins"
         );
-        assert!(
-            fig5_serial.get("job_ms").and_then(|m| m.get("a")).is_some(),
-            "per-job timings recorded"
+        assert_eq!(
+            fig5_serial.get("job_ms_p50").and_then(Json::as_f64),
+            Some(1.0),
+            "compact percentile summary recorded"
         );
+        assert_eq!(
+            fig5_serial.get("job_ms_max").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert!(
+            fig5_serial.get("job_ms").is_none(),
+            "full per-job map stays off without --bench-full"
+        );
+
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(path.with_extension("jsonl"));
+    }
+
+    #[test]
+    fn full_mode_dumps_the_per_job_map() {
+        let path = temp_json("full");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(path.with_extension("jsonl"));
+
+        let mut full = run("fig5", 8, 40.0);
+        full.full = true;
+        record_bench(&path, &full).unwrap();
+
+        let doc = Json::parse(&fs::read_to_string(&path).unwrap()).unwrap();
+        let entry = &doc.get("entries").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(
+            entry
+                .get("job_ms")
+                .and_then(|m| m.get("a"))
+                .and_then(Json::as_f64),
+            Some(1.0),
+            "full map present under --bench-full"
+        );
+        assert_eq!(entry.get("job_ms_p95").and_then(Json::as_f64), Some(2.0));
 
         let _ = fs::remove_file(&path);
         let _ = fs::remove_file(path.with_extension("jsonl"));

@@ -6,8 +6,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ch_fleet::{
-    derive_seed, run_campaign, run_campaign_with_retry, FleetOptions, JobOutcome, JobSpec,
-    JobStatus, RetryPolicy, TRANSIENT_PREFIX,
+    derive_seed, run_campaign, run_campaign_scoped, run_campaign_scoped_with_retry,
+    run_campaign_with_retry, FleetOptions, JobOutcome, JobSpec, JobStatus, RetryPolicy,
+    TRANSIENT_PREFIX,
 };
 
 /// A synthetic job: derive the seed, burn a little deterministic CPU.
@@ -69,7 +70,9 @@ fn parallel_campaign_is_bit_identical_to_serial() {
             work,
         )
         .unwrap();
-        assert_eq!(parallel.stats.threads, threads);
+        // Spawned width is the request capped at the machine's
+        // parallelism — oversubscription is never spawned.
+        assert_eq!(parallel.stats.threads, threads.min(ch_fleet::worker_cap()));
         assert_eq!(
             values(&parallel.outcomes),
             values(&serial.outcomes),
@@ -289,6 +292,80 @@ fn transient_budget_is_bounded() {
     match &report.outcomes[0].status {
         JobStatus::Failed(message) => assert!(message.contains("never clears"), "{message}"),
         other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn scoped_campaign_with_stateful_scratch_is_width_independent() {
+    let jobs = jobs(16);
+    // The scratch accumulates whatever each job leaves in it; correct
+    // jobs clear it before use. A missing reset, or a scratch shared
+    // between workers, would skew the `+ len` term differently at
+    // different widths (at 16 workers each scratch sees one job; at 1
+    // worker it sees all sixteen) and break serial/parallel equality.
+    let run = |job: &HashJob, scratch: &mut Vec<u64>| {
+        scratch.clear();
+        scratch.extend(0..(job.index % 4));
+        work(job) + scratch.len() as u64
+    };
+    let serial = run_campaign_scoped(
+        &jobs,
+        &FleetOptions::in_memory("scoped-eq", 0).with_jobs(Some(1)),
+        Vec::new,
+        run,
+    )
+    .unwrap();
+    let expected: Vec<Option<u64>> = jobs.iter().map(|j| Some(work(j) + j.index % 4)).collect();
+    assert_eq!(values(&serial.outcomes), expected);
+    for threads in [4, 16] {
+        let parallel = run_campaign_scoped(
+            &jobs,
+            &FleetOptions::in_memory("scoped-eq", 0).with_jobs(Some(threads)),
+            Vec::new,
+            run,
+        )
+        .unwrap();
+        assert_eq!(
+            values(&parallel.outcomes),
+            values(&serial.outcomes),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn poisoned_worker_scratch_is_rebuilt_before_the_next_job() {
+    let jobs = jobs(6);
+    // Honest jobs read the scratch length *without* clearing it, so any
+    // value a panicking predecessor left behind would corrupt their
+    // result. Job 2 poisons the scratch and dies mid-job on its first
+    // attempt; the engine must hand both its retry and every later job
+    // on that worker a freshly built scratch.
+    let run = |job: &HashJob, scratch: &mut Vec<u64>, attempt: usize| {
+        if job.index == 2 && attempt == 0 {
+            scratch.push(999);
+            panic!("{TRANSIENT_PREFIX} mid-job fault in {}", job.key());
+        }
+        work(job) + scratch.len() as u64
+    };
+    for threads in [1, 4] {
+        let report = run_campaign_scoped_with_retry(
+            &jobs,
+            &FleetOptions::in_memory("scratch-poison", 0).with_jobs(Some(threads)),
+            RetryPolicy::retries(1),
+            Vec::<u64>::new,
+            run,
+        )
+        .unwrap();
+        assert_eq!(report.stats.failed, 0, "threads={threads}");
+        assert_eq!(report.stats.retried, 1);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(
+                outcome.result(),
+                Some(&work(&jobs[i])),
+                "threads={threads} job {i}: scratch state leaked"
+            );
+        }
     }
 }
 

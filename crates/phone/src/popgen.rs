@@ -5,6 +5,8 @@
 //! mints phones group by group, wiring in every §II–§V behaviour knob via
 //! [`PopulationParams`].
 
+use std::sync::Arc;
+
 use ch_geo::netdb::carrier_ssids;
 use ch_geo::{HeatMap, SsidCategory, WigleSnapshot};
 use ch_sim::SimRng;
@@ -171,7 +173,9 @@ impl Default for PopulationParams {
 /// Mints phones for arriving groups.
 #[derive(Debug, Clone)]
 pub struct PopulationBuilder {
-    pool: PublicSsidPool,
+    /// Shared, immutable sampling distribution: campaign code builds the
+    /// pool once per city and hands every builder the same `Arc`.
+    pool: Arc<PublicSsidPool>,
     params: PopulationParams,
     carriers: Vec<Ssid>,
     next_phone_id: u32,
@@ -184,8 +188,21 @@ pub struct PopulationBuilder {
 impl PopulationBuilder {
     /// Builds the generator from the city's network data.
     pub fn new(wigle: &WigleSnapshot, heat: &HeatMap, params: PopulationParams) -> Self {
+        let pool = Arc::new(PublicSsidPool::build(
+            wigle,
+            heat,
+            params.attractiveness_alpha,
+        ));
+        Self::with_shared_pool(pool, params)
+    }
+
+    /// Builds the generator around an already-built (shared) pool —
+    /// the campaign path. The caller must have built `pool` at
+    /// `params.attractiveness_alpha`; sampling draws depend only on the
+    /// pool's contents, so a shared pool and a freshly built one yield
+    /// bit-identical populations.
+    pub fn with_shared_pool(pool: Arc<PublicSsidPool>, params: PopulationParams) -> Self {
         params.os_mix.validate();
-        let pool = PublicSsidPool::build(wigle, heat, params.attractiveness_alpha);
         PopulationBuilder {
             pool,
             params,
@@ -198,6 +215,12 @@ impl PopulationBuilder {
     /// The public-SSID pool (read access for analysis/benches).
     pub fn pool(&self) -> &PublicSsidPool {
         &self.pool
+    }
+
+    /// A clone of the shared pool handle (campaign code reuses it for
+    /// sibling builders).
+    pub fn shared_pool(&self) -> Arc<PublicSsidPool> {
+        Arc::clone(&self.pool)
     }
 
     /// The parameters in force.

@@ -1,0 +1,161 @@
+//! The build-once campaign context.
+//!
+//! A campaign is dozens of jobs over the *same* city: same WiGLE
+//! snapshot, same heat map, same four venues. Before this module every
+//! job re-derived the expensive per-venue artifacts at construction
+//! time — the attacker's WiGLE seed scans (`top_by_heat`,
+//! `nearest_open_ssids`, `top_by_ap_count`) and the population sampling
+//! pool — multiplying identical work by the job count and starving the
+//! parallel pool on allocator traffic.
+//!
+//! [`CampaignCtx::build`] hoists all of it: one [`VenuePlan`] per venue
+//! (deployment site, population parameters, precomputed
+//! [`AttackSitePlan`] seed lists) plus one shared [`PublicSsidPool`],
+//! built once and shared by reference (`Arc`) across every worker.
+//! Jobs then deploy attackers via [`ch_attack::AttackerSpec::build_from_plan`]
+//! and populations via [`PopulationBuilder::with_shared_pool`] — both
+//! documented bit-identical to their scan-based equivalents, so the
+//! context changes wall-clock only, never results.
+
+use std::sync::Arc;
+
+use ch_attack::AttackSitePlan;
+use ch_mobility::VenueKind;
+use ch_phone::popgen::{PopulationBuilder, PopulationParams, PublicSsidPool};
+
+use crate::world::CityData;
+
+/// Everything venue-specific a job needs, precomputed once per campaign.
+#[derive(Debug, Clone)]
+pub struct VenuePlan {
+    /// The venue this plan serves.
+    pub venue: VenueKind,
+    /// Deployment site in the city frame.
+    pub site: ch_geo::GeoPoint,
+    /// The venue's calibrated population parameters.
+    pub population: PopulationParams,
+    /// Precomputed WiGLE seed lists for attackers deployed at
+    /// [`site`](Self::site) (and, via prefix, the detector's
+    /// legitimate-AP neighbourhood).
+    pub attack: AttackSitePlan,
+}
+
+/// Immutable, `Arc`-backed shared state for one campaign: the city data,
+/// one [`VenuePlan`] per venue, and the shared population sampling pool.
+///
+/// Build it once per campaign ([`CampaignCtx::build`]) and share it by
+/// reference across workers; everything inside is read-only.
+#[derive(Debug, Clone)]
+pub struct CampaignCtx {
+    data: Arc<CityData>,
+    /// One plan per venue, in [`VenueKind::ALL`] order.
+    plans: Vec<VenuePlan>,
+    /// The shared public-SSID sampling pool, built at
+    /// [`pool_alpha`](Self::pool_alpha).
+    pool: Arc<PublicSsidPool>,
+    /// The attractiveness alpha the shared pool was built at.
+    pool_alpha: f64,
+}
+
+impl CampaignCtx {
+    /// Builds the context: runs every per-venue WiGLE scan and the
+    /// population-pool construction exactly once.
+    pub fn build(data: &CityData) -> CampaignCtx {
+        Self::from_arc(Arc::new(data.clone()))
+    }
+
+    /// [`CampaignCtx::build`] over an already-shared [`CityData`].
+    pub fn from_arc(data: Arc<CityData>) -> CampaignCtx {
+        let plans = VenueKind::ALL
+            .into_iter()
+            .map(|venue| {
+                let site = data.site_for(venue);
+                VenuePlan {
+                    venue,
+                    site,
+                    population: data.population_params_for(venue),
+                    attack: AttackSitePlan::build(&data.wigle, &data.heat, site),
+                }
+            })
+            .collect();
+        let pool_alpha = PopulationParams::default().attractiveness_alpha;
+        let pool = Arc::new(PublicSsidPool::build(&data.wigle, &data.heat, pool_alpha));
+        CampaignCtx {
+            data,
+            plans,
+            pool,
+            pool_alpha,
+        }
+    }
+
+    /// The shared city data.
+    pub fn data(&self) -> &CityData {
+        &self.data
+    }
+
+    /// The precomputed plan for `venue`.
+    pub fn plan(&self, venue: VenueKind) -> &VenuePlan {
+        self.plans
+            .iter()
+            .find(|p| p.venue == venue)
+            .unwrap_or_else(|| {
+                ch_sim::invariant::violation(file!(), line!(), "campaign context missing a venue")
+            })
+    }
+
+    /// A population builder for `params`: reuses the shared pool when
+    /// `params` samples at the pool's alpha (every stock configuration
+    /// does), falling back to a fresh build for exotic alpha overrides —
+    /// either way the distribution, and therefore every draw, is
+    /// identical to `PopulationBuilder::new`.
+    pub fn population_builder(&self, params: PopulationParams) -> PopulationBuilder {
+        if params.attractiveness_alpha == self.pool_alpha {
+            PopulationBuilder::with_shared_pool(Arc::clone(&self.pool), params)
+        } else {
+            PopulationBuilder::new(&self.data.wigle, &self.data.heat, params)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_covers_every_venue_with_matching_sites() {
+        let data = CityData::standard(99);
+        let ctx = CampaignCtx::build(&data);
+        for venue in VenueKind::ALL {
+            let plan = ctx.plan(venue);
+            assert_eq!(plan.venue, venue);
+            assert_eq!(plan.site, data.site_for(venue));
+            assert_eq!(
+                plan.population.connected_locally,
+                data.population_params_for(venue).connected_locally
+            );
+            assert!(!plan.attack.by_heat.is_empty());
+            assert!(!plan.attack.nearby_open.is_empty());
+            assert!(!plan.attack.by_ap_count.is_empty());
+        }
+    }
+
+    #[test]
+    fn shared_pool_matches_a_fresh_build() {
+        let data = CityData::standard(99);
+        let ctx = CampaignCtx::build(&data);
+        let params = data.population_params_for(VenueKind::Canteen);
+        let shared = ctx.population_builder(params.clone());
+        let fresh = PopulationBuilder::new(&data.wigle, &data.heat, params);
+        assert_eq!(shared.pool().len(), fresh.pool().len());
+        // An alpha override falls back to a private pool build.
+        let exotic = PopulationParams {
+            attractiveness_alpha: 0.9,
+            ..PopulationParams::default()
+        };
+        let private = ctx.population_builder(exotic);
+        assert!(!std::ptr::eq(
+            private.pool(),
+            ctx.population_builder(PopulationParams::default()).pool()
+        ));
+    }
+}

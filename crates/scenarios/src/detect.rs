@@ -53,11 +53,19 @@ impl DetectionHarness {
     /// neighbourhood the attacker's WiGLE seed (and the beacon-cloning
     /// evasion) draws from.
     pub fn new(spec: DetectorSpec, data: &CityData, site: GeoPoint) -> Self {
+        Self::with_legit_ssids(spec, data.wigle.nearest_open_ssids(site, LEGIT_AP_COUNT))
+    }
+
+    /// [`DetectionHarness::new`] from an already-resolved legitimate-AP
+    /// SSID list — the campaign path, where the per-venue WiGLE scan ran
+    /// once at context-build time. Only the first [`LEGIT_AP_COUNT`]
+    /// entries are used, so handing the (longer) shared nearby-open plan
+    /// list builds the identical harness.
+    pub fn with_legit_ssids(spec: DetectorSpec, ssids: impl IntoIterator<Item = Ssid>) -> Self {
         let mut legit = det_hash_set();
-        let legit_aps: Vec<LegitAp> = data
-            .wigle
-            .nearest_open_ssids(site, LEGIT_AP_COUNT)
+        let legit_aps: Vec<LegitAp> = ssids
             .into_iter()
+            .take(LEGIT_AP_COUNT)
             .enumerate()
             .map(|(i, ssid)| {
                 let bssid = MacAddr::from_index(LEGIT_AP_OUI, 9000 + i as u32);

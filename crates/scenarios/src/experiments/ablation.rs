@@ -3,6 +3,7 @@
 use ch_attack::CityHunterConfig;
 use ch_fleet::{FleetOptions, FleetStats};
 
+use crate::ctx::CampaignCtx;
 use crate::experiments::{expect_fleet, standard_city};
 use crate::fleet::{attacker_seed, job_seed, run_jobs, slug, CampaignJob};
 use crate::metrics::SummaryRow;
@@ -105,12 +106,12 @@ pub fn ablation_jobs(seed: u64) -> Vec<CampaignJob> {
 ///
 /// Fails if the engine cannot run or any variant's simulation failed.
 pub fn ablation_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     opts: &FleetOptions,
 ) -> Result<(AblationOutcome, FleetStats), String> {
     let jobs = ablation_jobs(seed);
-    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    let (records, stats) = run_jobs(ctx, &jobs, opts)?;
     let rows = ablation_variants()
         .iter()
         .zip(records.chunks(2))
@@ -126,7 +127,7 @@ pub fn ablation_fleet(
 /// [`ablation_fleet`] with in-memory options.
 pub fn ablation_with(data: &CityData, seed: u64) -> AblationOutcome {
     expect_fleet(ablation_fleet(
-        data,
+        &CampaignCtx::build(data),
         seed,
         &FleetOptions::in_memory("ablation", 0),
     ))

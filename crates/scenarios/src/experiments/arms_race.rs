@@ -12,13 +12,16 @@
 
 use ch_attack::{CityHunterConfig, EvasionSpec};
 use ch_detect::{DetectionReport, DetectorSpec, Strictness};
-use ch_fleet::{run_campaign, FleetOptions, FleetStats, JobSpec, JobStatus, Json, ManifestCodec};
+use ch_fleet::{
+    run_campaign_scoped, FleetOptions, FleetStats, JobSpec, JobStatus, Json, ManifestCodec,
+};
 use ch_sim::SimDuration;
 
+use crate::ctx::CampaignCtx;
 use crate::experiments::standard_city;
 use crate::fleet::{attacker_seed, job_seed};
 use crate::metrics::SummaryRow;
-use crate::runner::{run_experiment, AttackerKind, RunConfig};
+use crate::runner::{run_experiment_ctx, AttackerKind, RunConfig, RunScratch};
 use crate::world::CityData;
 
 /// The attacker generations under test, in render order.
@@ -358,30 +361,35 @@ pub fn arms_race_jobs(seed: u64, quick: bool) -> Vec<ArmsRaceJob> {
 ///
 /// Fails if the engine cannot run or any job failed.
 pub fn arms_race_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     quick: bool,
     opts: &FleetOptions,
 ) -> Result<(ArmsRaceOutcome, FleetStats), String> {
     let jobs = arms_race_jobs(seed, quick);
-    let report = run_campaign(&jobs, opts, |job: &ArmsRaceJob| {
-        let metrics = run_experiment(data, &job.config);
-        let detection = match metrics.detection {
-            Some(detection) => detection,
-            None => ch_sim::invariant::violation(
-                file!(),
-                line!(),
-                &format!("`{}` ran without a detection report", job.key),
-            ),
-        };
-        ArmsRaceRecord {
-            row: metrics.summary(format!(
-                "{} {} {}",
-                job.attacker, job.evasion, job.strictness
-            )),
-            report: detection,
-        }
-    })?;
+    let report = run_campaign_scoped(
+        &jobs,
+        opts,
+        RunScratch::new,
+        |job: &ArmsRaceJob, scratch: &mut RunScratch| {
+            let metrics = run_experiment_ctx(ctx, &job.config, scratch);
+            let detection = match metrics.detection {
+                Some(detection) => detection,
+                None => ch_sim::invariant::violation(
+                    file!(),
+                    line!(),
+                    &format!("`{}` ran without a detection report", job.key),
+                ),
+            };
+            ArmsRaceRecord {
+                row: metrics.summary(format!(
+                    "{} {} {}",
+                    job.attacker, job.evasion, job.strictness
+                )),
+                report: detection,
+            }
+        },
+    )?;
     let mut rows = Vec::with_capacity(jobs.len());
     let mut failures = Vec::new();
     for (job, outcome) in jobs.iter().zip(&report.outcomes) {
@@ -411,7 +419,7 @@ pub fn arms_race_fleet(
 /// [`arms_race_fleet`] with in-memory options.
 pub fn arms_race_with(data: &CityData, seed: u64, quick: bool) -> ArmsRaceOutcome {
     crate::experiments::expect_fleet(arms_race_fleet(
-        data,
+        &CampaignCtx::build(data),
         seed,
         quick,
         &FleetOptions::in_memory("arms-race", 0),

@@ -5,6 +5,7 @@ use ch_fleet::{FleetOptions, FleetStats};
 use ch_mobility::VenueKind;
 use ch_sim::SimDuration;
 
+use crate::ctx::CampaignCtx;
 use crate::experiments::{expect_fleet, standard_city};
 use crate::fleet::{attacker_seed, job_seed, run_jobs, slug, CampaignJob, JobRecord};
 use crate::metrics::SummaryRow;
@@ -126,14 +127,14 @@ fn campaign_outcome(hours: &[usize], records: &[JobRecord]) -> CampaignOutcome {
 /// Fails if the engine cannot run (duplicate keys, manifest I/O) or any
 /// job failed — a campaign figure with holes in it is not a figure.
 pub fn campaign_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     hours: &[usize],
     duration: SimDuration,
     opts: &FleetOptions,
 ) -> Result<(CampaignOutcome, FleetStats), String> {
     let jobs = campaign_jobs(seed, hours, duration);
-    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    let (records, stats) = run_jobs(ctx, &jobs, opts)?;
     Ok((campaign_outcome(hours, &records), stats))
 }
 
@@ -141,7 +142,7 @@ pub fn campaign_fleet(
 /// tests. Heavy: `4 × hours.len()` hour-long simulations.
 pub fn campaign_with(data: &CityData, seed: u64, hours: &[usize]) -> CampaignOutcome {
     expect_fleet(campaign_fleet(
-        data,
+        &CampaignCtx::build(data),
         seed,
         hours,
         SimDuration::from_hours(1),

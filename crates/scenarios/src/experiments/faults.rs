@@ -12,16 +12,17 @@
 
 use ch_attack::CityHunterConfig;
 use ch_fleet::{
-    run_campaign_with_retry, FleetOptions, FleetStats, JobSpec, JobStatus, Json, ManifestCodec,
-    RetryPolicy, TRANSIENT_PREFIX,
+    run_campaign_scoped_with_retry, FleetOptions, FleetStats, JobSpec, JobStatus, Json,
+    ManifestCodec, RetryPolicy, TRANSIENT_PREFIX,
 };
 use ch_sim::fault::{BurstLossSpec, ChurnSpec, CorruptionSpec, CrashSpec, FaultSpec};
 use ch_sim::{CrashMode, SimDuration};
 
+use crate::ctx::CampaignCtx;
 use crate::experiments::standard_city;
 use crate::fleet::{attacker_seed, job_seed};
 use crate::metrics::{RunnerStats, SummaryRow};
-use crate::runner::{run_experiment, AttackerKind, RunConfig};
+use crate::runner::{run_experiment_ctx, AttackerKind, RunConfig, RunScratch};
 use crate::world::CityData;
 
 /// The attacker generations under test, in render order.
@@ -285,24 +286,25 @@ pub fn faults_jobs(seed: u64, quick: bool) -> Vec<FaultJob> {
 ///
 /// Fails if the engine cannot run or any job failed past its retries.
 pub fn faults_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     quick: bool,
     opts: &FleetOptions,
 ) -> Result<(FaultsOutcome, FleetStats), String> {
     let jobs = faults_jobs(seed, quick);
-    let report = run_campaign_with_retry(
+    let report = run_campaign_scoped_with_retry(
         &jobs,
         opts,
         RetryPolicy::retries(1),
-        |job: &FaultJob, attempt| {
+        RunScratch::new,
+        |job: &FaultJob, scratch: &mut RunScratch, attempt| {
             if job.profile == "burst" && attempt == 0 {
                 panic!(
                     "{TRANSIENT_PREFIX} injected first-attempt fault in `{}`",
                     job.key
                 );
             }
-            let metrics = run_experiment(data, &job.config);
+            let metrics = run_experiment_ctx(ctx, &job.config, scratch);
             FaultsRecord {
                 row: metrics.summary(format!("{} {}", job.attacker, job.profile)),
                 stats: metrics.stats.clone(),
@@ -338,7 +340,7 @@ pub fn faults_fleet(
 /// [`faults_fleet`] with in-memory options.
 pub fn faults_with(data: &CityData, seed: u64, quick: bool) -> FaultsOutcome {
     crate::experiments::expect_fleet(faults_fleet(
-        data,
+        &CampaignCtx::build(data),
         seed,
         quick,
         &FleetOptions::in_memory("faults", 0),

@@ -6,6 +6,7 @@
 
 use ch_fleet::{FleetOptions, FleetStats};
 
+use crate::ctx::CampaignCtx;
 use crate::experiments::{expect_fleet, standard_city};
 use crate::fleet::{run_jobs, CampaignJob};
 use crate::runner::{AttackerKind, RunConfig};
@@ -40,12 +41,12 @@ pub fn fig1_jobs(seed: u64) -> Vec<CampaignJob> {
 ///
 /// Fails if the engine cannot run or the simulation failed.
 pub fn fig1_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     opts: &FleetOptions,
 ) -> Result<(Fig1Outcome, FleetStats), String> {
     let jobs = fig1_jobs(seed);
-    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    let (records, stats) = run_jobs(ctx, &jobs, opts)?;
     let rich = records[0].rich(&jobs[0].key)?;
     Ok((
         Fig1Outcome {
@@ -59,7 +60,11 @@ pub fn fig1_fleet(
 
 /// [`fig1_fleet`] with in-memory options.
 pub fn fig1_with(data: &CityData, seed: u64) -> Fig1Outcome {
-    expect_fleet(fig1_fleet(data, seed, &FleetOptions::in_memory("fig1", 0)))
+    expect_fleet(fig1_fleet(
+        &CampaignCtx::build(data),
+        seed,
+        &FleetOptions::in_memory("fig1", 0),
+    ))
 }
 
 /// [`fig1_with`] over a freshly built standard city.
@@ -113,12 +118,12 @@ pub fn fig2_jobs(seed: u64) -> Vec<CampaignJob> {
 ///
 /// Fails if the engine cannot run or either simulation failed.
 pub fn fig2_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     opts: &FleetOptions,
 ) -> Result<(Fig2Outcome, FleetStats), String> {
     let jobs = fig2_jobs(seed);
-    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    let (records, stats) = run_jobs(ctx, &jobs, opts)?;
     Ok((
         Fig2Outcome {
             canteen_offered_connected: records[0].rich(&jobs[0].key)?.offered_connected.clone(),
@@ -136,7 +141,11 @@ pub fn fig2_fleet(
 
 /// [`fig2_fleet`] with in-memory options.
 pub fn fig2_with(data: &CityData, seed: u64) -> Fig2Outcome {
-    expect_fleet(fig2_fleet(data, seed, &FleetOptions::in_memory("fig2", 0)))
+    expect_fleet(fig2_fleet(
+        &CampaignCtx::build(data),
+        seed,
+        &FleetOptions::in_memory("fig2", 0),
+    ))
 }
 
 /// [`fig2_with`] over a freshly built standard city.

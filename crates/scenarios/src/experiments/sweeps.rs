@@ -9,6 +9,7 @@
 use ch_attack::CityHunterConfig;
 use ch_fleet::{FleetOptions, FleetStats};
 
+use crate::ctx::CampaignCtx;
 use crate::experiments::expect_fleet;
 use crate::fleet::{run_jobs, slug, CampaignJob, JobRecord};
 use crate::replicate::{seed_range, summarize};
@@ -268,14 +269,14 @@ fn sweep_outcome(spec: &SweepSpec, replicas: usize, records: &[JobRecord]) -> Sw
 ///
 /// Fails if the engine cannot run or any replica's simulation failed.
 pub fn sweep_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     spec: &SweepSpec,
     base_seed: u64,
     replicas: usize,
     opts: &FleetOptions,
 ) -> Result<(SweepOutcome, FleetStats), String> {
     let jobs = sweep_jobs_for(spec, base_seed, replicas);
-    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    let (records, stats) = run_jobs(ctx, &jobs, opts)?;
     Ok((sweep_outcome(spec, replicas, &records), stats))
 }
 
@@ -287,14 +288,14 @@ pub fn sweep_fleet(
 ///
 /// Fails if the engine cannot run or any replica's simulation failed.
 pub fn sweep_suite_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     base_seed: u64,
     replicas: usize,
     opts: &FleetOptions,
 ) -> Result<(Vec<SweepOutcome>, FleetStats), String> {
-    let specs = sweep_specs(data);
-    let jobs = sweep_jobs(data, base_seed, replicas);
-    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    let specs = sweep_specs(ctx.data());
+    let jobs = sweep_jobs(ctx.data(), base_seed, replicas);
+    let (records, stats) = run_jobs(ctx, &jobs, opts)?;
     let mut outcomes = Vec::with_capacity(specs.len());
     let mut offset = 0;
     for spec in &specs {
@@ -311,7 +312,7 @@ pub fn sweep_suite_fleet(
 
 fn sweep_with(data: &CityData, spec: &SweepSpec, base_seed: u64, replicas: usize) -> SweepOutcome {
     expect_fleet(sweep_fleet(
-        data,
+        &CampaignCtx::build(data),
         spec,
         base_seed,
         replicas,

@@ -8,6 +8,7 @@
 use ch_fleet::{FleetOptions, FleetStats};
 use ch_wifi::Ssid;
 
+use crate::ctx::CampaignCtx;
 use crate::experiments::{expect_fleet, standard_city};
 use crate::fleet::{run_jobs, CampaignJob};
 use crate::metrics::SummaryRow;
@@ -47,11 +48,11 @@ pub fn table1_jobs(seed: u64) -> Vec<CampaignJob> {
 ///
 /// Fails if the engine cannot run or either simulation failed.
 pub fn table1_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     opts: &FleetOptions,
 ) -> Result<(Table1Outcome, FleetStats), String> {
-    let (records, stats) = run_jobs(data, &table1_jobs(seed), opts)?;
+    let (records, stats) = run_jobs(ctx, &table1_jobs(seed), opts)?;
     Ok((
         Table1Outcome {
             karma: records[0].row.clone(),
@@ -64,7 +65,7 @@ pub fn table1_fleet(
 /// [`table1_fleet`] with in-memory options.
 pub fn table1_with(data: &CityData, seed: u64) -> Table1Outcome {
     expect_fleet(table1_fleet(
-        data,
+        &CampaignCtx::build(data),
         seed,
         &FleetOptions::in_memory("table1", 0),
     ))
@@ -114,12 +115,12 @@ pub fn table2_jobs(seed: u64) -> Vec<CampaignJob> {
 ///
 /// Fails if the engine cannot run or either simulation failed.
 pub fn table2_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     opts: &FleetOptions,
 ) -> Result<(Table2Outcome, FleetStats), String> {
     let jobs = table2_jobs(seed);
-    let (records, stats) = run_jobs(data, &jobs, opts)?;
+    let (records, stats) = run_jobs(ctx, &jobs, opts)?;
     let prelim = &records[1];
     let (wigle, direct, carrier) = prelim.sources;
     let total_hits = (wigle + direct + carrier).max(1);
@@ -137,7 +138,7 @@ pub fn table2_fleet(
 /// [`table2_fleet`] with in-memory options.
 pub fn table2_with(data: &CityData, seed: u64) -> Table2Outcome {
     expect_fleet(table2_fleet(
-        data,
+        &CampaignCtx::build(data),
         seed,
         &FleetOptions::in_memory("table2", 0),
     ))
@@ -171,11 +172,11 @@ pub fn table3_jobs(seed: u64) -> Vec<CampaignJob> {
 ///
 /// Fails if the engine cannot run or the simulation failed.
 pub fn table3_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     opts: &FleetOptions,
 ) -> Result<(Table3Outcome, FleetStats), String> {
-    let (records, stats) = run_jobs(data, &table3_jobs(seed), opts)?;
+    let (records, stats) = run_jobs(ctx, &table3_jobs(seed), opts)?;
     Ok((
         Table3Outcome {
             prelim: records[0].row.clone(),
@@ -187,7 +188,7 @@ pub fn table3_fleet(
 /// [`table3_fleet`] with in-memory options.
 pub fn table3_with(data: &CityData, seed: u64) -> Table3Outcome {
     expect_fleet(table3_fleet(
-        data,
+        &CampaignCtx::build(data),
         seed,
         &FleetOptions::in_memory("table3", 0),
     ))

@@ -3,6 +3,7 @@
 use ch_attack::CityHunterConfig;
 use ch_fleet::{FleetOptions, FleetStats};
 
+use crate::ctx::CampaignCtx;
 use crate::experiments::{expect_fleet, standard_city};
 use crate::fleet::{attacker_seed, job_seed, run_jobs, CampaignJob};
 use crate::runner::{AttackerKind, RunConfig};
@@ -50,7 +51,7 @@ pub fn warm_start_jobs(seed: u64, slots: usize) -> Vec<CampaignJob> {
 ///
 /// Fails if the engine cannot run or any cold control failed.
 pub fn warm_start_fleet(
-    data: &CityData,
+    ctx: &CampaignCtx,
     seed: u64,
     slots: usize,
     opts: &FleetOptions,
@@ -59,15 +60,13 @@ pub fn warm_start_fleet(
     use ch_attack::{Attacker, CityHunter};
 
     let jobs = warm_start_jobs(seed, slots);
-    let (cold, stats) = run_jobs(data, &jobs, opts)?;
+    let (cold, stats) = run_jobs(ctx, &jobs, opts)?;
 
-    let site = data.site_for(ch_mobility::VenueKind::Canteen);
+    let data = ctx.data();
     let bssid = ch_attack::AttackerSpec::default_bssid();
-    let mut warm = CityHunter::new(
+    let mut warm = CityHunter::from_plan(
         bssid,
-        &data.wigle,
-        &data.heat,
-        site,
+        &ctx.plan(ch_mobility::VenueKind::Canteen).attack,
         CityHunterConfig {
             seed: attacker_seed(seed, "warm-start/warm"),
             ..CityHunterConfig::default()
@@ -93,7 +92,7 @@ pub fn warm_start_fleet(
 /// [`warm_start_fleet`] with in-memory options.
 pub fn warm_start_with(data: &CityData, seed: u64, slots: usize) -> WarmStartOutcome {
     expect_fleet(warm_start_fleet(
-        data,
+        &CampaignCtx::build(data),
         seed,
         slots,
         &FleetOptions::in_memory("warm-start", 0),

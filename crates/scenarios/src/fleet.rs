@@ -8,13 +8,14 @@
 //! results returned in input order regardless of completion order.
 
 use ch_fleet::{
-    derive_seed, run_campaign, FleetOptions, FleetStats, JobSpec, JobStatus, Json, ManifestCodec,
+    derive_seed, run_campaign_scoped, FleetOptions, FleetStats, JobSpec, JobStatus, Json,
+    ManifestCodec,
 };
 use ch_sim::SimDuration;
 
+use crate::ctx::CampaignCtx;
 use crate::metrics::{ExperimentMetrics, SummaryRow};
-use crate::runner::{run_experiment, RunConfig};
-use crate::world::CityData;
+use crate::runner::{run_experiment_ctx, RunConfig, RunScratch};
 
 /// One simulation in a campaign: a stable, human-readable key plus the
 /// full run configuration (whose seeds were derived from the key — see
@@ -321,22 +322,32 @@ impl ManifestCodec for JobRecord {
 /// Runs `jobs` on the fleet engine and returns one [`JobRecord`] per job,
 /// in input order.
 ///
+/// Every job deploys from the build-once [`CampaignCtx`] (shared venue
+/// plans, shared population pool) and executes on a worker-local
+/// [`RunScratch`], so a campaign's cost is `build once + N × simulate`
+/// rather than `N × (derive + allocate + simulate)`.
+///
 /// A job that panics is reported by the engine as a structured failure;
 /// this wrapper turns any failure into an `Err` naming every failed key,
 /// because a campaign figure with holes in it is not a figure.
 pub fn run_jobs(
-    data: &CityData,
+    ctx: &CampaignCtx,
     jobs: &[CampaignJob],
     opts: &FleetOptions,
 ) -> Result<(Vec<JobRecord>, FleetStats), String> {
-    let report = run_campaign(jobs, opts, |job: &CampaignJob| {
-        let metrics = run_experiment(data, &job.config);
-        if job.rich {
-            JobRecord::capture_rich(&metrics, job.label.clone(), job.config.duration)
-        } else {
-            JobRecord::capture(&metrics, job.label.clone())
-        }
-    })?;
+    let report = run_campaign_scoped(
+        jobs,
+        opts,
+        RunScratch::new,
+        |job: &CampaignJob, scratch: &mut RunScratch| {
+            let metrics = run_experiment_ctx(ctx, &job.config, scratch);
+            if job.rich {
+                JobRecord::capture_rich(&metrics, job.label.clone(), job.config.duration)
+            } else {
+                JobRecord::capture(&metrics, job.label.clone())
+            }
+        },
+    )?;
     let mut records = Vec::with_capacity(report.outcomes.len());
     let mut failures = Vec::new();
     for (job, outcome) in jobs.iter().zip(&report.outcomes) {

@@ -26,15 +26,18 @@
 //! ```no_run
 //! use ch_fleet::FleetOptions;
 //! use ch_scenarios::registry::{self, RunParams};
+//! use ch_scenarios::CampaignCtx;
 //!
 //! let data = ch_scenarios::experiments::standard_city();
+//! let ctx = CampaignCtx::build(&data); // per-venue plans + shared pool, built once
 //! let spec = registry::find("table1").unwrap();
 //! let params = RunParams::new(1);
 //! let opts = FleetOptions::in_memory("table1", 0);
-//! let artifact = spec.run(&data, &params, &opts).unwrap();
+//! let artifact = spec.run(&ctx, &params, &opts).unwrap();
 //! print!("{}", artifact.text);
 //! ```
 
+pub mod ctx;
 pub mod detect;
 pub mod experiments;
 pub mod fleet;
@@ -45,10 +48,11 @@ pub mod report;
 pub mod runner;
 pub mod world;
 
+pub use ctx::{CampaignCtx, VenuePlan};
 pub use detect::DetectionHarness;
 pub use fleet::{CampaignJob, JobRecord, RichRecord};
 pub use metrics::{ClientClass, ExperimentMetrics, RunnerStats, SummaryRow};
 pub use registry::{Artifact, ExperimentSpec, OutputKind, RunParams, REGISTRY};
 pub use replicate::{replicate, Replication};
-pub use runner::{run_experiment, AttackerKind, RunConfig};
+pub use runner::{run_experiment, run_experiment_ctx, AttackerKind, RunConfig, RunScratch};
 pub use world::{CityData, World};

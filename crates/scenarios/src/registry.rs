@@ -17,10 +17,10 @@
 use ch_fleet::{FleetOptions, FleetStats};
 use ch_sim::SimDuration;
 
+use crate::ctx::CampaignCtx;
 use crate::experiments as exp;
 use crate::replicate::standard_study_fleet;
 use crate::report::summary_rows_to_json;
-use crate::world::CityData;
 
 /// What kind of artifact an experiment renders.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -429,7 +429,7 @@ impl ExperimentSpec {
     /// entries (the `ch-bench` driver runs those).
     pub fn run(
         &self,
-        data: &CityData,
+        ctx: &CampaignCtx,
         params: &RunParams,
         opts: &FleetOptions,
     ) -> Result<Artifact, String> {
@@ -442,7 +442,7 @@ impl ExperimentSpec {
         }
         let (text, stats) = match self.id {
             "table1" => {
-                let (outcome, stats) = exp::table1_fleet(data, seed, opts)?;
+                let (outcome, stats) = exp::table1_fleet(ctx, seed, opts)?;
                 let text = if params.machine {
                     summary_rows_to_json(&[outcome.karma.clone(), outcome.mana.clone()])
                 } else {
@@ -451,11 +451,11 @@ impl ExperimentSpec {
                 (line(text), Some(stats))
             }
             "fig1" => {
-                let (outcome, stats) = exp::fig1_fleet(data, seed, opts)?;
+                let (outcome, stats) = exp::fig1_fleet(ctx, seed, opts)?;
                 (line(outcome.render()), Some(stats))
             }
             "table2" => {
-                let (outcome, stats) = exp::table2_fleet(data, seed, opts)?;
+                let (outcome, stats) = exp::table2_fleet(ctx, seed, opts)?;
                 let text = if params.machine {
                     summary_rows_to_json(&[outcome.mana.clone(), outcome.prelim.clone()])
                 } else {
@@ -464,7 +464,7 @@ impl ExperimentSpec {
                 (line(text), Some(stats))
             }
             "table3" => {
-                let (outcome, stats) = exp::table3_fleet(data, seed, opts)?;
+                let (outcome, stats) = exp::table3_fleet(ctx, seed, opts)?;
                 let text = if params.machine {
                     summary_rows_to_json(std::slice::from_ref(&outcome.prelim))
                 } else {
@@ -473,15 +473,15 @@ impl ExperimentSpec {
                 (line(text), Some(stats))
             }
             "fig2" => {
-                let (outcome, stats) = exp::fig2_fleet(data, seed, opts)?;
+                let (outcome, stats) = exp::fig2_fleet(ctx, seed, opts)?;
                 (line(outcome.render()), Some(stats))
             }
             "fig3" => (line(exp::fig3()), None),
-            "table4" => (line(exp::table4_with(data).render()), None),
-            "fig4" => (line(exp::fig4_with(data).render()), None),
+            "table4" => (line(exp::table4_with(ctx.data()).render()), None),
+            "fig4" => (line(exp::fig4_with(ctx.data()).render()), None),
             "fig5" | "fig6" => {
                 let (outcome, stats) = exp::campaign_fleet(
-                    data,
+                    ctx,
                     seed,
                     &params.hours,
                     SimDuration::from_mins(params.minutes),
@@ -497,16 +497,16 @@ impl ExperimentSpec {
                 (line(text), Some(stats))
             }
             "ablation" => {
-                let (outcome, stats) = exp::ablation_fleet(data, seed, opts)?;
+                let (outcome, stats) = exp::ablation_fleet(ctx, seed, opts)?;
                 (line(outcome.render()), Some(stats))
             }
             "warm_start" => {
-                let (outcome, stats) = exp::warm_start_fleet(data, seed, params.slots, opts)?;
+                let (outcome, stats) = exp::warm_start_fleet(ctx, seed, params.slots, opts)?;
                 (line(outcome.render()), Some(stats))
             }
             "replication" => {
                 let replicas = self.replicas(params);
-                let (replications, stats) = standard_study_fleet(data, seed, replicas, opts)?;
+                let (replications, stats) = standard_study_fleet(ctx, seed, replicas, opts)?;
                 let mut text = format!("replication study: {replicas} seeds per condition\n\n");
                 for replication in &replications {
                     text.push_str(&replication.render_line());
@@ -515,16 +515,16 @@ impl ExperimentSpec {
                 (text, Some(stats))
             }
             "faults" => {
-                let (outcome, stats) = exp::faults_fleet(data, seed, params.quick, opts)?;
+                let (outcome, stats) = exp::faults_fleet(ctx, seed, params.quick, opts)?;
                 (line(outcome.render()), Some(stats))
             }
             "arms_race" => {
-                let (outcome, stats) = exp::arms_race_fleet(data, seed, params.quick, opts)?;
+                let (outcome, stats) = exp::arms_race_fleet(ctx, seed, params.quick, opts)?;
                 (line(outcome.render()), Some(stats))
             }
             "sweep" => {
                 let replicas = self.replicas(params);
-                let (outcomes, stats) = exp::sweep_suite_fleet(data, seed, replicas, opts)?;
+                let (outcomes, stats) = exp::sweep_suite_fleet(ctx, seed, replicas, opts)?;
                 let mut text = String::new();
                 for outcome in &outcomes {
                     text.push_str(&outcome.render());
@@ -614,11 +614,11 @@ mod tests {
 
     #[test]
     fn external_entries_refuse_to_run_here() {
-        let data = crate::world::CityData::standard(7);
+        let ctx = CampaignCtx::build(&crate::world::CityData::standard(7));
         let spec = find("defense").unwrap();
         let err = spec
             .run(
-                &data,
+                &ctx,
                 &RunParams::new(1),
                 &FleetOptions::in_memory("defense", 0),
             )

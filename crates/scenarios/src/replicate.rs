@@ -171,13 +171,13 @@ pub fn standard_study_jobs(base_seed: u64, replicas: usize) -> Vec<crate::fleet:
 ///
 /// Fails if the engine cannot run or any replica's simulation failed.
 pub fn standard_study_fleet(
-    data: &CityData,
+    ctx: &crate::ctx::CampaignCtx,
     base_seed: u64,
     replicas: usize,
     opts: &ch_fleet::FleetOptions,
 ) -> Result<(Vec<Replication>, ch_fleet::FleetStats), String> {
     let jobs = standard_study_jobs(base_seed, replicas);
-    let (records, stats) = crate::fleet::run_jobs(data, &jobs, opts)?;
+    let (records, stats) = crate::fleet::run_jobs(ctx, &jobs, opts)?;
     let replications = jobs
         .chunks(replicas)
         .zip(records.chunks(replicas))
@@ -202,7 +202,7 @@ pub fn standard_study_fleet(
 /// conditions at the given replication factor.
 pub fn standard_study(data: &CityData, base_seed: u64, replicas: usize) -> Vec<Replication> {
     match standard_study_fleet(
-        data,
+        &crate::ctx::CampaignCtx::build(data),
         base_seed,
         replicas,
         &ch_fleet::FleetOptions::in_memory("replication", 0),

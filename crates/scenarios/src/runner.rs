@@ -17,7 +17,7 @@ use ch_attack::ext::DeauthScheduler;
 use ch_attack::{Attacker, Lure};
 use ch_mobility::arrival::GroupArrivalProcess;
 use ch_mobility::path::{visits_for_group, Visit};
-use ch_mobility::VenueKind;
+use ch_mobility::{VenueKind, VenueTemplate};
 use ch_phone::popgen::PopulationBuilder;
 use ch_phone::scanner::ScanPlan;
 use ch_phone::{JoinDecision, Phone};
@@ -31,6 +31,7 @@ use ch_wifi::mgmt::{
 use ch_wifi::timing;
 use ch_wifi::{Channel, MacAddr};
 
+use crate::ctx::CampaignCtx;
 use crate::detect::DetectionHarness;
 use crate::metrics::ExperimentMetrics;
 use crate::world::{CityData, World};
@@ -127,6 +128,38 @@ struct Agent {
     visit: Visit,
 }
 
+/// Reusable per-run arenas: the event queue, agent roster, and the
+/// probe-loop lure/frame buffers. A fleet worker builds one scratch when
+/// it starts and threads it through every job it executes
+/// ([`ch_fleet::run_campaign_scoped`]), so the big per-run allocations
+/// happen once per worker instead of once per job.
+///
+/// The scratch is an allocation cache only: [`run_experiment_ctx`]
+/// clears every field before use, so results never depend on which runs
+/// previously used it — a reused scratch and a fresh
+/// [`RunScratch::default`] produce bit-identical metrics.
+#[derive(Default)]
+pub struct RunScratch {
+    events: EventQueue<usize>,
+    agents: Vec<Agent>,
+    lures: Vec<Lure>,
+    frame_buf: Vec<u8>,
+}
+
+impl RunScratch {
+    /// A fresh, empty scratch (same as `Default`).
+    pub fn new() -> RunScratch {
+        RunScratch::default()
+    }
+
+    fn reset(&mut self) {
+        self.events.clear();
+        self.agents.clear();
+        self.lures.clear();
+        self.frame_buf.clear();
+    }
+}
+
 /// Observes every frame that crosses the simulated air — the hook behind
 /// pcap capture (`ch_wifi::pcap`). Implementations must be cheap when
 /// disabled; the runner skips frame construction entirely for observers
@@ -201,6 +234,56 @@ pub fn run_experiment(data: &CityData, config: &RunConfig) -> ExperimentMetrics 
     run_experiment_observed(data, config, &mut ())
 }
 
+/// [`run_experiment`] against a build-once [`CampaignCtx`], reusing a
+/// caller-owned [`RunScratch`] — the campaign path. The attacker deploys
+/// from the venue's precomputed plan, the population samples from the
+/// shared pool, and the run's arenas come from (and return to) the
+/// scratch; all three are wall-clock optimizations only, documented
+/// bit-identical to the scan-based [`run_experiment`].
+pub fn run_experiment_ctx(
+    ctx: &CampaignCtx,
+    config: &RunConfig,
+    scratch: &mut RunScratch,
+) -> ExperimentMetrics {
+    let plan = ctx.plan(config.venue);
+    let venue = venue_template(config);
+    let population = config
+        .population
+        .clone()
+        .unwrap_or_else(|| plan.population.clone());
+    let builder = ctx.population_builder(population);
+    let detection = config
+        .detector
+        .as_ref()
+        .filter(|spec| !spec.is_disabled())
+        .map(|spec| {
+            // Plan prefixes equal smaller scans, so handing the shared
+            // nearby-open list builds the identical harness to
+            // `DetectionHarness::new` at this site.
+            DetectionHarness::with_legit_ssids(
+                spec.clone(),
+                plan.attack
+                    .nearby_open
+                    .iter()
+                    // ch-lint: allow(ssid-clone) — construction-time Arc
+                    // refcount bump, off the probe hot path.
+                    .map(|(ssid, _)| ssid.clone()),
+            )
+        });
+    let mut attacker = config
+        .attacker
+        .build_from_plan(AttackerKind::default_bssid(), &plan.attack);
+    run_core(
+        config,
+        venue,
+        builder,
+        detection,
+        attacker.as_mut(),
+        &mut (),
+        scratch,
+    )
+}
+
 /// [`run_experiment`] with a [`FrameObserver`] receiving every delivered
 /// frame (probe requests, lure responses, join handshakes, deauths).
 pub fn run_experiment_observed(
@@ -227,18 +310,25 @@ pub fn run_experiment_with_attacker(
     run_with(data, config, world, attacker, &mut ())
 }
 
-fn assemble_world(data: &CityData, config: &RunConfig) -> World {
-    let mut world = World::assemble(data, config.venue);
-    if let Some(population) = &config.population {
-        world.population = population.clone();
-    }
+/// The venue template with the config's arrival-rate override applied.
+fn venue_template(config: &RunConfig) -> VenueTemplate {
+    let mut venue = config.venue.template();
     if let Some(multiplier) = config.arrival_multiplier {
         assert!(
             multiplier.is_finite() && multiplier >= 0.0,
             "arrival multiplier must be a non-negative number"
         );
-        world.venue.base_groups_per_hour *= multiplier;
+        venue.base_groups_per_hour *= multiplier;
     }
+    venue
+}
+
+fn assemble_world(data: &CityData, config: &RunConfig) -> World {
+    let mut world = World::assemble(data, config.venue);
+    if let Some(population) = &config.population {
+        world.population = population.clone();
+    }
+    world.venue = venue_template(config);
     world
 }
 
@@ -257,6 +347,48 @@ fn run_with(
         population,
         site,
     } = world;
+    let builder = PopulationBuilder::new(&data.wigle, &data.heat, population);
+    let detection = config
+        .detector
+        .as_ref()
+        .filter(|spec| !spec.is_disabled())
+        .map(|spec| DetectionHarness::new(spec.clone(), data, site));
+    let mut scratch = RunScratch::default();
+    run_core(
+        config,
+        venue,
+        builder,
+        detection,
+        attacker,
+        observer,
+        &mut scratch,
+    )
+}
+
+/// The data-free core loop: every expensive input (venue template,
+/// population builder, detection harness, attacker) arrives pre-built,
+/// and the run's arenas live in the caller's [`RunScratch`]. Both the
+/// legacy per-call path and the shared-context campaign path land here,
+/// so they cannot diverge.
+#[allow(clippy::too_many_lines)]
+fn run_core(
+    config: &RunConfig,
+    venue: VenueTemplate,
+    mut builder: PopulationBuilder,
+    mut detection: Option<DetectionHarness>,
+    attacker: &mut dyn Attacker,
+    observer: &mut dyn FrameObserver,
+    scratch: &mut RunScratch,
+) -> ExperimentMetrics {
+    // Clear-before-use discipline: a reused scratch must be
+    // indistinguishable from a fresh one.
+    scratch.reset();
+    let RunScratch {
+        events,
+        agents,
+        lures,
+        frame_buf,
+    } = scratch;
     let root = SimRng::seed_from(config.seed);
     let mut rng_pop = root.fork("population");
     let mut rng_paths = root.fork("paths");
@@ -274,24 +406,11 @@ fn run_with(
         .map(|spec| FaultPlan::new(spec.clone(), &root.fork("faults")));
     let mut agents_churned: u64 = 0;
 
-    // Rogue-AP detection: a passive monitor tapping the frame stream. The
-    // harness consumes no randomness at all, so a run with the detector
-    // off (`None` or the disabled spec) is draw-for-draw identical to one
-    // built before the detection layer existed.
-    let mut detection = config
-        .detector
-        .as_ref()
-        .filter(|spec| !spec.is_disabled())
-        .map(|spec| DetectionHarness::new(spec.clone(), data, site));
-
     // --- Crowd and phones -------------------------------------------------
     let process = GroupArrivalProcess::new(&venue, config.start_hour, config.duration);
     let mut rng_arrivals = root.fork("arrival-stream");
     let groups = process.generate(&mut rng_arrivals);
-    let mut builder = PopulationBuilder::new(&data.wigle, &data.heat, population);
 
-    let mut agents: Vec<Agent> = Vec::new();
-    let mut events: EventQueue<usize> = EventQueue::new();
     for group in &groups {
         let visits = visits_for_group(&venue, group, &mut rng_paths);
         let phones = builder.phones_for_group(group.group_id, visits.len(), &mut rng_pop);
@@ -325,11 +444,10 @@ fn run_with(
     let end = SimTime::ZERO + config.duration;
     let mut next_sample = SimTime::ZERO;
 
-    // Hot-loop scratch, reused across every probe of the run: once warm,
-    // answering a probe and encoding its frames touches no allocator.
-    let mut lures: Vec<Lure> = Vec::new();
-    let mut frame_buf: Vec<u8> = Vec::new();
-
+    // `lures` and `frame_buf` are the hot-loop scratch, reused across
+    // every probe of the run (and, via `RunScratch`, across runs): once
+    // warm, answering a probe and encoding its frames touches no
+    // allocator.
     while let Some((now, idx)) = events.pop_until(end) {
         while next_sample <= now {
             metrics.sample_db(next_sample, attacker.database_len());
@@ -378,7 +496,7 @@ fn run_with(
                 // The spoofed frame must itself survive the channel.
                 if rng_medium.chance(loss.delivery_prob(distance)) {
                     let deauth_frame = MgmtFrame::Deauthentication(frame);
-                    codec::encode_into(&deauth_frame, &mut frame_buf);
+                    codec::encode_into(&deauth_frame, &mut *frame_buf);
                     let mut eaten_by_burst = false;
                     if let Some(plan) = fault.as_mut() {
                         if plan.channel_drops() {
@@ -386,14 +504,14 @@ fn run_with(
                             eaten_by_burst = true;
                         } else if plan.corrupts() {
                             metrics.stats.frames_corrupted += 1;
-                            plan.mutate(&mut frame_buf);
+                            plan.mutate(frame_buf);
                         }
                     }
                     if !eaten_by_burst {
                         // The victim only honours bytes that decode to
                         // the frame that was sent; a mangled deauth is
                         // counted and ignored, never a panic.
-                        match codec::parse(&frame_buf) {
+                        match codec::parse(frame_buf) {
                             Ok(parsed) if parsed == deauth_frame => {
                                 if observer.enabled() {
                                     observer.observe(now, &deauth_frame);
@@ -436,9 +554,9 @@ fn run_with(
                     // probed at all.
                     metrics.stats.frames_corrupted += 1;
                     let frame = MgmtFrame::ProbeRequest(probe.clone());
-                    codec::encode_into(&frame, &mut frame_buf);
-                    plan.mutate(&mut frame_buf);
-                    match codec::parse(&frame_buf) {
+                    codec::encode_into(&frame, &mut *frame_buf);
+                    plan.mutate(frame_buf);
+                    match codec::parse(frame_buf) {
                         Ok(parsed) if parsed == frame => {}
                         _ => {
                             metrics.stats.frames_rejected += 1;
@@ -460,7 +578,7 @@ fn run_with(
             let budget = config
                 .lure_budget
                 .unwrap_or_else(timing::responses_per_scan);
-            attacker.respond_to_probe_into(now, &probe, budget, &mut lures);
+            attacker.respond_to_probe_into(now, &probe, budget, &mut *lures);
             if lures.is_empty() {
                 continue;
             }
@@ -479,7 +597,7 @@ fn run_with(
             // loss.
             let deadline = timing::listen_deadline(now);
             let mut elapsed = now;
-            for lure in &lures {
+            for lure in lures.iter() {
                 elapsed += timing::PROBE_RESPONSE_AIRTIME;
                 if elapsed > deadline {
                     break; // window closed; rest of the burst is wasted
@@ -502,9 +620,9 @@ fn run_with(
                         // attacker sent and keeps listening.
                         metrics.stats.frames_corrupted += 1;
                         let frame = MgmtFrame::ProbeResponse(response.clone());
-                        codec::encode_into(&frame, &mut frame_buf);
-                        plan.mutate(&mut frame_buf);
-                        match codec::parse(&frame_buf) {
+                        codec::encode_into(&frame, &mut *frame_buf);
+                        plan.mutate(frame_buf);
+                        match codec::parse(frame_buf) {
                             Ok(parsed) if parsed == frame => {}
                             _ => {
                                 metrics.stats.frames_rejected += 1;
@@ -528,7 +646,7 @@ fn run_with(
                         bssid,
                         &response,
                         elapsed,
-                        &mut frame_buf,
+                        frame_buf,
                         observer,
                     ) {
                         attacker.on_hit(elapsed, client_mac, lure);
@@ -664,6 +782,38 @@ mod tests {
             assert!(pair[0].0 < pair[1].0);
         }
         assert!(series.last().unwrap().1 > 0, "some SSIDs harvested");
+    }
+
+    #[test]
+    fn ctx_path_matches_legacy_path_bit_for_bit() {
+        // The tentpole's non-negotiable: deploying from the build-once
+        // campaign context (shared plans, shared pool, reused scratch)
+        // must be indistinguishable from the legacy scan-per-run path —
+        // for every attacker generation, with the detector on, and with
+        // the SAME scratch carried across runs so cross-run leakage
+        // would surface as a mismatch.
+        let data = CityData::standard(99);
+        let ctx = CampaignCtx::build(&data);
+        let mut scratch = RunScratch::new();
+        for (attacker, seed) in [
+            (AttackerKind::CityHunter(CityHunterConfig::default()), 21),
+            (AttackerKind::Prelim, 22),
+            (AttackerKind::Mana, 23),
+            (
+                AttackerKind::Karma.with_evasion(ch_attack::EvasionSpec::clone_beacons()),
+                24,
+            ),
+        ] {
+            let mut config = RunConfig::canteen_30min(attacker, seed);
+            config.duration = SimDuration::from_mins(10);
+            config.detector = Some(ch_detect::DetectorSpec::standard());
+            let legacy = run_experiment(&data, &config);
+            let shared = run_experiment_ctx(&ctx, &config, &mut scratch);
+            assert_eq!(legacy.summary("x"), shared.summary("x"));
+            assert_eq!(legacy.db_series(), shared.db_series());
+            assert_eq!(legacy.offered_counts(false), shared.offered_counts(false));
+            assert_eq!(legacy.detection, shared.detection);
+        }
     }
 
     #[test]

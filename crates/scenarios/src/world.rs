@@ -47,11 +47,13 @@ impl CityData {
         self.city
             .pois_of_kind(kind)
             .max_by(|a, b| {
-                a.footfall
-                    .partial_cmp(&b.footfall)
-                    .expect("footfall is finite")
+                a.footfall.partial_cmp(&b.footfall).unwrap_or_else(|| {
+                    ch_sim::invariant::violation(file!(), line!(), "POI footfall is not finite")
+                })
             })
-            .expect("standard city has every POI kind")
+            .unwrap_or_else(|| {
+                ch_sim::invariant::violation(file!(), line!(), "city is missing a POI kind")
+            })
             .location
     }
 
