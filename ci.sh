@@ -113,6 +113,29 @@ cargo run -q --release -p ch-bench --bin perfbench -- --quick \
   --out "$perf_dir/run2.json" > /dev/null
 cmp "$perf_dir/run1.json" "$perf_dir/run2.json"
 
+echo "==> city smoke (sharded day: shard-count byte-identity + events/sec)"
+# The city-scale gate: the quick city must render byte-identically at
+# shard counts 1, 4 and 16 and across worker widths (shards are an
+# execution arrangement, never a semantic one), report wall-clock
+# events/sec, and emit BENCH_city.json (archived with the lint artifact).
+city_dir="target/ci-city-smoke"
+rm -rf "$city_dir"
+mkdir -p "$city_dir"
+cargo run -q --release -p ch-bench --bin city -- 1 --quick --shards 1 --jobs 1 \
+  --bench "$city_dir/BENCH_city.json" \
+  > "$city_dir/s1.txt" 2> "$city_dir/s1.log"
+for s in 4 16; do
+  cargo run -q --release -p ch-bench --bin city -- 1 --quick --shards "$s" \
+    --no-bench > "$city_dir/s$s.txt" 2> "$city_dir/s$s.log"
+  cmp "$city_dir/s1.txt" "$city_dir/s$s.txt"
+done
+cargo run -q --release -p ch-bench --bin city -- 1 --quick --shards 4 --jobs 4 \
+  --no-bench > "$city_dir/j4.txt" 2> "$city_dir/j4.log"
+cmp "$city_dir/s1.txt" "$city_dir/j4.txt"
+grep -q 'events/sec (wall-clock)' "$city_dir/s1.log"
+grep -q '"schema":"ch-city-bench-v1"' "$city_dir/BENCH_city.json"
+cp "$city_dir/BENCH_city.json" "$lint_dir/BENCH_city.json"
+
 echo "==> chaos smoke (faults study, serial vs parallel, byte-identical)"
 # The fault-injection gate: every attacker under burst loss, corruption,
 # churn and scheduled crashes, with the injected transient panic

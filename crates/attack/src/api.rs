@@ -74,7 +74,11 @@ impl Lure {
 /// # Ok(())
 /// # }
 /// ```
-pub trait Attacker {
+///
+/// `Send` is a supertrait so a deployed attacker can live inside a city
+/// shard that migrates between pool workers across epochs; every
+/// generation is plain owned data, so the bound costs nothing.
+pub trait Attacker: Send {
     /// Display name for reports.
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,9 @@
+//! City-scale sharded simulation: a whole synthetic city day across
+//! districted event queues, reporting wall-clock events/sec into
+//! `results/BENCH_city.json`.
+//!
+//! Thin shim over the registry driver: `experiment city` is equivalent.
+
+fn main() -> Result<(), String> {
+    ch_bench::driver::main_for("city")
+}

@@ -20,11 +20,11 @@ use ch_attack::AttackerSpec;
 use ch_defense::detectors::DetectorBank;
 use ch_defense::eval::{evaluate_spec, EvalSpecOptions};
 use ch_defense::monitor::NetworkMonitor;
-use ch_fleet::{fingerprint, run_campaign, FleetOptions, JobSpec, JobStatus};
+use ch_fleet::{fingerprint, run_campaign, FleetOptions, JobSpec, JobStatus, Json, Stopwatch};
 use ch_scenarios::experiments as exp;
 use ch_scenarios::registry::{self, Artifact, ExperimentSpec, RunParams, REGISTRY};
 use ch_scenarios::runner::{run_experiment_observed, FrameObserver, RunConfig};
-use ch_scenarios::{AttackerKind, CampaignCtx, CityData};
+use ch_scenarios::{run_city, AttackerKind, CampaignCtx, CityConfig, CityData};
 use ch_sim::{SimDuration, SimTime};
 use ch_wifi::mgmt::MgmtFrame;
 use ch_wifi::Ssid;
@@ -39,6 +39,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--replicas",
     "--slots",
     "--id",
+    "--districts",
+    "--shards",
 ];
 
 /// Bare flags.
@@ -187,7 +189,7 @@ fn run_spec(spec: &'static ExperimentSpec, cli: &Cli, seed: u64) -> Result<(), S
     // population pool are shared by all of this run's jobs.
     let ctx = CampaignCtx::build(&exp::standard_city());
     let artifact = if spec.external {
-        run_external(spec, ctx.data(), &params, &opts)?
+        run_external(spec, &ctx, &params, &opts, cli)?
     } else {
         spec.run(&ctx, &params, &opts)?
     };
@@ -253,7 +255,8 @@ pub fn list_text() -> String {
     }
     out.push_str(
         "\nflags: --jobs N --manifest PATH --fresh --bench PATH --no-bench --bench-full\n       \
-         --hours a,b,c --minutes N --replicas N --slots N --json / --csv --quick\n",
+         --hours a,b,c --minutes N --replicas N --slots N --json / --csv --quick\n       \
+         --districts N --shards N (city)\n",
     );
     out
 }
@@ -334,19 +337,119 @@ impl JobSpec for DefenseJob {
     }
 }
 
-/// Runs the registry's external (detector-stack) entries as fleet
-/// campaigns whose records are the rendered report lines.
+/// Runs the registry's external entries: the detector-stack studies as
+/// fleet campaigns whose records are the rendered report lines, and the
+/// city benchmark (which must wrap a wall clock around the run).
 fn run_external(
     spec: &'static ExperimentSpec,
-    data: &CityData,
+    ctx: &CampaignCtx,
     params: &RunParams,
     opts: &FleetOptions,
+    cli: &Cli,
 ) -> Result<Artifact, String> {
     match spec.id {
-        "defense" => run_defense(data, opts),
-        "defense_live" => run_defense_live(data, params.seed, opts),
+        "defense" => run_defense(ctx.data(), opts),
+        "defense_live" => run_defense_live(ctx.data(), params.seed, opts),
+        "city" => run_city_experiment(ctx, params, cli),
         other => Err(format!("experiment `{other}` is not an external study")),
     }
+}
+
+/// The `city` experiment: a whole sharded synthetic city day, with
+/// wall-clock throughput (events/sec, not just sim-clock) reported on
+/// stderr and into `results/BENCH_city.json`.
+///
+/// `--quick` runs the CI-sized slice; the full mode is the ~1M-device
+/// 12-hour day. `--districts`, `--shards`, `--minutes` and `--jobs`
+/// override the mode's defaults; none of them change the artifact bytes
+/// except `--districts`/`--minutes` (which change the city itself).
+fn run_city_experiment(
+    ctx: &CampaignCtx,
+    params: &RunParams,
+    cli: &Cli,
+) -> Result<Artifact, String> {
+    let mut config = if params.quick {
+        CityConfig::quick(params.seed)
+    } else {
+        CityConfig::full(params.seed)
+    };
+    if let Some(districts) = cli.positive("--districts") {
+        config.districts = districts;
+    }
+    if let Some(shards) = cli.positive("--shards") {
+        config.shards = shards;
+    }
+    if cli.value_of("--minutes").is_some() {
+        config.epochs = params.minutes;
+    }
+    config.jobs = cli.positive("--jobs");
+
+    let clock = Stopwatch::start();
+    let outcome = run_city(ctx, &config);
+    let elapsed_ms = clock.elapsed_ms();
+    let events = outcome.events();
+    let (handoffs_out, handoffs_in) = outcome.handoffs();
+    let events_per_sec = events as f64 / (elapsed_ms / 1e3).max(1e-9);
+    let jobs = ch_fleet::effective_jobs(config.jobs).min(ch_fleet::worker_cap());
+    eprintln!(
+        "city: {} districts x {} sim-min | {} devices, {} events, {} hits, {}/{} handoffs | \
+         {:.0} ms wall ({} shards, {} jobs) — {:.0} events/sec (wall-clock)",
+        config.districts,
+        config.epochs,
+        outcome.devices(),
+        events,
+        outcome.hits(),
+        handoffs_out,
+        handoffs_in,
+        elapsed_ms,
+        config.shards.min(config.districts),
+        jobs,
+        events_per_sec,
+    );
+
+    if !cli.flag("--no-bench") {
+        let path = cli
+            .value_of("--bench")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results/BENCH_city.json"));
+        let entry = Json::Obj(vec![
+            ("schema".into(), Json::str("ch-city-bench-v1")),
+            (
+                "mode".into(),
+                Json::str(if params.quick { "quick" } else { "full" }),
+            ),
+            ("seed".into(), Json::from_u64(config.seed)),
+            ("districts".into(), Json::from_usize(config.districts)),
+            (
+                "shards".into(),
+                Json::from_usize(config.shards.min(config.districts)),
+            ),
+            ("jobs".into(), Json::from_usize(jobs)),
+            ("sim_minutes".into(), Json::from_u64(config.epochs)),
+            ("devices".into(), Json::from_u64(outcome.devices())),
+            ("events".into(), Json::from_u64(events)),
+            ("hits".into(), Json::from_u64(outcome.hits())),
+            ("handoffs_out".into(), Json::from_u64(handoffs_out)),
+            ("handoffs_in".into(), Json::from_u64(handoffs_in)),
+            ("elapsed_ms".into(), Json::Num(elapsed_ms.round())),
+            ("events_per_sec".into(), Json::Num(events_per_sec.round())),
+        ]);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(&path, format!("{}\n", entry.render()))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("city: bench entry -> {}", path.display());
+    }
+
+    Ok(Artifact {
+        id: "city",
+        text: outcome.render(),
+        stats: None,
+    })
 }
 
 /// The `defense` study: frames-to-detection per attacker generation,

@@ -85,6 +85,54 @@ impl GroupArrivalProcess {
         arrivals.sort_by_key(|g| g.arrive_at);
         arrivals
     }
+
+    /// Number of one-minute slices the process covers.
+    pub fn minutes(&self) -> usize {
+        self.rate_per_min.len()
+    }
+
+    /// Draws the arrivals of a **single one-minute slice** — the streaming
+    /// path for city-scale runs, which mint populations epoch by epoch
+    /// instead of materializing a whole day up front.
+    ///
+    /// Unlike [`generate`](Self::generate) the caller owns the RNG stream
+    /// (typically a per-epoch fork, so slice `m` is reproducible without
+    /// replaying slices `0..m`) and the group-id counter (so ids stay
+    /// unique across slices). Arrivals are appended to `out` sorted within
+    /// the slice; a `minute` beyond the covered window appends nothing.
+    pub fn generate_minute(
+        &self,
+        minute: usize,
+        next_group_id: &mut u32,
+        rng: &mut SimRng,
+        out: &mut Vec<GroupArrival>,
+    ) {
+        let Some(&rate) = self.rate_per_min.get(minute) else {
+            return;
+        };
+        let start = out.len();
+        let count = rng.poisson(rate);
+        let slice_start = SimTime::from_mins(minute as u64);
+        for _ in 0..count {
+            let offset = SimDuration::from_secs_f64(rng.range_f64(0.0, 60.0));
+            let arrive_at = slice_start + offset;
+            if arrive_at > SimTime::ZERO + self.duration {
+                continue;
+            }
+            let sizes = if self.sizes_rush[minute] {
+                &self.venue.rush_group_sizes
+            } else {
+                &self.venue.group_sizes
+            };
+            out.push(GroupArrival {
+                group_id: *next_group_id,
+                arrive_at,
+                size: sizes.sample(rng),
+            });
+            *next_group_id += 1;
+        }
+        out[start..].sort_by_key(|g| g.arrive_at);
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +195,48 @@ mod tests {
         let a = process.generate(&mut SimRng::seed_from(23));
         let b = process.generate(&mut SimRng::seed_from(23));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_minutes_are_deterministic_and_ids_stay_unique() {
+        let venue = VenueKind::Canteen.template();
+        let process = GroupArrivalProcess::new(&venue, 11, SimDuration::from_mins(45));
+        assert_eq!(process.minutes(), 45);
+        let root = SimRng::seed_from(31);
+        let stream = |root: &SimRng| {
+            let mut out = Vec::new();
+            let mut next_id = 0u32;
+            for m in 0..process.minutes() {
+                let mut rng = root.fork(&format!("arrivals/e{m}"));
+                process.generate_minute(m, &mut next_id, &mut rng, &mut out);
+            }
+            (out, next_id)
+        };
+        let (a, ids_a) = stream(&root);
+        let (b, _) = stream(&root);
+        assert_eq!(a, b, "per-epoch forks replay bit-identically");
+        assert_eq!(ids_a as usize, a.len());
+        let mut ids: Vec<u32> = a.iter().map(|g| g.group_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), a.len(), "ids unique across slices");
+        // Each slice's arrivals landed inside its own minute, sorted.
+        for g in &a {
+            assert!((1..=4).contains(&g.size));
+        }
+        let expected = process.expected_groups();
+        let got = a.len() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt(),
+            "got {got}, expected {expected}"
+        );
+        // A minute outside the window is a no-op.
+        let mut out = a.clone();
+        let mut next = ids_a;
+        let mut rng = root.fork("arrivals/e999");
+        process.generate_minute(999, &mut next, &mut rng, &mut out);
+        assert_eq!(out.len(), a.len());
+        assert_eq!(next, ids_a);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! print!("{}", artifact.text);
 //! ```
 
+pub mod city;
 pub mod ctx;
 pub mod detect;
 pub mod experiments;
@@ -48,6 +49,7 @@ pub mod report;
 pub mod runner;
 pub mod world;
 
+pub use city::{run_city, CityConfig, CityOutcome, CityPlan, DistrictReport, DistrictStats};
 pub use ctx::{CampaignCtx, VenuePlan};
 pub use detect::DetectionHarness;
 pub use fleet::{CampaignJob, JobRecord, RichRecord};

@@ -117,7 +117,8 @@ pub struct ExperimentSpec {
     /// Id of the entry whose campaign (and manifest) this one shares —
     /// `fig6` is a second view of `fig5`'s jobs.
     pub shares_campaign_with: Option<&'static str>,
-    /// Runs in the `ch-bench` driver (needs `ch-defense`); `run` errors.
+    /// Runs in the `ch-bench` driver (needs `ch-defense` or wall-clock
+    /// telemetry); `run` errors.
     pub external: bool,
 }
 
@@ -377,6 +378,21 @@ pub static REGISTRY: &[ExperimentSpec] = &[
         shares_campaign_with: None,
         external: true,
     },
+    ExperimentSpec {
+        id: "city",
+        title: "City",
+        paper_ref: "beyond",
+        output: OutputKind::Study,
+        summary:
+            "city-scale sharded day: districts x epochs with handoff mailboxes (--quick for CI)",
+        campaign: Some("city"),
+        default_manifest: None,
+        default_bench: false,
+        default_replicas: 0,
+        in_reproduce_all: false,
+        shares_campaign_with: None,
+        external: true,
+    },
 ];
 
 /// Looks an experiment up by id.
@@ -534,8 +550,8 @@ impl ExperimentSpec {
             }
             _ => {
                 return Err(format!(
-                    "experiment `{}` needs the detector stack; run it via the \
-                     ch-bench `experiment` driver",
+                    "experiment `{}` is external (detector stack or wall-clock \
+                     telemetry); run it via the ch-bench `experiment` driver",
                     self.id
                 ));
             }

@@ -153,7 +153,10 @@ impl RunScratch {
     }
 
     fn reset(&mut self) {
-        self.events.clear();
+        // `reset`, not `clear`: the sequence counter rewinds too, so a
+        // reused queue schedules exactly like a fresh one while keeping
+        // its heap allocation.
+        self.events.reset();
         self.agents.clear();
         self.lures.clear();
         self.frame_buf.clear();

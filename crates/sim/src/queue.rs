@@ -137,6 +137,23 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.last_popped = None;
     }
+
+    /// Resets the queue to its freshly-constructed state while keeping the
+    /// heap's allocation: pending events are discarded, the monotonicity
+    /// watermark clears, **and the sequence counter rewinds to zero** — a
+    /// reused queue is therefore indistinguishable from
+    /// [`EventQueue::new`], push for push and pop for pop. This is the
+    /// clear-not-reallocate API arenas (`RunScratch`-style job scratch,
+    /// city shards) use to recycle a drained queue between runs.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.next_seq = 0;
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -246,6 +263,47 @@ mod tests {
         q.clear();
         q.push(SimTime::from_secs(1), "fresh timeline");
         assert_eq!(q.pop(), Some((SimTime::from_secs(1), "fresh timeline")));
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_fresh() {
+        // Drive a queue through pushes, pops and a clear so every piece of
+        // internal state (watermark, sequence counter) has moved, then
+        // reset and replay the same schedule on it and on a fresh queue:
+        // the pop sequences must match exactly (same FIFO tie order).
+        let mut used = EventQueue::new();
+        for i in 0..50u64 {
+            used.push(SimTime::from_secs(i % 7), i);
+        }
+        while used.pop_until(SimTime::from_secs(3)).is_some() {}
+        used.reset();
+
+        let mut fresh = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        for i in 0..20u64 {
+            used.push(t, i);
+            fresh.push(t, i);
+        }
+        loop {
+            let (a, b) = (used.pop(), fresh.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn reset_retains_capacity() {
+        let mut q = EventQueue::with_capacity(256);
+        for i in 0..200u64 {
+            q.push(SimTime::from_secs(i), i);
+        }
+        let before = q.capacity();
+        assert!(before >= 256);
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), before, "reset must not shrink the arena");
     }
 
     #[test]
