@@ -170,4 +170,45 @@ grep -q '36 executed, 0 cached, 0 failed' "$arms_dir/parallel.log"
 cmp "$arms_dir/serial.txt" "$arms_dir/parallel.txt"
 grep -q 'stealth cost' "$arms_dir/serial.txt"
 
+echo "==> serve chaos smoke (kill -9 mid-stream, recover, byte-identical)"
+# The crash-safety gate for the ch-serve streaming service: an
+# uninterrupted checkpointed run is the ground truth; a throttled twin is
+# kill -9'ed mid-stream, restarted with the identical command, and must
+# recover warm from its checkpoint, replay the remainder, and produce a
+# byte-identical output stream and final report. Shedding stays an
+# explicit counted stat (pinned in the report), and the recovery path is
+# announced on stderr, never silently taken.
+serve_dir="target/ci-serve-smoke"
+rm -rf "$serve_dir"
+mkdir -p "$serve_dir"
+# Run the binary directly (not through `cargo run`) so kill -9 hits the
+# service process itself rather than a cargo wrapper.
+cargo build -q --release -p ch-serve
+serve_bin="target/release/ch-serve"
+serve_args=(--attacker cityhunter --evasive --seed 11 --duration-mins 10
+  --checkpoint-every 64 --stats-every 128)
+"$serve_bin" "${serve_args[@]}" \
+  --out "$serve_dir/base.ndjson" --report "$serve_dir/base.json" \
+  --checkpoint "$serve_dir/base.ckpt" 2> "$serve_dir/base.log"
+chaos_cmd=("$serve_bin" "${serve_args[@]}"
+  --out "$serve_dir/chaos.ndjson" --report "$serve_dir/chaos.json"
+  --checkpoint "$serve_dir/chaos.ckpt")
+"${chaos_cmd[@]}" --throttle-ms 2 2> "$serve_dir/kill.log" &
+serve_pid=$!
+sleep 1.5
+kill -9 "$serve_pid" 2> /dev/null || true
+wait "$serve_pid" 2> /dev/null || true
+test -s "$serve_dir/chaos.ckpt"   # the kill must land after a checkpoint
+"${chaos_cmd[@]}" 2> "$serve_dir/recover.log"
+grep -q 'recovered warm from checkpoint' "$serve_dir/recover.log"
+cmp "$serve_dir/base.ndjson" "$serve_dir/chaos.ndjson"
+cmp "$serve_dir/base.json" "$serve_dir/chaos.json"
+grep -q '"shed":' "$serve_dir/base.json"
+# The throughput+backpressure bench must produce the versioned artifact
+# and survive its own overload assertions (shed > 0, zero lost events).
+cargo run -q --release -p ch-bench --bin serve_bench -- --quick \
+  --out "$serve_dir/BENCH_serve.json" > /dev/null 2> "$serve_dir/bench.log"
+grep -q '"schema": "ch-serve-bench-v1"' "$serve_dir/BENCH_serve.json"
+cp "$serve_dir/BENCH_serve.json" "$lint_dir/BENCH_serve.json"
+
 echo "ci.sh: all gates passed"

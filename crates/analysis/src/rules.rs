@@ -40,13 +40,21 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "ch-arc",
     "ch-attack",
     "ch-detect",
+    "ch-serve",
 ];
 
 /// Crates whose library code must not panic (R3). `ch-fleet` is in the
 /// list because the engine's whole job is absorbing *other* code's
 /// panics — it must not add its own; escalation goes through
 /// `ch_sim::invariant::violation`.
-pub const PANIC_FREE_CRATES: &[&str] = &["ch-wifi", "ch-arc", "ch-attack", "ch-fleet", "ch-detect"];
+pub const PANIC_FREE_CRATES: &[&str] = &[
+    "ch-wifi",
+    "ch-arc",
+    "ch-attack",
+    "ch-fleet",
+    "ch-detect",
+    "ch-serve",
+];
 
 /// Crates exempt from R2 (benchmarks legitimately read wall clocks).
 pub const WALL_CLOCK_CRATES: &[&str] = &["ch-bench"];

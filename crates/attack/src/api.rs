@@ -141,6 +141,14 @@ pub trait Attacker: Send {
     /// [`CrashMode::Cold`] rebuilds from the offline seed state. The
     /// default is a no-op for attackers that keep no in-run state.
     fn on_crash_restart(&mut self, _now: SimTime, _mode: CrashMode) {}
+
+    /// Concrete-type access for persistence layers that hold a
+    /// `Box<dyn Attacker>` but must reach an attacker's typed state
+    /// (the `ch-serve` checkpoint codec downcasts through this).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable form of [`Attacker::as_any`].
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 /// Shared helper: the canonical reply to a *direct* probe — mimic the

@@ -91,6 +91,21 @@ impl AdaptiveBuffers {
         AdaptiveBuffers::new(32, 8, 40, true)
     }
 
+    /// Rebuilds buffers from checkpointed parts; `None` instead of a panic
+    /// when the parts are inconsistent (a corrupt checkpoint must fall
+    /// back to cold start, not abort the service).
+    pub fn from_parts(p: usize, f: usize, total: usize, adaptive: bool) -> Option<Self> {
+        if p + f != total || p < MIN_BUFFER || f < MIN_BUFFER {
+            return None;
+        }
+        Some(AdaptiveBuffers {
+            p,
+            f,
+            total,
+            adaptive,
+        })
+    }
+
     /// Current `(p, f)` sizes.
     pub fn sizes(&self) -> (usize, usize) {
         (self.p, self.f)
@@ -99,6 +114,11 @@ impl AdaptiveBuffers {
     /// Joint budget.
     pub fn total(&self) -> usize {
         self.total
+    }
+
+    /// Whether adaptation is on (checkpoint export).
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
     }
 
     /// The §IV-C size invariants: the split always sums to the joint

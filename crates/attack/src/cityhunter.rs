@@ -199,6 +199,39 @@ impl CityHunter {
     pub fn config(&self) -> &CityHunterConfig {
         &self.config
     }
+
+    /// Read access to the PB/FB buffer state (checkpoint export).
+    pub fn buffers(&self) -> &AdaptiveBuffers {
+        &self.buffers
+    }
+
+    /// The exploration RNG's full state (checkpoint export) — restoring it
+    /// via [`CityHunter::restore_state`] continues ghost picks exactly
+    /// where the checkpointed process left off.
+    pub fn rng_state(&self) -> [u64; 5] {
+        self.rng.save_state()
+    }
+
+    /// Overwrites the full in-run state from an external checkpoint: the
+    /// learned database, buffer split, per-client tracker, the exploration
+    /// RNG mid-stream, and the restart counter. Unlike
+    /// [`CityHunter::restore`] (the in-process warm-crash path), this is
+    /// the cross-process recovery path — the RNG resumes rather than
+    /// reseeds, so a restored service replays byte-identically.
+    pub fn restore_state(
+        &mut self,
+        db: SsidDatabase,
+        buffers: AdaptiveBuffers,
+        tracker: ClientTracker,
+        rng_state: [u64; 5],
+        restarts: u32,
+    ) {
+        self.db = db;
+        self.buffers = buffers;
+        self.tracker = tracker;
+        self.rng = SimRng::from_state(rng_state);
+        self.restarts = restarts;
+    }
 }
 
 impl Attacker for CityHunter {
@@ -313,6 +346,14 @@ impl Attacker for CityHunter {
         self.rng = SimRng::seed_from(
             self.config.seed ^ u64::from(self.restarts).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

@@ -92,6 +92,34 @@ impl ClientTracker {
     pub fn clear(&mut self) {
         self.sent.clear();
     }
+
+    /// The full sent-map as a deterministically ordered list (clients by
+    /// MAC, SSIDs by interner index) — the checkpoint export. Nothing
+    /// downstream iterates the tracker's internals, so restoring through
+    /// [`ClientTracker::mark_sent`] is behaviourally exact.
+    pub fn export_sorted(&self) -> Vec<(MacAddr, Vec<SsidId>)> {
+        let mut entries: Vec<(MacAddr, Vec<SsidId>)> = self
+            .sent
+            .iter()
+            .map(|(mac, set)| {
+                let mut ids: Vec<SsidId> = set.iter().copied().collect();
+                ids.sort_unstable_by_key(|id| id.index());
+                (*mac, ids)
+            })
+            .collect();
+        entries.sort_by_key(|(mac, _)| mac.octets());
+        entries
+    }
+
+    /// Rebuilds the tracker from [`ClientTracker::export_sorted`] output.
+    pub fn restore(&mut self, entries: Vec<(MacAddr, Vec<SsidId>)>) {
+        self.sent.clear();
+        for (mac, ids) in entries {
+            for id in ids {
+                self.mark_sent(mac, id);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -248,6 +248,18 @@ impl SsidDatabase {
             .iter()
             .map(|(id, e)| (self.interner.resolve(*id), e))
     }
+
+    /// Inserts one record verbatim — the checkpoint-restore path. Replaying
+    /// a database export through this call in the interner's original id
+    /// order (see [`SsidInterner::names`](ch_wifi::SsidInterner)) reproduces
+    /// the same `SsidId` assignment, so exported id lists stay valid.
+    pub fn restore_entry(&mut self, ssid: &Ssid, entry: DbEntry) -> SsidId {
+        let id = self.interner.intern(ssid);
+        self.entries.insert(id, entry);
+        self.ranked_dirty = true;
+        self.fresh_dirty = true;
+        id
+    }
 }
 
 #[cfg(test)]

@@ -186,6 +186,46 @@ impl EvasiveAttacker {
         self.clone_target.as_ref()
     }
 
+    /// The wrapped attacker (checkpoint export reaches through this).
+    pub fn inner(&self) -> &dyn Attacker {
+        self.inner.as_ref()
+    }
+
+    /// Mutable access to the wrapped attacker.
+    pub fn inner_mut(&mut self) -> &mut dyn Attacker {
+        self.inner.as_mut()
+    }
+
+    /// The live evasion state as plain numbers (checkpoint export): the
+    /// rotation slot, current BSSID, throttle window ordinal and count,
+    /// and the beacon schedule's `(next-due µs, period µs)`.
+    pub fn export_state(&self) -> (u64, MacAddr, u64, u32, u64, u64) {
+        (
+            self.state.rotation_slot,
+            self.state.current_bssid,
+            self.state.throttle_window,
+            self.state.sent_in_window,
+            self.state.beacons.next_at().as_micros(),
+            self.state.beacons.period().as_micros(),
+        )
+    }
+
+    /// Restores [`EvasiveAttacker::export_state`] output.
+    pub fn import_state(&mut self, state: (u64, MacAddr, u64, u32, u64, u64)) {
+        let (rotation_slot, current_bssid, throttle_window, sent_in_window, next_us, period_us) =
+            state;
+        self.state = EvasionState {
+            rotation_slot,
+            current_bssid,
+            throttle_window,
+            sent_in_window,
+            beacons: Cadence::new(
+                SimDuration::from_micros(period_us),
+                SimTime::from_micros(next_us),
+            ),
+        };
+    }
+
     fn tick_rotation(&mut self, now: SimTime) {
         if let Some(rotation) = &self.spec.rotation {
             let slot = now.as_micros() / rotation.period.as_micros().max(1);
@@ -288,6 +328,14 @@ impl Attacker for EvasiveAttacker {
             CrashMode::Cold => EvasionState::boot(&self.spec, self.base_bssid),
         };
         self.inner.on_crash_restart(now, mode);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

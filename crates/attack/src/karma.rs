@@ -28,6 +28,16 @@ impl KarmaAttacker {
     pub fn mimic_count(&self) -> usize {
         self.ssids_mimicked.len()
     }
+
+    /// The mimic log, in first-seen order (checkpoint export).
+    pub fn mimicked(&self) -> &[Ssid] {
+        &self.ssids_mimicked
+    }
+
+    /// Overwrites the mimic log from a checkpoint, preserving order.
+    pub fn restore_mimicked(&mut self, ssids: Vec<Ssid>) {
+        self.ssids_mimicked = ssids;
+    }
 }
 
 impl Attacker for KarmaAttacker {
@@ -70,6 +80,14 @@ impl Attacker for KarmaAttacker {
         // KARMA is stateless as an attacker; only the diagnostic mimic
         // log dies with the process.
         self.ssids_mimicked.clear();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

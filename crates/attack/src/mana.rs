@@ -68,6 +68,40 @@ impl ManaAttacker {
     pub fn database(&self) -> &SsidDatabase {
         &self.db
     }
+
+    /// The harvest-order id list (checkpoint export).
+    pub fn harvest_order(&self) -> &[SsidId] {
+        &self.harvest_order
+    }
+
+    /// Per-device disclosures sorted by client MAC (checkpoint export;
+    /// sorted so the serialized form never depends on hash-map layout).
+    pub fn per_device_sorted(&self) -> Vec<(MacAddr, Vec<SsidId>)> {
+        let mut entries: Vec<(MacAddr, Vec<SsidId>)> = self
+            .per_device
+            .iter()
+            .map(|(mac, ids)| (*mac, ids.clone()))
+            .collect();
+        entries.sort_by_key(|(mac, _)| mac.octets());
+        entries
+    }
+
+    /// Overwrites the in-run harvest state from a checkpoint. The database
+    /// must already have been restored (the id lists resolve against its
+    /// interner).
+    pub fn restore_state(
+        &mut self,
+        db: SsidDatabase,
+        harvest_order: Vec<SsidId>,
+        per_device: Vec<(MacAddr, Vec<SsidId>)>,
+    ) {
+        self.db = db;
+        self.harvest_order = harvest_order;
+        self.per_device.clear();
+        for (mac, ids) in per_device {
+            self.per_device.insert(mac, ids);
+        }
+    }
 }
 
 impl Attacker for ManaAttacker {
@@ -135,6 +169,14 @@ impl Attacker for ManaAttacker {
         self.db = SsidDatabase::new();
         self.harvest_order.clear();
         self.per_device.clear();
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

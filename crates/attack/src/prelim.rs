@@ -95,6 +95,21 @@ impl PrelimCityHunter {
     pub fn reply_order(&self) -> &[SsidId] {
         &self.reply_order
     }
+
+    /// Overwrites the in-run state from a checkpoint: the database, the
+    /// reply order (ids valid against the restored database's interner)
+    /// and the per-client tracker. The scratch buffers are run-local and
+    /// carry no state across probes.
+    pub fn restore_state(
+        &mut self,
+        db: SsidDatabase,
+        reply_order: Vec<SsidId>,
+        tracker: ClientTracker,
+    ) {
+        self.db = db;
+        self.reply_order = reply_order;
+        self.tracker = tracker;
+    }
 }
 
 impl Attacker for PrelimCityHunter {
@@ -148,6 +163,14 @@ impl Attacker for PrelimCityHunter {
 
     fn database_len(&self) -> usize {
         self.db.len()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

@@ -168,7 +168,7 @@ struct CountingAttacker<A> {
     probes: u64,
 }
 
-impl<A: Attacker> Attacker for CountingAttacker<A> {
+impl<A: Attacker + 'static> Attacker for CountingAttacker<A> {
     fn name(&self) -> &'static str {
         self.inner.name()
     }
@@ -198,6 +198,14 @@ impl<A: Attacker> Attacker for CountingAttacker<A> {
 
     fn deauth_enabled(&self) -> bool {
         self.inner.deauth_enabled()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 

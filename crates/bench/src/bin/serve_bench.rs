@@ -1,0 +1,128 @@
+//! `serve_bench` — sustained-throughput harness for the `ch-serve`
+//! streaming service.
+//!
+//! Three measurements over a deterministic sim-generated stream:
+//!
+//! 1. **wall throughput** — events (and probes) per wall-clock second
+//!    through [`ch_serve::Service::process`], in memory, no file I/O;
+//! 2. **virtual latency** — p50/p99 of per-event virtual latency
+//!    (queueing + deterministic service cost) from the service's log₂
+//!    histogram;
+//! 3. **overload shedding** — the same stream time-compressed to ~10×
+//!    the service's sustainable rate: the bounded ingest ring must shed
+//!    (counted, not silently, and without panicking) while the service
+//!    keeps running.
+//!
+//! Writes `results/BENCH_serve.json` (override with `--out`); `--quick`
+//! shortens the stream for CI.
+
+use std::io::Write;
+
+use ch_attack::{AttackerSpec, CityHunterConfig};
+use ch_scenarios::{CityData, RunConfig};
+use ch_serve::service::{ASSOC_COST_US, BASE_PROBE_COST_US, PER_LURE_COST_US};
+use ch_serve::{EventSource, ServeConfig, Service};
+use ch_sim::SimDuration;
+
+const CITY_SEED: u64 = 0xC17E;
+/// Wall-clock measurement repetitions (median reported).
+const REPS: usize = 5;
+
+fn build_service(data: &CityData) -> Service {
+    let spec = AttackerSpec::CityHunter(CityHunterConfig::default());
+    Service::new(data, ServeConfig::new(spec, CITY_SEED))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("results/BENCH_serve.json", String::as_str);
+    let minutes = if quick { 5 } else { 30 };
+
+    eprintln!("serve_bench: building the standard city (seed {CITY_SEED:#x})...");
+    let data = CityData::standard(CITY_SEED);
+
+    eprintln!("serve_bench: generating a {minutes}-minute sim stream...");
+    let spec = AttackerSpec::CityHunter(CityHunterConfig::default());
+    let mut run = RunConfig::canteen_30min(spec, CITY_SEED);
+    run.duration = SimDuration::from_mins(minutes);
+    let source = EventSource::from_sim(&data, &run);
+    let events = source.len();
+
+    // Wall throughput: median of REPS full consumptions, fresh service
+    // each time (the attacker's database warms within a run).
+    eprintln!("serve_bench: measuring wall throughput ({REPS} reps over {events} events)...");
+    let mut rates: Vec<f64> = Vec::with_capacity(REPS);
+    let mut last_stats = None;
+    let mut p50 = 0u64;
+    let mut p99 = 0u64;
+    for _ in 0..REPS {
+        let mut service = build_service(&data);
+        let start = std::time::Instant::now();
+        service.consume_all(&source, 0);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        rates.push(events as f64 / secs);
+        p50 = service.latency_percentile_us(50.0);
+        p99 = service.latency_percentile_us(99.0);
+        last_stats = Some(*service.stats());
+    }
+    rates.sort_by(|a, b| a.total_cmp(b));
+    let events_per_sec = rates[REPS / 2];
+    let stats = last_stats.expect("at least one rep ran");
+    let probe_share = stats.probes as f64 / stats.events.max(1) as f64;
+    let probes_per_sec = events_per_sec * probe_share;
+
+    // Overload: compress arrivals until offered load is ~10x the virtual
+    // service capacity. Busy time comes from the measured run's own
+    // cost model, so the factor adapts to the stream's actual mix.
+    let busy_us = stats.probes * BASE_PROBE_COST_US
+        + stats.lures * PER_LURE_COST_US
+        + stats.assocs * ASSOC_COST_US;
+    let duration_us = source
+        .events()
+        .last()
+        .map_or(0, ch_serve::InputEvent::t_us)
+        .max(1);
+    let factor = (10 * duration_us / busy_us.max(1)).max(1);
+    eprintln!("serve_bench: overload run at {factor}x time compression (10x capacity)...");
+    let mut overload = build_service(&data);
+    overload.consume_all(&source.clone().with_time_compressed(factor), 0);
+    let shed = overload.stats().shed;
+    assert!(shed > 0, "10x overload must shed (counted backpressure)");
+    assert_eq!(
+        overload.stats().events,
+        events as u64,
+        "every event must be consumed (processed or counted-shed)"
+    );
+
+    let mode = if quick { "quick" } else { "full" };
+    let json = format!(
+        "{{\n  \"schema\": \"ch-serve-bench-v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"stream\": {{\n    \"seed\": {CITY_SEED},\n    \"sim_minutes\": {minutes},\n    \
+         \"events\": {events},\n    \"probes\": {probes},\n    \"lures\": {lures}\n  }},\n  \
+         \"throughput\": {{\n    \"events_per_sec\": {eps},\n    \
+         \"probes_per_sec\": {pps},\n    \"p50_us\": {p50},\n    \"p99_us\": {p99}\n  }},\n  \
+         \"overload\": {{\n    \"compression_factor\": {factor},\n    \
+         \"offered_over_capacity\": 10,\n    \"shed\": {shed},\n    \
+         \"shed_fraction\": {shed_frac:.4}\n  }}\n}}\n",
+        probes = stats.probes,
+        lures = stats.lures,
+        eps = events_per_sec as u64,
+        pps = probes_per_sec as u64,
+        shed_frac = shed as f64 / events.max(1) as f64,
+    );
+
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    let mut file = std::fs::File::create(out_path).expect("create output file");
+    file.write_all(json.as_bytes()).expect("write bench json");
+    print!("{json}");
+    eprintln!("serve_bench: wrote {out_path}");
+}

@@ -104,28 +104,79 @@ pub fn is_transient(message: &str) -> bool {
 /// index is handed to the job closure purely so *injected* transients can
 /// decide to clear. A campaign that retries is bit-identical to one that
 /// never failed.
+///
+/// With [`RetryPolicy::with_backoff`] the engine additionally waits
+/// between attempts on an exponential schedule. The wait for retry `k`
+/// is drawn from the upper half of `min(cap, base · 2^(k-1))`
+/// milliseconds, jittered by a [`derive_seed`]-keyed hash of the job key
+/// — computed, never measured, so the schedule for a given
+/// `(seed, key)` pair is reproducible across runs and machines. Backoff
+/// only ever changes wall-clock, never results.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     max_attempts: usize,
+    backoff_base_ms: u64,
+    backoff_cap_ms: u64,
 }
 
 impl RetryPolicy {
     /// No retry: every panic is final (the [`run_campaign`] default).
     pub fn none() -> RetryPolicy {
-        RetryPolicy { max_attempts: 1 }
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+        }
     }
 
     /// Up to `n` retries after the first attempt (so `n + 1` attempts
-    /// total) for transient failures.
+    /// total) for transient failures, with no backoff between them.
     pub fn retries(n: usize) -> RetryPolicy {
         RetryPolicy {
             max_attempts: n.saturating_add(1),
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
         }
+    }
+
+    /// Enables exponential backoff between attempts: the first retry
+    /// waits on the order of `base_ms`, each further retry doubles the
+    /// window, and no wait ever exceeds `cap_ms` (raised to `base_ms`
+    /// if passed smaller).
+    #[must_use]
+    pub fn with_backoff(mut self, base_ms: u64, cap_ms: u64) -> RetryPolicy {
+        self.backoff_base_ms = base_ms;
+        self.backoff_cap_ms = cap_ms.max(base_ms);
+        self
     }
 
     /// Total attempts allowed per job, first run included (always ≥ 1).
     pub fn max_attempts(&self) -> usize {
         self.max_attempts.max(1)
+    }
+
+    /// The wait before retry `attempt` (1-based) of the job with `key`,
+    /// in milliseconds. Zero when backoff is not configured or `attempt`
+    /// is zero. Deterministic: jitter comes from
+    /// [`derive_seed`]`(seed, key#backoff{attempt})`, not a clock, and
+    /// lands in `[window/2, window]` where
+    /// `window = min(cap, base · 2^(attempt-1))`.
+    pub fn backoff_ms(&self, seed: u64, key: &str, attempt: usize) -> u64 {
+        if self.backoff_base_ms == 0 || attempt == 0 {
+            return 0;
+        }
+        let shift = u32::try_from(attempt - 1).unwrap_or(u32::MAX);
+        // A doubling past the value's headroom saturates instead of
+        // wrapping, so deep attempt counts pin to the cap.
+        let doubled = if shift > self.backoff_base_ms.leading_zeros() {
+            u64::MAX
+        } else {
+            self.backoff_base_ms << shift
+        };
+        let window = doubled.min(self.backoff_cap_ms);
+        let half = window / 2;
+        let jitter = crate::job::derive_seed(seed, &format!("{key}#backoff{attempt}"));
+        half + jitter % (window - half + 1)
     }
 }
 
@@ -390,6 +441,12 @@ where
                         if is_transient(&message) && attempt + 1 < policy.max_attempts() {
                             attempt += 1;
                             retried.fetch_add(1, Ordering::Relaxed);
+                            // Deterministically-scheduled wait; a plain
+                            // sleep, so it shifts wall-clock only.
+                            let wait = policy.backoff_ms(opts.fingerprint, &key, attempt);
+                            if wait > 0 {
+                                std::thread::sleep(std::time::Duration::from_millis(wait));
+                            }
                             continue;
                         }
                         break Err(message);
@@ -479,5 +536,63 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         text.clone()
     } else {
         "job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_disabled_by_default() {
+        for policy in [RetryPolicy::none(), RetryPolicy::retries(5)] {
+            for attempt in 0..8 {
+                assert_eq!(policy.backoff_ms(42, "job-a", attempt), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_reproducible() {
+        let policy = RetryPolicy::retries(6).with_backoff(10, 2_000);
+        let schedule = |seed: u64, key: &str| -> Vec<u64> {
+            (1..=6).map(|a| policy.backoff_ms(seed, key, a)).collect()
+        };
+        assert_eq!(schedule(7, "job-a"), schedule(7, "job-a"));
+        // Jitter is keyed: a different seed or key yields a different
+        // (but equally reproducible) schedule.
+        assert_ne!(schedule(7, "job-a"), schedule(8, "job-a"));
+        assert_ne!(schedule(7, "job-a"), schedule(7, "job-b"));
+    }
+
+    #[test]
+    fn backoff_grows_within_window_and_caps() {
+        let (base, cap) = (10u64, 160u64);
+        let policy = RetryPolicy::retries(20).with_backoff(base, cap);
+        for attempt in 1..=20usize {
+            let shift = u32::try_from(attempt - 1).unwrap();
+            let window = if shift > base.leading_zeros() {
+                cap
+            } else {
+                (base << shift).min(cap)
+            };
+            let wait = policy.backoff_ms(99, "job", attempt);
+            assert!(
+                wait >= window / 2 && wait <= window,
+                "attempt {attempt}: wait {wait} outside [{}, {window}]",
+                window / 2
+            );
+            assert!(wait <= cap, "attempt {attempt}: wait {wait} above cap");
+        }
+        // Deep attempt counts saturate instead of wrapping.
+        let deep = policy.backoff_ms(99, "job", 1_000);
+        assert!(deep >= cap / 2 && deep <= cap);
+    }
+
+    #[test]
+    fn backoff_cap_raised_to_base() {
+        let policy = RetryPolicy::retries(3).with_backoff(100, 1);
+        let wait = policy.backoff_ms(1, "job", 4);
+        assert!((50..=100).contains(&wait));
     }
 }

@@ -56,5 +56,8 @@ pub use fleet::{CampaignJob, JobRecord, RichRecord};
 pub use metrics::{ClientClass, ExperimentMetrics, RunnerStats, SummaryRow};
 pub use registry::{Artifact, ExperimentSpec, OutputKind, RunParams, REGISTRY};
 pub use replicate::{replicate, Replication};
-pub use runner::{run_experiment, run_experiment_ctx, AttackerKind, RunConfig, RunScratch};
+pub use runner::{
+    run_experiment, run_experiment_ctx, run_experiment_observed, AttackerKind, CollectingObserver,
+    RunConfig, RunScratch,
+};
 pub use world::{CityData, World};

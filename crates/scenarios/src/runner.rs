@@ -232,6 +232,58 @@ impl<W: std::io::Write> FrameObserver for PcapObserver<W> {
     }
 }
 
+/// A [`FrameObserver`] that retains delivered frames matching a filter,
+/// with their delivery timestamps.
+///
+/// This is the in-memory sibling of [`PcapObserver`] — same clamp to
+/// non-decreasing capture order — and the `ch-serve` sim stream source:
+/// the service replays a run's client-side air traffic (probe requests,
+/// association requests) as its input stream without a pcap round trip.
+pub struct CollectingObserver {
+    filter: fn(&MgmtFrame) -> bool,
+    frames: Vec<(SimTime, MgmtFrame)>,
+    last_at: SimTime,
+}
+
+impl CollectingObserver {
+    /// Collects only frames for which `filter` returns `true`.
+    pub fn new(filter: fn(&MgmtFrame) -> bool) -> Self {
+        CollectingObserver {
+            filter,
+            frames: Vec::new(),
+            last_at: SimTime::ZERO,
+        }
+    }
+
+    /// Collects every delivered frame.
+    pub fn all() -> Self {
+        CollectingObserver::new(|_| true)
+    }
+
+    /// Frames collected so far, in (clamped) air order.
+    pub fn frames(&self) -> &[(SimTime, MgmtFrame)] {
+        &self.frames
+    }
+
+    /// Consumes the observer and returns the collected frames.
+    pub fn into_frames(self) -> Vec<(SimTime, MgmtFrame)> {
+        self.frames
+    }
+}
+
+impl FrameObserver for CollectingObserver {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn observe(&mut self, at: SimTime, frame: &MgmtFrame) {
+        self.last_at = self.last_at.max(at);
+        if (self.filter)(frame) {
+            self.frames.push((self.last_at, frame.clone()));
+        }
+    }
+}
+
 /// Runs one experiment and returns its metrics.
 pub fn run_experiment(data: &CityData, config: &RunConfig) -> ExperimentMetrics {
     run_experiment_observed(data, config, &mut ())

@@ -1,0 +1,279 @@
+//! Kill-and-recover round trips for every attacker generation.
+//!
+//! The contract under test: interrupt a checkpointed serve run at an
+//! arbitrary mid-campaign point, restart it against the full stream, and
+//! the recovered run's output stream *and* final report are byte-
+//! identical to an uninterrupted run's. The interruption is simulated by
+//! serving a prefix of the stream (which leaves the last committed
+//! checkpoint plus an output tail past it — exactly what `kill -9`
+//! leaves behind); the real-process version of the same scenario is the
+//! `ci.sh` chaos smoke.
+//!
+//! Also pinned: a corrupted / truncated / foreign-configuration
+//! checkpoint triggers a **counted** cold start that still converges to
+//! the uninterrupted result.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use ch_attack::{AttackerSpec, CityHunterConfig, EvasionSpec, RotationSpec, ThrottleSpec};
+use ch_scenarios::{CityData, RunConfig};
+use ch_serve::{serve_to_files, EventSource, ServeConfig};
+use ch_sim::SimDuration;
+
+const SEED: u64 = 0x5EED;
+
+fn city() -> &'static CityData {
+    static CITY: OnceLock<CityData> = OnceLock::new();
+    CITY.get_or_init(|| CityData::standard(SEED))
+}
+
+/// One shared stream for every attacker under test: the service contract
+/// does not require the stream's sim attacker to match the served one.
+fn stream() -> &'static EventSource {
+    static STREAM: OnceLock<EventSource> = OnceLock::new();
+    STREAM.get_or_init(|| {
+        let spec = AttackerSpec::CityHunter(CityHunterConfig::default());
+        let mut run = RunConfig::canteen_30min(spec, SEED);
+        run.duration = SimDuration::from_mins(8);
+        EventSource::from_sim(city(), &run)
+    })
+}
+
+fn work_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ch-serve-ckpt-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn evasive(base: AttackerSpec) -> AttackerSpec {
+    AttackerSpec::Evasive {
+        base: Box::new(base),
+        evasion: EvasionSpec {
+            rotation: Some(RotationSpec {
+                period: SimDuration::from_mins(2),
+            }),
+            beacon_clone: true,
+            throttle: Some(ThrottleSpec {
+                max_responses: 30,
+                window: SimDuration::from_secs(10),
+            }),
+        },
+    }
+}
+
+fn config(spec: AttackerSpec, checkpoint: Option<PathBuf>) -> ServeConfig {
+    let mut config = ServeConfig::new(spec, SEED);
+    config.checkpoint_every = 16;
+    config.checkpoint_path = checkpoint;
+    config.stats_every = 64;
+    config
+}
+
+/// Serves the full stream uninterrupted, then replays the same stream
+/// with a simulated mid-campaign kill at `cut` events, and asserts both
+/// the output stream and the report come back byte-identical.
+fn assert_kill_recover_exact(name: &str, spec: AttackerSpec) {
+    let dir = work_dir(name);
+    let source = stream();
+    let cut = source.len() / 2;
+    assert!(cut > 32, "stream too short to interrupt mid-campaign");
+
+    // Ground truth: one uninterrupted checkpointed run.
+    let base_out = dir.join("base.ndjson");
+    let base_report = dir.join("base.json");
+    let base = serve_to_files(
+        city(),
+        &config(spec.clone(), Some(dir.join("base.ckpt"))),
+        source,
+        Some(&base_out),
+        Some(&base_report),
+    )
+    .unwrap();
+    assert!(!base.recovered && !base.cold_fallback);
+    assert!(
+        base.stats.checkpoints > 0,
+        "{name}: no checkpoints committed"
+    );
+
+    // Interrupted run: serve only a prefix (leaves a checkpoint plus an
+    // output tail beyond it), then restart against the full stream.
+    let out = dir.join("chaos.ndjson");
+    let ckpt = dir.join("chaos.ckpt");
+    let prefix = EventSource::from_events(source.events()[..cut].to_vec());
+    let cfg = config(spec, Some(ckpt));
+    let first = serve_to_files(city(), &cfg, &prefix, Some(&out), None).unwrap();
+    assert!(!first.recovered, "{name}: prefix run must start cold");
+
+    let second = serve_to_files(
+        city(),
+        &cfg,
+        source,
+        Some(&out),
+        Some(&dir.join("chaos.json")),
+    )
+    .unwrap();
+    assert!(second.recovered, "{name}: restart must recover warm");
+    assert!(!second.cold_fallback);
+    assert!(
+        second.resumed_at > 0 && second.resumed_at <= cut as u64,
+        "{name}: resumed at {} outside the interrupted prefix",
+        second.resumed_at
+    );
+
+    let base_bytes = std::fs::read(&base_out).unwrap();
+    let chaos_bytes = std::fs::read(&out).unwrap();
+    assert_eq!(
+        base_bytes, chaos_bytes,
+        "{name}: recovered output stream differs from uninterrupted run"
+    );
+    assert_eq!(
+        std::fs::read(&base_report).unwrap(),
+        std::fs::read(dir.join("chaos.json")).unwrap(),
+        "{name}: recovered report differs from uninterrupted run"
+    );
+    assert_eq!(base.stats, second.stats, "{name}: counters diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn karma_kill_recover_exact() {
+    assert_kill_recover_exact("karma", AttackerSpec::Karma);
+}
+
+#[test]
+fn mana_kill_recover_exact() {
+    assert_kill_recover_exact("mana", AttackerSpec::Mana);
+}
+
+#[test]
+fn prelim_kill_recover_exact() {
+    assert_kill_recover_exact("prelim", AttackerSpec::Prelim);
+}
+
+#[test]
+fn cityhunter_kill_recover_exact() {
+    assert_kill_recover_exact(
+        "cityhunter",
+        AttackerSpec::CityHunter(CityHunterConfig::default()),
+    );
+}
+
+#[test]
+fn evasive_karma_kill_recover_exact() {
+    assert_kill_recover_exact("evasive-karma", evasive(AttackerSpec::Karma));
+}
+
+#[test]
+fn evasive_mana_kill_recover_exact() {
+    assert_kill_recover_exact("evasive-mana", evasive(AttackerSpec::Mana));
+}
+
+#[test]
+fn evasive_prelim_kill_recover_exact() {
+    assert_kill_recover_exact("evasive-prelim", evasive(AttackerSpec::Prelim));
+}
+
+#[test]
+fn evasive_cityhunter_kill_recover_exact() {
+    assert_kill_recover_exact(
+        "evasive-cityhunter",
+        evasive(AttackerSpec::CityHunter(CityHunterConfig::default())),
+    );
+}
+
+#[test]
+fn corrupted_checkpoint_falls_back_to_counted_cold_start() {
+    let dir = work_dir("corrupt");
+    let source = stream();
+    let spec = AttackerSpec::CityHunter(CityHunterConfig::default());
+
+    // Baseline also checkpoints, so the `checkpoints` counter (which is
+    // part of the report) matches the fallback runs.
+    let base_report = dir.join("base.json");
+    serve_to_files(
+        city(),
+        &config(spec.clone(), Some(dir.join("base.ckpt"))),
+        source,
+        None,
+        Some(&base_report),
+    )
+    .unwrap();
+
+    for (case, garbage) in [
+        ("not-json", "{{{ this is not a checkpoint"),
+        ("truncated", "{\"v\":\"ch-serve-v1\",\"kind\":\"checkpo"),
+        (
+            "wrong-shape",
+            "{\"v\":\"ch-serve-v1\",\"kind\":\"checkpoint\"}",
+        ),
+    ] {
+        let ckpt = dir.join(format!("{case}.ckpt"));
+        std::fs::write(&ckpt, garbage).unwrap();
+        let report = dir.join(format!("{case}.json"));
+        let summary = serve_to_files(
+            city(),
+            &config(spec.clone(), Some(ckpt)),
+            source,
+            None,
+            Some(&report),
+        )
+        .unwrap();
+        assert!(summary.cold_fallback, "{case}: fallback must be counted");
+        assert!(!summary.recovered, "{case}: must not claim recovery");
+        assert_eq!(summary.resumed_at, 0, "{case}: cold start replays from 0");
+        assert_eq!(
+            std::fs::read(&base_report).unwrap(),
+            std::fs::read(&report).unwrap(),
+            "{case}: cold start must still converge to the uninterrupted report"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_configuration_checkpoint_is_rejected() {
+    let dir = work_dir("foreign");
+    let source = stream();
+    let ckpt = dir.join("serve.ckpt");
+
+    // Checkpoint written by a mana service...
+    serve_to_files(
+        city(),
+        &config(AttackerSpec::Mana, Some(ckpt.clone())),
+        source,
+        None,
+        None,
+    )
+    .unwrap();
+    assert!(ckpt.exists());
+
+    // ...must not restore into a cityhunter service: fingerprint gate.
+    let spec = AttackerSpec::CityHunter(CityHunterConfig::default());
+    let summary = serve_to_files(
+        city(),
+        &config(spec.clone(), Some(ckpt)),
+        source,
+        None,
+        Some(&dir.join("report.json")),
+    )
+    .unwrap();
+    assert!(summary.cold_fallback);
+    assert!(!summary.recovered);
+
+    let base_report = dir.join("base.json");
+    serve_to_files(
+        city(),
+        &config(spec, Some(dir.join("base.ckpt"))),
+        source,
+        None,
+        Some(&base_report),
+    )
+    .unwrap();
+    assert_eq!(
+        std::fs::read(&base_report).unwrap(),
+        std::fs::read(dir.join("report.json")).unwrap(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

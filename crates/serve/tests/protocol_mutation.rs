@@ -1,0 +1,227 @@
+//! Encode/decode parity and seeded mutation fuzzing of the `ch-serve-v1`
+//! wire codec (the `ch-wifi` codec_mutation pattern, applied to NDJSON).
+//!
+//! Properties pinned:
+//!
+//! * every event shape round-trips exactly through its codec;
+//! * thousands of seeded mutations of valid wire lines (byte flips,
+//!   truncations) decode to a typed `ProtocolError` or a value that
+//!   itself round-trips — never a panic;
+//! * pure garbage (random bytes, random JSON-ish text) never panics and
+//!   never decodes.
+
+use ch_attack::{LureLane, LureSource};
+use ch_serve::protocol::{
+    decode_input, decode_output, encode_input, encode_output, ProtocolError, ServiceStats,
+};
+use ch_serve::{InputEvent, OutputEvent};
+use ch_sim::SimRng;
+use ch_wifi::{MacAddr, Ssid};
+
+fn mac(i: u8) -> MacAddr {
+    MacAddr::new([2, 0, 0, 0, 0, i])
+}
+
+fn ssid(name: &str) -> Ssid {
+    Ssid::new(name).unwrap()
+}
+
+/// One instance of every input-event shape.
+fn sample_inputs() -> Vec<InputEvent> {
+    vec![
+        InputEvent::Probe {
+            t_us: 0,
+            client: mac(1),
+            ssid: None,
+        },
+        InputEvent::Probe {
+            t_us: 123_456_789,
+            client: mac(2),
+            ssid: Some(ssid("7-Eleven Free WiFi")),
+        },
+        InputEvent::Assoc {
+            t_us: u64::from(u32::MAX),
+            client: mac(3),
+            ssid: ssid("#HKAirport Free WiFi"),
+        },
+    ]
+}
+
+/// One instance of every output-event shape, covering every source/lane.
+fn sample_outputs() -> Vec<OutputEvent> {
+    let mut events = vec![
+        OutputEvent::Beacon {
+            t_us: 77,
+            bssid: mac(9),
+            ssid: ssid("CSL"),
+        },
+        OutputEvent::Stats {
+            t_us: 1_000_000,
+            stats: ServiceStats {
+                events: 11,
+                probes: 7,
+                assocs: 4,
+                lures: 280,
+                hits: 3,
+                unmatched_assocs: 1,
+                shed: 2,
+                deadline_misses: 5,
+                beacons: 6,
+                checkpoints: 1,
+                malformed: 9,
+            },
+        },
+        OutputEvent::Checkpoint {
+            t_us: 2_000_000,
+            acked: 512,
+        },
+    ];
+    for (source, lane) in [
+        (LureSource::Wigle, LureLane::Popularity),
+        (LureSource::Wigle, LureLane::PopularityGhost),
+        (LureSource::DirectProbe, LureLane::Freshness),
+        (LureSource::DirectProbe, LureLane::FreshnessGhost),
+        (LureSource::Carrier, LureLane::Database),
+        (LureSource::DirectProbe, LureLane::DirectReply),
+    ] {
+        events.push(OutputEvent::Lure {
+            t_us: 42,
+            client: mac(1),
+            ssid: ssid("Free Public WiFi"),
+            source,
+            lane,
+        });
+    }
+    events
+}
+
+/// The codec_mutation mutation kinds, on UTF-8-unsafe byte buffers:
+/// ~30% truncations, otherwise 1–4 byte-level bit flips.
+fn mutate(bytes: &mut Vec<u8>, rng: &mut SimRng) {
+    if bytes.is_empty() {
+        return;
+    }
+    if rng.chance(0.3) {
+        let keep = rng.range_usize(0, bytes.len());
+        bytes.truncate(keep);
+    } else {
+        let flips = rng.range_usize(1, 5);
+        for _ in 0..flips {
+            let idx = rng.range_usize(0, bytes.len());
+            let bit = rng.range_usize(0, 8);
+            bytes[idx] ^= 1 << bit;
+        }
+    }
+}
+
+#[test]
+fn every_input_shape_round_trips() {
+    for event in sample_inputs() {
+        let line = encode_input(&event);
+        assert_eq!(
+            decode_input(&line),
+            Ok(event.clone()),
+            "input round trip failed for {line}"
+        );
+        // Emit-side determinism: re-encoding is byte-identical.
+        assert_eq!(encode_input(&event), line);
+    }
+}
+
+#[test]
+fn every_output_shape_round_trips() {
+    for event in sample_outputs() {
+        let line = encode_output(&event);
+        assert_eq!(
+            decode_output(&line),
+            Ok(event.clone()),
+            "output round trip failed for {line}"
+        );
+        assert_eq!(encode_output(&event), line);
+    }
+}
+
+#[test]
+fn mutated_input_lines_never_panic() {
+    let mut rng = SimRng::seed_from(0x5E2F_E201);
+    for event in sample_inputs() {
+        let original = encode_input(&event).into_bytes();
+        for _ in 0..2_000 {
+            let mut bytes = original.clone();
+            mutate(&mut bytes, &mut rng);
+            let Ok(text) = String::from_utf8(bytes) else {
+                continue; // a decoder consumes &str; invalid UTF-8 never reaches it
+            };
+            if let Ok(decoded) = decode_input(&text) {
+                // Whatever still decodes must round-trip canonically.
+                let reencoded = encode_input(&decoded);
+                assert_eq!(decode_input(&reencoded), Ok(decoded));
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_output_lines_never_panic() {
+    let mut rng = SimRng::seed_from(0x5E2F_E202);
+    for event in sample_outputs() {
+        let original = encode_output(&event).into_bytes();
+        for _ in 0..2_000 {
+            let mut bytes = original.clone();
+            mutate(&mut bytes, &mut rng);
+            let Ok(text) = String::from_utf8(bytes) else {
+                continue;
+            };
+            if let Ok(decoded) = decode_output(&text) {
+                let reencoded = encode_output(&decoded);
+                assert_eq!(decode_output(&reencoded), Ok(decoded));
+            }
+        }
+    }
+}
+
+#[test]
+fn random_garbage_never_decodes_and_never_panics() {
+    let mut rng = SimRng::seed_from(0xBAD_5E2F);
+    for _ in 0..5_000 {
+        let len = rng.range_usize(0, 160);
+        let text: String = (0..len)
+            .map(|_| char::from(rng.range_u64(0x20, 0x7F) as u8))
+            .collect();
+        assert!(decode_input(&text).is_err(), "garbage decoded: {text}");
+        assert!(decode_output(&text).is_err(), "garbage decoded: {text}");
+    }
+    // JSON-shaped garbage exercises the envelope and field paths.
+    for line in [
+        "{}",
+        "null",
+        "[]",
+        "42",
+        r#"{"v":"ch-serve-v1"}"#,
+        r#"{"v":"ch-serve-v1","ev":"probe"}"#,
+        r#"{"v":"ch-serve-v1","ev":"nope","t_us":1}"#,
+        r#"{"v":"ch-serve-v1","ev":"probe","t_us":-5,"client":"02:00:00:00:00:01"}"#,
+        r#"{"v":"ch-serve-v1","ev":"probe","t_us":1,"client":"not-a-mac"}"#,
+        r#"{"v":"ch-serve-v1","ev":"assoc","t_us":1,"client":"02:00:00:00:00:01"}"#,
+        r#"{"v":"ch-serve-v1","ev":"lure","t_us":1,"client":"02:00:00:00:00:01","ssid":"x","source":"mars","lane":"popularity"}"#,
+        r#"{"v":"ch-serve-v1","ev":"stats","t_us":1,"stats":{"events":"many"}}"#,
+        r#"{"v":"ch-serve-v1","ev":"checkpoint","t_us":1}"#,
+    ] {
+        assert!(decode_input(line).is_err(), "accepted: {line}");
+        assert!(decode_output(line).is_err(), "accepted: {line}");
+    }
+}
+
+#[test]
+fn version_gate_is_airtight() {
+    // Every valid shape, re-tagged with a foreign version, is rejected
+    // with WrongVersion specifically (not a field error downstream).
+    for event in sample_inputs() {
+        let line = encode_input(&event).replace("ch-serve-v1", "ch-serve-v2");
+        assert_eq!(decode_input(&line), Err(ProtocolError::WrongVersion));
+    }
+    for event in sample_outputs() {
+        let line = encode_output(&event).replace("ch-serve-v1", "ch-serve-v9");
+        assert_eq!(decode_output(&line), Err(ProtocolError::WrongVersion));
+    }
+}

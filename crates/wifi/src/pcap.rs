@@ -169,6 +169,90 @@ pub fn read_capture<R: Read>(mut source: R) -> Result<Vec<CapturedFrame>, PcapRe
     Ok(frames)
 }
 
+/// A capture read with per-record fault tolerance: the frames that
+/// parsed, plus counts of what did not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientCapture {
+    /// Frames whose bytes parsed as 802.11 management frames, in file
+    /// order.
+    pub frames: Vec<CapturedFrame>,
+    /// Records whose payload failed to parse — counted and skipped.
+    pub skipped: u64,
+    /// `true` if the file ended mid-record (a capture torn by a crash);
+    /// the partial record is dropped and the read still succeeds.
+    pub truncated: bool,
+}
+
+/// Reads a capture like [`read_capture`], but **count-and-skip**: a
+/// record whose payload fails to parse is tallied in
+/// [`LenientCapture::skipped`] instead of failing the whole read, and a
+/// torn trailing record (crash mid-write) is treated as end-of-stream.
+///
+/// This is the decode path live tooling should use — `ch-serve`'s pcap
+/// replay source and the `capture_pcap` example both route through it —
+/// because a single mangled frame in a real capture must not discard the
+/// thousands of good frames around it. The global header must still be
+/// valid: a wrong magic or linktype means the file is not an 802.11
+/// capture at all, which no amount of skipping repairs.
+///
+/// # Errors
+///
+/// [`PcapReadError::Io`] on read failures other than a torn tail and
+/// [`PcapReadError::BadHeader`] on a foreign global header.
+pub fn read_capture_lenient<R: Read>(mut source: R) -> Result<LenientCapture, PcapReadError> {
+    let mut header = [0u8; 24];
+    source.read_exact(&mut header)?;
+    if le_u32_at(&header, 0) != MAGIC {
+        return Err(PcapReadError::BadHeader {
+            reason: "wrong magic",
+        });
+    }
+    if le_u32_at(&header, 20) != LINKTYPE_802_11 {
+        return Err(PcapReadError::BadHeader {
+            reason: "wrong linktype",
+        });
+    }
+    let mut capture = LenientCapture {
+        frames: Vec::new(),
+        skipped: 0,
+        truncated: false,
+    };
+    loop {
+        let mut record = [0u8; 16];
+        match source.read_exact(&mut record) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let ts_sec = le_u32_at(&record, 0);
+        let ts_usec = le_u32_at(&record, 4);
+        let incl_len = le_u32_at(&record, 8) as usize;
+        if incl_len > SNAPLEN as usize {
+            // A length beyond the writer's snaplen means the record
+            // header itself is garbage; resynchronizing is hopeless.
+            capture.truncated = true;
+            break;
+        }
+        let mut bytes = vec![0u8; incl_len];
+        match source.read_exact(&mut bytes) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                capture.truncated = true;
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        match codec::parse(&bytes) {
+            Ok(frame) => capture.frames.push(CapturedFrame {
+                at: SimTime::from_micros(ts_sec as u64 * 1_000_000 + ts_usec as u64),
+                frame,
+            }),
+            Err(_) => capture.skipped += 1,
+        }
+    }
+    Ok(capture)
+}
+
 /// Little-endian u32 at `offset` of a buffer whose callers size it
 /// statically; short reads yield zero-padded words instead of a panic.
 fn le_u32_at(buf: &[u8], offset: usize) -> u32 {
@@ -288,6 +372,60 @@ mod tests {
         assert!(matches!(
             read_capture(&bytes[..]),
             Err(PcapReadError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_capture() {
+        let mut writer = PcapWriter::new(Vec::new()).unwrap();
+        for cf in sample_exchange() {
+            writer.write_frame(cf.at, &cf.frame).unwrap();
+        }
+        let bytes = writer.into_inner();
+        let lenient = read_capture_lenient(&bytes[..]).unwrap();
+        assert_eq!(lenient.frames, read_capture(&bytes[..]).unwrap());
+        assert_eq!(lenient.skipped, 0);
+        assert!(!lenient.truncated);
+    }
+
+    #[test]
+    fn lenient_counts_and_skips_corrupt_frame() {
+        let mut writer = PcapWriter::new(Vec::new()).unwrap();
+        for cf in sample_exchange() {
+            writer.write_frame(cf.at, &cf.frame).unwrap();
+        }
+        let mut bytes = writer.into_inner();
+        // Flip the first record's frame-control type bits to data.
+        bytes[24 + 16] = 0b0000_1000;
+        let lenient = read_capture_lenient(&bytes[..]).unwrap();
+        assert_eq!(lenient.skipped, 1);
+        assert_eq!(lenient.frames.len(), 1);
+        assert_eq!(lenient.frames[0], sample_exchange()[1]);
+        assert!(!lenient.truncated);
+    }
+
+    #[test]
+    fn lenient_tolerates_torn_tail() {
+        let mut writer = PcapWriter::new(Vec::new()).unwrap();
+        for cf in sample_exchange() {
+            writer.write_frame(cf.at, &cf.frame).unwrap();
+        }
+        let bytes = writer.into_inner();
+        let torn = &bytes[..bytes.len() - 3];
+        let lenient = read_capture_lenient(torn).unwrap();
+        assert_eq!(lenient.frames.len(), 1);
+        assert!(lenient.truncated);
+        // The strict reader fails on the same input.
+        assert!(matches!(read_capture(torn), Err(PcapReadError::Io(_))));
+    }
+
+    #[test]
+    fn lenient_still_rejects_foreign_header() {
+        let mut bytes = PcapWriter::new(Vec::new()).unwrap().into_inner();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            read_capture_lenient(&bytes[..]),
+            Err(PcapReadError::BadHeader { .. })
         ));
     }
 

@@ -16,7 +16,7 @@ use std::io::BufWriter;
 use city_hunter::prelude::*;
 use city_hunter::scenarios::runner::{run_experiment_observed, PcapObserver};
 use city_hunter::sim::SimDuration;
-use city_hunter::wifi::pcap::read_capture;
+use city_hunter::wifi::pcap::read_capture_lenient;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = std::env::args()
@@ -51,9 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Re-read our own capture and print the census, Wireshark-style.
-    let capture = read_capture(File::open(path)?)?;
+    // The lenient reader is the same decode path `ch-serve` replays
+    // captures through: a mangled record is counted and skipped, never
+    // allowed to discard the rest of the capture.
+    let capture = read_capture_lenient(File::open(path)?)?;
     let mut census: BTreeMap<String, usize> = BTreeMap::new();
-    for captured in &capture {
+    for captured in &capture.frames {
         *census
             .entry(captured.frame.subtype().to_string())
             .or_default() += 1;
@@ -62,6 +65,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (kind, count) in &census {
         println!("  {kind:<12} {count}");
     }
-    assert_eq!(capture.len() as u64, frames);
+    if capture.skipped > 0 || capture.truncated {
+        println!(
+            "  (skipped {} malformed record(s){})",
+            capture.skipped,
+            if capture.truncated {
+                ", torn tail dropped"
+            } else {
+                ""
+            }
+        );
+    }
+    assert_eq!(capture.frames.len() as u64 + capture.skipped, frames);
     Ok(())
 }
